@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's evaluation (§6): one testing.B entry
+// per table and figure, running reduced configurations of the same runners
+// cmd/rexbench drives in full (figure shape, not absolute numbers — see
+// EXPERIMENTS.md), plus real-environment micro-benchmarks measuring the
+// genuine per-operation cost of recording, replaying, and encoding traces
+// on this machine.
+package rex_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/bench"
+	"rex/internal/env"
+	"rex/internal/rexsync"
+	"rex/internal/sched"
+	"rex/internal/trace"
+)
+
+// --- Table 1 ---
+
+func BenchmarkTable1Apps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.PrintTable1(io.Discard)
+	}
+}
+
+// --- Figure 7: one panel per application ---
+
+func benchFig7(b *testing.B, app apps.App) {
+	b.ReportAllocs()
+	var last []bench.Fig7Row
+	for i := 0; i < b.N; i++ {
+		last = bench.Fig7(app, bench.QuickFig7())
+	}
+	top := last[len(last)-1]
+	b.ReportMetric(top.Rex, "rex_req/s")
+	b.ReportMetric(top.Native, "native_req/s")
+	b.ReportMetric(top.RSM, "rsm_req/s")
+	if top.RSM > 0 {
+		b.ReportMetric(top.Rex/top.RSM, "rex/rsm")
+	}
+}
+
+func BenchmarkFig7Thumbnail(b *testing.B)  { benchFig7(b, apps.Thumbnail()) }
+func BenchmarkFig7LockServer(b *testing.B) { benchFig7(b, apps.LockServer()) }
+func BenchmarkFig7LSMKV(b *testing.B)      { benchFig7(b, apps.LSMKV()) }
+func BenchmarkFig7HashDB(b *testing.B)     { benchFig7(b, apps.HashDB()) }
+func BenchmarkFig7SimpleFS(b *testing.B)   { benchFig7(b, apps.SimpleFS()) }
+func BenchmarkFig7Memcache(b *testing.B)   { benchFig7(b, apps.Memcache()) }
+
+// --- Figure 8 ---
+
+func BenchmarkFig8aGranularity(b *testing.B) {
+	cfg := bench.DefaultFig8()
+	cfg.Measure = 300 * time.Millisecond
+	cfg.Warmup = 100 * time.Millisecond
+	var rows []bench.Fig8aRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig8a(cfg, []int{10, 100}, []float64{0.001, 0.1})
+	}
+	for _, r := range rows {
+		if r.PctInLock == 100 && r.ContentionP == 0.1 {
+			b.ReportMetric(r.Rex, "rex_100pct_p0.1_req/s")
+		}
+	}
+}
+
+func BenchmarkFig8bContention(b *testing.B) {
+	cfg := bench.DefaultFig8()
+	cfg.Measure = 300 * time.Millisecond
+	cfg.Warmup = 100 * time.Millisecond
+	var rows []bench.Fig8bRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig8b(cfg, []float64{0.01, 1})
+	}
+	b.ReportMetric(rows[0].Rex/rows[0].Native, "rex/native_p0.01")
+}
+
+// --- Figure 9 ---
+
+func benchFig9(b *testing.B, onPrimary bool) {
+	cfg := bench.Fig9Config{
+		QueryThreads:  12,
+		UpdateThreads: []int{16},
+		Cores:         24,
+		Warmup:        100 * time.Millisecond,
+		Measure:       300 * time.Millisecond,
+		Seed:          42,
+	}
+	var rows []bench.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig9(cfg, onPrimary)
+	}
+	b.ReportMetric(rows[0].QueryTput, "query_req/s")
+	b.ReportMetric(rows[0].UpdateTput, "update_req/s")
+}
+
+func BenchmarkFig9QuerySecondary(b *testing.B) { benchFig9(b, false) }
+func BenchmarkFig9QueryPrimary(b *testing.B)   { benchFig9(b, true) }
+
+// --- Figure 10 ---
+
+func BenchmarkFig10Failover(b *testing.B) {
+	cfg := bench.Fig10Config{
+		Threads:         4,
+		Cores:           8,
+		Clients:         12,
+		BucketEvery:     500 * time.Millisecond,
+		Checkpoint1:     2 * time.Second,
+		Checkpoint2:     5 * time.Second,
+		KillAt:          6 * time.Second,
+		RestartAt:       9 * time.Second,
+		EndAt:           14 * time.Second,
+		ElectionTimeout: time.Second,
+		Seed:            42,
+	}
+	var samples []bench.Fig10Sample
+	for i := 0; i < b.N; i++ {
+		samples = bench.Fig10(cfg)
+	}
+	var peak float64
+	for _, s := range samples {
+		if s.Throughput > peak {
+			peak = s.Throughput
+		}
+	}
+	b.ReportMetric(peak, "peak_req/s")
+}
+
+// --- §6.3 / §4.2 measurements and ablations ---
+
+func BenchmarkTraceSizeProfile(b *testing.B) {
+	var s bench.TraceStatsResult
+	for i := 0; i < b.N; i++ {
+		s = bench.TraceStats(apps.LockServer(), 8)
+	}
+	b.ReportMetric(s.BytesPerEvent, "bytes/event")
+	b.ReportMetric(s.SyncOverhead*100, "sync_pct_of_log")
+}
+
+func BenchmarkAblatePruning(b *testing.B) {
+	var r bench.EdgeAblationResult
+	for i := 0; i < b.N; i++ {
+		r = bench.EdgeAblation(apps.LSMKV(), 8)
+	}
+	b.ReportMetric(r.Reduction*100, "edge_reduction_pct")
+}
+
+func BenchmarkAblateTotalOrder(b *testing.B) {
+	var r bench.PartialOrderResult
+	for i := 0; i < b.N; i++ {
+		r = bench.PartialOrderAblation(6)
+	}
+	b.ReportMetric(r.PartialTime.Seconds()*1000, "partial_replay_ms")
+	b.ReportMetric(r.TotalTime.Seconds()*1000, "total_replay_ms")
+}
+
+func BenchmarkAblateDeltaProposals(b *testing.B) {
+	var r bench.DeltaAblationResult
+	for i := 0; i < b.N; i++ {
+		r = bench.DeltaAblation(apps.HashDB(), 4)
+	}
+	if r.DeltaBytes > 0 {
+		b.ReportMetric(float64(r.FullBytes)/float64(r.DeltaBytes), "full/delta_bytes")
+	}
+}
+
+// --- Real-environment micro-benchmarks (genuine ns/op on this machine) ---
+
+// recordDrain keeps the recorder's buffers bounded during long record
+// benchmarks.
+func recordDrain(rt *sched.Runtime, every int, i int) {
+	if i%every == every-1 {
+		rt.Recorder().Collect()
+	}
+}
+
+func BenchmarkRealLockNative(b *testing.B) {
+	e := env.NewReal()
+	rt := sched.NewRuntime(e, 1, sched.ModeNative)
+	l := rexsync.NewLock(rt, "bench")
+	w := rt.Worker(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock(w)
+		l.Unlock(w)
+	}
+}
+
+func BenchmarkRealLockRecord(b *testing.B) {
+	e := env.NewReal()
+	rt := sched.NewRuntime(e, 1, sched.ModeNative)
+	rt.StartRecord(nil, 0)
+	l := rexsync.NewLock(rt, "bench")
+	w := rt.Worker(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock(w)
+		l.Unlock(w)
+		recordDrain(rt, 1<<14, i)
+	}
+}
+
+func BenchmarkRealLockReplay(b *testing.B) {
+	e := env.NewReal()
+	// Record b.N lock pairs...
+	rec := sched.NewRuntime(e, 1, sched.ModeNative)
+	rec.StartRecord(nil, 0)
+	lr := rexsync.NewLock(rec, "bench")
+	w := rec.Worker(0)
+	for i := 0; i < b.N; i++ {
+		lr.Lock(w)
+		lr.Unlock(w)
+	}
+	tr := trace.New(1)
+	if err := tr.Apply(rec.Recorder().Collect()); err != nil {
+		b.Fatal(err)
+	}
+	// ...then measure replaying them.
+	rep := sched.NewRuntime(e, 1, sched.ModeNative)
+	lp := rexsync.NewLock(rep, "bench")
+	rep.StartReplay(tr, nil)
+	wp := rep.Worker(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lp.Lock(wp)
+		lp.Unlock(wp)
+	}
+}
+
+func BenchmarkRealLockReplayNoChecks(b *testing.B) {
+	e := env.NewReal()
+	rec := sched.NewRuntime(e, 1, sched.ModeNative)
+	rec.StartRecord(nil, 0)
+	lr := rexsync.NewLock(rec, "bench")
+	w := rec.Worker(0)
+	for i := 0; i < b.N; i++ {
+		lr.Lock(w)
+		lr.Unlock(w)
+	}
+	tr := trace.New(1)
+	if err := tr.Apply(rec.Recorder().Collect()); err != nil {
+		b.Fatal(err)
+	}
+	rep := sched.NewRuntime(e, 1, sched.ModeNative)
+	rep.CheckVersions = false // the §5.1 version-checking ablation
+	lp := rexsync.NewLock(rep, "bench")
+	rep.StartReplay(tr, nil)
+	wp := rep.Worker(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lp.Lock(wp)
+		lp.Unlock(wp)
+	}
+}
+
+func BenchmarkRealValueRecord(b *testing.B) {
+	e := env.NewReal()
+	rt := sched.NewRuntime(e, 1, sched.ModeNative)
+	rt.StartRecord(nil, 0)
+	w := rt.Worker(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rexsync.Value(w, 1, func() uint64 { return uint64(i) })
+		recordDrain(rt, 1<<14, i)
+	}
+}
+
+// buildBenchDelta makes a delta with n two-event, one-edge request traces.
+func buildBenchDelta(n int) *trace.Delta {
+	d := &trace.Delta{Base: trace.Cut{0, 0}, Threads: make([]trace.ThreadLog, 2)}
+	for i := 0; i < n; i++ {
+		d.Threads[0].Append(0, trace.Event{Kind: trace.KindLockAcq, Res: 1, Arg: uint64(i)}, nil)
+		d.Threads[1].Append(1, trace.Event{Kind: trace.KindLockAcq, Res: 2, Arg: uint64(i)},
+			[]trace.EventID{{Thread: 0, Clock: int32(i + 1)}})
+	}
+	return d
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	d := buildBenchDelta(1000)
+	b.ResetTimer()
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		bytes = len(d.EncodeBytes())
+	}
+	b.ReportMetric(float64(bytes)/float64(d.EventCount()), "bytes/event")
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	buf := buildBenchDelta(1000).EncodeBytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.DecodeDeltaBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsistentCut(b *testing.B) {
+	tr := trace.New(2)
+	if err := tr.Apply(buildBenchDelta(1000)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ConsistentCut(nil)
+	}
+}

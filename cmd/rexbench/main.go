@@ -1,0 +1,134 @@
+// Command rexbench regenerates every table and figure from the paper's
+// evaluation (§6) on the deterministic simulator. See EXPERIMENTS.md for
+// the expected shapes.
+//
+// Usage:
+//
+//	rexbench -exp all                 # everything (takes a while)
+//	rexbench -exp fig7 -app thumbnail # one Figure 7 panel
+//	rexbench -exp fig10               # the failover timeline
+//	rexbench -exp fig7 -quick         # reduced thread counts / durations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|all")
+	appName := flag.String("app", "", "application for fig7 (default: all six)")
+	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
+	threads := flag.Int("threads", 8, "worker threads for tracesize/edges/ablations")
+	flag.Parse()
+
+	out := os.Stdout
+	runFig7 := func() {
+		cfg := bench.DefaultFig7()
+		if *quick {
+			cfg = bench.QuickFig7()
+		}
+		list := apps.All()
+		if *appName != "" {
+			app, ok := apps.Get(*appName)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown application %q\n", *appName)
+				os.Exit(2)
+			}
+			list = []apps.App{app}
+		}
+		for _, app := range list {
+			fmt.Fprintf(out, "running Figure 7 panel for %s...\n", app.Name)
+			rows := bench.Fig7(app, cfg)
+			bench.PrintFig7(out, app, rows)
+		}
+	}
+	runFig8a := func() {
+		cfg := bench.DefaultFig8()
+		pcts := []int{10, 60, 80, 100}
+		ps := []float64{0.001, 0.01, 0.05, 0.1}
+		if *quick {
+			cfg.Measure = 400 * time.Millisecond
+			pcts = []int{10, 100}
+			ps = []float64{0.001, 0.1}
+		}
+		bench.PrintFig8a(out, bench.Fig8a(cfg, pcts, ps))
+	}
+	runFig8b := func() {
+		cfg := bench.DefaultFig8()
+		ps := []float64{0.001, 0.01, 0.05, 0.1, 0.2, 0.5, 1}
+		if *quick {
+			cfg.Measure = 400 * time.Millisecond
+			ps = []float64{0.01, 0.2, 1}
+		}
+		bench.PrintFig8b(out, bench.Fig8b(cfg, ps))
+	}
+	runFig9 := func() {
+		cfg := bench.DefaultFig9()
+		if *quick {
+			cfg.UpdateThreads = []int{2, 16}
+			cfg.QueryThreads = 12
+			cfg.Measure = 400 * time.Millisecond
+		}
+		bench.PrintFig9(out, false, bench.Fig9(cfg, false))
+		bench.PrintFig9(out, true, bench.Fig9(cfg, true))
+	}
+	runFig10 := func() {
+		cfg := bench.DefaultFig10()
+		if *quick {
+			cfg.Checkpoint1 = 2 * time.Second
+			cfg.Checkpoint2 = 5 * time.Second
+			cfg.KillAt = 6 * time.Second
+			cfg.RestartAt = 9 * time.Second
+			cfg.EndAt = 14 * time.Second
+			cfg.ElectionTimeout = time.Second
+			cfg.BucketEvery = 500 * time.Millisecond
+		}
+		bench.PrintFig10(out, cfg, bench.Fig10(cfg))
+	}
+
+	switch *exp {
+	case "table1":
+		bench.PrintTable1(out)
+	case "fig7":
+		runFig7()
+	case "fig8a":
+		runFig8a()
+	case "fig8b":
+		runFig8b()
+	case "fig9":
+		runFig9()
+	case "fig10":
+		runFig10()
+	case "tracesize":
+		bench.PrintTraceStats(out, *threads)
+	case "edges":
+		bench.PrintEdgeAblation(out, *threads)
+	case "ablate-partialorder":
+		bench.PrintPartialOrderAblation(out, *threads)
+	case "ablate-delta":
+		bench.PrintDeltaAblation(out, *threads)
+	case "ablate-pipeline":
+		bench.PrintPipelineAblation(out, *threads)
+	case "all":
+		bench.PrintTable1(out)
+		runFig7()
+		runFig8a()
+		runFig8b()
+		runFig9()
+		runFig10()
+		bench.PrintTraceStats(out, *threads)
+		bench.PrintEdgeAblation(out, *threads)
+		bench.PrintPartialOrderAblation(out, *threads)
+		bench.PrintDeltaAblation(out, *threads)
+		bench.PrintPipelineAblation(out, *threads)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

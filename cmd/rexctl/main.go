@@ -1,0 +1,56 @@
+// Command rexctl drives a rexd cluster from the command line.
+//
+//	rexctl -servers 127.0.0.1:8000,127.0.0.1:8001,127.0.0.1:8002 \
+//	       -app lsmkv put mykey myvalue
+//	rexctl -servers ... -app lsmkv get mykey
+//	rexctl -servers ... -app lsmkv -query -replica 1 get mykey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"rex/internal/apps"
+	"rex/internal/server"
+)
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated client addresses of the replicas")
+	appName := flag.String("app", "lsmkv", "application the cluster runs")
+	query := flag.Bool("query", false, "run as a read-only query instead of a replicated request")
+	replica := flag.Int("replica", 0, "replica to query (with -query)")
+	clientID := flag.Uint64("client", 0, "client id (default: random)")
+	flag.Parse()
+
+	if *servers == "" {
+		log.Fatal("rexctl: -servers required")
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("rexctl: no command (e.g. `put k v`, `get k`)")
+	}
+	body, err := apps.Command(*appName, args)
+	if err != nil {
+		log.Fatalf("rexctl: %v", err)
+	}
+	id := *clientID
+	if id == 0 {
+		id = rand.Uint64()
+	}
+	cl := server.NewClient(id, strings.Split(*servers, ","))
+	defer cl.Close()
+
+	var resp []byte
+	if *query {
+		resp, err = cl.Query(*replica, body)
+	} else {
+		resp, err = cl.Do(body)
+	}
+	if err != nil {
+		log.Fatalf("rexctl: %v", err)
+	}
+	fmt.Println(apps.FormatResponse(*appName, args[0], resp))
+}

@@ -1,0 +1,111 @@
+// Command rexd runs one Rex replica over TCP, serving one of the built-in
+// applications (see internal/apps). A three-replica local cluster:
+//
+//	rexd -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//	     -client 127.0.0.1:8000 -app lsmkv -dir /tmp/rex0 &
+//	rexd -id 1 -peers ... -client 127.0.0.1:8001 -app lsmkv -dir /tmp/rex1 &
+//	rexd -id 2 -peers ... -client 127.0.0.1:8002 -app lsmkv -dir /tmp/rex2 &
+//
+// Then drive it with rexctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"rex/internal/apps"
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/server"
+	"rex/internal/storage"
+	"rex/internal/transport"
+)
+
+func main() {
+	id := flag.Int("id", 0, "replica id (index into -peers)")
+	peers := flag.String("peers", "", "comma-separated replication addresses, one per replica")
+	clientAddr := flag.String("client", "", "address to serve clients on")
+	appName := flag.String("app", "lsmkv", "application: thumbnail|lockserver|lsmkv|hashdb|simplefs|memcache")
+	dir := flag.String("dir", "", "data directory (WAL + checkpoints)")
+	workers := flag.Int("workers", 8, "request worker threads")
+	readWorkers := flag.Int("read-workers", 2, "read-only query threads")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = disabled)")
+	verbose := flag.Bool("v", false, "verbose replica logging")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || *id < 0 || *id >= len(addrs) {
+		log.Fatalf("rexd: -peers must list all replicas and -id must index into it")
+	}
+	if *clientAddr == "" {
+		log.Fatalf("rexd: -client address required")
+	}
+	if *dir == "" {
+		log.Fatalf("rexd: -dir data directory required")
+	}
+	app, ok := apps.Get(*appName)
+	if !ok {
+		log.Fatalf("rexd: unknown application %q", *appName)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatalf("rexd: %v", err)
+	}
+	wal, err := storage.OpenFileLog(filepath.Join(*dir, "wal"), true)
+	if err != nil {
+		log.Fatalf("rexd: open WAL: %v", err)
+	}
+	snaps, err := storage.NewFileSnapshots(filepath.Join(*dir, "snapshots"))
+	if err != nil {
+		log.Fatalf("rexd: snapshot store: %v", err)
+	}
+	ep, err := transport.ListenTCP(*id, addrs)
+	if err != nil {
+		log.Fatalf("rexd: listen: %v", err)
+	}
+
+	e := env.NewReal()
+	cfg := core.Config{
+		ID:              *id,
+		N:               len(addrs),
+		Env:             e,
+		Endpoint:        ep,
+		Log:             wal,
+		Snapshots:       snaps,
+		Factory:         app.Factory,
+		Workers:         *workers,
+		Timers:          app.Timers,
+		ReadWorkers:     *readWorkers,
+		CheckpointEvery: *checkpointEvery,
+		Seed:            int64(*id) + 1,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	replica, err := core.NewReplica(cfg)
+	if err != nil {
+		log.Fatalf("rexd: %v", err)
+	}
+	if err := replica.Start(); err != nil {
+		log.Fatalf("rexd: start: %v", err)
+	}
+	srv, err := server.Listen(replica, *clientAddr)
+	if err != nil {
+		log.Fatalf("rexd: client listener: %v", err)
+	}
+	log.Printf("rexd: replica %d/%d serving %q on %s (replication %s)",
+		*id, len(addrs), *appName, srv.Addr(), addrs[*id])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rexd: shutting down")
+	srv.Close()
+	replica.Stop()
+	wal.Close()
+}

@@ -1,0 +1,23 @@
+// failover: a scripted Figure-10-style availability timeline.
+//
+// The compute-bound thumbnail server runs under saturating load while the
+// script takes a checkpoint, kills the primary, and brings it back; the
+// per-second throughput trace shows the outage, the election, and the
+// flow-control sag while the rejoined replica catches up.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rex/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultFig10()
+	fmt.Println("running the failover timeline (virtual time, ~36 simulated seconds)...")
+	samples := bench.Fig10(cfg)
+	bench.PrintFig10(os.Stdout, cfg, samples)
+}

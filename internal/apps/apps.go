@@ -1,0 +1,301 @@
+// Package apps registers the paper's six evaluation applications (§6.3,
+// Table 1) behind one descriptor type so the benchmark harness and the
+// command-line tools can drive any of them uniformly.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/apps/lockserver"
+	"rex/internal/apps/lsmkv"
+	"rex/internal/apps/memcache"
+	"rex/internal/apps/simplefs"
+	"rex/internal/apps/thumbnail"
+	"rex/internal/core"
+)
+
+// Workload generates a deterministic stream of requests for one client.
+// Instances are not safe for concurrent use: give each client its own,
+// seeded distinctly.
+type Workload interface {
+	// Setup returns prefill requests to run once before measurement.
+	Setup() [][]byte
+	// Next returns the next update request body.
+	Next() []byte
+	// Query returns a read-only query body (for the §6.5 experiments).
+	Query() []byte
+}
+
+// App describes one benchmark application.
+type App struct {
+	Name       string
+	Title      string
+	Primitives []string // Table 1
+	Timers     int
+	Factory    core.Factory
+	// NewWorkload builds a per-client workload; distinct clients should
+	// pass distinct seeds.
+	NewWorkload func(seed int64) Workload
+	// ClientsPerThread sizes the closed-loop client population for
+	// benchmarks: light handlers need many concurrent clients to keep a
+	// worker busy across the commit latency (§6.2: "enough clients ...
+	// so that the machines are fully loaded"). 0 means 4.
+	ClientsPerThread int
+}
+
+// All returns the six applications in the paper's Figure 7 order.
+func All() []App {
+	return []App{
+		Thumbnail(),
+		LockServer(),
+		LSMKV(),
+		HashDB(),
+		SimpleFS(),
+		Memcache(),
+	}
+}
+
+// Get looks an application up by name.
+func Get(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Thumbnail is the compute-bound thumbnail server (Fig. 7a).
+func Thumbnail() App {
+	return App{
+		Name:             "thumbnail",
+		Title:            "Thumbnail Server",
+		ClientsPerThread: 4,
+		Primitives:       thumbnail.Primitives(),
+		Factory:          thumbnail.New(thumbnail.DefaultOptions()),
+		NewWorkload: func(seed int64) Workload {
+			return &thumbWorkload{rng: rand.New(rand.NewSource(seed))}
+		},
+	}
+}
+
+type thumbWorkload struct{ rng *rand.Rand }
+
+func (w *thumbWorkload) Setup() [][]byte { return nil }
+func (w *thumbWorkload) Next() []byte {
+	id := uint64(w.rng.Intn(100000))
+	srcLen := uint64(20000 + w.rng.Intn(80000))
+	return thumbnail.MakeReq(id, srcLen)
+}
+func (w *thumbWorkload) Query() []byte {
+	return thumbnail.StatReq(uint64(w.rng.Intn(100000)))
+}
+
+// LockServer is the Chubby-like lease service (Fig. 7b): 90% lease
+// renewals, 10% create/update with 100 B – 5 KB contents.
+func LockServer() App {
+	return LockServerWith(lockserver.DefaultOptions())
+}
+
+// LockServerWith builds the lock server with custom options (the §6.5
+// query experiment uses a more contended configuration).
+func LockServerWith(opts lockserver.Options) App {
+	return App{
+		Name:             "lockserver",
+		Title:            "Lock Server",
+		ClientsPerThread: 64,
+		Primitives:       lockserver.Primitives(),
+		Factory:          lockserver.New(opts),
+		NewWorkload: func(seed int64) Workload {
+			return &lockWorkload{rng: rand.New(rand.NewSource(seed)), client: uint64(seed&0xffff) + 1}
+		},
+	}
+}
+
+const lockNames = 2000
+
+type lockWorkload struct {
+	rng    *rand.Rand
+	client uint64
+}
+
+func (w *lockWorkload) name() string {
+	return fmt.Sprintf("file-%04d", w.rng.Intn(lockNames))
+}
+
+func (w *lockWorkload) content() []byte {
+	n := 100 + w.rng.Intn(5*1024-100)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(w.rng.Intn(256))
+	}
+	return b
+}
+
+func (w *lockWorkload) Setup() [][]byte {
+	var reqs [][]byte
+	for i := 0; i < lockNames; i++ {
+		reqs = append(reqs, lockserver.CreateReq(fmt.Sprintf("file-%04d", i), w.client, []byte("init")))
+	}
+	return reqs
+}
+
+func (w *lockWorkload) Next() []byte {
+	r := w.rng.Intn(100)
+	switch {
+	case r < 90:
+		return lockserver.RenewReq(w.name(), w.client)
+	case r < 95:
+		return lockserver.CreateReq(w.name(), w.client, w.content())
+	default:
+		return lockserver.UpdateReq(w.name(), w.client, w.content())
+	}
+}
+
+func (w *lockWorkload) Query() []byte { return lockserver.InfoReq(w.name()) }
+
+// kvWorkload is shared by the three key/value stores: 16-byte keys,
+// 100-byte values (§6.3).
+type kvWorkload struct {
+	rng     *rand.Rand
+	keys    int
+	prefill int
+	getPct  int
+	set     func(key string, val []byte) []byte
+	get     func(key string) []byte
+	del     func(key string) []byte
+}
+
+func (w *kvWorkload) key() string {
+	return fmt.Sprintf("key-%011d", w.rng.Intn(w.keys))
+}
+
+func (w *kvWorkload) val() []byte {
+	b := make([]byte, 100)
+	for i := range b {
+		b[i] = byte('a' + w.rng.Intn(26))
+	}
+	return b
+}
+
+func (w *kvWorkload) Setup() [][]byte {
+	var reqs [][]byte
+	for i := 0; i < w.prefill; i++ {
+		reqs = append(reqs, w.set(fmt.Sprintf("key-%011d", i), w.val()))
+	}
+	return reqs
+}
+
+func (w *kvWorkload) Next() []byte {
+	r := w.rng.Intn(100)
+	switch {
+	case r < w.getPct:
+		return w.get(w.key())
+	case r < w.getPct+2:
+		return w.del(w.key())
+	default:
+		return w.set(w.key(), w.val())
+	}
+}
+
+func (w *kvWorkload) Query() []byte { return w.get(w.key()) }
+
+// LSMKV is the LevelDB-style store (Fig. 7c).
+func LSMKV() App {
+	return App{
+		Name:             "lsmkv",
+		Title:            "LevelDB-style LSM KV",
+		ClientsPerThread: 48,
+		Primitives:       lsmkv.Primitives(),
+		Timers:           lsmkv.Timers(),
+		Factory:          lsmkv.New(lsmkv.DefaultOptions()),
+		NewWorkload: func(seed int64) Workload {
+			return &kvWorkload{
+				rng: rand.New(rand.NewSource(seed)), keys: 50000, prefill: 2000, getPct: 50,
+				set: lsmkv.PutReq, get: lsmkv.GetReq, del: lsmkv.DelReq,
+			}
+		},
+	}
+}
+
+// HashDB is the Kyoto-Cabinet-style store (Fig. 7d).
+func HashDB() App {
+	return App{
+		Name:             "hashdb",
+		Title:            "Kyoto-Cabinet-style HashDB",
+		ClientsPerThread: 48,
+		Primitives:       hashdb.Primitives(),
+		Timers:           hashdb.Timers(),
+		Factory:          hashdb.New(hashdb.DefaultOptions()),
+		NewWorkload: func(seed int64) Workload {
+			return &kvWorkload{
+				rng: rand.New(rand.NewSource(seed)), keys: 50000, prefill: 2000, getPct: 50,
+				set: hashdb.SetReq, get: hashdb.GetReq, del: hashdb.DelReq,
+			}
+		},
+	}
+}
+
+// SimpleFS is the simple file system (Fig. 7e): 16 KB synchronized random
+// I/O, reads:writes = 1:4.
+func SimpleFS() App {
+	opts := simplefs.DefaultOptions()
+	return App{
+		Name:             "simplefs",
+		Title:            "Simple File System",
+		ClientsPerThread: 16,
+		Primitives:       simplefs.Primitives(),
+		Factory:          simplefs.New(opts),
+		NewWorkload: func(seed int64) Workload {
+			return &fsWorkload{rng: rand.New(rand.NewSource(seed)), opts: opts}
+		},
+	}
+}
+
+type fsWorkload struct {
+	rng  *rand.Rand
+	opts simplefs.Options
+}
+
+func (w *fsWorkload) pick() (int, int) {
+	file := w.rng.Intn(w.opts.Files)
+	blocks := w.opts.FileSize / simplefs.BlockSize
+	off := w.rng.Intn(blocks) * simplefs.BlockSize
+	return file, off
+}
+
+func (w *fsWorkload) Setup() [][]byte { return nil }
+
+func (w *fsWorkload) Next() []byte {
+	file, off := w.pick()
+	if w.rng.Intn(5) == 0 { // 1:4 read:write
+		return simplefs.ReadReq(file, off)
+	}
+	return simplefs.WriteReq(file, off, w.rng.Uint64())
+}
+
+func (w *fsWorkload) Query() []byte {
+	file, off := w.pick()
+	return simplefs.ReadReq(file, off)
+}
+
+// Memcache is the memcached-style cache (Fig. 7f): coarse global locks,
+// the paper's does-not-scale case.
+func Memcache() App {
+	return App{
+		Name:             "memcache",
+		Title:            "Memcached-style Cache",
+		ClientsPerThread: 48,
+		Primitives:       memcache.Primitives(),
+		Timers:           memcache.Timers(),
+		Factory:          memcache.New(memcache.DefaultOptions()),
+		NewWorkload: func(seed int64) Workload {
+			return &kvWorkload{
+				rng: rand.New(rand.NewSource(seed)), keys: 50000, prefill: 2000, getPct: 70,
+				set: memcache.SetReq, get: memcache.GetReq, del: memcache.DelReq,
+			}
+		},
+	}
+}

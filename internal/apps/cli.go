@@ -1,0 +1,172 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/apps/lockserver"
+	"rex/internal/apps/lsmkv"
+	"rex/internal/apps/memcache"
+	"rex/internal/apps/simplefs"
+	"rex/internal/apps/thumbnail"
+	"rex/internal/wire"
+)
+
+// Command encodes a human-readable operation ("put k v", "renew name", …)
+// into the application's request format; cmd/rexctl uses it.
+func Command(appName string, args []string) ([]byte, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("apps: empty command")
+	}
+	op := args[0]
+	rest := args[1:]
+	need := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("apps: %s %s takes %d argument(s)", appName, op, n)
+		}
+		return nil
+	}
+	switch appName {
+	case "lsmkv", "hashdb", "memcache":
+		set := map[string]func(string, []byte) []byte{
+			"lsmkv": lsmkv.PutReq, "hashdb": hashdb.SetReq, "memcache": memcache.SetReq,
+		}[appName]
+		get := map[string]func(string) []byte{
+			"lsmkv": lsmkv.GetReq, "hashdb": hashdb.GetReq, "memcache": memcache.GetReq,
+		}[appName]
+		del := map[string]func(string) []byte{
+			"lsmkv": lsmkv.DelReq, "hashdb": hashdb.DelReq, "memcache": memcache.DelReq,
+		}[appName]
+		switch op {
+		case "put", "set":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			return set(rest[0], []byte(rest[1])), nil
+		case "get":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			return get(rest[0]), nil
+		case "del":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			return del(rest[0]), nil
+		}
+	case "lockserver":
+		switch op {
+		case "renew":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			client, _ := strconv.ParseUint(rest[1], 10, 64)
+			return lockserver.RenewReq(rest[0], client), nil
+		case "create":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			client, _ := strconv.ParseUint(rest[1], 10, 64)
+			return lockserver.CreateReq(rest[0], client, []byte(rest[2])), nil
+		case "update":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			client, _ := strconv.ParseUint(rest[1], 10, 64)
+			return lockserver.UpdateReq(rest[0], client, []byte(rest[2])), nil
+		case "info":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			return lockserver.InfoReq(rest[0]), nil
+		}
+	case "thumbnail":
+		switch op {
+		case "make":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			id, _ := strconv.ParseUint(rest[0], 10, 64)
+			srcLen, _ := strconv.ParseUint(rest[1], 10, 64)
+			return thumbnail.MakeReq(id, srcLen), nil
+		case "stat":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			id, _ := strconv.ParseUint(rest[0], 10, 64)
+			return thumbnail.StatReq(id), nil
+		}
+	case "simplefs":
+		switch op {
+		case "read":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			file, _ := strconv.Atoi(rest[0])
+			off, _ := strconv.Atoi(rest[1])
+			return simplefs.ReadReq(file, off), nil
+		case "write":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			file, _ := strconv.Atoi(rest[0])
+			off, _ := strconv.Atoi(rest[1])
+			seed, _ := strconv.ParseUint(rest[2], 10, 64)
+			return simplefs.WriteReq(file, off, seed), nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown command %q for application %q", op, appName)
+}
+
+// FormatResponse renders an application response for humans.
+func FormatResponse(appName, op string, resp []byte) string {
+	switch appName {
+	case "lsmkv", "hashdb", "memcache":
+		if op == "get" {
+			d := wire.NewDecoder(resp)
+			ok := d.Bool()
+			v := d.BytesVal()
+			if d.Err() != nil {
+				return fmt.Sprintf("%x", resp)
+			}
+			if !ok {
+				return "(not found)"
+			}
+			return string(v)
+		}
+		return "ok"
+	case "lockserver":
+		if op == "info" {
+			d := wire.NewDecoder(resp)
+			if !d.Bool() {
+				return "(no such file)"
+			}
+			holder := d.Uvarint()
+			expiry := d.Uvarint()
+			renews := d.Uvarint()
+			size := d.Uvarint()
+			return fmt.Sprintf("holder=%d expiry=%dns renews=%d size=%dB", holder, expiry, renews, size)
+		}
+		if len(resp) == 1 {
+			return map[byte]string{0: "failed", 1: "ok", 2: "held by another client"}[resp[0]]
+		}
+	case "thumbnail":
+		d := wire.NewDecoder(resp)
+		if op == "make" {
+			return fmt.Sprintf("digest=%x", d.Uvarint())
+		}
+		if op == "stat" {
+			renders := d.Uvarint()
+			digest := d.Uvarint()
+			return fmt.Sprintf("renders=%d digest=%x", renders, digest)
+		}
+	case "simplefs":
+		if op == "read" {
+			d := wire.NewDecoder(resp)
+			return fmt.Sprintf("checksum=%x", d.Uvarint())
+		}
+		return "ok"
+	}
+	return fmt.Sprintf("%x", resp)
+}

@@ -1,0 +1,245 @@
+// Package hashdb is a Kyoto-Cabinet-style hash database (§6.3): the key
+// space is divided into 1024 slices, each protected by a Rex
+// readers–writer lock, plus a metadata lock and a condition variable used
+// by the periodic auto-sync barrier (Table 1: Lock, Cond, ReadWriteLock).
+package hashdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/rexsync"
+	"rex/internal/sched"
+	"rex/internal/wire"
+)
+
+// Op codes.
+const (
+	OpSet byte = 1
+	OpGet byte = 2
+	OpDel byte = 3
+)
+
+// Options configure the database.
+type Options struct {
+	Slices    int
+	SyncEvery time.Duration
+	SyncCost  time.Duration
+	SetCost   time.Duration
+	GetCost   time.Duration
+}
+
+// DefaultOptions mirror Kyoto Cabinet's 1024-slice layout.
+func DefaultOptions() Options {
+	return Options{
+		Slices:    1024,
+		SyncEvery: 25 * time.Millisecond,
+		SyncCost:  200 * time.Microsecond,
+		SetCost:   50 * time.Microsecond,
+		GetCost:   35 * time.Microsecond,
+	}
+}
+
+// Timers reports the number of background tasks the factory registers.
+func Timers() int { return 1 }
+
+// Primitives lists the Rex primitives used (Table 1).
+func Primitives() []string { return []string{"Lock", "Cond", "ReadWriteLock"} }
+
+// DB is the hash-database state machine.
+type DB struct {
+	opts   Options
+	locks  []*rexsync.RWLock
+	slices []map[string][]byte
+
+	// meta guards record counting and the auto-sync barrier; writers wait
+	// on syncDone while a sync is in progress.
+	meta     *rexsync.Lock
+	syncDone *rexsync.Cond
+	count    int64
+	dirty    int64
+	syncing  bool
+	syncs    uint64
+}
+
+// New returns a core.Factory for the database. It registers one auto-sync
+// timer; pass Timers() as Config.Timers.
+func New(opts Options) core.Factory {
+	return func(rt *sched.Runtime, host *core.TimerHost) core.StateMachine {
+		db := &DB{opts: opts}
+		for i := 0; i < opts.Slices; i++ {
+			db.locks = append(db.locks, rexsync.NewRWLock(rt, fmt.Sprintf("hdb-slice-%d", i)))
+			db.slices = append(db.slices, make(map[string][]byte))
+		}
+		db.meta = rexsync.NewLock(rt, "hdb-meta")
+		db.syncDone = rexsync.NewCond(rt, "hdb-sync-done", db.meta)
+		host.AddTimer("hdb-sync", opts.SyncEvery, db.autoSync)
+		return db
+	}
+}
+
+func (db *DB) slice(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(db.opts.Slices))
+}
+
+// autoSync is Kyoto Cabinet's periodic msync stand-in: it briefly blocks
+// metadata writers while "flushing".
+func (db *DB) autoSync(ctx *core.Ctx) {
+	w := ctx.Worker()
+	db.meta.Lock(w)
+	if db.dirty == 0 {
+		db.meta.Unlock(w)
+		return
+	}
+	db.syncing = true
+	dirty := db.dirty
+	db.meta.Unlock(w)
+
+	// Flush cost proportional to dirtiness, outside the lock.
+	cost := time.Duration(dirty) * db.opts.SyncCost / 64
+	if cost > 4*db.opts.SyncCost {
+		cost = 4 * db.opts.SyncCost
+	}
+	ctx.Compute(db.opts.SyncCost + cost)
+
+	db.meta.Lock(w)
+	db.dirty = 0
+	db.syncing = false
+	db.syncs++
+	db.syncDone.Broadcast(w)
+	db.meta.Unlock(w)
+}
+
+// Apply implements core.StateMachine.
+func (db *DB) Apply(ctx *core.Ctx, req []byte) []byte {
+	w := ctx.Worker()
+	d := wire.NewDecoder(req)
+	op := d.Byte()
+	key := d.String()
+	sl := db.slice(key)
+	switch op {
+	case OpSet:
+		val := append([]byte(nil), d.BytesVal()...)
+		ctx.Compute(db.opts.SetCost)
+		db.locks[sl].Lock(w)
+		_, existed := db.slices[sl][key]
+		db.slices[sl][key] = val
+		db.locks[sl].Unlock(w)
+		db.meta.Lock(w)
+		for db.syncing {
+			db.syncDone.Wait(w)
+		}
+		if !existed {
+			db.count++
+		}
+		db.dirty++
+		db.meta.Unlock(w)
+		return []byte{1}
+	case OpGet:
+		ctx.Compute(db.opts.GetCost)
+		db.locks[sl].RLock(w)
+		v, ok := db.slices[sl][key]
+		db.locks[sl].RUnlock(w)
+		e := wire.NewEncoder(nil)
+		e.Bool(ok)
+		e.BytesVal(v)
+		return e.Bytes()
+	case OpDel:
+		ctx.Compute(db.opts.SetCost)
+		db.locks[sl].Lock(w)
+		_, existed := db.slices[sl][key]
+		delete(db.slices[sl], key)
+		db.locks[sl].Unlock(w)
+		if existed {
+			db.meta.Lock(w)
+			for db.syncing {
+				db.syncDone.Wait(w)
+			}
+			db.count--
+			db.dirty++
+			db.meta.Unlock(w)
+		}
+		return []byte{1}
+	}
+	return []byte{0xff}
+}
+
+// Query implements core.QueryHandler: unreplicated reads.
+func (db *DB) Query(ctx *core.Ctx, q []byte) []byte {
+	return db.Apply(ctx, q)
+}
+
+// WriteCheckpoint implements core.StateMachine.
+func (db *DB) WriteCheckpoint(w io.Writer) error {
+	e := wire.NewEncoder(nil)
+	e.Varint(db.count)
+	e.Varint(db.dirty)
+	e.Uvarint(db.syncs)
+	for _, m := range db.slices {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.String(k)
+			e.BytesVal(m[k])
+		}
+	}
+	_, err := w.Write(e.Bytes())
+	return err
+}
+
+// ReadCheckpoint implements core.StateMachine.
+func (db *DB) ReadCheckpoint(r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := wire.NewDecoder(buf)
+	db.count = d.Varint()
+	db.dirty = d.Varint()
+	db.syncs = d.Uvarint()
+	for i := range db.slices {
+		n := d.Uvarint()
+		db.slices[i] = make(map[string][]byte, n)
+		for j := uint64(0); j < n; j++ {
+			k := d.String()
+			db.slices[i][k] = append([]byte(nil), d.BytesVal()...)
+		}
+	}
+	return d.Err()
+}
+
+// SetReq encodes a set.
+func SetReq(key string, val []byte) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(OpSet)
+	e.String(key)
+	e.BytesVal(val)
+	return e.Bytes()
+}
+
+// GetReq encodes a get.
+func GetReq(key string) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(OpGet)
+	e.String(key)
+	return e.Bytes()
+}
+
+// DelReq encodes a delete.
+func DelReq(key string) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(OpDel)
+	e.String(key)
+	return e.Bytes()
+}

@@ -1,0 +1,101 @@
+package hashdb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/sim"
+	"rex/internal/wire"
+)
+
+func newHost(t *testing.T, e *sim.Env, opts Options) *core.NativeHost {
+	t.Helper()
+	h, err := core.NewNativeHost(e, 2, Timers(), 1, New(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func get(t *testing.T, h *core.NativeHost, key string) (string, bool) {
+	t.Helper()
+	d := wire.NewDecoder(h.Apply(0, GetReq(key)))
+	ok := d.Bool()
+	return string(d.BytesVal()), ok
+}
+
+func TestSetGetDelete(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e, DefaultOptions())
+		h.Apply(0, SetReq("a", []byte("1")))
+		h.Apply(0, SetReq("b", []byte("2")))
+		if v, ok := get(t, h, "a"); !ok || v != "1" {
+			t.Errorf("a = %q %v", v, ok)
+		}
+		h.Apply(0, DelReq("a"))
+		if _, ok := get(t, h, "a"); ok {
+			t.Error("deleted key found")
+		}
+		db := h.SM.(*DB)
+		if db.count != 1 {
+			t.Errorf("count = %d, want 1", db.count)
+		}
+	})
+}
+
+func TestAutoSyncClearsDirty(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Slices = 8
+		opts.SyncEvery = 5 * time.Millisecond
+		h := newHost(t, e, opts)
+		h.StartTimers()
+		for i := 0; i < 20; i++ {
+			h.Apply(0, SetReq(fmt.Sprintf("k%d", i), []byte("v")))
+		}
+		e.Sleep(50 * time.Millisecond)
+		h.Stop()
+		db := h.SM.(*DB)
+		if db.dirty != 0 {
+			t.Errorf("dirty = %d after sync window", db.dirty)
+		}
+		if db.syncs == 0 {
+			t.Error("auto-sync never ran")
+		}
+	})
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Slices = 8
+		h := newHost(t, e, opts)
+		for i := 0; i < 30; i++ {
+			h.Apply(0, SetReq(fmt.Sprintf("key-%02d", i), []byte(fmt.Sprintf("val-%d", i))))
+		}
+		var buf bytes.Buffer
+		if err := h.SM.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h2 := newHost(t, e, opts)
+		if err := h2.SM.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			if v, ok := get(t, h2, fmt.Sprintf("key-%02d", i)); !ok || v != fmt.Sprintf("val-%d", i) {
+				t.Fatalf("restored key-%02d = %q %v", i, v, ok)
+			}
+		}
+		var buf2 bytes.Buffer
+		h2.SM.WriteCheckpoint(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Error("checkpoint round trip not idempotent")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package lockserver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/sim"
+	"rex/internal/wire"
+)
+
+func newHost(t *testing.T, e *sim.Env) *core.NativeHost {
+	t.Helper()
+	h, err := core.NewNativeHost(e, 2, 0, 1, New(DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCreateRenewUpdateLifecycle(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e)
+		if st := h.Apply(0, CreateReq("/a", 1, []byte("hello"))); st[0] != 1 {
+			t.Fatalf("create = %d", st[0])
+		}
+		// Duplicate create fails.
+		if st := h.Apply(0, CreateReq("/a", 2, []byte("x"))); st[0] != 0 {
+			t.Errorf("duplicate create = %d, want 0", st[0])
+		}
+		// Holder renews.
+		if st := h.Apply(0, RenewReq("/a", 1)); st[0] != 1 {
+			t.Errorf("renew by holder = %d", st[0])
+		}
+		// Non-holder cannot renew.
+		if st := h.Apply(0, RenewReq("/a", 2)); st[0] != 0 {
+			t.Errorf("renew by stranger = %d, want 0", st[0])
+		}
+		// Non-holder cannot update while the lease is live.
+		if st := h.Apply(0, UpdateReq("/a", 2, []byte("steal"))); st[0] != 2 {
+			t.Errorf("update by stranger = %d, want 2 (held)", st[0])
+		}
+		// Holder updates fine.
+		if st := h.Apply(0, UpdateReq("/a", 1, []byte("v2"))); st[0] != 1 {
+			t.Errorf("update by holder = %d", st[0])
+		}
+	})
+}
+
+func TestLeaseExpiryAllowsTakeover(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.LeaseFor = 10 * time.Millisecond
+		h, err := core.NewNativeHost(e, 1, 0, 1, New(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Apply(0, CreateReq("/b", 1, []byte("x")))
+		if st := h.Apply(0, UpdateReq("/b", 2, []byte("early"))); st[0] != 2 {
+			t.Fatalf("takeover before expiry = %d", st[0])
+		}
+		e.Sleep(20 * time.Millisecond) // past the lease
+		if st := h.Apply(0, UpdateReq("/b", 2, []byte("mine"))); st[0] != 1 {
+			t.Errorf("takeover after expiry = %d, want 1", st[0])
+		}
+	})
+}
+
+func TestInfoAndQuery(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e)
+		h.Apply(0, CreateReq("/c", 9, []byte("content")))
+		h.Apply(0, RenewReq("/c", 9))
+		d := wire.NewDecoder(h.Apply(0, InfoReq("/c")))
+		if !d.Bool() {
+			t.Fatal("info: not found")
+		}
+		if holder := d.Uvarint(); holder != 9 {
+			t.Errorf("holder = %d", holder)
+		}
+		d.Uvarint() // expiry
+		if renews := d.Uvarint(); renews != 1 {
+			t.Errorf("renews = %d", renews)
+		}
+		if size := d.Uvarint(); size != 7 {
+			t.Errorf("size = %d", size)
+		}
+	})
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e)
+		h.Apply(0, CreateReq("/x", 1, []byte("one")))
+		h.Apply(0, CreateReq("/y", 2, []byte("two")))
+		h.Apply(0, RenewReq("/x", 1))
+		var buf bytes.Buffer
+		if err := h.SM.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h2 := newHost(t, e)
+		if err := h2.SM.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		var buf2 bytes.Buffer
+		h2.SM.WriteCheckpoint(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Error("checkpoint round trip not idempotent")
+		}
+		if st := h2.Apply(0, RenewReq("/x", 1)); st[0] != 1 {
+			t.Errorf("renew after restore = %d", st[0])
+		}
+	})
+}

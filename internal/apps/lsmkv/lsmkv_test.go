@@ -1,0 +1,217 @@
+package lsmkv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/sim"
+	"rex/internal/wire"
+)
+
+func newHost(t *testing.T, e *sim.Env, opts Options) *core.NativeHost {
+	t.Helper()
+	h, err := core.NewNativeHost(e, 2, Timers(), 1, New(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func get(t *testing.T, h *core.NativeHost, key string) (string, bool) {
+	t.Helper()
+	resp := h.Apply(0, GetReq(key))
+	d := wire.NewDecoder(resp)
+	ok := d.Bool()
+	v := string(d.BytesVal())
+	if d.Err() != nil {
+		t.Fatalf("bad get response: %v", d.Err())
+	}
+	return v, ok
+}
+
+func TestPutGetDelete(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e, DefaultOptions())
+		if _, ok := get(t, h, "missing"); ok {
+			t.Error("found a missing key")
+		}
+		h.Apply(0, PutReq("k1", []byte("v1")))
+		if v, ok := get(t, h, "k1"); !ok || v != "v1" {
+			t.Errorf("get k1 = %q %v", v, ok)
+		}
+		h.Apply(0, PutReq("k1", []byte("v2")))
+		if v, _ := get(t, h, "k1"); v != "v2" {
+			t.Errorf("overwrite: %q", v)
+		}
+		h.Apply(0, DelReq("k1"))
+		if _, ok := get(t, h, "k1"); ok {
+			t.Error("deleted key still found")
+		}
+	})
+}
+
+func TestFlushRotationAndLookupThroughRuns(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Slices = 1
+		opts.FlushBytes = 256 // rotate quickly
+		h := newHost(t, e, opts)
+		for i := 0; i < 50; i++ {
+			h.Apply(0, PutReq(fmt.Sprintf("key-%02d", i), []byte("value")))
+		}
+		s := h.SM.(*Store)
+		if len(s.slices[0].runs) == 0 {
+			t.Fatal("no runs rotated despite tiny flush threshold")
+		}
+		// Every key must still be found through the run hierarchy.
+		for i := 0; i < 50; i++ {
+			if _, ok := get(t, h, fmt.Sprintf("key-%02d", i)); !ok {
+				t.Fatalf("key-%02d lost after rotation", i)
+			}
+		}
+	})
+}
+
+func TestCompactionMergesRunsAndKeepsNewest(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Slices = 1
+		opts.FlushBytes = 128
+		opts.CompactEvery = 5 * time.Millisecond
+		h := newHost(t, e, opts)
+		h.StartTimers()
+		for i := 0; i < 30; i++ {
+			h.Apply(0, PutReq("hot", []byte(fmt.Sprintf("gen-%d", i))))
+			h.Apply(0, PutReq(fmt.Sprintf("cold-%02d", i), []byte("x")))
+		}
+		e.Sleep(50 * time.Millisecond) // let compaction run
+		h.Stop()
+		s := h.SM.(*Store)
+		if len(s.slices[0].runs) > 2 {
+			t.Errorf("compaction left %d runs", len(s.slices[0].runs))
+		}
+		if v, ok := get(t, h, "hot"); !ok || v != "gen-29" {
+			t.Errorf("hot = %q %v, want newest generation", v, ok)
+		}
+	})
+}
+
+func TestTombstonesSurviveCompaction(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Slices = 1
+		opts.FlushBytes = 64
+		opts.CompactEvery = 5 * time.Millisecond
+		h := newHost(t, e, opts)
+		h.Apply(0, PutReq("doomed", []byte("alive")))
+		// Force the put into a run, then delete and compact.
+		for i := 0; i < 10; i++ {
+			h.Apply(0, PutReq(fmt.Sprintf("filler-%d", i), []byte("xxxxxxxxxxxxxxxx")))
+		}
+		h.Apply(0, DelReq("doomed"))
+		h.StartTimers()
+		e.Sleep(50 * time.Millisecond)
+		h.Stop()
+		if _, ok := get(t, h, "doomed"); ok {
+			t.Error("deleted key resurrected by compaction")
+		}
+	})
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Slices = 4
+		opts.FlushBytes = 128
+		h := newHost(t, e, opts)
+		for i := 0; i < 40; i++ {
+			h.Apply(0, PutReq(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i))))
+		}
+		h.Apply(0, DelReq("k05"))
+		var buf bytes.Buffer
+		if err := h.SM.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h2 := newHost(t, e, opts)
+		if err := h2.SM.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		var buf2 bytes.Buffer
+		if err := h2.SM.WriteCheckpoint(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Error("checkpoint round trip not idempotent")
+		}
+		if v, ok := get(t, h2, "k07"); !ok || v != "v7" {
+			t.Errorf("restored k07 = %q %v", v, ok)
+		}
+		if _, ok := get(t, h2, "k05"); ok {
+			t.Error("restored store resurrected a deleted key")
+		}
+	})
+}
+
+func TestQuickStoreMatchesMap(t *testing.T) {
+	// Property: under any op sequence, the LSM store agrees with a plain
+	// map (including through rotations and compactions).
+	type op struct {
+		Kind byte
+		Key  uint8
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		result := true
+		e := sim.New(2)
+		e.Run(func() {
+			opts := DefaultOptions()
+			opts.Slices = 2
+			opts.FlushBytes = 96
+			opts.CompactEvery = time.Millisecond
+			h, err := core.NewNativeHost(e, 1, Timers(), 1, New(opts))
+			if err != nil {
+				result = false
+				return
+			}
+			h.StartTimers()
+			model := make(map[string]string)
+			for _, o := range ops {
+				key := fmt.Sprintf("k%d", o.Key%16)
+				switch o.Kind % 3 {
+				case 0:
+					val := fmt.Sprintf("v%d", o.Val)
+					h.Apply(0, PutReq(key, []byte(val)))
+					model[key] = val
+				case 1:
+					h.Apply(0, DelReq(key))
+					delete(model, key)
+				case 2:
+					resp := h.Apply(0, GetReq(key))
+					d := wire.NewDecoder(resp)
+					ok := d.Bool()
+					v := string(d.BytesVal())
+					mv, mok := model[key]
+					if ok != mok || (ok && v != mv) {
+						result = false
+						return
+					}
+				}
+				e.Sleep(100 * time.Microsecond)
+			}
+			h.Stop()
+		})
+		return result
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

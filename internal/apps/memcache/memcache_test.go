@@ -1,0 +1,119 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/sim"
+	"rex/internal/wire"
+)
+
+func newHost(t *testing.T, e *sim.Env, opts Options) *core.NativeHost {
+	t.Helper()
+	h, err := core.NewNativeHost(e, 2, Timers(), 1, New(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func get(t *testing.T, h *core.NativeHost, key string) (string, bool) {
+	t.Helper()
+	d := wire.NewDecoder(h.Apply(0, GetReq(key)))
+	ok := d.Bool()
+	return string(d.BytesVal()), ok
+}
+
+func TestSetGetDelete(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e, DefaultOptions())
+		h.Apply(0, SetReq("a", []byte("1")))
+		if v, ok := get(t, h, "a"); !ok || v != "1" {
+			t.Errorf("a = %q %v", v, ok)
+		}
+		h.Apply(0, DelReq("a"))
+		if _, ok := get(t, h, "a"); ok {
+			t.Error("deleted key found")
+		}
+		c := h.SM.(*Cache)
+		if c.gets != 2 || c.sets != 1 || c.hits != 1 {
+			t.Errorf("stats gets=%d sets=%d hits=%d", c.gets, c.sets, c.hits)
+		}
+	})
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Capacity = 4
+		h := newHost(t, e, opts)
+		for i := 0; i < 6; i++ {
+			h.Apply(0, SetReq(fmt.Sprintf("k%d", i), []byte("v")))
+		}
+		// k0 and k1 must have been evicted (LRU order).
+		for i := 0; i < 2; i++ {
+			if _, ok := get(t, h, fmt.Sprintf("k%d", i)); ok {
+				t.Errorf("k%d survived past capacity", i)
+			}
+		}
+		for i := 2; i < 6; i++ {
+			if _, ok := get(t, h, fmt.Sprintf("k%d", i)); !ok {
+				t.Errorf("k%d evicted wrongly", i)
+			}
+		}
+		if h.SM.(*Cache).evictions != 2 {
+			t.Errorf("evictions = %d, want 2", h.SM.(*Cache).evictions)
+		}
+	})
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Capacity = 2
+		h := newHost(t, e, opts)
+		h.Apply(0, SetReq("old", []byte("x")))
+		h.Apply(0, SetReq("mid", []byte("y")))
+		get(t, h, "old") // touch: "mid" becomes the LRU victim
+		h.Apply(0, SetReq("new", []byte("z")))
+		if _, ok := get(t, h, "old"); !ok {
+			t.Error("touched entry was evicted")
+		}
+		if _, ok := get(t, h, "mid"); ok {
+			t.Error("untouched entry survived")
+		}
+	})
+}
+
+func TestCheckpointPreservesLRUOrder(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		opts := DefaultOptions()
+		opts.Capacity = 3
+		h := newHost(t, e, opts)
+		h.Apply(0, SetReq("a", []byte("1")))
+		h.Apply(0, SetReq("b", []byte("2")))
+		h.Apply(0, SetReq("c", []byte("3")))
+		get(t, h, "a") // a most recent; b is LRU victim
+		var buf bytes.Buffer
+		if err := h.SM.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h2 := newHost(t, e, opts)
+		if err := h2.SM.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		h2.Apply(0, SetReq("d", []byte("4")))
+		if _, ok := get(t, h2, "b"); ok {
+			t.Error("LRU order lost across checkpoint: b should have been evicted")
+		}
+		if _, ok := get(t, h2, "a"); !ok {
+			t.Error("most-recent entry evicted after restore")
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package thumbnail
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/sim"
+	"rex/internal/wire"
+)
+
+func smallOpts() Options {
+	o := DefaultOptions()
+	o.RenderCost = 10 * time.Microsecond
+	o.CacheCap = 4
+	o.MetaShards = 4
+	return o
+}
+
+func newHost(t *testing.T, e *sim.Env, opts Options) *core.NativeHost {
+	t.Helper()
+	h, err := core.NewNativeHost(e, 2, 0, 1, New(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMakeAndStat(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e, smallOpts())
+		d := wire.NewDecoder(h.Apply(0, MakeReq(7, 1000)))
+		digest := d.Uvarint()
+		if digest == 0 {
+			t.Error("zero digest")
+		}
+		h.Apply(0, MakeReq(7, 1000))
+		sd := wire.NewDecoder(h.Apply(0, StatReq(7)))
+		renders := sd.Uvarint()
+		got := sd.Uvarint()
+		if renders != 2 {
+			t.Errorf("renders = %d, want 2", renders)
+		}
+		if got != digest {
+			t.Errorf("digest mismatch: %x vs %x", got, digest)
+		}
+		// Deterministic rendering: same inputs, same digest.
+		h2 := newHost(t, e, smallOpts())
+		d2 := wire.NewDecoder(h2.Apply(0, MakeReq(7, 1000)))
+		if d2.Uvarint() != digest {
+			t.Error("render not deterministic")
+		}
+	})
+}
+
+func TestCacheEvicts(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e, smallOpts())
+		for id := uint64(0); id < 6; id++ {
+			h.Apply(0, MakeReq(id, 100))
+		}
+		s := h.SM.(*Server)
+		if len(s.cache) != 4 {
+			t.Errorf("cache size = %d, want cap 4", len(s.cache))
+		}
+		// Query for a cached entry.
+		d := wire.NewDecoder(s.Query(h.Ctx(0), StatReq(5)))
+		if !d.Bool() {
+			t.Error("recently made thumbnail not cached")
+		}
+	})
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		h := newHost(t, e, smallOpts())
+		for id := uint64(0); id < 10; id++ {
+			h.Apply(0, MakeReq(id, 500))
+		}
+		var buf bytes.Buffer
+		if err := h.SM.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h2 := newHost(t, e, smallOpts())
+		if err := h2.SM.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		var buf2 bytes.Buffer
+		h2.SM.WriteCheckpoint(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Error("checkpoint round trip not idempotent")
+		}
+		a := wire.NewDecoder(h.Apply(0, StatReq(3)))
+		b := wire.NewDecoder(h2.Apply(0, StatReq(3)))
+		ar, ad := a.Uvarint(), a.Uvarint()
+		br, bd := b.Uvarint(), b.Uvarint()
+		if ar != br || ad != bd {
+			t.Errorf("restored stat differs: %d/%x vs %d/%x", ar, ad, br, bd)
+		}
+	})
+}

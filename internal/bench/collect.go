@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/sim"
+)
+
+// CollectDeltaSizes runs a short Rex load and returns the committed delta
+// sizes observed by the primary, in instance order.
+func CollectDeltaSizes(app apps.App, threads int) []int {
+	e := sim.New(24)
+	var sizes []int
+	e.Run(func() {
+		c := cluster.New(e, app.Factory, cluster.Options{
+			Replicas:        3,
+			Workers:         threads,
+			Timers:          app.Timers,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			Seed:            42,
+		})
+		if err := c.Start(); err != nil {
+			panic(err)
+		}
+		p, err := c.WaitPrimary(5 * time.Second)
+		if err != nil {
+			panic(err)
+		}
+		stop := false
+		mu := e.NewMutex()
+		g := env.NewGroup(e)
+		for i := 0; i < 2*threads; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("client-%d", i), func() {
+				defer g.Done()
+				cl := c.NewClient(uint64(100 + i))
+				wl := app.NewWorkload(int64(i) + 1)
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					if _, err := cl.Do(wl.Next()); err != nil {
+						return
+					}
+				}
+			})
+		}
+		e.Sleep(500 * time.Millisecond)
+		mu.Lock()
+		stop = true
+		mu.Unlock()
+		g.Wait()
+		sizes = c.Replicas[p].DeltaSizes()
+		c.Stop()
+	})
+	return sizes
+}

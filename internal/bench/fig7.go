@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rex/internal/apps"
+)
+
+// Fig7Config parameterizes the Figure 7 reproduction.
+type Fig7Config struct {
+	ThreadCounts []int
+	Cores        int
+	Warmup       time.Duration
+	Measure      time.Duration
+	Seed         int64
+}
+
+// DefaultFig7 mirrors the paper's x-axis on a 24-way simulated machine.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		ThreadCounts: []int{1, 2, 4, 8, 16, 24, 32},
+		Cores:        24,
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Seed:         42,
+	}
+}
+
+// QuickFig7 is a reduced configuration for tests and testing.B benches.
+func QuickFig7() Fig7Config {
+	return Fig7Config{
+		ThreadCounts: []int{1, 4, 16},
+		Cores:        24,
+		Warmup:       100 * time.Millisecond,
+		Measure:      400 * time.Millisecond,
+		Seed:         42,
+	}
+}
+
+// Fig7Row is one x-axis point of a Figure 7 panel.
+type Fig7Row struct {
+	Threads      int
+	Native       float64
+	Rex          float64
+	RSM          float64
+	WaitedPerSec float64
+}
+
+// Fig7 reproduces one panel of Figure 7 (throughput of a real-world
+// application in native / Rex / RSM modes as worker threads scale, plus
+// the waited-events series). The RSM baseline executes on one thread
+// regardless, so it is measured once.
+func Fig7(app apps.App, cfg Fig7Config) []Fig7Row {
+	rsm := RunRSM(RunConfig{
+		App: app, Threads: 1, Cores: cfg.Cores,
+		Warmup: cfg.Warmup, Measure: cfg.Measure, Seed: cfg.Seed,
+	})
+	var rows []Fig7Row
+	for _, th := range cfg.ThreadCounts {
+		rc := RunConfig{
+			App: app, Threads: th, Cores: cfg.Cores,
+			Warmup: cfg.Warmup, Measure: cfg.Measure, Seed: cfg.Seed,
+		}
+		native := RunNative(rc)
+		rex := RunRex(rc)
+		rows = append(rows, Fig7Row{
+			Threads:      th,
+			Native:       native.Throughput,
+			Rex:          rex.Throughput,
+			RSM:          rsm.Throughput,
+			WaitedPerSec: rex.WaitedPerSec,
+		})
+	}
+	return rows
+}
+
+// PrintFig7 renders one panel as the paper's series.
+func PrintFig7(w io.Writer, app apps.App, rows []Fig7Row) {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 7: %s — throughput vs worker threads", app.Title),
+		Cols:  []string{"threads", "native (req/s)", "Rex (req/s)", "RSM (req/s)", "waited events/s", "Rex/RSM"},
+	}
+	for _, r := range rows {
+		ratio := 0.0
+		if r.RSM > 0 {
+			ratio = r.Rex / r.RSM
+		}
+		t.AddRow(fmt.Sprint(r.Threads), f0(r.Native), f0(r.Rex), f0(r.RSM), f0(r.WaitedPerSec), f1(ratio))
+	}
+	t.Notes = append(t.Notes,
+		"paper (§6.3): Rex tracks native within ~25% and reaches 3-16x the RSM baseline;",
+		"waited events/s tracks the native-vs-Rex gap.")
+	t.Fprint(w)
+}

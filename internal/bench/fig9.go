@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/apps/lockserver"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/sim"
+)
+
+// Fig9Config parameterizes the §6.5 query-semantics experiment: a fixed
+// pool of query threads reads outside the replication protocol while
+// update load scales.
+type Fig9Config struct {
+	QueryThreads  int
+	UpdateThreads []int
+	Cores         int
+	Warmup        time.Duration
+	Measure       time.Duration
+	Seed          int64
+}
+
+// DefaultFig9 mirrors the paper's 24 query threads and 1–32 update
+// threads.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		QueryThreads:  24,
+		UpdateThreads: []int{1, 2, 4, 8, 16, 24, 32},
+		Cores:         24,
+		Warmup:        200 * time.Millisecond,
+		Measure:       time.Second,
+		Seed:          42,
+	}
+}
+
+// Fig9Row is one x-axis point: update and query throughput for one query
+// placement.
+type Fig9Row struct {
+	UpdateThreads int
+	UpdateTput    float64
+	QueryTput     float64
+}
+
+// Fig9 reproduces Figure 9 for the given placement: onPrimary=false reads
+// a secondary's committed state, onPrimary=true reads the primary's
+// speculative state. The lock server runs in a contended configuration
+// (few shards, work held under the shard lock) so queries feel update
+// pressure, as in the paper's fully loaded setup.
+func Fig9(cfg Fig9Config, onPrimary bool) []Fig9Row {
+	opts := lockserver.DefaultOptions()
+	opts.Shards = 8
+	opts.OpCost = 10 * time.Microsecond
+	opts.HoldCost = 40 * time.Microsecond
+	app := apps.LockServerWith(opts)
+	var rows []Fig9Row
+	for _, uth := range cfg.UpdateThreads {
+		rows = append(rows, fig9Point(cfg, app, uth, onPrimary))
+	}
+	return rows
+}
+
+func fig9Point(cfg Fig9Config, app apps.App, updateThreads int, onPrimary bool) Fig9Row {
+	e := sim.New(cfg.Cores)
+	var row Fig9Row
+	e.Run(func() {
+		c := cluster.New(e, app.Factory, cluster.Options{
+			Replicas:        3,
+			Workers:         updateThreads,
+			Timers:          app.Timers,
+			ReadWorkers:     cfg.QueryThreads,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			MaxOutstanding:  96 * updateThreads,
+			Seed:            cfg.Seed,
+		})
+		if err := c.Start(); err != nil {
+			panic(err)
+		}
+		p, err := c.WaitPrimary(5 * time.Second)
+		if err != nil {
+			panic(err)
+		}
+		setupCl := c.NewClient(1)
+		setup := app.NewWorkload(cfg.Seed).Setup()
+		if len(setup) > 500 {
+			setup = setup[:500]
+		}
+		for _, req := range setup {
+			if _, err := setupCl.Do(req); err != nil {
+				panic(err)
+			}
+		}
+		target := (p + 1) % 3
+		if onPrimary {
+			target = p
+		}
+		var updates, queries uint64
+		mu := e.NewMutex()
+		stop := false
+		g := env.NewGroup(e)
+		for i := 0; i < 24*updateThreads; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("updater-%d", i), func() {
+				defer g.Done()
+				cl := c.NewClient(uint64(100 + i))
+				wl := app.NewWorkload(cfg.Seed + int64(i) + 1)
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					if _, err := cl.Do(wl.Next()); err != nil {
+						return
+					}
+					mu.Lock()
+					updates++
+					mu.Unlock()
+				}
+			})
+		}
+		for i := 0; i < cfg.QueryThreads; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("querier-%d", i), func() {
+				defer g.Done()
+				wl := app.NewWorkload(cfg.Seed + 1000 + int64(i))
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					if _, err := c.Replicas[target].Query(wl.Query()); err != nil {
+						return
+					}
+					mu.Lock()
+					queries++
+					mu.Unlock()
+				}
+			})
+		}
+		e.Sleep(cfg.Warmup)
+		mu.Lock()
+		u0, q0 := updates, queries
+		mu.Unlock()
+		e.Sleep(cfg.Measure)
+		mu.Lock()
+		u1, q1 := updates, queries
+		stop = true
+		mu.Unlock()
+		g.Wait()
+		c.Stop()
+		secs := cfg.Measure.Seconds()
+		row = Fig9Row{
+			UpdateThreads: updateThreads,
+			UpdateTput:    float64(u1-u0) / secs,
+			QueryTput:     float64(q1-q0) / secs,
+		}
+	})
+	return row
+}
+
+// PrintFig9 renders one Figure 9 panel.
+func PrintFig9(w io.Writer, onPrimary bool, rows []Fig9Row) {
+	place := "secondary (committed state)"
+	panel := "9(a)"
+	if onPrimary {
+		place = "primary (speculative state)"
+		panel = "9(b)"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Figure %s: queries on the %s", panel, place),
+		Cols:  []string{"update threads", "update (req/s)", "query (req/s)"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.UpdateThreads), f0(r.UpdateTput), f0(r.QueryTput))
+	}
+	t.Notes = append(t.Notes,
+		"paper (§6.5): query throughput stays roughly flat on a secondary as updates scale,",
+		"but sags on the primary, whose threads rarely wait and so hold locks more contiguously.")
+	t.Fprint(w)
+}

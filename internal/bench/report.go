@@ -1,0 +1,69 @@
+// Package bench reproduces the paper's evaluation (§6): one runner per
+// table and figure, each printing the same rows or series the paper
+// reports. Figure benchmarks run on the deterministic simulator with a
+// configurable core count standing in for the paper's 12-core
+// hyper-threaded testbed (see DESIGN.md's substitution table); genuine
+// per-operation overheads are measured by the real-environment benchmarks
+// in the repository root's bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%*s", widths[i], cell))
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	printRow(t.Cols)
+	total := len(t.Cols) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

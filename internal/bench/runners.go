@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/cluster"
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/sim"
+	"rex/internal/smr"
+	"rex/internal/storage"
+	"rex/internal/transport"
+)
+
+// RunConfig parameterizes one measurement run.
+type RunConfig struct {
+	App     apps.App
+	Threads int // worker threads per replica
+	Cores   int // simulated cores (the paper's machines: 24 with HT)
+	Clients int // closed-loop clients; default 3×Threads
+	Warmup  time.Duration
+	Measure time.Duration
+	// SetupCap truncates the workload prefill.
+	SetupCap int
+	Seed     int64
+
+	ReadWorkers    int
+	PipelineDepth  int
+	DisablePruning bool
+	TotalOrderTry  bool
+	DisableChecks  bool
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Cores <= 0 {
+		c.Cores = 24
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Clients <= 0 {
+		// Enough closed-loop clients that the machine, not the client
+		// population, is the bottleneck (§6.2: "enough clients submitting
+		// requests so that the machines are fully loaded"): light handlers
+		// need many concurrent requests per worker to cover the commit
+		// latency.
+		cpt := c.App.ClientsPerThread
+		if cpt <= 0 {
+			cpt = 4
+		}
+		c.Clients = cpt * c.Threads
+		if c.Clients < 32 {
+			c.Clients = 32
+		}
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+	if c.Measure <= 0 {
+		c.Measure = time.Second
+	}
+	if c.SetupCap == 0 {
+		c.SetupCap = 500
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// RunResult is one measurement.
+type RunResult struct {
+	Throughput    float64 // completed requests/sec in the measure window
+	WaitedPerSec  float64 // replay events that blocked, per second (Fig. 7)
+	EventsPerSec  float64 // sync events committed per second
+	BytesPerEvent float64 // committed sync-event bytes per event (§6.3)
+	EdgesPerEvent float64 // causal edges per sync event (§4.2)
+	EventsPerReq  float64
+	SyncShare     float64 // sync-event bytes as a fraction of the log
+}
+
+// RunNative measures the unreplicated baseline: Threads workers running
+// handlers directly, native-mode primitives.
+func RunNative(cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	e := sim.New(cfg.Cores)
+	var res RunResult
+	e.Run(func() {
+		host, err := core.NewNativeHost(e, cfg.Threads, cfg.App.Timers, cfg.Seed, cfg.App.Factory)
+		if err != nil {
+			panic(err)
+		}
+		setup := cfg.App.NewWorkload(cfg.Seed).Setup()
+		if len(setup) > cfg.SetupCap {
+			setup = setup[:cfg.SetupCap]
+		}
+		for _, req := range setup {
+			host.Apply(0, req)
+		}
+		host.StartTimers()
+		var done uint64
+		mu := e.NewMutex()
+		stop := false
+		g := env.NewGroup(e)
+		for i := 0; i < cfg.Threads; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("native-worker-%d", i), func() {
+				defer g.Done()
+				wl := cfg.App.NewWorkload(cfg.Seed + int64(i) + 1)
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					host.Apply(i, wl.Next())
+					mu.Lock()
+					done++
+					mu.Unlock()
+				}
+			})
+		}
+		e.Sleep(cfg.Warmup)
+		mu.Lock()
+		start := done
+		mu.Unlock()
+		e.Sleep(cfg.Measure)
+		mu.Lock()
+		finished := done
+		stop = true
+		mu.Unlock()
+		g.Wait()
+		host.Stop()
+		res.Throughput = float64(finished-start) / cfg.Measure.Seconds()
+	})
+	return res
+}
+
+// RunRex measures a 3-replica Rex cluster.
+func RunRex(cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	e := sim.New(cfg.Cores)
+	var res RunResult
+	e.Run(func() {
+		c := cluster.New(e, cfg.App.Factory, cluster.Options{
+			Replicas:        3,
+			Workers:         cfg.Threads,
+			Timers:          cfg.App.Timers,
+			ReadWorkers:     cfg.ReadWorkers,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			MaxOutstanding:  4 * cfg.Clients,
+			Seed:            cfg.Seed,
+			DisableChecks:   cfg.DisableChecks,
+			DisablePruning:  cfg.DisablePruning,
+			TotalOrderTry:   cfg.TotalOrderTry,
+		})
+		if err := c.Start(); err != nil {
+			panic(err)
+		}
+		p, err := c.WaitPrimary(5 * time.Second)
+		if err != nil {
+			panic(err)
+		}
+		setupCl := c.NewClient(1)
+		setup := cfg.App.NewWorkload(cfg.Seed).Setup()
+		if len(setup) > cfg.SetupCap {
+			setup = setup[:cfg.SetupCap]
+		}
+		for _, req := range setup {
+			if _, err := setupCl.Do(req); err != nil {
+				panic(err)
+			}
+		}
+		var done uint64
+		mu := e.NewMutex()
+		stop := false
+		g := env.NewGroup(e)
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("client-%d", i), func() {
+				defer g.Done()
+				cl := c.NewClient(uint64(100 + i))
+				wl := cfg.App.NewWorkload(cfg.Seed + int64(i) + 1)
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					if _, err := cl.Do(wl.Next()); err != nil {
+						return
+					}
+					mu.Lock()
+					done++
+					mu.Unlock()
+				}
+			})
+		}
+		secondary := (p + 1) % 3
+		e.Sleep(cfg.Warmup)
+		mu.Lock()
+		startDone := done
+		mu.Unlock()
+		s0 := c.Replicas[secondary].Stats()
+		p0 := c.Replicas[p].Stats()
+		e.Sleep(cfg.Measure)
+		mu.Lock()
+		endDone := done
+		stop = true
+		mu.Unlock()
+		s1 := c.Replicas[secondary].Stats()
+		p1 := c.Replicas[p].Stats()
+		g.Wait()
+		c.Stop()
+
+		secs := cfg.Measure.Seconds()
+		res.Throughput = float64(endDone-startDone) / secs
+		res.WaitedPerSec = float64(s1.WaitedEvents-s0.WaitedEvents) / secs
+		events := float64(p1.EventsProposed - p0.EventsProposed)
+		res.EventsPerSec = events / secs
+		totalBytes := float64(p1.BytesCommitted - p0.BytesCommitted)
+		reqBytes := float64(p1.ReqBytes - p0.ReqBytes)
+		syncBytes := totalBytes - reqBytes
+		if events > 0 {
+			res.BytesPerEvent = syncBytes / events
+			res.EdgesPerEvent = float64(p1.EdgesProposed-p0.EdgesProposed) / events
+		}
+		if totalBytes > 0 {
+			res.SyncShare = syncBytes / totalBytes
+		}
+		if reqs := float64(endDone - startDone); reqs > 0 {
+			res.EventsPerReq = events / reqs
+		}
+	})
+	return res
+}
+
+// RunRSM measures the standard state-machine-replication baseline: same
+// Paxos, sequential execution.
+func RunRSM(cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	e := sim.New(cfg.Cores)
+	var res RunResult
+	e.Run(func() {
+		const n = 3
+		net := transport.NewNetwork(e, n, 500*time.Microsecond, cfg.Seed)
+		reps := make([]*smr.Replica, n)
+		for i := 0; i < n; i++ {
+			i := i
+			build := func() {
+				r, err := smr.NewReplica(smr.Config{
+					ID: i, N: n, Env: e,
+					Endpoint:        net.Endpoint(i),
+					Log:             storage.NewMemLog(),
+					Factory:         cfg.App.Factory,
+					Timers:          cfg.App.Timers,
+					BatchEvery:      2 * time.Millisecond,
+					HeartbeatEvery:  20 * time.Millisecond,
+					ElectionTimeout: 100 * time.Millisecond,
+					MaxOutstanding:  4 * cfg.Clients,
+					Seed:            cfg.Seed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				r.Start()
+				reps[i] = r
+			}
+			// Give each SMR replica its own simulated machine, like Rex.
+			m := e.AddMachine(cfg.Cores)
+			done := e.NewChan(1)
+			e.GoOn(m, fmt.Sprintf("rsm-replica-%d-boot", i), func() {
+				build()
+				done.Send(struct{}{})
+			})
+			done.Recv()
+		}
+		leader := -1
+		deadline := e.Now() + 5*time.Second
+		for leader < 0 && e.Now() < deadline {
+			for i, r := range reps {
+				if r.IsLeader() {
+					leader = i
+				}
+			}
+			e.Sleep(5 * time.Millisecond)
+		}
+		if leader < 0 {
+			panic("bench: no SMR leader")
+		}
+		setup := cfg.App.NewWorkload(cfg.Seed).Setup()
+		if len(setup) > cfg.SetupCap {
+			setup = setup[:cfg.SetupCap]
+		}
+		for i, req := range setup {
+			if _, err := reps[leader].Submit(1, uint64(i+1), req); err != nil {
+				panic(err)
+			}
+		}
+		var done uint64
+		mu := e.NewMutex()
+		stop := false
+		g := env.NewGroup(e)
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("rsm-client-%d", i), func() {
+				defer g.Done()
+				wl := cfg.App.NewWorkload(cfg.Seed + int64(i) + 1)
+				seq := uint64(0)
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					seq++
+					if _, err := reps[leader].Submit(uint64(100+i), seq, wl.Next()); err != nil {
+						return
+					}
+					mu.Lock()
+					done++
+					mu.Unlock()
+				}
+			})
+		}
+		e.Sleep(cfg.Warmup)
+		mu.Lock()
+		start := done
+		mu.Unlock()
+		e.Sleep(cfg.Measure)
+		mu.Lock()
+		end := done
+		stop = true
+		mu.Unlock()
+		g.Wait()
+		for _, r := range reps {
+			r.Stop()
+		}
+		res.Throughput = float64(end-start) / cfg.Measure.Seconds()
+	})
+	return res
+}

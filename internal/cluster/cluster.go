@@ -1,0 +1,341 @@
+// Package cluster assembles in-process Rex clusters — replicas, a
+// simulated network, per-replica durable state, and retrying clients —
+// shared by integration tests, benchmarks, and examples.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/storage"
+	"rex/internal/transport"
+)
+
+// Options tune the cluster; zero values take defaults suited to the
+// simulator.
+type Options struct {
+	Replicas        int
+	Workers         int
+	Timers          int
+	ReadWorkers     int
+	NetDelay        time.Duration
+	ProposeEvery    time.Duration
+	PipelineDepth   int
+	HeartbeatEvery  time.Duration
+	ElectionTimeout time.Duration
+	CheckpointEvery time.Duration
+	StatusEvery     time.Duration
+	MaxOutstanding  int
+	LagInstances    uint64
+	LagEvents       uint64
+	Seed            int64
+	DisableChecks   bool
+	DisablePruning  bool
+	TotalOrderTry   bool
+	Logf            func(string, ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.NetDelay == 0 {
+		o.NetDelay = 500 * time.Microsecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// machineEnv is implemented by the simulator: independent per-replica CPU
+// pools, matching the paper's one-server-per-replica testbed.
+type machineEnv interface {
+	AddMachine(cores int) int
+	GoOn(machine int, name string, fn func())
+	Cores() int
+}
+
+// Cluster is a running in-process replica group.
+type Cluster struct {
+	Env      env.Env
+	Net      *transport.Network
+	Opts     Options
+	Factory  core.Factory
+	Replicas []*core.Replica
+	Logs     []*storage.MemLog
+	Snaps    []*storage.MemSnapshots
+	machines []int // simulated machine per replica (-1 without machineEnv)
+}
+
+// New builds (but does not start) a cluster.
+func New(e env.Env, factory core.Factory, opts Options) *Cluster {
+	opts = opts.withDefaults()
+	c := &Cluster{
+		Env:     e,
+		Opts:    opts,
+		Factory: factory,
+		Net:     transport.NewNetwork(e, opts.Replicas, opts.NetDelay, opts.Seed),
+	}
+	for i := 0; i < opts.Replicas; i++ {
+		c.Logs = append(c.Logs, storage.NewMemLog())
+		c.Snaps = append(c.Snaps, storage.NewMemSnapshots())
+		c.Replicas = append(c.Replicas, nil)
+		c.machines = append(c.machines, -1)
+	}
+	// Under the simulator, every replica gets its own machine with as many
+	// cores as machine 0 (the paper's identical servers).
+	if me, ok := e.(machineEnv); ok {
+		for i := 0; i < opts.Replicas; i++ {
+			c.machines[i] = me.AddMachine(me.Cores())
+		}
+	}
+	return c
+}
+
+func (c *Cluster) config(i int) core.Config {
+	return core.Config{
+		ID:                   i,
+		N:                    c.Opts.Replicas,
+		Env:                  c.Env,
+		Endpoint:             c.Net.Endpoint(i),
+		Log:                  c.Logs[i],
+		Snapshots:            c.Snaps[i],
+		Factory:              c.Factory,
+		Workers:              c.Opts.Workers,
+		Timers:               c.Opts.Timers,
+		ReadWorkers:          c.Opts.ReadWorkers,
+		ProposeEvery:         c.Opts.ProposeEvery,
+		PipelineDepth:        c.Opts.PipelineDepth,
+		HeartbeatEvery:       c.Opts.HeartbeatEvery,
+		ElectionTimeout:      c.Opts.ElectionTimeout,
+		CheckpointEvery:      c.Opts.CheckpointEvery,
+		StatusEvery:          c.Opts.StatusEvery,
+		MaxOutstanding:       c.Opts.MaxOutstanding,
+		LagLimitInstances:    c.Opts.LagInstances,
+		LagLimitEvents:       c.Opts.LagEvents,
+		DisableVersionChecks: c.Opts.DisableChecks,
+		DisableResultChecks:  c.Opts.DisableChecks,
+		DisablePruning:       c.Opts.DisablePruning,
+		TotalOrderTryFail:    c.Opts.TotalOrderTry,
+		Seed:                 c.Opts.Seed,
+		Logf:                 c.Opts.Logf,
+	}
+}
+
+// startReplica constructs and starts replica i on its machine (if the
+// environment models machines), so its execution and replay compute on its
+// own simulated server.
+func (c *Cluster) startReplica(i int) error {
+	build := func() (*core.Replica, error) {
+		r, err := core.NewReplica(c.config(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	me, ok := c.Env.(machineEnv)
+	if !ok || c.machines[i] < 0 {
+		r, err := build()
+		if err != nil {
+			return err
+		}
+		c.Replicas[i] = r
+		return nil
+	}
+	done := c.Env.NewChan(1)
+	me.GoOn(c.machines[i], fmt.Sprintf("replica-%d-boot", i), func() {
+		r, err := build()
+		if err != nil {
+			done.Send(err)
+			return
+		}
+		c.Replicas[i] = r
+		done.Send(nil)
+	})
+	v, _ := done.Recv()
+	if err, ok := v.(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// Start brings every replica up.
+func (c *Cluster) Start() error {
+	for i := range c.Replicas {
+		if err := c.startReplica(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop shuts every live replica down.
+func (c *Cluster) Stop() {
+	for _, r := range c.Replicas {
+		if r != nil {
+			r.Stop()
+		}
+	}
+}
+
+// Primary returns the current primary's index, or -1.
+func (c *Cluster) Primary() int {
+	for i, r := range c.Replicas {
+		if r != nil && r.Role() == core.RolePrimary {
+			return i
+		}
+	}
+	return -1
+}
+
+// WaitPrimary polls until some replica is primary.
+func (c *Cluster) WaitPrimary(timeout time.Duration) (int, error) {
+	deadline := c.Env.Now() + timeout
+	for c.Env.Now() < deadline {
+		if p := c.Primary(); p >= 0 {
+			return p, nil
+		}
+		c.Env.Sleep(2 * time.Millisecond)
+	}
+	return -1, errors.New("cluster: no primary elected in time")
+}
+
+// Crash stops replica i and cuts it from the network, preserving its
+// durable log and snapshots for a later Restart.
+func (c *Cluster) Crash(i int) {
+	c.Net.Isolate(i, true)
+	if c.Replicas[i] != nil {
+		c.Replicas[i].Stop()
+		c.Replicas[i] = nil
+	}
+}
+
+// Restart brings a crashed replica back with its durable state.
+func (c *Cluster) Restart(i int) error {
+	if c.Replicas[i] != nil {
+		return fmt.Errorf("cluster: replica %d still running", i)
+	}
+	c.Net.Reset(i) // fresh inbox: the crashed process's socket is gone
+	c.Net.Isolate(i, false)
+	return c.startReplica(i)
+}
+
+// RestartFresh brings replica i back with empty durable state (a replaced
+// machine), forcing a checkpoint transfer if the cluster compacted.
+func (c *Cluster) RestartFresh(i int) error {
+	c.Logs[i] = storage.NewMemLog()
+	c.Snaps[i] = storage.NewMemSnapshots()
+	return c.Restart(i)
+}
+
+// WaitConverged waits until every live replica reports the same stable
+// application state (serialized via WriteCheckpoint) and returns it.
+func (c *Cluster) WaitConverged(timeout time.Duration) (string, error) {
+	deadline := c.Env.Now() + timeout
+	var last string
+	stable := 0
+	for c.Env.Now() < deadline {
+		states := make(map[string]bool)
+		var s string
+		for _, r := range c.Replicas {
+			if r == nil {
+				continue
+			}
+			if r.Role() == core.RoleFaulted {
+				return "", fmt.Errorf("cluster: replica faulted: %w", r.FaultError())
+			}
+			var buf bytes.Buffer
+			if err := r.StateMachineForTest().WriteCheckpoint(&buf); err != nil {
+				return "", err
+			}
+			s = buf.String()
+			states[s] = true
+		}
+		if len(states) == 1 {
+			if s == last {
+				stable++
+				if stable >= 3 {
+					return s, nil
+				}
+			} else {
+				stable = 0
+				last = s
+			}
+		} else {
+			stable = 0
+			last = ""
+		}
+		c.Env.Sleep(20 * time.Millisecond)
+	}
+	return "", errors.New("cluster: replicas did not converge in time")
+}
+
+// Client submits requests with retry and primary discovery.
+type Client struct {
+	C   *Cluster
+	ID  uint64
+	seq uint64
+	// LastPrimary caches the replica to try first.
+	LastPrimary int
+}
+
+// NewClient returns a client with the given unique id.
+func (c *Cluster) NewClient(id uint64) *Client {
+	return &Client{C: c, ID: id}
+}
+
+// Do submits one request, retrying across failovers until a response
+// arrives or the deadline passes.
+func (cl *Client) Do(body []byte) ([]byte, error) {
+	return cl.DoTimeout(body, 30*time.Second)
+}
+
+// DoTimeout is Do with an explicit deadline.
+func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) {
+	cl.seq++
+	seq := cl.seq
+	e := cl.C.Env
+	deadline := e.Now() + timeout
+	target := cl.LastPrimary
+	for e.Now() < deadline {
+		r := cl.C.Replicas[target%len(cl.C.Replicas)]
+		if r == nil {
+			target++
+			e.Sleep(time.Millisecond)
+			continue
+		}
+		resp, err := r.Submit(cl.ID, seq, body)
+		if err == nil {
+			cl.LastPrimary = target % len(cl.C.Replicas)
+			return resp, nil
+		}
+		var np core.ErrNotPrimary
+		if errors.As(err, &np) && np.Leader >= 0 {
+			target = np.Leader
+		} else {
+			target++
+		}
+		e.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("cluster: request timed out after %v", timeout)
+}
+
+// Query runs a read-only query against replica i.
+func (cl *Client) Query(i int, q []byte) ([]byte, error) {
+	r := cl.C.Replicas[i]
+	if r == nil {
+		return nil, errors.New("cluster: replica down")
+	}
+	return r.Query(q)
+}

@@ -1,0 +1,145 @@
+// Package core implements the Rex replica: the execute-agree-follow engine
+// that ties the execution runtime (internal/sched, internal/rexsync), the
+// consensus engine (internal/paxos), and durable storage together.
+//
+// A Replica plays one of two roles at a time. As primary it executes client
+// requests concurrently while recording a partially ordered trace, proposes
+// trace deltas through Paxos, and responds to a client once the trace
+// containing the request's completion has been committed (§2.1). As
+// secondary it follows committed traces, pausing at checkpoint marks to
+// snapshot the application (§3.3), and stands ready to be promoted: on
+// election it finishes replaying to the last consistent cut and switches
+// the same in-flight handlers from replay to live recording (§4's mode
+// change). A deposed primary discards its speculative state by rebuilding
+// from the latest checkpoint and the committed trace (full-machine
+// rollback, §5.2).
+package core
+
+import (
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"time"
+
+	"rex/internal/env"
+	"rex/internal/rexsync"
+	"rex/internal/sched"
+)
+
+// StateMachine is the replicated application (the paper's RexRSM, Fig. 6).
+// Implementations coordinate internal concurrency exclusively with
+// rexsync primitives created against the runtime passed to the Factory,
+// and must be deterministic apart from those primitives and Ctx's
+// nondeterministic helpers.
+type StateMachine interface {
+	// Apply executes one request handler and returns the response. Apply
+	// is called concurrently from many logical threads.
+	Apply(ctx *Ctx, req []byte) []byte
+	// WriteCheckpoint serializes the full application state (§3.3).
+	WriteCheckpoint(w io.Writer) error
+	// ReadCheckpoint restores state serialized by WriteCheckpoint.
+	ReadCheckpoint(r io.Reader) error
+}
+
+// QueryHandler is optionally implemented by state machines that serve
+// read-only queries outside the replication protocol (§6.5, hybrid
+// execution §4). Query runs on native-mode threads concurrently with
+// replicated handlers and must not modify state (transient lock state
+// excepted).
+type QueryHandler interface {
+	Query(ctx *Ctx, q []byte) []byte
+}
+
+// Factory constructs the application. It runs identically on every replica
+// (and on every rebuild), so resources must be created in a deterministic
+// order. Background tasks are registered through host.AddTimer; the number
+// of registrations must equal Config.Timers.
+type Factory func(rt *sched.Runtime, host *TimerHost) StateMachine
+
+// TimerHost collects the application's background timers (the paper's
+// AddTimer, Fig. 6). Each timer gets a dedicated logical thread.
+type TimerHost struct {
+	specs []timerSpec
+}
+
+type timerSpec struct {
+	name     string
+	interval time.Duration
+	cb       func(*Ctx)
+}
+
+// TimerSpecView exposes a registered timer to alternative execution
+// engines (the SMR baseline runs timers as ordered pseudo-requests).
+type TimerSpecView struct {
+	Name     string
+	Interval time.Duration
+	Cb       func(*Ctx)
+}
+
+// Specs returns the registered timers.
+func (h *TimerHost) Specs() []TimerSpecView {
+	out := make([]TimerSpecView, 0, len(h.specs))
+	for _, s := range h.specs {
+		out = append(out, TimerSpecView{Name: s.name, Interval: s.interval, Cb: s.cb})
+	}
+	return out
+}
+
+// NewNativeCtxForWorker builds a context bound to the given worker, for
+// engines that drive a state machine outside a Replica (native baseline,
+// SMR baseline, tests).
+func NewNativeCtxForWorker(e env.Env, w *sched.Worker, seed int64) *Ctx {
+	return &Ctx{w: w, e: e, rng: rand.New(rand.NewSource(seed ^ 0x3c6ef372))}
+}
+
+// AddTimer registers a background task that runs cb about every interval
+// on its own logical thread. On secondaries the timer fires when replay
+// reaches the recorded firing, not by time.
+func (h *TimerHost) AddTimer(name string, interval time.Duration, cb func(*Ctx)) {
+	h.specs = append(h.specs, timerSpec{name: name, interval: interval, cb: cb})
+}
+
+// Ctx is a request handler's execution context, bound to one logical
+// thread. All synchronization and all nondeterminism must flow through it
+// (or through rexsync primitives, which take it via Worker()).
+type Ctx struct {
+	w   *sched.Worker
+	e   env.Env
+	rng *rand.Rand
+}
+
+// Worker returns the underlying logical thread, which rexsync primitives
+// take as their first argument.
+func (c *Ctx) Worker() *sched.Worker { return c.w }
+
+// Env returns the execution environment (for Compute/Sleep cost modeling).
+func (c *Ctx) Env() env.Env { return c.e }
+
+// Compute consumes d of CPU time; the standard way for applications to
+// model request-processing work.
+func (c *Ctx) Compute(d time.Duration) { c.e.Compute(d) }
+
+// Now returns the current time as a recorded nondeterministic value: the
+// primary reads the clock, secondaries replay the recorded value.
+func (c *Ctx) Now() time.Duration {
+	const tagNow = 1
+	v := rexsync.Value(c.w, tagNow, func() uint64 { return uint64(c.e.Now()) })
+	return time.Duration(v)
+}
+
+// Rand returns a pseudo-random uint64 as a recorded nondeterministic value.
+func (c *Ctx) Rand() uint64 {
+	const tagRand = 2
+	return rexsync.Value(c.w, tagRand, func() uint64 { return c.rng.Uint64() })
+}
+
+// Native runs fn outside the agree-follow scope (the paper's NATIVE_EXEC,
+// §5.1): primitives used inside fn are not recorded or replayed.
+func (c *Ctx) Native(fn func()) { c.w.Native(fn) }
+
+// hashResponse computes the FNV-64a hash used for result checking (§5.1).
+func hashResponse(resp []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(resp)
+	return h.Sum64()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"rex/internal/sched"
+	"rex/internal/wire"
+)
+
+// Control-plane message kinds (channel 1 of the transport mux).
+const (
+	ctrlStatus      byte = 1 // secondary → all: replay progress
+	ctrlSnapRequest byte = 2 // rebuilding replica → all: need a checkpoint
+	ctrlSnapBlob    byte = 3 // checkpoint copy (push after snapshot, or reply)
+)
+
+type ctrlMsg struct {
+	Kind    byte
+	Applied uint64
+	Backlog uint64
+	Blob    []byte
+}
+
+func (m *ctrlMsg) encode() []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(m.Kind)
+	e.Uvarint(m.Applied)
+	e.Uvarint(m.Backlog)
+	e.BytesVal(m.Blob)
+	return e.Bytes()
+}
+
+func decodeCtrl(buf []byte) (*ctrlMsg, bool) {
+	d := wire.NewDecoder(buf)
+	m := &ctrlMsg{Kind: d.Byte()}
+	m.Applied = d.Uvarint()
+	m.Backlog = d.Uvarint()
+	m.Blob = append([]byte(nil), d.BytesVal()...)
+	return m, d.Err() == nil
+}
+
+func (r *Replica) broadcastCtrl(m *ctrlMsg) {
+	payload := m.encode()
+	for i := 0; i < r.cfg.N; i++ {
+		if i != r.cfg.ID {
+			r.ctrl.Send(i, payload)
+		}
+	}
+}
+
+// ctrlLoop handles control-plane traffic.
+func (r *Replica) ctrlLoop() {
+	for {
+		payload, from, ok := r.ctrl.Recv()
+		if !ok {
+			return
+		}
+		m, valid := decodeCtrl(payload)
+		if !valid {
+			r.logf("dropping corrupt control message from %d", from)
+			continue
+		}
+		switch m.Kind {
+		case ctrlStatus:
+			r.mu.Lock()
+			r.peers[from] = peerStatus{applied: m.Applied, backlog: m.Backlog, at: r.e.Now()}
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		case ctrlSnapRequest:
+			_, data, ok, err := r.cfg.Snapshots.Load()
+			if err == nil && ok {
+				r.ctrl.Send(from, (&ctrlMsg{Kind: ctrlSnapBlob, Blob: data}).encode())
+			}
+		case ctrlSnapBlob:
+			r.acceptSnapshotCopy(m.Blob, from)
+		}
+	}
+}
+
+// acceptSnapshotCopy stores a checkpoint pushed by the designated
+// snapshotter and garbage-collects the covered trace prefix (§3.3).
+func (r *Replica) acceptSnapshotCopy(blob []byte, from int) {
+	s, err := decodeSnapshot(blob)
+	if err != nil {
+		r.logf("corrupt snapshot copy from %d: %v", from, err)
+		return
+	}
+	cur, ok, err := r.loadLocalSnapshot()
+	if err == nil && ok && cur.Inst >= s.Inst {
+		return // already have an equal or newer checkpoint
+	}
+	if err := r.cfg.Snapshots.Save(s.MarkID, blob); err != nil {
+		r.logf("saving snapshot copy failed: %v", err)
+		return
+	}
+	r.mu.Lock()
+	r.lastSnapID = s.MarkID
+	r.cond.Broadcast()
+	// Garbage-collect the covered prefix of this replica's trace view.
+	if r.role == RolePrimary && r.tr != nil {
+		clamped := s.Cut.Clone()
+		for t := range clamped {
+			if t < len(r.lcc) && r.lcc[t] < clamped[t] {
+				clamped[t] = r.lcc[t]
+			}
+		}
+		r.tr.Forget(clamped, r.tr.LiveLowWater(clamped))
+	}
+	rep := (*sched.Replayer)(nil)
+	if r.role == RoleSecondary && r.rt != nil {
+		rep = r.rt.Replayer()
+	}
+	r.mu.Unlock()
+	if rep != nil {
+		rep.ForgetThrough(s.Cut)
+	}
+	r.node.Compact(s.Inst)
+	r.logf("accepted checkpoint %d (instance %d) from replica %d", s.MarkID, s.Inst, from)
+}

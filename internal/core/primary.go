@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+
+	"rex/internal/trace"
+)
+
+var errNotPrimaryNow = errors.New("rex: not primary")
+
+// Submit executes one client request through the replication protocol and
+// returns its response. It blocks until the trace containing the request's
+// completion has committed (§2.1: the primary responds after consensus on
+// the trace, without waiting for secondary replay). client/seq provide
+// at-most-once semantics across retries and failovers.
+func (r *Replica) Submit(client, seq uint64, body []byte) ([]byte, error) {
+	r.mu.Lock()
+	for {
+		if r.stopped || r.role == RoleFaulted {
+			r.mu.Unlock()
+			return nil, ErrStopped
+		}
+		if r.role != RolePrimary {
+			leader := r.curLeader
+			r.mu.Unlock()
+			return nil, ErrNotPrimary{Leader: leader}
+		}
+		if e, ok := r.dedup[client]; ok && seq <= e.seq {
+			resp := e.resp
+			r.mu.Unlock()
+			if seq < e.seq {
+				return nil, errors.New("rex: stale client sequence number")
+			}
+			return resp, nil
+		}
+		// Flow control: bound speculation depth and wait for lagging live
+		// secondaries (§6.2).
+		if r.outstanding < r.cfg.MaxOutstanding && !r.throttledLocked() {
+			break
+		}
+		r.cond.Wait()
+	}
+	idx := r.rt.Recorder().AddReq(trace.Req{Client: client, Seq: seq, Body: body})
+	p := &pendingReq{client: client, seq: seq, ch: r.e.NewChan(1)}
+	r.pending[idx] = p
+	r.outstanding++
+	r.workQ = append(r.workQ, reqWork{idx: idx, body: body})
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	v, ok := p.ch.Recv()
+	if !ok {
+		return nil, ErrStopped
+	}
+	return v.([]byte), nil
+}
+
+// throttledLocked implements the primary's aggressive flow control: it
+// reports true while any recently-heard-from secondary is too far behind,
+// either in committed instances applied or in replay backlog. A silent
+// peer (crashed or partitioned) stops counting after a grace period so a
+// dead replica cannot stall the cluster.
+func (r *Replica) throttledLocked() bool {
+	now := r.e.Now()
+	stale := 8 * r.cfg.StatusEvery
+	for id, st := range r.peers {
+		if id == r.cfg.ID {
+			continue
+		}
+		if now-st.at > stale {
+			continue
+		}
+		if st.applied+r.cfg.LagLimitInstances < r.applied {
+			return true
+		}
+		if st.backlog > r.cfg.LagLimitEvents {
+			return true
+		}
+	}
+	return false
+}
+
+// nextWork blocks until there is a request to run, honoring checkpoint
+// pauses. Returns ok=false when the worker's generation ended (demotion or
+// shutdown) and switch=true when the runtime changed out of record mode.
+func (r *Replica) nextWork(gen int) (w reqWork, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.gen != gen || r.stopped || r.role != RolePrimary {
+			return reqWork{}, false
+		}
+		if r.ckPauseWorkers {
+			r.ckPausedW++
+			r.cond.Broadcast()
+			for r.ckPauseWorkers && r.gen == gen && !r.stopped {
+				r.cond.Wait()
+			}
+			r.ckPausedW--
+			continue
+		}
+		if len(r.workQ) > 0 {
+			w = r.workQ[0]
+			r.workQ = r.workQ[1:]
+			return w, true
+		}
+		r.cond.Wait()
+	}
+}
+
+// pauseGate is the checkpoint barrier for timer threads: it joins a
+// phase-2 pause in progress and returns when released.
+func (r *Replica) pauseGate(gen int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.ckPauseTimers || r.gen != gen || r.stopped {
+		return
+	}
+	r.ckPausedT++
+	r.cond.Broadcast()
+	for r.ckPauseTimers && r.gen == gen && !r.stopped {
+		r.cond.Wait()
+	}
+	r.ckPausedT--
+}
+
+// completeLocal records a finished request on the primary; the response is
+// released to the client once the committed trace's last consistent cut
+// covers the req-end event.
+func (r *Replica) completeLocal(idx uint64, resp []byte, end trace.EventID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.pending[idx]
+	if !ok {
+		return // demoted meanwhile; client will retry
+	}
+	p.resp = resp
+	p.end = end
+	p.done = true
+	r.dedup[p.client] = dedupEntry{seq: p.seq, resp: resp}
+	r.reqsCompleted++
+	if r.lcc.Covers(end) {
+		r.releaseOneLocked(idx, p)
+	}
+}
+
+func (r *Replica) releaseOneLocked(idx uint64, p *pendingReq) {
+	p.ch.Send(p.resp)
+	delete(r.pending, idx)
+	r.outstanding--
+	r.cond.Broadcast()
+}
+
+// releaseResponsesLocked flushes every pending response now covered by the
+// committed last consistent cut.
+func (r *Replica) releaseResponsesLocked() {
+	for idx, p := range r.pending {
+		if p.done && r.lcc.Covers(p.end) {
+			r.releaseOneLocked(idx, p)
+		}
+	}
+}
+
+// proposePump periodically collects the recorder's growth and proposes it
+// (§3.1). It also carries the one-time rebase marker after a promotion.
+func (r *Replica) proposePump() {
+	for {
+		if !r.sleepInterruptible(r.cfg.ProposeEvery) {
+			return
+		}
+		r.mu.Lock()
+		if r.role != RolePrimary {
+			r.mu.Unlock()
+			continue
+		}
+		d := r.rt.Recorder().Collect()
+		if r.pendingRebase != nil {
+			d.Rebase = r.pendingRebase
+			r.pendingRebase = nil
+		}
+		r.mu.Unlock()
+		if d.Empty() {
+			continue
+		}
+		r.node.Propose(d.EncodeBytes())
+	}
+}
+
+// initiateCheckpoint pauses every worker and timer thread at a clean
+// boundary, records the cut as a checkpoint mark in the trace, and resumes
+// (§3.3). The snapshot itself is taken by a designated secondary when its
+// replay reaches the cut.
+func (r *Replica) initiateCheckpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role != RolePrimary || r.stopped {
+		return errNotPrimaryNow
+	}
+	if r.ckPauseWorkers {
+		return errors.New("rex: checkpoint already in progress")
+	}
+	gen := r.gen
+	total := r.cfg.Workers + r.cfg.Timers
+	// Phase 1: pause request workers at request boundaries. Timer threads
+	// keep running so background tasks can unblock stalled handlers.
+	r.ckPauseWorkers = true
+	r.cond.Broadcast()
+	for r.ckPausedW < r.cfg.Workers && r.gen == gen && !r.stopped && r.role == RolePrimary {
+		r.cond.Wait()
+	}
+	// Phase 2: pause timer threads at firing boundaries.
+	r.ckPauseTimers = true
+	r.cond.Broadcast()
+	for r.ckPausedT < r.cfg.Timers && r.gen == gen && !r.stopped && r.role == RolePrimary {
+		r.cond.Wait()
+	}
+	if r.gen != gen || r.stopped || r.role != RolePrimary {
+		r.ckPauseWorkers = false
+		r.ckPauseTimers = false
+		r.cond.Broadcast()
+		return errNotPrimaryNow
+	}
+	cut := make(trace.Cut, total)
+	for i := 0; i < total; i++ {
+		cut[i] = r.rt.Worker(i).Clock()
+	}
+	// Mark ids must be unique across primaries (they key snapshots): fold
+	// in the promotion instance and replica id.
+	r.nextMarkID++
+	id := r.markBase + r.nextMarkID
+	r.rt.Recorder().AddMark(trace.Mark{ID: id, Cut: cut})
+	r.ckPauseWorkers = false
+	r.ckPauseTimers = false
+	r.cond.Broadcast()
+	r.logf("checkpoint mark %d at cut %v", id, cut)
+	return nil
+}

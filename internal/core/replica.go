@@ -1,0 +1,667 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"rex/internal/env"
+	"rex/internal/paxos"
+	"rex/internal/sched"
+	"rex/internal/storage"
+	"rex/internal/trace"
+	"rex/internal/transport"
+)
+
+// Role is a replica's current role.
+type Role uint8
+
+const (
+	// RoleSecondary follows committed traces.
+	RoleSecondary Role = iota
+	// RolePrimary executes requests and proposes traces.
+	RolePrimary
+	// RoleFaulted means the replica detected divergence or an internal
+	// error and halted (§5.1's validity checks fired).
+	RoleFaulted
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSecondary:
+		return "secondary"
+	case RolePrimary:
+		return "primary"
+	case RoleFaulted:
+		return "faulted"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// ErrNotPrimary is returned by Submit on a replica that is not the
+// primary; Leader hints where to retry (-1 if unknown).
+type ErrNotPrimary struct{ Leader int }
+
+func (e ErrNotPrimary) Error() string {
+	return fmt.Sprintf("rex: not the primary (leader hint: %d)", e.Leader)
+}
+
+// ErrStopped is returned when the replica is shut down or the request was
+// abandoned by a demotion; the client should retry elsewhere.
+var ErrStopped = errors.New("rex: replica stopped or demoted; retry")
+
+// Config configures a replica.
+type Config struct {
+	ID  int
+	N   int
+	Env env.Env
+	// Endpoint is the replica's network attachment; Paxos and the Rex
+	// control plane are multiplexed over it.
+	Endpoint  transport.Endpoint
+	Log       storage.Log
+	Snapshots storage.SnapshotStore
+	Factory   Factory
+
+	// Workers is the number of request-handler threads; Timers must equal
+	// the number of AddTimer registrations the factory makes; ReadWorkers
+	// sizes the native read-only pool (0 disables Query).
+	Workers     int
+	Timers      int
+	ReadWorkers int
+
+	// ProposeEvery is the trace-collection cadence (§3.1: "periodically
+	// proposes the up-to-date trace").
+	ProposeEvery time.Duration
+	// PipelineDepth is how many consensus instances may be open at once:
+	// 1 (default) is the paper's one-active-instance design; higher values
+	// enable the §3.1 piggyback alternative.
+	PipelineDepth   int
+	HeartbeatEvery  time.Duration
+	ElectionTimeout time.Duration
+	// CheckpointEvery is the primary's checkpoint initiation period; 0
+	// disables periodic checkpoints (Checkpoint can still be called).
+	CheckpointEvery time.Duration
+	// StatusEvery is the secondary's replay-status report period, feeding
+	// the primary's flow control.
+	StatusEvery time.Duration
+
+	// MaxOutstanding bounds admitted-but-unanswered requests (speculation
+	// depth). LagLimitInstances and LagLimitEvents bound how far a live
+	// secondary may fall behind before the primary throttles admission
+	// (§6.2's aggressive flow control).
+	MaxOutstanding    int
+	LagLimitInstances uint64
+	LagLimitEvents    uint64
+
+	// DisableVersionChecks and DisableResultChecks turn off the §5.1
+	// validity checks (used by ablation benchmarks).
+	DisableVersionChecks bool
+	DisableResultChecks  bool
+	// DisablePruning and TotalOrderTryFail select the §4.2 ablations.
+	DisablePruning    bool
+	TotalOrderTryFail bool
+
+	Seed int64
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.ReadWorkers < 0 {
+		cfg.ReadWorkers = 0
+	}
+	if cfg.ProposeEvery <= 0 {
+		cfg.ProposeEvery = 2 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 20 * time.Millisecond
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 150 * time.Millisecond
+	}
+	if cfg.StatusEvery <= 0 {
+		cfg.StatusEvery = 25 * time.Millisecond
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 1024
+	}
+	if cfg.LagLimitInstances == 0 {
+		cfg.LagLimitInstances = 64
+	}
+	if cfg.LagLimitEvents == 0 {
+		cfg.LagLimitEvents = 1 << 14
+	}
+	return cfg
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(fmt.Sprintf("rex[%d] ", r.cfg.ID)+format, args...)
+	}
+}
+
+type pendingReq struct {
+	client, seq uint64
+	resp        []byte
+	end         trace.EventID
+	done        bool
+	ch          env.Chan // cap 1; receives []byte or is closed on demotion
+}
+
+type dedupEntry struct {
+	seq  uint64
+	resp []byte
+}
+
+type peerStatus struct {
+	applied uint64
+	backlog uint64
+	at      time.Duration
+}
+
+type reqWork struct {
+	idx  uint64
+	body []byte
+}
+
+// Replica is one Rex replica.
+type Replica struct {
+	cfg         Config
+	e           env.Env
+	mux         *transport.Mux
+	ctrl        transport.Endpoint
+	node        *paxos.Node
+	nodeStarted bool
+
+	mu   env.Mutex
+	cond env.Cond
+
+	role      Role
+	curLeader int
+	faultErr  error
+	stopped   bool
+
+	gen      int
+	gapUntil uint64 // highest compaction gap already being bridged
+	rt       *sched.Runtime
+	sm       StateMachine
+	timers   []timerSpec
+	tr       *trace.Trace // committed trace (primary bookkeeping)
+	lcc      trace.Cut    // last consistent cut of tr (primary)
+	applied  uint64       // committed instances applied locally
+	snapBase trace.Cut    // cut the current incarnation restored from
+
+	// Primary state.
+	workQ         []reqWork
+	pending       map[uint64]*pendingReq
+	outstanding   int
+	pendingRebase trace.Cut
+	dedup         map[uint64]dedupEntry
+
+	// Checkpointing.
+	// Checkpoint pause happens in two phases: request workers pause at
+	// request boundaries first, while timer threads keep running so that
+	// background tasks (e.g. compaction) can unblock stalled handlers;
+	// only then do timer threads pause (§3.3).
+	ckPauseWorkers bool
+	ckPauseTimers  bool
+	ckPausedW      int
+	ckPausedT      int
+	markBase       uint64
+	nextMarkID     uint64
+	markInst       map[uint64]uint64
+	lastSnapID     uint64
+
+	peers map[int]peerStatus
+
+	queryQ env.Chan
+	applyQ env.Chan
+	lifeQ  env.Chan
+
+	group *env.Group // all long-lived tasks, for Stop
+
+	// Stats (under mu unless noted).
+	reqsCompleted  uint64
+	bytesProposed  uint64
+	eventsProposed uint64
+	edgesProposed  uint64
+	reqsProposed   uint64
+	reqBytesProp   uint64 // request payload bytes inside committed deltas
+	deltaSizes     []int  // encoded bytes per committed instance
+}
+
+type committedEvt struct {
+	inst uint64
+	val  []byte
+}
+type leaderEvt struct {
+	becameLeader bool
+	leader       int
+	chosenAt     uint64
+}
+
+// gapEvt: a peer compacted the chosen prefix this replica still needs; a
+// checkpoint transfer is required before learning can resume.
+type gapEvt struct{ minInst uint64 }
+
+// resyncEvt: committed instances jumped past our applied frontier (after a
+// checkpoint transfer): rebuild from the checkpoint.
+type resyncEvt struct{}
+
+// NewReplica creates a replica. Call Start to bring it up (it begins as a
+// secondary and participates in leader election).
+func NewReplica(cfg Config) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	r := &Replica{
+		cfg:       cfg,
+		e:         cfg.Env,
+		curLeader: -1,
+		pending:   make(map[uint64]*pendingReq),
+		dedup:     make(map[uint64]dedupEntry),
+		markInst:  make(map[uint64]uint64),
+		peers:     make(map[int]peerStatus),
+	}
+	r.mu = cfg.Env.NewMutex()
+	r.cond = cfg.Env.NewCond(r.mu)
+	r.applyQ = cfg.Env.NewChan(0)
+	r.lifeQ = cfg.Env.NewChan(0)
+	r.queryQ = cfg.Env.NewChan(0)
+	r.group = env.NewGroup(cfg.Env)
+	r.mux = transport.NewMux(cfg.Env, cfg.Endpoint, 2)
+	r.ctrl = r.mux.Channel(1)
+	node, err := paxos.NewNode(paxos.Config{
+		ID:              cfg.ID,
+		N:               cfg.N,
+		Env:             cfg.Env,
+		Endpoint:        r.mux.Channel(0),
+		Log:             cfg.Log,
+		HeartbeatEvery:  cfg.HeartbeatEvery,
+		ElectionTimeout: cfg.ElectionTimeout,
+		PipelineDepth:   cfg.PipelineDepth,
+		Seed:            cfg.Seed,
+		Logf:            cfg.Logf,
+		OnCommitted: func(inst uint64, val []byte) {
+			r.applyQ.Send(committedEvt{inst: inst, val: val})
+		},
+		OnBecomeLeader: func() {
+			r.lifeQ.Send(leaderEvt{becameLeader: true, leader: cfg.ID, chosenAt: r.node.ChosenSeq()})
+		},
+		OnNewLeader: func(l int) {
+			r.lifeQ.Send(leaderEvt{leader: l})
+		},
+		OnSnapshotGap: func(minInst uint64) {
+			r.lifeQ.Send(gapEvt{minInst: minInst})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.node = node
+	return r, nil
+}
+
+// Start brings the replica up as a secondary: it rebuilds application
+// state from the latest local checkpoint plus the committed trace, then
+// joins the cluster.
+func (r *Replica) Start() error {
+	if err := r.rebuild(); err != nil {
+		return err
+	}
+	r.nodeStarted = true
+	r.node.Start()
+	r.spawn("apply", r.applyLoop)
+	r.spawn("lifecycle", r.lifecycleLoop)
+	r.spawn("pump", r.proposePump)
+	r.spawn("ctrl", r.ctrlLoop)
+	r.spawn("status", r.statusLoop)
+	if r.cfg.CheckpointEvery > 0 {
+		r.spawn("ckpt-timer", r.checkpointTimer)
+	}
+	for i := 0; i < r.cfg.ReadWorkers; i++ {
+		r.spawn(fmt.Sprintf("read-%d", i), r.readWorker)
+	}
+	return nil
+}
+
+func (r *Replica) spawn(name string, fn func()) {
+	r.group.Add(1)
+	r.e.Go(fmt.Sprintf("rex-%d-%s", r.cfg.ID, name), func() {
+		defer r.group.Done()
+		fn()
+	})
+}
+
+// Stop shuts the replica down.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.failPendingLocked()
+	rep := r.rt.Replayer()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if rep != nil {
+		rep.Abort()
+	}
+	r.node.Stop()
+	r.mux.Close()
+	r.applyQ.Close()
+	r.lifeQ.Close()
+	r.queryQ.Close()
+	r.group.Wait()
+}
+
+// Role returns the replica's current role.
+func (r *Replica) Role() Role {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role
+}
+
+// Leader returns the replica's best guess of the current leader id.
+func (r *Replica) Leader() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role == RolePrimary {
+		return r.cfg.ID
+	}
+	return r.curLeader
+}
+
+// FaultError returns the divergence or internal error that halted the
+// replica, if any.
+func (r *Replica) FaultError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faultErr
+}
+
+// fault halts the replica after a divergence (§5.1).
+func (r *Replica) fault(err error) {
+	r.mu.Lock()
+	if r.faultErr == nil {
+		r.faultErr = err
+		r.role = RoleFaulted
+		r.failPendingLocked()
+		r.logf("FAULT: %v", err)
+	}
+	rep := r.rt.Replayer()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if rep != nil {
+		rep.Abort()
+	}
+}
+
+func (r *Replica) failPendingLocked() {
+	for idx, p := range r.pending {
+		// Close even completed-but-unreleased requests: their commit never
+		// covered them here, so the client must retry at the new primary
+		// (dedup makes the retry idempotent).
+		p.ch.Close()
+		delete(r.pending, idx)
+	}
+	r.outstanding = 0
+	r.workQ = nil
+	r.cond.Broadcast()
+}
+
+// applyLoop consumes committed deltas from Paxos and folds them into the
+// replica's view of the committed trace.
+func (r *Replica) applyLoop() {
+	for {
+		v, ok := r.applyQ.Recv()
+		if !ok {
+			return
+		}
+		evt := v.(committedEvt)
+		d, err := trace.DecodeDeltaBytes(evt.val)
+		if err != nil {
+			r.fault(fmt.Errorf("rex: corrupt committed delta %d: %w", evt.inst, err))
+			return
+		}
+		r.mu.Lock()
+		if evt.inst < r.applied {
+			r.mu.Unlock()
+			continue // already folded in by a rebuild
+		}
+		if evt.inst > r.applied {
+			// Commits jumped past us: a checkpoint transfer advanced the
+			// learner. Rebuild from the checkpoint; it will fold this
+			// instance in from the learner's chosen log.
+			r.mu.Unlock()
+			r.lifeQ.Send(resyncEvt{})
+			continue
+		}
+		r.eventsProposed += uint64(d.EventCount())
+		r.edgesProposed += uint64(d.EdgeCount())
+		r.bytesProposed += uint64(len(evt.val))
+		r.reqsProposed += uint64(len(d.Reqs))
+		for _, rq := range d.Reqs {
+			r.reqBytesProp += uint64(len(rq.Body))
+		}
+		r.deltaSizes = append(r.deltaSizes, len(evt.val))
+		for _, m := range d.Marks {
+			r.markInst[m.ID] = evt.inst
+		}
+		var applyErr error
+		if r.role == RolePrimary {
+			applyErr = r.tr.Apply(d)
+			if applyErr == nil {
+				r.lcc = r.tr.ConsistentCut(r.lcc)
+				r.releaseResponsesLocked()
+			}
+		} else {
+			rep := r.rt.Replayer()
+			r.mu.Unlock()
+			applyErr = rep.Extend(d)
+			r.mu.Lock()
+		}
+		if applyErr != nil {
+			r.mu.Unlock()
+			r.fault(fmt.Errorf("rex: applying committed delta %d: %w", evt.inst, applyErr))
+			return
+		}
+		r.applied = evt.inst + 1
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// lifecycleLoop serializes promotions and demotions.
+func (r *Replica) lifecycleLoop() {
+	for {
+		v, ok := r.lifeQ.Recv()
+		if !ok {
+			return
+		}
+		switch evt := v.(type) {
+		case leaderEvt:
+			if evt.becameLeader {
+				r.promote(evt.chosenAt)
+			} else {
+				r.demote(evt.leader)
+			}
+		case gapEvt:
+			r.handleGap(evt.minInst)
+		case resyncEvt:
+			r.mu.Lock()
+			ok := !r.stopped && r.role == RoleSecondary
+			r.mu.Unlock()
+			if ok {
+				if err := r.rebuild(); err != nil {
+					r.fault(fmt.Errorf("rex: resync rebuild failed: %w", err))
+				}
+			}
+		}
+	}
+}
+
+// handleGap obtains a checkpoint covering the compacted prefix and
+// fast-forwards the learner past it; the subsequent commit jump triggers a
+// rebuild from that checkpoint.
+func (r *Replica) handleGap(minInst uint64) {
+	r.mu.Lock()
+	skip := r.stopped || r.role != RoleSecondary || r.applied >= minInst || r.gapUntil >= minInst
+	r.mu.Unlock()
+	if skip {
+		return
+	}
+	if err := r.requestSnapshot(minInst); err != nil {
+		r.logf("checkpoint transfer for gap at %d failed: %v", minInst, err)
+		return
+	}
+	snap, ok, err := r.loadLocalSnapshot()
+	if err != nil || !ok {
+		r.logf("checkpoint transfer for gap at %d: no usable snapshot (%v)", minInst, err)
+		return
+	}
+	r.mu.Lock()
+	r.gapUntil = snap.Inst
+	r.mu.Unlock()
+	r.logf("bridging compaction gap with checkpoint %d (instance %d)", snap.MarkID, snap.Inst)
+	r.node.AdvanceTo(snap.Inst)
+}
+
+// promote turns this secondary into the primary: wait for every committed
+// instance to be applied and replayed, truncate to the last consistent
+// cut, switch the runtime to record mode mid-flight (§4 mode change), and
+// schedule the rebasing proposal (§3.2).
+func (r *Replica) promote(chosenAt uint64) {
+	r.mu.Lock()
+	for r.applied < chosenAt && !r.stopped && r.role != RoleFaulted {
+		r.cond.Wait()
+	}
+	if r.stopped || r.role == RoleFaulted || r.role == RolePrimary {
+		r.mu.Unlock()
+		return
+	}
+	rep := r.rt.Replayer()
+	r.mu.Unlock()
+
+	if !rep.WaitCaughtUp() {
+		return // aborted: stopping or faulted
+	}
+	cut := rep.Executed()
+
+	r.mu.Lock()
+	if r.stopped || r.role == RoleFaulted {
+		r.mu.Unlock()
+		return
+	}
+	r.tr = rep.Trace()
+	r.tr.TruncateTo(cut)
+	if os.Getenv("REX_DEBUG_VERSIONS") != "" {
+		expect := make(map[uint32]uint64)
+		for t := range r.tr.Threads {
+			l := &r.tr.Threads[t]
+			for i, ev := range l.Events {
+				_ = i
+				switch ev.Kind {
+				case trace.KindLockAcq, trace.KindLockRel, trace.KindTryAcq,
+					trace.KindCondWaitBegin, trace.KindCondWake,
+					trace.KindWLockAcq, trace.KindWLockRel,
+					trace.KindSemAcq, trace.KindSemRel,
+					trace.KindCondSignal, trace.KindCondBroadcast:
+					expect[ev.Res]++
+				}
+			}
+		}
+		got := r.rt.VersionsSnapshot()
+		for res, want := range expect {
+			if int(res) < len(got) && got[res] != want {
+				fmt.Printf("VERSION MISMATCH at promotion: replica %d res %d (%s): runtime=%d trace=%d\n",
+					r.cfg.ID, res, r.rt.ResourceName(res), got[res], want)
+			}
+		}
+	}
+	r.lcc = cut.Clone()
+	reqBase := r.tr.ReqsBase + uint64(len(r.tr.Reqs))
+	r.rt.StartRecord(cut, reqBase)
+	r.pendingRebase = cut.Clone()
+	r.role = RolePrimary
+	r.curLeader = r.cfg.ID
+	r.markBase = (r.applied << 20) | uint64(r.cfg.ID)<<12
+	r.nextMarkID = 0
+	r.pending = make(map[uint64]*pendingReq)
+	r.outstanding = 0
+	r.logf("promoted to primary at cut %v (reqs=%d, applied=%d)", cut, reqBase, r.applied)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	rep.Abort()
+}
+
+// demote handles a new leader elsewhere. A primary rolls back its
+// speculative execution by rebuilding from the latest checkpoint and the
+// committed trace (§5.2: full-machine rollback).
+func (r *Replica) demote(leader int) {
+	r.mu.Lock()
+	r.curLeader = leader
+	wasPrimary := r.role == RolePrimary
+	if wasPrimary {
+		r.role = RoleSecondary
+		r.failPendingLocked()
+		r.logf("demoted; new leader is %d", leader)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if wasPrimary {
+		if err := r.rebuild(); err != nil {
+			r.fault(fmt.Errorf("rex: rollback rebuild failed: %w", err))
+		}
+	}
+}
+
+// Checkpoint requests a checkpoint now (normally driven by
+// Config.CheckpointEvery). Only the primary can initiate one.
+func (r *Replica) Checkpoint() error {
+	return r.initiateCheckpoint()
+}
+
+func (r *Replica) checkpointTimer() {
+	for {
+		if !r.sleepInterruptible(r.cfg.CheckpointEvery) {
+			return
+		}
+		if err := r.initiateCheckpoint(); err != nil && !errors.Is(err, errNotPrimaryNow) {
+			r.logf("checkpoint failed: %v", err)
+		}
+	}
+}
+
+// sleepInterruptible sleeps d in small chunks, returning false when the
+// replica stops.
+func (r *Replica) sleepInterruptible(d time.Duration) bool {
+	const chunk = 10 * time.Millisecond
+	deadline := r.e.Now() + d
+	for {
+		r.mu.Lock()
+		stopped := r.stopped
+		r.mu.Unlock()
+		if stopped {
+			return false
+		}
+		now := r.e.Now()
+		if now >= deadline {
+			return true
+		}
+		step := deadline - now
+		if step > chunk {
+			step = chunk
+		}
+		r.e.Sleep(step)
+	}
+}
+
+// newCtx builds a handler context for a worker.
+func (r *Replica) newCtx(w *sched.Worker) *Ctx {
+	return &Ctx{w: w, e: r.e, rng: rand.New(rand.NewSource(r.cfg.Seed ^ 0x5bf03635))}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"time"
+
+	"rex/internal/sched"
+)
+
+// checkpointCoordinator drives checkpoint marks on a secondary: when
+// replay reaches a mark's cut, the designated secondary snapshots the
+// application and copies the checkpoint to its peers in the background;
+// other secondaries pass the mark through (§3.3).
+func (r *Replica) checkpointCoordinator(gen int, rt *sched.Runtime, sm StateMachine) {
+	for {
+		if r.genEnded(gen) {
+			return
+		}
+		if rt.Mode() != sched.ModeReplay {
+			return // promoted: the primary initiates marks, it doesn't serve them
+		}
+		rep := rt.Replayer()
+		m, ok := rep.PendingMark()
+		if !ok {
+			if !r.sleepInterruptible(5 * time.Millisecond) {
+				return
+			}
+			continue
+		}
+		if !r.designatedSnapshotter(m.ID) {
+			rep.CompleteMark(m.ID)
+			continue
+		}
+		if !rep.WaitMarkReached(m) {
+			return // aborted (promotion or shutdown)
+		}
+		r.mu.Lock()
+		inst := r.markInst[m.ID]
+		r.mu.Unlock()
+		blob, err := r.buildSnapshot(rt, rep, sm, m, inst)
+		if err != nil {
+			r.logf("checkpoint %d failed: %v", m.ID, err)
+			rep.CompleteMark(m.ID)
+			continue
+		}
+		if err := r.cfg.Snapshots.Save(m.ID, blob); err != nil {
+			r.logf("checkpoint %d save failed: %v", m.ID, err)
+			rep.CompleteMark(m.ID)
+			continue
+		}
+		rep.CompleteMark(m.ID)
+		r.mu.Lock()
+		r.lastSnapID = m.ID
+		r.mu.Unlock()
+		r.logf("checkpoint %d taken at cut %v (instance %d)", m.ID, m.Cut, inst)
+		// Garbage-collect the covered prefix — both the consensus log and
+		// the in-memory trace — and copy the checkpoint to the other
+		// replicas in the background.
+		r.node.Compact(inst)
+		rep.ForgetThrough(m.Cut)
+		r.broadcastCtrl(&ctrlMsg{Kind: ctrlSnapBlob, Blob: blob})
+	}
+}
+
+// designatedSnapshotter picks which secondary snapshots a given mark: the
+// replica whose id equals the mark id modulo N, skipping the (believed)
+// leader. Replicas with a stale leader guess merely cause a skipped or
+// duplicated snapshot, never incorrectness.
+func (r *Replica) designatedSnapshotter(markID uint64) bool {
+	r.mu.Lock()
+	leader := r.curLeader
+	r.mu.Unlock()
+	chosen := int(markID % uint64(r.cfg.N))
+	if chosen == leader {
+		chosen = (chosen + 1) % r.cfg.N
+	}
+	return chosen == r.cfg.ID
+}
+
+// statusLoop reports replay progress to the primary (feeding its flow
+// control) while this replica is a secondary.
+func (r *Replica) statusLoop() {
+	for {
+		if !r.sleepInterruptible(r.cfg.StatusEvery) {
+			return
+		}
+		r.mu.Lock()
+		if r.role != RoleSecondary {
+			// Re-evaluate throttling staleness on the primary even without
+			// fresh reports.
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			continue
+		}
+		applied := r.applied
+		rt := r.rt
+		r.mu.Unlock()
+		var backlog uint64
+		if rep := rt.Replayer(); rep != nil && rt.Mode() == sched.ModeReplay {
+			limit := rep.Limit()
+			executed := rep.Executed()
+			for t := range limit {
+				if d := limit[t] - executed[t]; d > 0 {
+					backlog += uint64(d)
+				}
+			}
+		}
+		r.broadcastCtrl(&ctrlMsg{Kind: ctrlStatus, Applied: applied, Backlog: backlog})
+	}
+}

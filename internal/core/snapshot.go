@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"rex/internal/paxos"
+	"rex/internal/sched"
+	"rex/internal/trace"
+	"rex/internal/wire"
+)
+
+// snapshotBlob is a checkpoint as stored and transferred: the application
+// state plus everything Rex needs to resume replay from the cut — the
+// requests still in flight at the cut and the client dedup table (§3.3).
+type snapshotBlob struct {
+	MarkID   uint64
+	Inst     uint64 // instance whose delta carries the mark
+	Cut      trace.Cut
+	LiveReqs []sched.IndexedReq
+	Dedup    map[uint64]dedupEntry
+	// Versions are the resource version counters at the cut (§5.1):
+	// replicated state, required for version checking to stay sound after
+	// a restore.
+	Versions []uint64
+	App      []byte
+}
+
+const snapshotVersion = 1
+
+func (s *snapshotBlob) encode() []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(snapshotVersion)
+	e.Uvarint(s.MarkID)
+	e.Uvarint(s.Inst)
+	e.Uvarint(uint64(len(s.Cut)))
+	for _, c := range s.Cut {
+		e.Uvarint(uint64(c))
+	}
+	e.Uvarint(uint64(len(s.LiveReqs)))
+	for _, lr := range s.LiveReqs {
+		e.Uvarint(lr.Idx)
+		e.Uvarint(lr.Req.Client)
+		e.Uvarint(lr.Req.Seq)
+		e.BytesVal(lr.Req.Body)
+	}
+	// Encode the dedup table in sorted order for deterministic bytes.
+	clients := make([]uint64, 0, len(s.Dedup))
+	for c := range s.Dedup {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	e.Uvarint(uint64(len(clients)))
+	for _, c := range clients {
+		d := s.Dedup[c]
+		e.Uvarint(c)
+		e.Uvarint(d.seq)
+		e.BytesVal(d.resp)
+	}
+	e.Uvarint(uint64(len(s.Versions)))
+	for _, v := range s.Versions {
+		e.Uvarint(v)
+	}
+	e.BytesVal(s.App)
+	return e.Bytes()
+}
+
+func decodeSnapshot(buf []byte) (*snapshotBlob, error) {
+	d := wire.NewDecoder(buf)
+	if v := d.Byte(); d.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("rex: unsupported snapshot version %d", v)
+	}
+	s := &snapshotBlob{Dedup: make(map[uint64]dedupEntry)}
+	s.MarkID = d.Uvarint()
+	s.Inst = d.Uvarint()
+	nCut := d.Uvarint()
+	if d.Err() != nil || nCut > 1<<16 {
+		return nil, wire.ErrCorrupt
+	}
+	s.Cut = make(trace.Cut, nCut)
+	for i := range s.Cut {
+		s.Cut[i] = int32(d.Uvarint())
+	}
+	nLive := d.Uvarint()
+	if d.Err() != nil || nLive > 1<<24 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < nLive; i++ {
+		lr := sched.IndexedReq{Idx: d.Uvarint()}
+		lr.Req.Client = d.Uvarint()
+		lr.Req.Seq = d.Uvarint()
+		lr.Req.Body = append([]byte(nil), d.BytesVal()...)
+		s.LiveReqs = append(s.LiveReqs, lr)
+	}
+	nDedup := d.Uvarint()
+	if d.Err() != nil || nDedup > 1<<24 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < nDedup; i++ {
+		c := d.Uvarint()
+		de := dedupEntry{seq: d.Uvarint()}
+		de.resp = append([]byte(nil), d.BytesVal()...)
+		s.Dedup[c] = de
+	}
+	nVer := d.Uvarint()
+	if d.Err() != nil || nVer > 1<<24 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < nVer; i++ {
+		s.Versions = append(s.Versions, d.Uvarint())
+	}
+	s.App = append([]byte(nil), d.BytesVal()...)
+	return s, d.Err()
+}
+
+// buildSnapshot serializes the application at a checkpoint mark whose cut
+// replay has reached (every logical thread paused exactly at the cut).
+func (r *Replica) buildSnapshot(rt *sched.Runtime, rep *sched.Replayer, sm StateMachine, m trace.Mark, inst uint64) ([]byte, error) {
+	var app bytes.Buffer
+	if err := sm.WriteCheckpoint(&app); err != nil {
+		return nil, fmt.Errorf("rex: WriteCheckpoint: %w", err)
+	}
+	r.mu.Lock()
+	dedup := make(map[uint64]dedupEntry, len(r.dedup))
+	for c, d := range r.dedup {
+		dedup[c] = d
+	}
+	r.mu.Unlock()
+	blob := &snapshotBlob{
+		MarkID:   m.ID,
+		Inst:     inst,
+		Cut:      m.Cut,
+		LiveReqs: rep.LiveReqs(m.Cut),
+		Dedup:    dedup,
+		Versions: rt.VersionsSnapshot(),
+		App:      app.Bytes(),
+	}
+	return blob.encode(), nil
+}
+
+// loadLocalSnapshot returns the newest locally stored snapshot, if any.
+func (r *Replica) loadLocalSnapshot() (*snapshotBlob, bool, error) {
+	_, data, ok, err := r.cfg.Snapshots.Load()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	s, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return s, true, nil
+}
+
+// rebuild reconstructs the replica's execution state — a fresh runtime and
+// application — from the latest checkpoint plus the committed trace, and
+// starts it replaying as a secondary. It serves initial startup, crash
+// recovery, rejoin, and primary rollback after demotion (§5.2).
+func (r *Replica) rebuild() error {
+	threads := r.cfg.Workers + r.cfg.Timers
+	for {
+		var st paxos.ChosenState
+		if r.nodeStarted {
+			st = r.node.ChosenSnapshot()
+		} else {
+			base, vals := r.node.Chosen()
+			st = paxos.ChosenState{Base: base, Vals: vals, Seq: base + uint64(len(vals))}
+		}
+		snap, haveSnap, err := r.loadLocalSnapshot()
+		if err != nil {
+			return err
+		}
+		if haveSnap && snap.Inst < st.Base {
+			haveSnap = false // snapshot predates the compaction horizon
+		}
+		if haveSnap && st.Seq <= snap.Inst {
+			// The delta carrying the snapshot's mark is not in the chosen
+			// log yet (checkpoint transfer racing the learner).
+			if r.nodeStarted {
+				if !r.sleepInterruptible(50 * time.Millisecond) {
+					return ErrStopped
+				}
+				continue // the learner will catch up
+			}
+			if st.Base == 0 {
+				haveSnap = false // cold start: replay from the beginning
+			} else {
+				return fmt.Errorf("rex: snapshot at instance %d unusable: chosen log starts at %d and ends at %d",
+					snap.Inst, st.Base, st.Seq)
+			}
+		}
+		if !haveSnap && st.Base > 0 {
+			// The chosen prefix was compacted and we have no (recent
+			// enough) checkpoint: fetch one from a peer and retry.
+			if err := r.requestSnapshot(st.Base); err != nil {
+				return err
+			}
+			continue
+		}
+
+		var startInst uint64
+		if haveSnap {
+			startInst = snap.Inst
+		}
+		deltas := make([]*trace.Delta, 0, st.Seq-startInst)
+		for i := startInst; i < st.Seq; i++ {
+			d, err := trace.DecodeDeltaBytes(st.Vals[i-st.Base])
+			if err != nil {
+				return fmt.Errorf("rex: corrupt chosen delta %d: %w", i, err)
+			}
+			deltas = append(deltas, d)
+		}
+
+		var tr *trace.Trace
+		var base trace.Cut
+		dedup := make(map[uint64]dedupEntry)
+		if haveSnap {
+			if len(deltas) == 0 {
+				return fmt.Errorf("rex: snapshot at instance %d but no chosen delta carries its mark", snap.Inst)
+			}
+			tr = trace.NewAt(threads, deltas[0].Base, deltas[0].ReqBase)
+			for _, lr := range snap.LiveReqs {
+				if lr.Idx < deltas[0].ReqBase {
+					tr.StashReq(lr.Idx, lr.Req)
+				}
+			}
+			base = snap.Cut
+			for c, d := range snap.Dedup {
+				dedup[c] = d
+			}
+		} else {
+			tr = trace.New(threads)
+		}
+		for i, d := range deltas {
+			if err := tr.Apply(d); err != nil {
+				return fmt.Errorf("rex: replaying chosen delta %d: %w", startInst+uint64(i), err)
+			}
+		}
+
+		rt := sched.NewRuntime(r.e, threads, sched.ModeNative)
+		rt.CheckVersions = !r.cfg.DisableVersionChecks
+		rt.DisablePruning = r.cfg.DisablePruning
+		rt.TotalOrderTryFail = r.cfg.TotalOrderTryFail
+		host := &TimerHost{}
+		sm := r.cfg.Factory(rt, host)
+		if len(host.specs) != r.cfg.Timers {
+			return fmt.Errorf("rex: factory registered %d timers, config says %d", len(host.specs), r.cfg.Timers)
+		}
+		if haveSnap {
+			if err := sm.ReadCheckpoint(bytes.NewReader(snap.App)); err != nil {
+				return fmt.Errorf("rex: ReadCheckpoint: %w", err)
+			}
+			rt.RestoreVersions(snap.Versions)
+		}
+		rt.StartReplay(tr, base)
+
+		r.mu.Lock()
+		oldRT := r.rt
+		r.gen++
+		r.rt = rt
+		r.sm = sm
+		r.timers = host.specs
+		r.tr = tr
+		r.lcc = nil
+		r.snapBase = base
+		if st.Seq > r.applied {
+			r.applied = st.Seq
+		}
+		r.role = RoleSecondary
+		r.spawnExecutionLocked()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		if oldRT != nil {
+			if oldRep := oldRT.Replayer(); oldRep != nil {
+				oldRep.Abort() // release the previous incarnation's workers
+			}
+		}
+		r.logf("rebuilt (gen %d) from %s at applied=%d",
+			r.gen, map[bool]string{true: "checkpoint", false: "initial state"}[haveSnap], st.Seq)
+		return nil
+	}
+}
+
+// requestSnapshot asks peers for a checkpoint covering at least instance
+// minInst and waits for one to arrive.
+func (r *Replica) requestSnapshot(minInst uint64) error {
+	deadline := r.e.Now() + 30*time.Second
+	for r.e.Now() < deadline {
+		r.broadcastCtrl(&ctrlMsg{Kind: ctrlSnapRequest})
+		if !r.sleepInterruptible(100 * time.Millisecond) {
+			return ErrStopped
+		}
+		snap, ok, err := r.loadLocalSnapshot()
+		if err != nil {
+			return err
+		}
+		if ok && snap.Inst >= minInst {
+			return nil
+		}
+	}
+	return fmt.Errorf("rex: no peer supplied a checkpoint covering instance %d", minInst)
+}

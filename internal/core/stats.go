@@ -1,0 +1,85 @@
+package core
+
+import (
+	"rex/internal/sched"
+	"rex/internal/trace"
+)
+
+// Stats is a point-in-time view of a replica's counters, used by the
+// benchmark harness to reproduce the paper's measurements.
+type Stats struct {
+	Role           Role
+	ReqsCompleted  uint64 // requests whose handler finished on this replica
+	Applied        uint64 // committed instances applied locally
+	EventsProposed uint64 // sync events in committed deltas seen
+	EdgesProposed  uint64 // causal edges in committed deltas seen
+	BytesCommitted uint64 // encoded bytes of committed deltas seen
+	ReqsCommitted  uint64 // requests carried in committed deltas
+	ReqBytes       uint64 // request payload bytes in committed deltas
+	ReplayedEvents uint64 // events executed by the replay engine
+	WaitedEvents   uint64 // replayed events that blocked on a causal edge
+	Outstanding    int    // admitted but unanswered requests (primary)
+}
+
+// Stats returns the replica's current counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	s := Stats{
+		Role:           r.role,
+		ReqsCompleted:  r.reqsCompleted,
+		Applied:        r.applied,
+		EventsProposed: r.eventsProposed,
+		EdgesProposed:  r.edgesProposed,
+		BytesCommitted: r.bytesProposed,
+		ReqsCommitted:  r.reqsProposed,
+		ReqBytes:       r.reqBytesProp,
+		Outstanding:    r.outstanding,
+	}
+	rt := r.rt
+	r.mu.Unlock()
+	if rt != nil {
+		if rep := rt.Replayer(); rep != nil && rt.Mode() == sched.ModeReplay {
+			s.ReplayedEvents, s.WaitedEvents = rep.Stats()
+		}
+	}
+	return s
+}
+
+// DeltaSizes returns the encoded size of every committed delta this
+// replica has applied, in instance order (for the §3.1 proposal-volume
+// ablation).
+func (r *Replica) DeltaSizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.deltaSizes...)
+}
+
+// StateMachineForTest exposes the current application instance; tests use
+// it to compare replica states after quiescing.
+func (r *Replica) StateMachineForTest() StateMachine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sm
+}
+
+// TraceRetainedForTest reports how many events and requests the replica's
+// trace currently retains in memory (after prefix garbage collection).
+func (r *Replica) TraceRetainedForTest() (events, reqs int) {
+	r.mu.Lock()
+	tr := r.tr
+	r.mu.Unlock()
+	if tr == nil {
+		return 0, 0
+	}
+	return tr.EventCount(), len(tr.Reqs)
+}
+
+// TraceForTest exposes the replica's committed-trace view for debugging.
+func (r *Replica) TraceForTest() *trace.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rt != nil && r.rt.Replayer() != nil {
+		return r.rt.Replayer().Trace()
+	}
+	return r.tr
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rex/internal/env"
+	"rex/internal/rexsync"
+	"rex/internal/sched"
+	"rex/internal/trace"
+)
+
+// spawnExecution starts the logical-thread tasks for the current runtime
+// incarnation: request workers and timer threads. Called under r.mu.
+//
+// These tasks are deliberately not joined by Stop: a demoted primary
+// abandons its speculative incarnation (the paper's process-level
+// rollback, §5.2), and a worker of an abandoned incarnation may be parked
+// on an abandoned application's condition variable until the environment
+// tears it down.
+func (r *Replica) spawnExecutionLocked() {
+	gen := r.gen
+	rt := r.rt
+	sm := r.sm
+	for i := 0; i < r.cfg.Workers; i++ {
+		i := i
+		r.e.Go(fmt.Sprintf("rex-%d-worker-%d-g%d", r.cfg.ID, i, gen), func() {
+			r.workerLoop(gen, rt, sm, i)
+		})
+	}
+	for j, spec := range r.timers {
+		j, spec := j, spec
+		ti := r.cfg.Workers + j
+		r.e.Go(fmt.Sprintf("rex-%d-timer-%s-g%d", r.cfg.ID, spec.name, gen), func() {
+			r.timerLoop(gen, rt, sm, ti, uint32(j), spec)
+		})
+	}
+	r.e.Go(fmt.Sprintf("rex-%d-ckpt-coord-g%d", r.cfg.ID, gen), func() {
+		r.checkpointCoordinator(gen, rt, sm)
+	})
+}
+
+// recoverWorker converts panics from the record/replay machinery into
+// clean exits or replica faults.
+func (r *Replica) recoverWorker() {
+	switch v := recover().(type) {
+	case nil:
+	case rexsync.Stopped:
+		// Clean shutdown of this incarnation.
+	case *sched.DivergenceError:
+		r.fault(v)
+	default:
+		panic(v)
+	}
+}
+
+// workerLoop runs one request-handler thread across mode changes: it
+// replays as long as the runtime is in replay mode, and records (pulling
+// work from the primary's queue) in record mode.
+func (r *Replica) workerLoop(gen int, rt *sched.Runtime, sm StateMachine, ti int) {
+	defer r.recoverWorker()
+	w := rt.Worker(ti)
+	ctx := &Ctx{w: w, e: r.e, rng: rand.New(rand.NewSource(r.cfg.Seed ^ int64(ti)<<32 ^ 0x5bf03635))}
+	for {
+		if r.genEnded(gen) {
+			return
+		}
+		switch rt.Mode() {
+		case sched.ModeRecord:
+			if !r.recordStep(gen, rt, sm, ctx) {
+				return
+			}
+		case sched.ModeReplay:
+			if !r.replayStep(gen, rt, sm, ctx) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (r *Replica) genEnded(gen int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen != gen || r.stopped || r.role == RoleFaulted
+}
+
+// recordStep executes one request in record mode (primary, execute stage).
+func (r *Replica) recordStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *Ctx) bool {
+	work, ok := r.nextWork(gen)
+	if !ok {
+		// Demoted, stopped, or a new generation: if the runtime merely
+		// left record mode this incarnation is done anyway.
+		return false
+	}
+	w := ctx.w
+	w.Record(trace.Event{Kind: trace.KindReqBegin, Res: uint32(work.idx)}, nil)
+	resp := sm.Apply(ctx, work.body)
+	end := w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(work.idx), Arg: hashResponse(resp)}, nil)
+	r.completeLocal(work.idx, resp, end)
+	return true
+}
+
+// replayStep follows one request (or detects a mode change) on a
+// secondary. Returns false when this worker task should exit.
+func (r *Replica) replayStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *Ctx) bool {
+	rep := rt.Replayer()
+	w := ctx.w
+	ev, _, ok := rep.Next(w.ID())
+	if !ok {
+		// Aborted: promotion switches us to record mode; otherwise exit.
+		return rt.Mode() == sched.ModeRecord && !r.genEnded(gen)
+	}
+	if ev.Kind != trace.KindReqBegin {
+		r.fault(&sched.DivergenceError{
+			Thread: w.ID(), Clock: w.Clock() + 1, Expected: ev,
+			GotKind: trace.KindReqBegin, Resource: "request-dispatch",
+			Detail: "worker thread expected a request begin",
+		})
+		return false
+	}
+	idx := uint64(ev.Res)
+	req, found := rep.ReqBody(idx)
+	if !found {
+		r.fault(fmt.Errorf("rex: replay references unknown request %d", idx))
+		return false
+	}
+	rep.Commit(w.ID())
+	resp := sm.Apply(ctx, req.Body)
+
+	if rt.Mode() == sched.ModeRecord {
+		// Promoted mid-request (§4 mode change): the remainder of the
+		// handler already recorded live; finish by recording the req-end.
+		w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(idx), Arg: hashResponse(resp)}, nil)
+		r.mu.Lock()
+		r.dedup[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
+		r.reqsCompleted++
+		r.mu.Unlock()
+		return true
+	}
+
+	ev2, _, ok := rep.Next(w.ID())
+	if !ok {
+		if rt.Mode() == sched.ModeRecord {
+			// Promoted between the handler's last event and its req-end.
+			w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(idx), Arg: hashResponse(resp)}, nil)
+			r.mu.Lock()
+			r.dedup[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
+			r.reqsCompleted++
+			r.mu.Unlock()
+			return true
+		}
+		return false
+	}
+	if ev2.Kind != trace.KindReqEnd || uint64(ev2.Res) != idx {
+		r.fault(&sched.DivergenceError{
+			Thread: w.ID(), Clock: w.Clock(), Expected: ev2,
+			GotKind: trace.KindReqEnd, GotRes: uint32(idx), Resource: "request-completion",
+			Detail: "handler produced a different event structure than recorded",
+		})
+		return false
+	}
+	if !r.cfg.DisableResultChecks && ev2.Arg != hashResponse(resp) {
+		r.fault(&sched.DivergenceError{
+			Thread: w.ID(), Clock: w.Clock(), Expected: ev2,
+			GotKind: trace.KindReqEnd, GotRes: uint32(idx), GotArg: hashResponse(resp),
+			Resource: "result-check",
+			Detail:   "response hash mismatch (result checking, §5.1)",
+		})
+		return false
+	}
+	// Update the dedup table before committing the req-end so a checkpoint
+	// coordinator that observes the cut reached sees the entry.
+	r.mu.Lock()
+	r.dedup[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
+	r.reqsCompleted++
+	r.mu.Unlock()
+	rep.Commit(w.ID())
+	return true
+}
+
+// timerLoop runs one background-task thread (the paper's AddTimer). In
+// record mode it fires by time; in replay mode it fires when the trace
+// says so.
+func (r *Replica) timerLoop(gen int, rt *sched.Runtime, sm StateMachine, ti int, timerID uint32, spec timerSpec) {
+	defer r.recoverWorker()
+	_ = sm
+	w := rt.Worker(ti)
+	ctx := &Ctx{w: w, e: r.e, rng: rand.New(rand.NewSource(r.cfg.Seed ^ int64(ti)<<32 ^ 0x7ad870c8))}
+	var seq uint64
+	for {
+		if r.genEnded(gen) {
+			return
+		}
+		switch rt.Mode() {
+		case sched.ModeRecord:
+			if !r.sleepInterruptibleGated(gen, spec.interval) {
+				return
+			}
+			if r.genEnded(gen) {
+				return
+			}
+			r.pauseGate(gen)
+			if rt.Mode() != sched.ModeRecord || r.genEnded(gen) {
+				continue
+			}
+			seq++
+			w.Record(trace.Event{Kind: trace.KindTimerFire, Res: timerID, Arg: seq}, nil)
+			spec.cb(ctx)
+		case sched.ModeReplay:
+			rep := rt.Replayer()
+			ev, _, ok := rep.Next(w.ID())
+			if !ok {
+				if rt.Mode() == sched.ModeRecord && !r.genEnded(gen) {
+					continue // promoted: switch to timed firing
+				}
+				return
+			}
+			if ev.Kind != trace.KindTimerFire || ev.Res != timerID {
+				r.fault(&sched.DivergenceError{
+					Thread: w.ID(), Clock: w.Clock() + 1, Expected: ev,
+					GotKind: trace.KindTimerFire, GotRes: timerID, Resource: spec.name,
+					Detail: "timer thread expected a timer firing",
+				})
+				return
+			}
+			seq = ev.Arg
+			rep.Commit(w.ID())
+			spec.cb(ctx)
+		default:
+			return
+		}
+	}
+}
+
+// sleepInterruptibleGated is sleepInterruptible plus checkpoint-pause
+// participation, so a sleeping timer thread still reaches the barrier.
+func (r *Replica) sleepInterruptibleGated(gen int, d time.Duration) bool {
+	const chunk = 5 * time.Millisecond
+	deadline := r.e.Now() + d
+	for {
+		if r.genEnded(gen) {
+			return false
+		}
+		r.pauseGate(gen)
+		now := r.e.Now()
+		if now >= deadline {
+			return true
+		}
+		step := deadline - now
+		if step > chunk {
+			step = chunk
+		}
+		r.e.Sleep(step)
+	}
+}
+
+// readWorker serves read-only queries on a native-mode thread (hybrid
+// execution, §4; query semantics, §6.5).
+func (r *Replica) readWorker() {
+	r.mu.Lock()
+	rt := r.rt
+	r.mu.Unlock()
+	w := rt.NativeWorker()
+	ctx := &Ctx{w: w, e: r.e, rng: rand.New(rand.NewSource(r.cfg.Seed ^ 0x2957cb3a))}
+	for {
+		v, ok := r.queryQ.Recv()
+		if !ok {
+			return
+		}
+		q := v.(queryWork)
+		r.mu.Lock()
+		sm := r.sm
+		curRT := r.rt
+		r.mu.Unlock()
+		if curRT != rt {
+			// The runtime was rebuilt: rebind the native worker.
+			rt = curRT
+			w = rt.NativeWorker()
+			ctx = &Ctx{w: w, e: r.e, rng: ctx.rng}
+		}
+		qh, ok2 := sm.(QueryHandler)
+		if !ok2 {
+			q.reply.Send(queryResult{err: fmt.Errorf("rex: state machine does not implement QueryHandler")})
+			continue
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					q.reply.Send(queryResult{err: fmt.Errorf("rex: query panicked: %v", p)})
+				}
+			}()
+			q.reply.Send(queryResult{resp: qh.Query(ctx, q.body)})
+		}()
+	}
+}
+
+type queryWork struct {
+	body  []byte
+	reply env.Chan
+}
+
+type queryResult struct {
+	resp []byte
+	err  error
+}
+
+// Query executes a read-only request on this replica outside the
+// replication protocol. On the primary it observes speculative
+// (pre-consensus) state; on a secondary it observes committed-and-replayed
+// state (§6.5's two query semantics).
+func (r *Replica) Query(q []byte) ([]byte, error) {
+	r.mu.Lock()
+	if r.stopped || r.role == RoleFaulted {
+		r.mu.Unlock()
+		return nil, ErrStopped
+	}
+	r.mu.Unlock()
+	if r.cfg.ReadWorkers <= 0 {
+		return nil, fmt.Errorf("rex: no read workers configured")
+	}
+	reply := r.e.NewChan(1)
+	if !r.queryQ.Send(queryWork{body: q, reply: reply}) {
+		return nil, ErrStopped
+	}
+	v, ok := reply.Recv()
+	if !ok {
+		return nil, ErrStopped
+	}
+	res := v.(queryResult)
+	return res.resp, res.err
+}

@@ -1,0 +1,112 @@
+package env
+
+// chanImpl implements Chan for any Env using only the Env's Mutex and Cond,
+// so both the real and the simulated environment share one implementation.
+type chanImpl struct {
+	mu       Mutex
+	notEmpty Cond
+	notFull  Cond
+	buf      []any
+	capacity int // <= 0 means unbounded
+	closed   bool
+}
+
+// NewChanFor builds the shared Chan implementation on top of any Env's
+// mutex and cond primitives. Env implementations outside this package use
+// it to satisfy NewChan.
+func NewChanFor(e Env, capacity int) Chan { return newChan(e, capacity) }
+
+func newChan(e Env, capacity int) *chanImpl {
+	c := &chanImpl{capacity: capacity}
+	c.mu = e.NewMutex()
+	c.notEmpty = e.NewCond(c.mu)
+	c.notFull = e.NewCond(c.mu)
+	return c
+}
+
+func (c *chanImpl) full() bool {
+	return c.capacity > 0 && len(c.buf) >= c.capacity
+}
+
+// Send implements Chan.
+func (c *chanImpl) Send(v any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.full() && !c.closed {
+		c.notFull.Wait()
+	}
+	if c.closed {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.notEmpty.Signal()
+	return true
+}
+
+// TrySend implements Chan.
+func (c *chanImpl) TrySend(v any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.full() {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.notEmpty.Signal()
+	return true
+}
+
+// Recv implements Chan.
+func (c *chanImpl) Recv() (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.buf) == 0 && !c.closed {
+		c.notEmpty.Wait()
+	}
+	if len(c.buf) == 0 {
+		return nil, false
+	}
+	v := c.pop()
+	return v, true
+}
+
+// TryRecv implements Chan.
+func (c *chanImpl) TryRecv() (any, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) == 0 {
+		return nil, false, !c.closed
+	}
+	v := c.pop()
+	return v, true, true
+}
+
+func (c *chanImpl) pop() any {
+	v := c.buf[0]
+	c.buf[0] = nil
+	c.buf = c.buf[1:]
+	if len(c.buf) == 0 {
+		// Reset to reclaim the drained prefix of the backing array.
+		c.buf = nil
+	}
+	c.notFull.Signal()
+	return v
+}
+
+// Close implements Chan.
+func (c *chanImpl) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.notEmpty.Broadcast()
+	c.notFull.Broadcast()
+}
+
+// Len implements Chan.
+func (c *chanImpl) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}

@@ -1,0 +1,94 @@
+// Package env abstracts the execution environment Rex runs on: logical
+// tasks, blocking synchronization, queues, timers, a clock, and a CPU cost
+// model.
+//
+// Rex is written entirely against the Env interface, which has two
+// implementations:
+//
+//   - RealEnv (this package) backs tasks with goroutines, mutexes with
+//     sync.Mutex, the clock with the wall clock, and Compute with actual CPU
+//     spinning. It is used by the cmd/ binaries and by benchmarks that
+//     measure genuine record/replay overheads.
+//
+//   - sim.Env (package internal/sim) is a deterministic cooperative
+//     scheduler with virtual time and a configurable number of simulated
+//     cores. It reproduces the paper's multi-core testbed on any machine
+//     and makes whole-cluster tests (elections, failover, partitions)
+//     deterministic and fast.
+//
+// The contract for code running under an Env: every blocking operation must
+// go through the Env (its mutexes, conds, chans, Sleep, Compute). Blocking
+// on a raw Go channel or sync primitive inside a simulated task would stall
+// the simulation.
+package env
+
+import "time"
+
+// Env is the execution environment: a clock, a CPU model, a task spawner,
+// and factories for blocking primitives.
+type Env interface {
+	// Now returns the time elapsed since the environment started.
+	Now() time.Duration
+	// Sleep blocks the calling task for d.
+	Sleep(d time.Duration)
+	// Compute consumes d of CPU time on one of the environment's cores.
+	// Under RealEnv this spins; under the simulator it occupies one of the
+	// K virtual cores, so concurrent Compute calls beyond K queue up.
+	Compute(d time.Duration)
+	// Go spawns a new task running fn. The name is for diagnostics.
+	Go(name string, fn func())
+	// NewMutex returns a new unlocked mutex.
+	NewMutex() Mutex
+	// NewCond returns a condition variable bound to m.
+	NewCond(m Mutex) Cond
+	// NewChan returns a FIFO queue. capacity <= 0 means unbounded.
+	NewChan(capacity int) Chan
+	// AfterFunc schedules fn to run on its own task after d.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// Cores reports the number of CPU cores the environment models.
+	Cores() int
+}
+
+// Mutex is a mutual-exclusion lock with the semantics of sync.Mutex.
+type Mutex interface {
+	Lock()
+	Unlock()
+	// TryLock acquires the lock without blocking and reports success.
+	TryLock() bool
+}
+
+// Cond is a condition variable with the semantics of sync.Cond: Wait must
+// be called with the associated mutex held; it atomically releases the
+// mutex, blocks, and reacquires the mutex before returning.
+type Cond interface {
+	Wait()
+	Signal()
+	Broadcast()
+}
+
+// Chan is a FIFO queue of values shared between tasks.
+type Chan interface {
+	// Send enqueues v, blocking while the queue is full. It returns false
+	// (without enqueueing) if the channel is closed.
+	Send(v any) bool
+	// TrySend enqueues v without blocking; it returns false if the queue is
+	// full or closed.
+	TrySend(v any) bool
+	// Recv dequeues the next value, blocking while the queue is empty. The
+	// second result is false when the channel is closed and drained.
+	Recv() (any, bool)
+	// TryRecv dequeues without blocking. ok is false if nothing was
+	// dequeued; open is false once the channel is closed and drained.
+	TryRecv() (v any, ok bool, open bool)
+	// Close marks the channel closed. Blocked receivers drain remaining
+	// values and then observe closure; blocked senders fail.
+	Close()
+	// Len reports the number of queued values.
+	Len() int
+}
+
+// Timer is a handle to a pending AfterFunc.
+type Timer interface {
+	// Stop cancels the timer and reports whether it was still pending.
+	Stop() bool
+}

@@ -1,0 +1,193 @@
+package env
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonic(t *testing.T) {
+	e := NewReal()
+	a := e.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := e.Now()
+	if b <= a {
+		t.Errorf("Now not monotonic: %v then %v", a, b)
+	}
+}
+
+func TestRealComputeTakesTime(t *testing.T) {
+	e := NewReal()
+	start := time.Now()
+	e.Compute(5 * time.Millisecond)
+	if got := time.Since(start); got < 4*time.Millisecond {
+		t.Errorf("Compute(5ms) returned after %v", got)
+	}
+}
+
+func TestRealMutexAndCond(t *testing.T) {
+	e := NewReal()
+	mu := e.NewMutex()
+	cond := e.NewCond(mu)
+	done := make(chan struct{})
+	ready := false
+	go func() {
+		mu.Lock()
+		for !ready {
+			cond.Wait()
+		}
+		mu.Unlock()
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	mu.Lock()
+	ready = true
+	cond.Signal()
+	mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cond wait never woke")
+	}
+}
+
+func TestRealTryLock(t *testing.T) {
+	e := NewReal()
+	mu := e.NewMutex()
+	if !mu.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if mu.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	mu.Unlock()
+}
+
+func TestChanFIFO(t *testing.T) {
+	e := NewReal()
+	ch := e.NewChan(0) // unbounded
+	for i := 0; i < 100; i++ {
+		if !ch.Send(i) {
+			t.Fatal("Send failed on open chan")
+		}
+	}
+	if ch.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", ch.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := ch.Recv()
+		if !ok || v.(int) != i {
+			t.Fatalf("Recv = %v,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestChanCapacityBlocksSender(t *testing.T) {
+	e := NewReal()
+	ch := e.NewChan(1)
+	ch.Send(1)
+	if ch.TrySend(2) {
+		t.Fatal("TrySend succeeded on full chan")
+	}
+	unblocked := make(chan struct{})
+	go func() {
+		ch.Send(2) // blocks until a Recv
+		close(unblocked)
+	}()
+	time.Sleep(time.Millisecond)
+	select {
+	case <-unblocked:
+		t.Fatal("Send did not block on full chan")
+	default:
+	}
+	if v, _ := ch.Recv(); v.(int) != 1 {
+		t.Fatalf("Recv = %v, want 1", v)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send never unblocked")
+	}
+}
+
+func TestChanCloseDrainsThenReportsClosed(t *testing.T) {
+	e := NewReal()
+	ch := e.NewChan(0)
+	ch.Send(1)
+	ch.Send(2)
+	ch.Close()
+	if ch.Send(3) {
+		t.Error("Send after Close returned true")
+	}
+	if v, ok := ch.Recv(); !ok || v.(int) != 1 {
+		t.Errorf("Recv = %v,%v want 1,true", v, ok)
+	}
+	if v, ok, open := ch.TryRecv(); !ok || !open || v.(int) != 2 {
+		t.Errorf("TryRecv = %v,%v,%v want 2,true,true", v, ok, open)
+	}
+	if _, ok := ch.Recv(); ok {
+		t.Error("Recv on drained closed chan reported ok")
+	}
+	if _, ok, open := ch.TryRecv(); ok || open {
+		t.Error("TryRecv on drained closed chan reported ok/open")
+	}
+}
+
+func TestChanCloseWakesBlockedReceiver(t *testing.T) {
+	e := NewReal()
+	ch := e.NewChan(0)
+	done := make(chan bool)
+	go func() {
+		_, ok := ch.Recv()
+		done <- ok
+	}()
+	time.Sleep(time.Millisecond)
+	ch.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Recv on closed empty chan reported ok")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake receiver")
+	}
+}
+
+func TestGroupWait(t *testing.T) {
+	e := NewReal()
+	var mu sync.Mutex
+	n := 0
+	g := GoEach(e, "w", 8, func(int) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	g.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 8 {
+		t.Errorf("n = %d, want 8", n)
+	}
+}
+
+func TestGroupNegativePanics(t *testing.T) {
+	e := NewReal()
+	g := NewGroup(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative counter")
+		}
+	}()
+	g.Done()
+}
+
+func TestAfterFuncReal(t *testing.T) {
+	e := NewReal()
+	done := make(chan struct{})
+	e.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+}

@@ -1,0 +1,57 @@
+package env
+
+// Group is a WaitGroup equivalent built from an Env's primitives, usable
+// under both the real and the simulated environment.
+type Group struct {
+	mu   Mutex
+	cond Cond
+	n    int
+}
+
+// NewGroup returns a Group for the given environment.
+func NewGroup(e Env) *Group {
+	g := &Group{mu: e.NewMutex()}
+	g.cond = e.NewCond(g.mu)
+	return g
+}
+
+// Add adds delta to the group counter.
+func (g *Group) Add(delta int) {
+	g.mu.Lock()
+	g.n += delta
+	if g.n < 0 {
+		g.mu.Unlock()
+		panic("env: negative Group counter")
+	}
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Done decrements the group counter by one.
+func (g *Group) Done() { g.Add(-1) }
+
+// Wait blocks until the group counter reaches zero.
+func (g *Group) Wait() {
+	g.mu.Lock()
+	for g.n != 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// GoEach spawns fn on e for each i in [0, n) and returns a Group that Waits
+// for all of them.
+func GoEach(e Env, name string, n int, fn func(i int)) *Group {
+	g := NewGroup(e)
+	g.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go(name, func() {
+			defer g.Done()
+			fn(i)
+		})
+	}
+	return g
+}

@@ -1,0 +1,78 @@
+package env
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RealEnv implements Env with goroutines, sync primitives, the wall clock,
+// and CPU spinning for Compute.
+type RealEnv struct {
+	start time.Time
+}
+
+// NewReal returns a RealEnv whose clock starts at zero now.
+func NewReal() *RealEnv { return &RealEnv{start: time.Now()} }
+
+// Now implements Env.
+func (e *RealEnv) Now() time.Duration { return time.Since(e.start) }
+
+// Sleep implements Env.
+func (e *RealEnv) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Compute implements Env by spinning the CPU for approximately d.
+func (e *RealEnv) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	// Spin in small batches to keep the time.Now overhead negligible while
+	// staying responsive for short durations.
+	var sink uint64
+	for time.Now().Before(deadline) {
+		for i := 0; i < 200; i++ {
+			sink = sink*2654435761 + uint64(i)
+		}
+	}
+	_ = sink
+}
+
+// Go implements Env.
+func (e *RealEnv) Go(name string, fn func()) {
+	_ = name
+	go fn()
+}
+
+// NewMutex implements Env.
+func (e *RealEnv) NewMutex() Mutex { return &realMutex{} }
+
+// NewCond implements Env.
+func (e *RealEnv) NewCond(m Mutex) Cond {
+	return sync.NewCond(&m.(*realMutex).mu)
+}
+
+// NewChan implements Env.
+func (e *RealEnv) NewChan(capacity int) Chan { return newChan(e, capacity) }
+
+// AfterFunc implements Env.
+func (e *RealEnv) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+// Cores implements Env.
+func (e *RealEnv) Cores() int { return runtime.NumCPU() }
+
+type realMutex struct{ mu sync.Mutex }
+
+func (m *realMutex) Lock()         { m.mu.Lock() }
+func (m *realMutex) Unlock()       { m.mu.Unlock() }
+func (m *realMutex) TryLock() bool { return m.mu.TryLock() }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }

@@ -1,0 +1,178 @@
+// Package paxos implements the multi-instance Paxos engine Rex agrees on
+// traces with (§3.1): ballot-based leader election with a heartbeat failure
+// detector, a single active consensus instance at a time, learner catch-up,
+// and durable acceptor state.
+//
+// The interface mirrors the paper's: Propose enqueues a value for the next
+// instance; OnCommitted fires for every chosen instance in order;
+// OnBecomeLeader fires when the local replica finishes phase 1 across all
+// open instances without seeing a higher ballot; OnNewLeader(r) fires
+// whenever a higher ballot from replica r is observed.
+package paxos
+
+import (
+	"fmt"
+
+	"rex/internal/wire"
+)
+
+// Ballot orders competing proposers: higher rounds win, ties broken by
+// replica id.
+type Ballot struct {
+	Round uint64
+	Node  uint32
+}
+
+// Less reports b < o.
+func (b Ballot) Less(o Ballot) bool {
+	if b.Round != o.Round {
+		return b.Round < o.Round
+	}
+	return b.Node < o.Node
+}
+
+// IsZero reports whether b is the zero ballot (never promised).
+func (b Ballot) IsZero() bool { return b.Round == 0 && b.Node == 0 }
+
+func (b Ballot) String() string { return fmt.Sprintf("%d.%d", b.Round, b.Node) }
+
+type msgKind uint8
+
+const (
+	mInvalid msgKind = iota
+	// mPrepare: phase 1a — candidate asks for promises covering every
+	// instance ≥ FromInst.
+	mPrepare
+	// mPromise: phase 1b — acceptor's promise, carrying its chosen count
+	// and any accepted value at or beyond FromInst.
+	mPromise
+	// mNack rejects a Prepare or Accept that lost to a higher ballot.
+	mNack
+	// mAccept: phase 2a — leader proposes Val in instance Inst.
+	mAccept
+	// mAccepted: phase 2b — acceptor accepted (Ballot, Inst).
+	mAccepted
+	// mCommit announces a chosen value.
+	mCommit
+	// mHeartbeat is the leader's liveness beacon; carries its chosen count
+	// so laggards detect gaps.
+	mHeartbeat
+	// mLearn asks a peer for chosen values starting at FromInst.
+	mLearn
+	// mLearnReply returns a batch of chosen values starting at FromInst.
+	mLearnReply
+	// mLearnNack tells a learner its requested prefix was compacted away;
+	// FromInst carries the sender's compaction horizon. The learner needs
+	// a checkpoint transfer (handled by the Rex layer) before it can
+	// resume learning.
+	mLearnNack
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case mPrepare:
+		return "prepare"
+	case mPromise:
+		return "promise"
+	case mNack:
+		return "nack"
+	case mAccept:
+		return "accept"
+	case mAccepted:
+		return "accepted"
+	case mCommit:
+		return "commit"
+	case mHeartbeat:
+		return "heartbeat"
+	case mLearn:
+		return "learn"
+	case mLearnReply:
+		return "learn-reply"
+	case mLearnNack:
+		return "learn-nack"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// acceptedEntry is an acceptor's record for one instance.
+type acceptedEntry struct {
+	Inst   uint64
+	Ballot Ballot
+	Val    []byte
+}
+
+// message is the single wire type exchanged between nodes; fields are used
+// per kind.
+type message struct {
+	Kind      msgKind
+	Ballot    Ballot
+	Inst      uint64 // mAccept/mAccepted/mCommit: instance
+	FromInst  uint64 // mPrepare/mLearn/mLearnReply: starting instance
+	ChosenSeq uint64 // mPromise/mHeartbeat: sender's chosen count
+	Val       []byte // mAccept/mCommit: proposal value
+	Accepted  []acceptedEntry
+	Vals      [][]byte // mLearnReply: chosen values
+}
+
+func (m *message) encode() []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(byte(m.Kind))
+	e.Uvarint(m.Ballot.Round)
+	e.Uvarint(uint64(m.Ballot.Node))
+	e.Uvarint(m.Inst)
+	e.Uvarint(m.FromInst)
+	e.Uvarint(m.ChosenSeq)
+	e.BytesVal(m.Val)
+	e.Uvarint(uint64(len(m.Accepted)))
+	for _, a := range m.Accepted {
+		e.Uvarint(a.Inst)
+		e.Uvarint(a.Ballot.Round)
+		e.Uvarint(uint64(a.Ballot.Node))
+		e.BytesVal(a.Val)
+	}
+	e.Uvarint(uint64(len(m.Vals)))
+	for _, v := range m.Vals {
+		e.BytesVal(v)
+	}
+	return e.Bytes()
+}
+
+func decodeMessage(buf []byte) (*message, error) {
+	d := wire.NewDecoder(buf)
+	m := &message{}
+	m.Kind = msgKind(d.Byte())
+	m.Ballot.Round = d.Uvarint()
+	m.Ballot.Node = uint32(d.Uvarint())
+	m.Inst = d.Uvarint()
+	m.FromInst = d.Uvarint()
+	m.ChosenSeq = d.Uvarint()
+	m.Val = append([]byte(nil), d.BytesVal()...)
+	nAcc := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if nAcc > 1<<20 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < nAcc; i++ {
+		a := acceptedEntry{Inst: d.Uvarint()}
+		a.Ballot.Round = d.Uvarint()
+		a.Ballot.Node = uint32(d.Uvarint())
+		a.Val = append([]byte(nil), d.BytesVal()...)
+		m.Accepted = append(m.Accepted, a)
+	}
+	nVals := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if nVals > 1<<20 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < nVals; i++ {
+		m.Vals = append(m.Vals, append([]byte(nil), d.BytesVal()...))
+	}
+	if m.Kind == mInvalid || m.Kind > mLearnNack {
+		return nil, wire.ErrCorrupt
+	}
+	return m, d.Err()
+}

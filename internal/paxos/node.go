@@ -1,0 +1,830 @@
+package paxos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rex/internal/env"
+	"rex/internal/storage"
+	"rex/internal/transport"
+	"rex/internal/wire"
+)
+
+// Config configures a Paxos node.
+type Config struct {
+	ID       int
+	N        int
+	Env      env.Env
+	Endpoint transport.Endpoint
+	Log      storage.Log
+
+	// HeartbeatEvery is the leader's beacon period; ElectionTimeout is the
+	// base follower patience (actual deadline adds up to 100% random
+	// slack, seeded by Seed, so elections are deterministic under the
+	// simulator).
+	HeartbeatEvery  time.Duration
+	ElectionTimeout time.Duration
+	Tick            time.Duration
+	Seed            int64
+
+	// PipelineDepth is the number of consensus instances that may be open
+	// concurrently. 1 (the default) is the paper's one-active-instance
+	// design (§3.1); higher values implement the paper's piggyback
+	// alternative: an acceptor accepts instance i+1 only if it has
+	// accepted instance i, so committed traces still chain without holes.
+	PipelineDepth int
+
+	// OnCommitted fires for every chosen instance in order. It runs on the
+	// node's event loop and must not block for long.
+	OnCommitted func(inst uint64, val []byte)
+	// OnBecomeLeader fires when this replica has completed phase 1 across
+	// all open instances without seeing a higher ballot AND every instance
+	// that might have been committed has been committed locally — i.e.
+	// when the paper's new primary has "learned the trace committed in the
+	// last instance" (§3.2).
+	OnBecomeLeader func()
+	// OnNewLeader fires whenever a higher ballot owned by another replica
+	// is observed (§3.1): the signal for primary demotion.
+	OnNewLeader func(leader int)
+	// OnSnapshotGap fires when a peer reports that the chosen prefix this
+	// learner needs was compacted away: the replica must obtain a
+	// checkpoint covering at least minInst and call AdvanceTo.
+	OnSnapshotGap func(minInst uint64)
+	// Logf, if set, receives diagnostic logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf("paxos[%d] "+format, append([]any{c.ID}, args...)...)
+	}
+}
+
+// Node is one replica's Paxos engine. All state is owned by the event-loop
+// task; external methods communicate through the inbox.
+type Node struct {
+	cfg   Config
+	inbox env.Chan
+	rng   *rand.Rand
+
+	// Acceptor state (durable).
+	promised Ballot
+	accepted map[uint64]acceptedEntry
+
+	// Learner state (durable). chosen[i] is the value of instance
+	// chosenBase+i; chosenSeq = chosenBase + len(chosen).
+	chosen     [][]byte
+	chosenBase uint64
+	chosenSeq  uint64
+	pendingVal map[uint64][]byte // commits received out of order
+
+	// Leadership.
+	leaderBallot Ballot
+	curLeader    int
+	isLeader     bool
+
+	// Candidate state.
+	preparing  bool
+	prepBallot Ballot
+	promises   map[int]*message
+	prepSent   time.Duration
+
+	// Proposer state. inflight holds the open instances (at most
+	// PipelineDepth); nextPropose is the next instance to open.
+	proposeQ      [][]byte
+	inflight      map[uint64]*inflightState
+	nextPropose   uint64
+	announceAfter bool // fire OnBecomeLeader once re-proposals commit
+
+	lastHeartbeat    time.Duration
+	electionDeadline time.Duration
+	stopped          bool
+}
+
+// inflightState tracks one open phase-2 instance at the leader.
+type inflightState struct {
+	val    []byte
+	acks   map[int]bool
+	sentAt time.Duration
+}
+
+// internal inbox commands
+type netMsg struct {
+	m    *message
+	from int
+}
+type tickMsg struct{}
+type proposeCmd struct{ val []byte }
+type compactCmd struct{ upTo uint64 }
+type stopCmd struct{ done env.Chan }
+type chosenReq struct{ reply env.Chan }
+type advanceCmd struct{ to uint64 }
+
+// ChosenState is a consistent snapshot of the learner's state, safe to
+// request from any task.
+type ChosenState struct {
+	Base uint64
+	Vals [][]byte
+	Seq  uint64
+}
+
+// NewNode creates a node, recovering durable state from cfg.Log. Call
+// Start to begin participating. Chosen values recovered from the log are
+// available via Chosen()/ChosenSeq() before Start and do not re-fire
+// OnCommitted.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Tick <= 0 {
+		cfg.Tick = cfg.HeartbeatEvery / 2
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 10 * time.Millisecond
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 1
+	}
+	n := &Node{
+		cfg:        cfg,
+		inbox:      cfg.Env.NewChan(0),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)*0x9e3779b9)),
+		accepted:   make(map[uint64]acceptedEntry),
+		pendingVal: make(map[uint64][]byte),
+		inflight:   make(map[uint64]*inflightState),
+		curLeader:  -1,
+	}
+	if err := n.recover(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Durable record kinds.
+const (
+	recPromised byte = 1
+	recAccepted byte = 2
+	recChosen   byte = 3
+	recAdvance  byte = 4
+)
+
+func (n *Node) recover() error {
+	recs, err := n.cfg.Log.Records()
+	if err != nil {
+		return err
+	}
+	chosenMap := make(map[uint64][]byte)
+	var maxChosen, advTo uint64
+	hasChosen := false
+	for _, rec := range recs {
+		d := wire.NewDecoder(rec)
+		switch d.Byte() {
+		case recAdvance:
+			if to := d.Uvarint(); to > advTo {
+				advTo = to
+			}
+		case recPromised:
+			n.promised = Ballot{Round: d.Uvarint(), Node: uint32(d.Uvarint())}
+		case recAccepted:
+			a := acceptedEntry{Inst: d.Uvarint()}
+			a.Ballot = Ballot{Round: d.Uvarint(), Node: uint32(d.Uvarint())}
+			a.Val = append([]byte(nil), d.BytesVal()...)
+			if d.Err() == nil {
+				n.accepted[a.Inst] = a
+			}
+		case recChosen:
+			inst := d.Uvarint()
+			val := append([]byte(nil), d.BytesVal()...)
+			if d.Err() == nil {
+				chosenMap[inst] = val
+				if !hasChosen || inst > maxChosen {
+					maxChosen = inst
+				}
+				hasChosen = true
+			}
+		}
+		if d.Err() != nil {
+			return fmt.Errorf("paxos: corrupt log record: %w", d.Err())
+		}
+	}
+	if hasChosen {
+		// Find the lowest chosen instance at or above any advance marker
+		// (the compaction base) and take the contiguous run from there.
+		lo := maxChosen
+		for inst := range chosenMap {
+			if inst < lo && inst >= advTo {
+				lo = inst
+			}
+		}
+		if lo < advTo {
+			lo = advTo
+		}
+		n.chosenBase = lo
+		for inst := lo; ; inst++ {
+			v, ok := chosenMap[inst]
+			if !ok {
+				break
+			}
+			n.chosen = append(n.chosen, v)
+		}
+		n.chosenSeq = n.chosenBase + uint64(len(n.chosen))
+	}
+	if advTo > n.chosenSeq {
+		n.chosenBase = advTo
+		n.chosen = nil
+		n.chosenSeq = advTo
+	}
+	return nil
+}
+
+func (n *Node) persistPromised() {
+	e := wire.NewEncoder(nil)
+	e.Byte(recPromised)
+	e.Uvarint(n.promised.Round)
+	e.Uvarint(uint64(n.promised.Node))
+	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
+		panic(fmt.Sprintf("paxos: log append failed: %v", err))
+	}
+}
+
+func (n *Node) persistAccepted(a acceptedEntry) {
+	e := wire.NewEncoder(nil)
+	e.Byte(recAccepted)
+	e.Uvarint(a.Inst)
+	e.Uvarint(a.Ballot.Round)
+	e.Uvarint(uint64(a.Ballot.Node))
+	e.BytesVal(a.Val)
+	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
+		panic(fmt.Sprintf("paxos: log append failed: %v", err))
+	}
+}
+
+func (n *Node) persistChosen(inst uint64, val []byte) {
+	e := wire.NewEncoder(nil)
+	e.Byte(recChosen)
+	e.Uvarint(inst)
+	e.BytesVal(val)
+	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
+		panic(fmt.Sprintf("paxos: log append failed: %v", err))
+	}
+}
+
+// Chosen returns the in-memory chosen values starting at base (values
+// before base were compacted away after a checkpoint).
+func (n *Node) Chosen() (base uint64, vals [][]byte) {
+	return n.chosenBase, n.chosen
+}
+
+// ChosenSeq returns the number of instances known chosen.
+func (n *Node) ChosenSeq() uint64 { return n.chosenSeq }
+
+// Start launches the node's tasks: the event loop, the network pump, and
+// the ticker.
+func (n *Node) Start() {
+	e := n.cfg.Env
+	n.electionDeadline = e.Now() + n.electionTimeout()
+	e.Go(fmt.Sprintf("paxos-%d-pump", n.cfg.ID), func() {
+		for {
+			payload, from, ok := n.cfg.Endpoint.Recv()
+			if !ok {
+				return
+			}
+			m, err := decodeMessage(payload)
+			if err != nil {
+				n.cfg.logf("dropping corrupt message from %d: %v", from, err)
+				continue
+			}
+			if !n.inbox.Send(netMsg{m: m, from: from}) {
+				return
+			}
+		}
+	})
+	e.Go(fmt.Sprintf("paxos-%d-tick", n.cfg.ID), func() {
+		for {
+			e.Sleep(n.cfg.Tick)
+			if !n.inbox.Send(tickMsg{}) {
+				return
+			}
+		}
+	})
+	e.Go(fmt.Sprintf("paxos-%d-loop", n.cfg.ID), n.loop)
+}
+
+// Propose enqueues val for consensus. Only the leader's queue drains; a
+// non-leader discards its queue when it observes a new leader.
+func (n *Node) Propose(val []byte) {
+	n.inbox.Send(proposeCmd{val: val})
+}
+
+// AdvanceTo fast-forwards the learner past a compacted prefix after the
+// replica obtained a checkpoint covering every instance below `to`. The
+// learner then resumes learning normal chosen values from `to`.
+func (n *Node) AdvanceTo(to uint64) {
+	n.inbox.Send(advanceCmd{to: to})
+}
+
+// Compact discards chosen values below upTo (they are covered by a
+// checkpoint) and rewrites the durable log.
+func (n *Node) Compact(upTo uint64) {
+	n.inbox.Send(compactCmd{upTo: upTo})
+}
+
+// ChosenSnapshot returns a consistent copy of the learner state, safe to
+// call from any task while the node is running.
+func (n *Node) ChosenSnapshot() ChosenState {
+	reply := n.cfg.Env.NewChan(1)
+	if !n.inbox.Send(chosenReq{reply: reply}) {
+		return ChosenState{Base: n.chosenBase, Seq: n.chosenSeq}
+	}
+	v, _ := reply.Recv()
+	return v.(ChosenState)
+}
+
+// Stop shuts the node down and waits for the event loop to exit.
+func (n *Node) Stop() {
+	done := n.cfg.Env.NewChan(1)
+	if !n.inbox.Send(stopCmd{done: done}) {
+		return
+	}
+	done.Recv()
+}
+
+func (n *Node) electionTimeout() time.Duration {
+	base := n.cfg.ElectionTimeout
+	return base + time.Duration(n.rng.Int63n(int64(base)+1))
+}
+
+func (n *Node) majority() int { return n.cfg.N/2 + 1 }
+
+func (n *Node) send(to int, m *message) {
+	n.cfg.Endpoint.Send(to, m.encode())
+}
+
+func (n *Node) broadcast(m *message) {
+	payload := m.encode()
+	for i := 0; i < n.cfg.N; i++ {
+		n.cfg.Endpoint.Send(i, payload)
+	}
+}
+
+func (n *Node) loop() {
+	for {
+		v, ok := n.inbox.Recv()
+		if !ok {
+			return
+		}
+		switch c := v.(type) {
+		case netMsg:
+			n.handleMessage(c.m, c.from)
+		case tickMsg:
+			n.handleTick()
+		case proposeCmd:
+			if n.isLeader {
+				n.proposeQ = append(n.proposeQ, c.val)
+				n.proposeNext()
+			} else {
+				n.cfg.logf("dropping proposal while not leader")
+			}
+		case compactCmd:
+			n.handleCompact(c.upTo)
+		case advanceCmd:
+			if c.to > n.chosenSeq {
+				e := wire.NewEncoder(nil)
+				e.Byte(recAdvance)
+				e.Uvarint(c.to)
+				if err := n.cfg.Log.Append(e.Bytes()); err != nil {
+					panic(fmt.Sprintf("paxos: log append failed: %v", err))
+				}
+				n.chosenBase = c.to
+				n.chosen = nil
+				n.chosenSeq = c.to
+				for inst := range n.accepted {
+					if inst < c.to {
+						delete(n.accepted, inst)
+					}
+				}
+				// Values committed past the gap were stashed; fold in any
+				// that are now contiguous.
+				if v, ok := n.pendingVal[n.chosenSeq]; ok {
+					delete(n.pendingVal, n.chosenSeq)
+					n.commitValue(n.chosenSeq, v, n.cfg.ID)
+				}
+			}
+		case chosenReq:
+			c.reply.Send(ChosenState{
+				Base: n.chosenBase,
+				Vals: append([][]byte(nil), n.chosen...),
+				Seq:  n.chosenSeq,
+			})
+		case stopCmd:
+			n.stopped = true
+			n.cfg.Endpoint.Close()
+			n.inbox.Close()
+			c.done.Send(struct{}{})
+			return
+		}
+	}
+}
+
+func (n *Node) handleTick() {
+	now := n.cfg.Env.Now()
+	if n.isLeader {
+		if now-n.lastHeartbeat >= n.cfg.HeartbeatEvery {
+			n.lastHeartbeat = now
+			n.broadcast(&message{Kind: mHeartbeat, Ballot: n.prepBallot, ChosenSeq: n.chosenSeq})
+		}
+		// Retransmit stuck proposals (lost Accept or Accepted), in
+		// instance order so the acceptor-side chaining guard is satisfied.
+		for inst := n.chosenSeq; inst < n.nextPropose; inst++ {
+			if st, ok := n.inflight[inst]; ok && now-st.sentAt >= 4*n.cfg.Tick {
+				st.sentAt = now
+				n.broadcast(&message{Kind: mAccept, Ballot: n.prepBallot, Inst: inst, Val: st.val})
+			}
+		}
+		return
+	}
+	if n.preparing && now-n.prepSent >= 4*n.cfg.Tick {
+		// Retransmit the Prepare (lost messages).
+		n.prepSent = now
+		n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq})
+	}
+	if now >= n.electionDeadline {
+		n.startElection()
+	}
+}
+
+func (n *Node) startElection() {
+	now := n.cfg.Env.Now()
+	round := n.leaderBallot.Round
+	if n.promised.Round > round {
+		round = n.promised.Round
+	}
+	if n.prepBallot.Round > round {
+		round = n.prepBallot.Round
+	}
+	n.prepBallot = Ballot{Round: round + 1, Node: uint32(n.cfg.ID)}
+	n.preparing = true
+	n.promises = make(map[int]*message)
+	n.prepSent = now
+	n.electionDeadline = now + n.electionTimeout()
+	n.cfg.logf("starting election with ballot %v from instance %d", n.prepBallot, n.chosenSeq)
+	n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq})
+}
+
+// observeBallot tracks the highest ballot seen and fires leadership
+// callbacks. Returns false if b is stale.
+func (n *Node) observeBallot(b Ballot) {
+	if n.leaderBallot.Less(b) {
+		n.leaderBallot = b
+		newLeader := int(b.Node)
+		if n.isLeader && newLeader != n.cfg.ID {
+			n.cfg.logf("deposed by ballot %v", b)
+			n.isLeader = false
+			n.inflight = make(map[uint64]*inflightState)
+			n.proposeQ = nil
+		}
+		if newLeader != n.curLeader {
+			n.curLeader = newLeader
+			if newLeader != n.cfg.ID && n.cfg.OnNewLeader != nil {
+				n.cfg.OnNewLeader(newLeader)
+			}
+		}
+		if n.preparing && n.prepBallot.Less(b) {
+			n.preparing = false
+		}
+	}
+}
+
+func (n *Node) handleMessage(m *message, from int) {
+	if n.stopped {
+		return
+	}
+	switch m.Kind {
+	case mPrepare:
+		n.onPrepare(m, from)
+	case mPromise:
+		n.onPromise(m, from)
+	case mNack:
+		n.onNack(m, from)
+	case mAccept:
+		n.onAccept(m, from)
+	case mAccepted:
+		n.onAccepted(m, from)
+	case mCommit:
+		n.observeBallot(m.Ballot)
+		n.bumpLeaderContact(from)
+		n.commitValue(m.Inst, m.Val, from)
+	case mHeartbeat:
+		n.onHeartbeat(m, from)
+	case mLearn:
+		n.onLearn(m, from)
+	case mLearnReply:
+		for i, v := range m.Vals {
+			n.commitValue(m.FromInst+uint64(i), v, from)
+		}
+	case mLearnNack:
+		if m.FromInst > n.chosenSeq && n.cfg.OnSnapshotGap != nil {
+			n.cfg.OnSnapshotGap(m.FromInst)
+		}
+	}
+}
+
+func (n *Node) bumpLeaderContact(from int) {
+	if from == n.curLeader {
+		n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
+	}
+}
+
+func (n *Node) onPrepare(m *message, from int) {
+	if m.Ballot.Less(n.promised) {
+		n.send(from, &message{Kind: mNack, Ballot: n.promised})
+		return
+	}
+	if n.promised.Less(m.Ballot) {
+		n.promised = m.Ballot
+		n.persistPromised()
+	}
+	n.observeBallot(m.Ballot)
+	// A prepare from a live candidate resets the election timer: give the
+	// election a chance to complete before competing.
+	n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
+	reply := &message{Kind: mPromise, Ballot: m.Ballot, ChosenSeq: n.chosenSeq}
+	for inst, a := range n.accepted {
+		if inst >= m.FromInst {
+			reply.Accepted = append(reply.Accepted, a)
+		}
+	}
+	n.send(from, reply)
+}
+
+func (n *Node) onPromise(m *message, from int) {
+	if !n.preparing || m.Ballot != n.prepBallot {
+		return
+	}
+	n.promises[from] = m
+	if m.ChosenSeq > n.chosenSeq {
+		// A peer knows more chosen instances: learn them before leading.
+		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})
+	}
+	n.tryCompleteElection()
+}
+
+func (n *Node) tryCompleteElection() {
+	if !n.preparing || len(n.promises) < n.majority() {
+		return
+	}
+	var maxChosen uint64
+	for _, p := range n.promises {
+		if p.ChosenSeq > maxChosen {
+			maxChosen = p.ChosenSeq
+		}
+	}
+	if n.chosenSeq < maxChosen {
+		return // still catching up; LearnReply will re-trigger
+	}
+	// Phase 1 complete: adopt the highest-ballot accepted value for every
+	// open instance (with pipelining there can be several) and re-run
+	// phase 2 for them in order.
+	for _, p := range n.promises {
+		for i := range p.Accepted {
+			a := p.Accepted[i]
+			if a.Inst < n.chosenSeq {
+				continue
+			}
+			if cur, ok := n.accepted[a.Inst]; !ok || cur.Ballot.Less(a.Ballot) {
+				n.accepted[a.Inst] = a
+			}
+		}
+	}
+	n.preparing = false
+	n.isLeader = true
+	n.curLeader = n.cfg.ID
+	n.leaderBallot = n.prepBallot
+	n.lastHeartbeat = 0
+	n.nextPropose = n.chosenSeq
+	n.cfg.logf("won election with ballot %v at instance %d", n.prepBallot, n.chosenSeq)
+	if a, ok := n.accepted[n.chosenSeq]; ok {
+		n.announceAfter = true
+		n.startPhase2(n.chosenSeq, a.Val)
+		return
+	}
+	n.becomeLeaderNow()
+}
+
+func (n *Node) becomeLeaderNow() {
+	n.announceAfter = false
+	if n.cfg.OnBecomeLeader != nil {
+		n.cfg.OnBecomeLeader()
+	}
+	n.proposeNext()
+}
+
+func (n *Node) onNack(m *message, from int) {
+	_ = from
+	if n.prepBallot.Less(m.Ballot) || n.promised.Less(m.Ballot) {
+		n.observeBallot(m.Ballot)
+		if n.preparing {
+			n.preparing = false
+			n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
+		}
+	}
+}
+
+func (n *Node) onAccept(m *message, from int) {
+	if m.Ballot.Less(n.promised) {
+		n.send(from, &message{Kind: mNack, Ballot: n.promised})
+		return
+	}
+	if n.promised.Less(m.Ballot) {
+		n.promised = m.Ballot
+		n.persistPromised()
+	}
+	n.observeBallot(m.Ballot)
+	n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
+	if m.Inst >= n.chosenSeq {
+		if m.Inst > n.chosenSeq {
+			// Piggyback chaining (§3.1): accept instance i only if i-1 was
+			// accepted (or already chosen), so the committed sequence of
+			// traces can never have a hole. The leader retransmits in
+			// order, so a dropped predecessor heals itself.
+			if _, ok := n.accepted[m.Inst-1]; !ok {
+				return
+			}
+		}
+		a := acceptedEntry{Inst: m.Inst, Ballot: m.Ballot, Val: m.Val}
+		n.accepted[m.Inst] = a
+		n.persistAccepted(a)
+	}
+	n.send(from, &message{Kind: mAccepted, Ballot: m.Ballot, Inst: m.Inst})
+}
+
+func (n *Node) onAccepted(m *message, from int) {
+	if !n.isLeader || m.Ballot != n.prepBallot {
+		return
+	}
+	st, ok := n.inflight[m.Inst]
+	if !ok {
+		return
+	}
+	st.acks[from] = true
+	// Commit in instance order: only the lowest open instance may close.
+	for {
+		low, ok := n.inflight[n.chosenSeq]
+		if !ok || len(low.acks) < n.majority() {
+			return
+		}
+		inst, val := n.chosenSeq, low.val
+		delete(n.inflight, inst)
+		n.broadcast(&message{Kind: mCommit, Ballot: n.prepBallot, Inst: inst, Val: val})
+		// broadcast includes self; commitValue runs when the self-message
+		// arrives. Commit locally right away instead for promptness.
+		n.commitValue(inst, val, n.cfg.ID)
+		if !n.isLeader {
+			return
+		}
+	}
+}
+
+func (n *Node) onHeartbeat(m *message, from int) {
+	if m.Ballot.Less(n.promised) {
+		return // stale leader
+	}
+	if n.promised.Less(m.Ballot) {
+		n.promised = m.Ballot
+		n.persistPromised()
+	}
+	n.observeBallot(m.Ballot)
+	n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
+	if m.ChosenSeq > n.chosenSeq {
+		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})
+	}
+}
+
+func (n *Node) onLearn(m *message, from int) {
+	if m.FromInst < n.chosenBase {
+		// Compacted away: the peer needs a checkpoint transfer, which the
+		// Rex layer handles; point it at our compaction horizon.
+		n.send(from, &message{Kind: mLearnNack, FromInst: n.chosenBase})
+		return
+	}
+	const batch = 64
+	reply := &message{Kind: mLearnReply, FromInst: m.FromInst}
+	for i := m.FromInst; i < n.chosenSeq && len(reply.Vals) < batch; i++ {
+		reply.Vals = append(reply.Vals, n.chosen[i-n.chosenBase])
+	}
+	if len(reply.Vals) > 0 {
+		n.send(from, reply)
+	}
+}
+
+func (n *Node) commitValue(inst uint64, val []byte, from int) {
+	if inst < n.chosenSeq {
+		return
+	}
+	if inst > n.chosenSeq {
+		// Gap: stash and ask for the missing prefix.
+		n.pendingVal[inst] = val
+		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})
+		return
+	}
+	for {
+		n.persistChosen(inst, val)
+		n.chosen = append(n.chosen, val)
+		n.chosenSeq++
+		delete(n.accepted, inst)
+		if n.cfg.OnCommitted != nil {
+			n.cfg.OnCommitted(inst, val)
+		}
+		if n.isLeader && n.announceAfter {
+			// Re-proposal(s) from takeover committed: check whether the
+			// next instance also has an accepted value to re-propose.
+			if a, ok := n.accepted[n.chosenSeq]; ok {
+				n.startPhase2(n.chosenSeq, a.Val)
+			} else {
+				n.becomeLeaderNow()
+			}
+		}
+		next, ok := n.pendingVal[n.chosenSeq]
+		if !ok {
+			break
+		}
+		delete(n.pendingVal, n.chosenSeq)
+		inst, val = n.chosenSeq, next
+	}
+	if n.isLeader {
+		n.proposeNext()
+	}
+	if n.preparing {
+		// Catch-up during an election: we may now satisfy the
+		// chosen-count requirement.
+		n.tryCompleteElection()
+	}
+}
+
+func (n *Node) startPhase2(inst uint64, val []byte) {
+	n.inflight[inst] = &inflightState{
+		val:    val,
+		acks:   make(map[int]bool),
+		sentAt: n.cfg.Env.Now(),
+	}
+	if inst >= n.nextPropose {
+		n.nextPropose = inst + 1
+	}
+	n.broadcast(&message{Kind: mAccept, Ballot: n.prepBallot, Inst: inst, Val: val})
+}
+
+func (n *Node) proposeNext() {
+	if !n.isLeader || n.announceAfter {
+		return
+	}
+	if n.nextPropose < n.chosenSeq {
+		n.nextPropose = n.chosenSeq
+	}
+	for len(n.inflight) < n.cfg.PipelineDepth && len(n.proposeQ) > 0 {
+		val := n.proposeQ[0]
+		n.proposeQ = n.proposeQ[1:]
+		n.startPhase2(n.nextPropose, val)
+	}
+}
+
+func (n *Node) handleCompact(upTo uint64) {
+	if upTo <= n.chosenBase {
+		return
+	}
+	if upTo > n.chosenSeq {
+		upTo = n.chosenSeq
+	}
+	n.chosen = append([][]byte(nil), n.chosen[upTo-n.chosenBase:]...)
+	n.chosenBase = upTo
+	// Rewrite the durable log with the surviving state.
+	var recs [][]byte
+	e := wire.NewEncoder(nil)
+	e.Byte(recPromised)
+	e.Uvarint(n.promised.Round)
+	e.Uvarint(uint64(n.promised.Node))
+	recs = append(recs, append([]byte(nil), e.Bytes()...))
+	for _, a := range n.accepted {
+		if a.Inst < upTo {
+			continue
+		}
+		e.Reset()
+		e.Byte(recAccepted)
+		e.Uvarint(a.Inst)
+		e.Uvarint(a.Ballot.Round)
+		e.Uvarint(uint64(a.Ballot.Node))
+		e.BytesVal(a.Val)
+		recs = append(recs, append([]byte(nil), e.Bytes()...))
+	}
+	for i, v := range n.chosen {
+		e.Reset()
+		e.Byte(recChosen)
+		e.Uvarint(n.chosenBase + uint64(i))
+		e.BytesVal(v)
+		recs = append(recs, append([]byte(nil), e.Bytes()...))
+	}
+	if err := n.cfg.Log.Rewrite(recs); err != nil {
+		panic(fmt.Sprintf("paxos: log rewrite failed: %v", err))
+	}
+}
+
+// IsLeader reports whether this node currently believes it is the leader.
+// Racy by nature; for tests and diagnostics.
+func (n *Node) IsLeader() bool { return n.isLeader }

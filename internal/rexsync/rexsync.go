@@ -1,0 +1,151 @@
+// Package rexsync provides Rex's replicated synchronization primitives:
+// Lock (with TryLock), RWLock, Cond, and Semaphore, plus recording of
+// nondeterministic values (Fig. 3, §4).
+//
+// Each primitive wraps a real lock and switches behaviour on the worker's
+// execution mode:
+//
+//   - native: plain locking, nothing recorded (standalone execution,
+//     read-only pools, NativeExec scopes);
+//   - record: perform the real operation, then log an event and the causal
+//     edges that order it after other threads' events, pruning edges that
+//     are implied by already-recorded ones (vector clocks, §4.2);
+//   - replay: wait until the trace's next event for this thread matches the
+//     operation and all its causal sources have executed, then perform the
+//     real operation (order replay, §4.2 — resources are never faked, so a
+//     secondary can switch to live execution at promotion).
+//
+// Two invariants keep traces replayable and checks sound:
+//
+//  1. Every recorded edge points from an event already appended to its
+//     thread's log, so the trace is acyclic and commit order is a valid
+//     replay order.
+//  2. Resource versions are bumped only by operations that are totally
+//     ordered per resource by recorded edges (acquire/release, writer
+//     lock/unlock, semaphore ops, signals). Unordered-but-commutative
+//     events (failed TryLocks, concurrent reader acquisitions) record the
+//     version they observed instead, so version checking (§5.1) never
+//     reports false divergence under partial-order replay (§4.2).
+package rexsync
+
+import (
+	"rex/internal/sched"
+	"rex/internal/trace"
+)
+
+// Stopped is panicked out of a blocked primitive when the replica shuts
+// down; the worker loop recovers it and exits cleanly.
+type Stopped struct{}
+
+// redoAfterAbort decides what to do when a replay wait is aborted: if the
+// runtime switched to record mode (this replica was promoted mid-request,
+// §4's mode change), the caller re-runs the operation in record mode;
+// otherwise the replica is shutting down.
+func redoAfterAbort(w *sched.Worker) {
+	if w.Runtime().Mode() == sched.ModeRecord {
+		return
+	}
+	panic(Stopped{})
+}
+
+// expectEvent fetches the next trace event for w's thread and validates its
+// kind and resource. ok=false means the replay was aborted (the caller
+// consults redoAfterAbort). A mismatch is a divergence: the secondary's
+// execution took a different path than the primary's (§5.1).
+func expectEvent(w *sched.Worker, kind trace.Kind, res uint32, resName string) (trace.Event, trace.EventID, bool) {
+	rep := w.Runtime().Replayer()
+	ev, id, ok := rep.Next(w.ID())
+	if !ok {
+		return trace.Event{}, trace.EventID{}, false
+	}
+	if ev.Kind != kind || ev.Res != res {
+		panic(&sched.DivergenceError{
+			Thread:   id.Thread,
+			Clock:    id.Clock,
+			Expected: ev,
+			GotKind:  kind,
+			GotRes:   res,
+			Resource: resName,
+			Detail:   "operation does not match the recorded trace",
+		})
+	}
+	return ev, id, true
+}
+
+// expectOneOf is expectEvent for operations whose recorded outcome selects
+// among several kinds (TryLock → TryAcq or TryFail).
+func expectOneOf(w *sched.Worker, res uint32, resName string, kinds ...trace.Kind) (trace.Event, trace.EventID, bool) {
+	rep := w.Runtime().Replayer()
+	ev, id, ok := rep.Next(w.ID())
+	if !ok {
+		return trace.Event{}, trace.EventID{}, false
+	}
+	for _, k := range kinds {
+		if ev.Kind == k && ev.Res == res {
+			return ev, id, true
+		}
+	}
+	panic(&sched.DivergenceError{
+		Thread:   id.Thread,
+		Clock:    id.Clock,
+		Expected: ev,
+		GotKind:  kinds[0],
+		GotRes:   res,
+		Resource: resName,
+		Detail:   "operation does not match the recorded trace",
+	})
+}
+
+// checkVersion verifies a resource version against the recorded one when
+// version checking is enabled (§5.1).
+func checkVersion(w *sched.Worker, ev trace.Event, id trace.EventID, got uint64, resName string) {
+	if !w.Runtime().CheckVersions {
+		return
+	}
+	if ev.Arg != got {
+		panic(&sched.DivergenceError{
+			Thread:   id.Thread,
+			Clock:    id.Clock,
+			Expected: ev,
+			GotKind:  ev.Kind,
+			GotRes:   ev.Res,
+			GotArg:   got,
+			Resource: resName,
+			Detail:   "resource version mismatch (likely an unsynchronized data race)",
+		})
+	}
+}
+
+// waitSources blocks until all of id's causal sources have executed,
+// reporting false on abort.
+func waitSources(w *sched.Worker, id trace.EventID) bool {
+	rep := w.Runtime().Replayer()
+	return rep.WaitSources(rep.In(id))
+}
+
+// Value executes a nondeterministic function under Rex: in record mode it
+// runs compute and logs the result; in replay mode it returns the recorded
+// result without running compute (values, unlike resources, are safe to
+// fake — §4); in native mode it just runs compute. tag distinguishes
+// value sources (time, random, ...) for divergence checking.
+func Value(w *sched.Worker, tag uint32, compute func() uint64) uint64 {
+	for {
+		switch w.Mode() {
+		case sched.ModeNative:
+			return compute()
+		case sched.ModeRecord:
+			v := compute()
+			w.Record(trace.Event{Kind: trace.KindValue, Res: tag, Arg: v}, nil)
+			return v
+		default:
+			ev, id, ok := expectEvent(w, trace.KindValue, tag, "value")
+			if !ok {
+				redoAfterAbort(w)
+				continue
+			}
+			_ = id
+			w.Runtime().Replayer().Commit(w.ID())
+			return ev.Arg
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"fmt"
+
+	"rex/internal/trace"
+)
+
+// DivergenceError reports that a replica's replay diverged from the
+// recorded trace: the operation a worker was about to perform does not
+// match the trace's next event for that thread, or a resource version or
+// result hash check failed (§5.1). It carries enough context to point a
+// developer at the offending resource and thread, mirroring the paper's
+// data-race debugging experience (§6.1).
+type DivergenceError struct {
+	Thread   int32
+	Clock    int32
+	Expected trace.Event
+	GotKind  trace.Kind
+	GotRes   uint32
+	GotArg   uint64
+	Resource string
+	Detail   string
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf(
+		"rex: replay divergence on thread %d at clock %d: expected %v(res=%d, arg=%d), got %v(res=%d, arg=%d) on %q: %s",
+		e.Thread, e.Clock, e.Expected.Kind, e.Expected.Res, e.Expected.Arg,
+		e.GotKind, e.GotRes, e.GotArg, e.Resource, e.Detail)
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"rex/internal/env"
+	"rex/internal/trace"
+)
+
+// Recorder accumulates the primary's trace growth between proposals.
+// Workers append to per-thread buffers under per-thread locks (the paper's
+// asynchronous logging, §3.2); the proposal pump drains everything new with
+// Collect. Because Collect snapshots the threads without a global barrier,
+// a collected delta may be an inconsistent cut — consumers use the last
+// consistent cut as its meaning.
+type Recorder struct {
+	threads []*threadBuf
+
+	reqMu   env.Mutex
+	reqs    []trace.Req
+	marks   []trace.Mark
+	reqBase uint64 // global index of reqs[0]
+	nextReq uint64
+
+	// Collection state (owned by the single collector).
+	collected trace.Cut
+}
+
+type threadBuf struct {
+	mu     env.Mutex
+	events []trace.Event
+	in     [][]trace.EventID
+	base   int32 // clock of the first buffered event minus one
+}
+
+// NewRecorder returns a recorder for n threads whose trace resumes from cut
+// with the request table already holding reqBase entries.
+func NewRecorder(e env.Env, n int, cut trace.Cut, reqBase uint64) *Recorder {
+	r := &Recorder{
+		reqMu:     e.NewMutex(),
+		reqBase:   reqBase,
+		nextReq:   reqBase,
+		collected: make(trace.Cut, n),
+	}
+	for t := 0; t < n; t++ {
+		base := int32(0)
+		if t < len(cut) {
+			base = cut[t]
+		}
+		r.collected[t] = base
+		r.threads = append(r.threads, &threadBuf{mu: e.NewMutex(), base: base})
+	}
+	return r
+}
+
+// Append adds an event (with its incoming edges) to thread t's buffer.
+func (r *Recorder) Append(t int32, ev trace.Event, in []trace.EventID) {
+	b := r.threads[t]
+	b.mu.Lock()
+	b.events = append(b.events, ev)
+	b.in = append(b.in, in)
+	b.mu.Unlock()
+}
+
+// AddReq appends a request payload to the table and returns its global
+// index. The caller must add the request before dispatching it to a worker
+// so that a collected req-begin event always has its payload in the same or
+// an earlier delta.
+func (r *Recorder) AddReq(req trace.Req) uint64 {
+	r.reqMu.Lock()
+	defer r.reqMu.Unlock()
+	idx := r.nextReq
+	r.nextReq++
+	r.reqs = append(r.reqs, req)
+	return idx
+}
+
+// AddMark appends a checkpoint mark. The caller must hold all workers
+// paused at the mark's cut when calling this (§3.3).
+func (r *Recorder) AddMark(m trace.Mark) {
+	r.reqMu.Lock()
+	defer r.reqMu.Unlock()
+	r.marks = append(r.marks, m)
+}
+
+// PendingEvents reports how many recorded events have not been collected
+// yet; the primary's flow control uses it to bound speculation.
+func (r *Recorder) PendingEvents() int {
+	n := 0
+	for _, b := range r.threads {
+		b.mu.Lock()
+		n += len(b.events)
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// Collect drains everything recorded since the last Collect into a delta
+// based at the current collection frontier. It snapshots thread buffers
+// one at a time — deliberately without a global barrier — so the delta may
+// be an inconsistent cut. Thread buffers are drained before the request
+// table so that every collected req-begin's payload is present (requests
+// are added before dispatch). The returned delta may be empty (check
+// Delta.Empty); callers that only propose on growth skip empty deltas.
+// Collect must be called from a single collector task.
+func (r *Recorder) Collect() *trace.Delta {
+	d := &trace.Delta{
+		Base:    r.collected.Clone(),
+		Threads: make([]trace.ThreadLog, len(r.threads)),
+	}
+	for t, b := range r.threads {
+		b.mu.Lock()
+		n := len(b.events)
+		if n > 0 {
+			d.Threads[t].Events = append([]trace.Event(nil), b.events...)
+			d.Threads[t].In = append([][]trace.EventID(nil), b.in...)
+			b.events = b.events[:0]
+			b.in = b.in[:0]
+			b.base += int32(n)
+		}
+		b.mu.Unlock()
+		r.collected[t] += int32(n)
+	}
+	r.reqMu.Lock()
+	d.ReqBase = r.reqBase
+	if len(r.reqs) > 0 {
+		d.Reqs = append([]trace.Req(nil), r.reqs...)
+		r.reqBase += uint64(len(r.reqs))
+		r.reqs = r.reqs[:0]
+	}
+	if len(r.marks) > 0 {
+		d.Marks = append([]trace.Mark(nil), r.marks...)
+		r.marks = r.marks[:0]
+	}
+	r.reqMu.Unlock()
+	return d
+}
+
+// Collected returns the collection frontier (clocks already drained).
+func (r *Recorder) Collected() trace.Cut { return r.collected.Clone() }

@@ -1,0 +1,324 @@
+package sched
+
+import (
+	"rex/internal/env"
+	"rex/internal/trace"
+)
+
+// Replayer drives the follow stage on a secondary: it owns the replica's
+// copy of the committed trace and releases events to workers only when (a)
+// the event is inside the last consistent cut of what has been committed,
+// and (b) every causally preceding event has executed (§2.1, §4).
+//
+// Gating at the last consistent cut means a secondary never executes the
+// residue of an inconsistent proposal, so a leader change never needs to
+// roll a secondary back — only a demoted primary rolls back (§3.2, §5.2).
+type Replayer struct {
+	mu   env.Mutex
+	grow env.Cond // trace/limit growth, mark completion, abort
+	// perThread[t] is signaled when executed[t] advances; edge waiters wait
+	// on the source thread's cond to avoid broadcast storms.
+	perThread []env.Cond
+	progress  env.Cond // any watermark advance (mark coordinator, catch-up)
+
+	tr       *trace.Trace
+	limit    trace.Cut // last consistent cut of the applied deltas
+	executed trace.Cut
+	aborted  bool
+	marks    []trace.Mark // pending checkpoint marks, oldest first
+
+	waitedEvents   uint64 // events that blocked on at least one causal edge
+	replayedEvents uint64
+}
+
+// NewReplayer wraps tr for replay. Events inside base are considered
+// already executed (restored from a checkpoint); base must be a consistent
+// cut of tr.
+func NewReplayer(e env.Env, tr *trace.Trace, base trace.Cut) *Replayer {
+	n := tr.NumThreads()
+	r := &Replayer{
+		mu:       e.NewMutex(),
+		tr:       tr,
+		executed: make(trace.Cut, n),
+	}
+	for t := 0; t < n; t++ {
+		if t < len(base) {
+			r.executed[t] = base[t]
+		}
+	}
+	r.limit = tr.ConsistentCut(r.executed.Clone())
+	r.grow = e.NewCond(r.mu)
+	r.progress = e.NewCond(r.mu)
+	for t := 0; t < n; t++ {
+		r.perThread = append(r.perThread, e.NewCond(r.mu))
+	}
+	// Marks already in the trace beyond base are still pending.
+	for _, m := range tr.Marks {
+		if !base.AtLeast(m.Cut) {
+			r.marks = append(r.marks, m)
+		}
+	}
+	return r
+}
+
+// Extend applies a committed delta to the trace, advances the release
+// frontier to the new last consistent cut, and wakes blocked workers.
+func (r *Replayer) Extend(d *trace.Delta) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.tr.Apply(d); err != nil {
+		return err
+	}
+	r.limit = r.tr.ConsistentCut(r.limit)
+	r.marks = append(r.marks, d.Marks...)
+	r.grow.Broadcast()
+	return nil
+}
+
+// Trace returns the underlying trace. Callers must not mutate it while
+// replay is running.
+func (r *Replayer) Trace() *trace.Trace { return r.tr }
+
+// Next blocks until thread t's next event is released for execution and
+// returns it. ok is false if the replayer was aborted. Events beyond the
+// oldest pending checkpoint mark are held back until the mark completes, so
+// every worker pauses exactly at the mark's cut (§3.3).
+func (r *Replayer) Next(t int32) (trace.Event, trace.EventID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.aborted {
+			return trace.Event{}, trace.EventID{}, false
+		}
+		next := r.executed[t] + 1
+		if next <= r.limit[t] && !r.gatedLocked(t, next) {
+			id := trace.EventID{Thread: t, Clock: next}
+			return r.tr.Event(id), id, true
+		}
+		r.grow.Wait()
+	}
+}
+
+// gatedLocked reports whether executing (t, clock) would cross the oldest
+// pending checkpoint mark.
+func (r *Replayer) gatedLocked(t int32, clock int32) bool {
+	if len(r.marks) == 0 {
+		return false
+	}
+	cut := r.marks[0].Cut
+	return int(t) < len(cut) && clock > cut[t]
+}
+
+// In returns the incoming edges of an event previously returned by Next.
+func (r *Replayer) In(id trace.EventID) []trace.EventID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr.In(id)
+}
+
+// WaitSources blocks until every source event in `in` has executed. It
+// returns false if the replayer was aborted. It also maintains the paper's
+// "waited events" statistic: the number of events that had to wait for a
+// causal edge (Fig. 7).
+func (r *Replayer) WaitSources(in []trace.EventID) bool {
+	if len(in) == 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	waited := false
+	for _, src := range in {
+		for r.executed[src.Thread] < src.Clock {
+			if r.aborted {
+				return false
+			}
+			waited = true
+			r.perThread[src.Thread].Wait()
+		}
+	}
+	if waited {
+		r.waitedEvents++
+	}
+	return true
+}
+
+// Commit marks thread t's next event as executed and wakes its waiters.
+// Wrappers call it after performing the real operation, so an edge wait
+// completing implies the source's real effect has happened.
+func (r *Replayer) Commit(t int32) {
+	r.mu.Lock()
+	r.executed[t]++
+	r.replayedEvents++
+	r.perThread[t].Broadcast()
+	r.progress.Broadcast()
+	r.mu.Unlock()
+}
+
+// Executed returns the per-thread executed watermarks.
+func (r *Replayer) Executed() trace.Cut {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed.Clone()
+}
+
+// Limit returns the current release frontier (the last consistent cut of
+// the committed trace).
+func (r *Replayer) Limit() trace.Cut {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limit.Clone()
+}
+
+// CaughtUp reports whether every released event has executed.
+func (r *Replayer) CaughtUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed.AtLeast(r.limit)
+}
+
+// WaitCaughtUp blocks until every released event has executed (used at
+// promotion) or the replayer is aborted; it reports success.
+func (r *Replayer) WaitCaughtUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.executed.AtLeast(r.limit) {
+		if r.aborted {
+			return false
+		}
+		r.progress.Wait()
+	}
+	return !r.aborted
+}
+
+// PendingMark returns the oldest pending checkpoint mark, if any.
+func (r *Replayer) PendingMark() (trace.Mark, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.marks) == 0 {
+		return trace.Mark{}, false
+	}
+	return r.marks[0], true
+}
+
+// WaitMarkReached blocks until replay has executed exactly up to the given
+// mark's cut on every thread (all workers paused at the mark), or the
+// replayer is aborted; it reports success.
+func (r *Replayer) WaitMarkReached(m trace.Mark) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.executed.AtLeast(m.Cut) {
+		if r.aborted {
+			return false
+		}
+		r.progress.Wait()
+	}
+	return !r.aborted
+}
+
+// CompleteMark retires the oldest pending mark (which must match id) and
+// releases the workers held at its cut.
+func (r *Replayer) CompleteMark(id uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.marks) == 0 || r.marks[0].ID != id {
+		panic("sched: CompleteMark out of order")
+	}
+	r.marks = r.marks[1:]
+	r.grow.Broadcast()
+}
+
+// Abort unblocks every waiter; Next and WaitSources return false.
+func (r *Replayer) Abort() {
+	r.mu.Lock()
+	r.aborted = true
+	r.grow.Broadcast()
+	r.progress.Broadcast()
+	for _, c := range r.perThread {
+		c.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// ReqBody returns the payload of request idx from the trace's table.
+func (r *Replayer) ReqBody(idx uint64) (trace.Req, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr.Req(idx)
+}
+
+// IndexedReq pairs a request with its global index in the trace's table.
+type IndexedReq struct {
+	Idx uint64
+	Req trace.Req
+}
+
+// LiveReqs returns the requests whose completion (req-end) is not inside
+// cut: the in-flight and not-yet-started requests a checkpoint at cut must
+// carry so a replica restored from it can replay them (§3.3). Requests in
+// the garbage-collected prefix were either completed (dropped) or carried
+// forward in the stash.
+func (r *Replayer) LiveReqs(cut trace.Cut) []IndexedReq {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	done := make(map[uint64]bool)
+	for t := range r.tr.Threads {
+		l := &r.tr.Threads[t]
+		limit := int32(0)
+		if t < len(cut) {
+			limit = cut[t]
+		}
+		for c := l.Base + 1; c <= limit; c++ {
+			ev := l.Events[c-1-l.Base]
+			if ev.Kind == trace.KindReqEnd {
+				done[uint64(ev.Res)] = true
+			}
+		}
+	}
+	var live []IndexedReq
+	for idx, req := range r.tr.Stash {
+		if !done[idx] {
+			live = append(live, IndexedReq{Idx: idx, Req: req})
+		}
+	}
+	for i, req := range r.tr.Reqs {
+		idx := r.tr.ReqsBase + uint64(i)
+		if !done[idx] {
+			live = append(live, IndexedReq{Idx: idx, Req: req})
+		}
+	}
+	sortLive(live)
+	return live
+}
+
+func sortLive(live []IndexedReq) {
+	// Insertion sort by index (live sets are small); keeps snapshot bytes
+	// deterministic despite map iteration over the stash.
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j-1].Idx > live[j].Idx; j-- {
+			live[j-1], live[j] = live[j], live[j-1]
+		}
+	}
+}
+
+// ForgetThrough garbage-collects the trace prefix covered by a completed
+// checkpoint (§3.3), clamped to what replay has already executed so no
+// future read lands in the collected region.
+func (r *Replayer) ForgetThrough(cut trace.Cut) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clamped := cut.Clone()
+	for t := range clamped {
+		if t < len(r.executed) && r.executed[t] < clamped[t] {
+			clamped[t] = r.executed[t]
+		}
+	}
+	r.tr.Forget(clamped, r.tr.LiveLowWater(clamped))
+}
+
+// Stats returns cumulative replay statistics: total events replayed and how
+// many of them blocked on a causal edge.
+func (r *Replayer) Stats() (replayed, waited uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replayedEvents, r.waitedEvents
+}

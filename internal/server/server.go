@@ -1,0 +1,276 @@
+// Package server exposes a Rex replica to remote clients over a minimal
+// TCP protocol, used by cmd/rexd and cmd/rexctl.
+//
+// Request frame:  [4-byte len][1-byte kind][uvarint client][uvarint seq][body]
+// Response frame: [4-byte len][1-byte status][body]
+//
+// Kinds: 1 = submit (replicated), 2 = query (local read-only).
+// Status: 0 = ok (body is the application response), 1 = not primary
+// (body is a varint leader hint, -1 unknown), 2 = error (body is a
+// message).
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rex/internal/core"
+	"rex/internal/wire"
+)
+
+// Protocol constants.
+const (
+	KindSubmit byte = 1
+	KindQuery  byte = 2
+
+	StatusOK         byte = 0
+	StatusNotPrimary byte = 1
+	StatusError      byte = 2
+
+	maxFrame = 64 << 20
+)
+
+// Server serves client connections for one replica.
+type Server struct {
+	replica *core.Replica
+	ln      net.Listener
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Listen starts serving clients on addr.
+func Listen(replica *core.Replica, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{replica: replica, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and waits for connection handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		status, body := s.handle(frame)
+		if err := writeFrame(conn, status, body); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(frame []byte) (byte, []byte) {
+	d := wire.NewDecoder(frame)
+	kind := d.Byte()
+	client := d.Uvarint()
+	seq := d.Uvarint()
+	body := d.BytesVal()
+	if d.Err() != nil {
+		return StatusError, []byte("malformed request")
+	}
+	switch kind {
+	case KindSubmit:
+		resp, err := s.replica.Submit(client, seq, body)
+		if err != nil {
+			var np core.ErrNotPrimary
+			if errors.As(err, &np) {
+				e := wire.NewEncoder(nil)
+				e.Varint(int64(np.Leader))
+				return StatusNotPrimary, e.Bytes()
+			}
+			return StatusError, []byte(err.Error())
+		}
+		return StatusOK, resp
+	case KindQuery:
+		resp, err := s.replica.Query(body)
+		if err != nil {
+			return StatusError, []byte(err.Error())
+		}
+		return StatusOK, resp
+	}
+	return StatusError, []byte(fmt.Sprintf("unknown request kind %d", frame[0]))
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("server: oversized frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, status byte, body []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = status
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// Client talks to a replica group's client ports.
+type Client struct {
+	addrs  []string
+	id     uint64
+	seq    uint64
+	mu     sync.Mutex
+	conns  map[int]net.Conn
+	target int
+}
+
+// NewClient creates a client with a unique id over the given client
+// addresses (one per replica, in replica-id order).
+func NewClient(id uint64, addrs []string) *Client {
+	return &Client{addrs: addrs, id: id, conns: make(map[int]net.Conn)}
+}
+
+func (c *Client) conn(i int) (net.Conn, error) {
+	if conn, ok := c.conns[i]; ok {
+		return conn, nil
+	}
+	conn, err := net.Dial("tcp", c.addrs[i])
+	if err != nil {
+		return nil, err
+	}
+	c.conns[i] = conn
+	return conn, nil
+}
+
+func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []byte, error) {
+	conn, err := c.conn(i)
+	if err != nil {
+		return 0, nil, err
+	}
+	e := wire.NewEncoder(nil)
+	e.Byte(kind)
+	e.Uvarint(c.id)
+	e.Uvarint(seq)
+	e.BytesVal(body)
+	frame := e.Bytes()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		conn.Close()
+		delete(c.conns, i)
+		return 0, nil, err
+	}
+	if _, err := conn.Write(frame); err != nil {
+		conn.Close()
+		delete(c.conns, i)
+		return 0, nil, err
+	}
+	resp, err := readFrame(conn)
+	if err != nil || len(resp) < 1 {
+		conn.Close()
+		delete(c.conns, i)
+		if err == nil {
+			err = errors.New("server: empty response")
+		}
+		return 0, nil, err
+	}
+	return resp[0], resp[1:], nil
+}
+
+// Do submits a replicated request, following not-primary redirects.
+func (c *Client) Do(body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	seq := c.seq
+	tried := 0
+	for tried < 4*len(c.addrs) {
+		i := c.target % len(c.addrs)
+		status, resp, err := c.roundTrip(i, KindSubmit, seq, body)
+		if err != nil {
+			c.target++
+			tried++
+			continue
+		}
+		switch status {
+		case StatusOK:
+			return resp, nil
+		case StatusNotPrimary:
+			d := wire.NewDecoder(resp)
+			leader := d.Varint()
+			if d.Err() == nil && leader >= 0 {
+				c.target = int(leader)
+			} else {
+				c.target++
+			}
+			tried++
+		default:
+			c.target++
+			tried++
+		}
+	}
+	return nil, errors.New("server: no replica accepted the request")
+}
+
+// Query runs a read-only query against replica i.
+func (c *Client) Query(i int, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, resp, err := c.roundTrip(i, KindQuery, 0, body)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: query failed: %s", resp)
+	}
+	return resp, nil
+}
+
+// Close closes all connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = make(map[int]net.Conn)
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/apps/hashdb"
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/storage"
+	"rex/internal/transport"
+	"rex/internal/wire"
+)
+
+// freePorts reserves n distinct localhost ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	var addrs []string
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestTCPClusterEndToEnd runs a real 3-replica cluster over TCP on the
+// real environment — the cmd/rexd deployment path — and drives it through
+// the client protocol.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP cluster test")
+	}
+	app := apps.HashDB()
+	peerAddrs := freePorts(t, 3)
+	clientAddrs := freePorts(t, 3)
+	e := env.NewReal()
+
+	var replicas []*core.Replica
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		ep, err := transport.ListenTCP(i, peerAddrs)
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		r, err := core.NewReplica(core.Config{
+			ID: i, N: 3, Env: e,
+			Endpoint:        ep,
+			Log:             storage.NewMemLog(),
+			Snapshots:       storage.NewMemSnapshots(),
+			Factory:         app.Factory,
+			Workers:         2,
+			Timers:          app.Timers,
+			ReadWorkers:     1,
+			HeartbeatEvery:  30 * time.Millisecond,
+			ElectionTimeout: 150 * time.Millisecond,
+			Seed:            int64(i) + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Listen(r, clientAddrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas = append(replicas, r)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	// Wait for an election over real TCP.
+	deadline := time.Now().Add(10 * time.Second)
+	leader := -1
+	for leader < 0 && time.Now().Before(deadline) {
+		for i, r := range replicas {
+			if r.Role() == core.RolePrimary {
+				leader = i
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader < 0 {
+		t.Fatal("no primary elected over TCP")
+	}
+
+	cl := NewClient(42, clientAddrs)
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("tcp-key-%d", i)
+		resp, err := cl.Do(hashdb.SetReq(key, []byte(fmt.Sprintf("v%d", i))))
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if len(resp) != 1 || resp[0] != 1 {
+			t.Fatalf("set resp = %x", resp)
+		}
+	}
+	resp, err := cl.Do(hashdb.GetReq("tcp-key-7"))
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	d := wire.NewDecoder(resp)
+	if ok := d.Bool(); !ok || string(d.BytesVal()) != "v7" {
+		t.Fatalf("get = %q (ok=%v)", resp, ok)
+	}
+
+	// Read-only query against each replica (secondaries may lag briefly).
+	q := hashdb.GetReq("tcp-key-7")
+	for i := range replicas {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := cl.Query(i, q)
+			if err == nil {
+				d := wire.NewDecoder(resp)
+				if d.Bool() && string(d.BytesVal()) == "v7" {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never served the query: %v", i, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Submitting at a follower must redirect (the client handles it); a
+	// direct Submit must return ErrNotPrimary.
+	follower := (leader + 1) % 3
+	if _, err := replicas[follower].Submit(1, 1, hashdb.GetReq("x")); err == nil {
+		t.Error("follower accepted a Submit")
+	}
+}
+
+func TestClientProtocolFraming(t *testing.T) {
+	// Malformed and unknown frames must produce error responses, not
+	// crashes or hangs.
+	app := apps.HashDB()
+	e := env.NewReal()
+	net1 := transport.NewNetwork(e, 1, 0, 1)
+	r, err := core.NewReplica(core.Config{
+		ID: 0, N: 1, Env: e,
+		Endpoint:        net1.Endpoint(0),
+		Log:             storage.NewMemLog(),
+		Snapshots:       storage.NewMemSnapshots(),
+		Factory:         app.Factory,
+		Workers:         1,
+		Timers:          app.Timers,
+		ElectionTimeout: 50 * time.Millisecond,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	srv, err := Listen(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Wait for the single replica to self-elect.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Role() != core.RolePrimary && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Unknown kind.
+	e2 := wire.NewEncoder(nil)
+	e2.Byte(99)
+	e2.Uvarint(1)
+	e2.Uvarint(1)
+	e2.BytesVal(nil)
+	frame := e2.Bytes()
+	hdr := []byte{0, 0, 0, byte(len(frame))}
+	conn.Write(hdr)
+	conn.Write(frame)
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[0] != StatusError {
+		t.Errorf("unknown kind status = %d, want error", resp[0])
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+// current returns the task invoking a blocking operation. Exactly one task
+// runs at any instant; it records itself in s.cur right after receiving the
+// baton, so this is race-free.
+func (s *Env) current() *task {
+	s.mu.Lock()
+	t := s.cur
+	s.mu.Unlock()
+	if t == nil {
+		panic("sim: blocking operation invoked from outside a simulated task")
+	}
+	return t
+}
+
+// simMutex is a FIFO mutex with direct handoff: Unlock transfers ownership
+// to the longest-waiting task, which keeps lock acquisition order
+// deterministic.
+type simMutex struct {
+	s       *Env
+	locked  bool
+	owner   *task // diagnostics only
+	waiters []*task
+}
+
+// Lock implements env.Mutex.
+func (m *simMutex) Lock() {
+	t := m.s.current()
+	m.s.mu.Lock()
+	if !m.locked {
+		m.locked = true
+		m.owner = t
+		m.s.mu.Unlock()
+		return
+	}
+	m.waiters = append(m.waiters, t)
+	m.s.blockLocked(t, "mutex")
+	// Ownership was transferred to us by Unlock.
+}
+
+// TryLock implements env.Mutex.
+func (m *simMutex) TryLock() bool {
+	t := m.s.current()
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	m.owner = t
+	return true
+}
+
+// Unlock implements env.Mutex.
+func (m *simMutex) Unlock() {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if !m.locked {
+		if m.s.stopped {
+			// Teardown: a killed task unwinding out of Cond.Wait runs its
+			// caller's deferred Unlock without having reacquired the
+			// mutex. Tolerate it; the simulation is over.
+			return
+		}
+		panic("sim: unlock of unlocked mutex")
+	}
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters[0] = nil
+		m.waiters = m.waiters[1:]
+		m.owner = next
+		m.s.readyLocked(next)
+		return // still locked, owned by next
+	}
+	m.locked = false
+	m.owner = nil
+}
+
+// simCond is a condition variable over a simMutex with FIFO wakeup.
+type simCond struct {
+	s       *Env
+	m       *simMutex
+	waiters []*task
+}
+
+// Wait implements env.Cond: atomically release the mutex, block, and
+// reacquire before returning.
+func (c *simCond) Wait() {
+	t := c.s.current()
+	c.s.mu.Lock()
+	if !c.m.locked {
+		c.s.mu.Unlock()
+		panic("sim: Cond.Wait without holding the mutex")
+	}
+	c.waiters = append(c.waiters, t)
+	// Release the mutex exactly as Unlock would, but under the scheduler
+	// lock we already hold.
+	if len(c.m.waiters) > 0 {
+		next := c.m.waiters[0]
+		c.m.waiters[0] = nil
+		c.m.waiters = c.m.waiters[1:]
+		c.m.owner = next
+		c.s.readyLocked(next)
+	} else {
+		c.m.locked = false
+		c.m.owner = nil
+	}
+	c.s.blockLocked(t, "cond")
+	c.m.Lock()
+}
+
+// Signal implements env.Cond.
+func (c *simCond) Signal() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if len(c.waiters) == 0 {
+		return
+	}
+	t := c.waiters[0]
+	c.waiters[0] = nil
+	c.waiters = c.waiters[1:]
+	c.s.readyLocked(t)
+}
+
+// Broadcast implements env.Cond.
+func (c *simCond) Broadcast() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	for _, t := range c.waiters {
+		c.s.readyLocked(t)
+	}
+	c.waiters = nil
+}

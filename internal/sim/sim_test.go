@@ -1,0 +1,439 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/env"
+)
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	s := New(4)
+	var at time.Duration
+	s.Run(func() {
+		s.Sleep(250 * time.Millisecond)
+		at = s.Now()
+	})
+	if at != 250*time.Millisecond {
+		t.Errorf("Now after sleep = %v, want 250ms", at)
+	}
+}
+
+func TestComputeOccupiesCores(t *testing.T) {
+	// 4 tasks x 10ms compute on 2 cores must take exactly 20ms of virtual
+	// time under FCFS core allocation.
+	s := New(2)
+	var elapsed time.Duration
+	s.Run(func() {
+		g := env.GoEach(s, "worker", 4, func(int) {
+			s.Compute(10 * time.Millisecond)
+		})
+		g.Wait()
+		elapsed = s.Now()
+	})
+	if elapsed != 20*time.Millisecond {
+		t.Errorf("elapsed = %v, want 20ms", elapsed)
+	}
+}
+
+func TestComputeParallelWithinCores(t *testing.T) {
+	s := New(8)
+	var elapsed time.Duration
+	s.Run(func() {
+		env.GoEach(s, "worker", 8, func(int) {
+			s.Compute(5 * time.Millisecond)
+		}).Wait()
+		elapsed = s.Now()
+	})
+	if elapsed != 5*time.Millisecond {
+		t.Errorf("elapsed = %v, want 5ms (all parallel)", elapsed)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	s := New(4)
+	var inside, maxInside int
+	s.Run(func() {
+		mu := s.NewMutex()
+		env.GoEach(s, "locker", 10, func(int) {
+			for i := 0; i < 5; i++ {
+				mu.Lock()
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				s.Sleep(time.Millisecond)
+				inside--
+				mu.Unlock()
+			}
+		}).Wait()
+	})
+	if maxInside != 1 {
+		t.Errorf("max concurrent holders = %d, want 1", maxInside)
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Run(func() {
+		mu := s.NewMutex()
+		mu.Lock()
+		g := env.GoEach(s, "w", 5, func(i int) {
+			// Workers are spawned in index order and block in that order.
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+		s.Sleep(time.Millisecond) // let all workers enqueue
+		mu.Unlock()
+		g.Wait()
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("acquisition order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	s := New(1)
+	s.Run(func() {
+		mu := s.NewMutex()
+		if !mu.TryLock() {
+			t.Error("TryLock on free mutex failed")
+		}
+		got, ran := false, false
+		s.Go("other", func() {
+			got = mu.TryLock()
+			ran = true
+		})
+		s.Sleep(time.Millisecond)
+		if !ran {
+			t.Fatal("other task never ran")
+		}
+		if got {
+			t.Error("TryLock on held mutex succeeded")
+		}
+		mu.Unlock()
+	})
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	s := New(1)
+	var woke []int
+	s.Run(func() {
+		mu := s.NewMutex()
+		cond := s.NewCond(mu)
+		ready := 0
+		g := env.GoEach(s, "waiter", 3, func(i int) {
+			mu.Lock()
+			ready++
+			cond.Wait()
+			woke = append(woke, i)
+			mu.Unlock()
+		})
+		for {
+			mu.Lock()
+			r := ready
+			mu.Unlock()
+			if r == 3 {
+				break
+			}
+			s.Sleep(time.Millisecond)
+		}
+		for i := 0; i < 3; i++ {
+			mu.Lock()
+			cond.Signal()
+			mu.Unlock()
+			s.Sleep(time.Millisecond)
+		}
+		g.Wait()
+	})
+	for i, v := range woke {
+		if v != i {
+			t.Fatalf("wake order %v, want FIFO", woke)
+		}
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s := New(2)
+	woken := 0
+	s.Run(func() {
+		mu := s.NewMutex()
+		cond := s.NewCond(mu)
+		stop := false
+		g := env.GoEach(s, "waiter", 4, func(int) {
+			mu.Lock()
+			for !stop {
+				cond.Wait()
+			}
+			woken++
+			mu.Unlock()
+		})
+		s.Sleep(time.Millisecond)
+		mu.Lock()
+		stop = true
+		cond.Broadcast()
+		mu.Unlock()
+		g.Wait()
+	})
+	if woken != 4 {
+		t.Errorf("woken = %d, want 4", woken)
+	}
+}
+
+func TestAfterFunc(t *testing.T) {
+	s := New(1)
+	var fired time.Duration
+	s.Run(func() {
+		done := s.NewChan(1)
+		s.AfterFunc(30*time.Millisecond, func() {
+			fired = s.Now()
+			done.Send(struct{}{})
+		})
+		done.Recv()
+	})
+	if fired != 30*time.Millisecond {
+		t.Errorf("fired at %v, want 30ms", fired)
+	}
+}
+
+func TestAfterFuncStop(t *testing.T) {
+	s := New(1)
+	firedCount := 0
+	s.Run(func() {
+		tm := s.AfterFunc(10*time.Millisecond, func() { firedCount++ })
+		if !tm.Stop() {
+			t.Error("Stop returned false on pending timer")
+		}
+		s.Sleep(50 * time.Millisecond)
+		if tm.Stop() {
+			t.Error("second Stop returned true")
+		}
+	})
+	if firedCount != 0 {
+		t.Errorf("stopped timer fired %d times", firedCount)
+	}
+}
+
+func TestChanBlockingAndClose(t *testing.T) {
+	s := New(2)
+	var got []int
+	var sendAfterClose bool
+	s.Run(func() {
+		ch := s.NewChan(2)
+		g := env.GoEach(s, "producer", 1, func(int) {
+			for i := 0; i < 5; i++ {
+				ch.Send(i)
+			}
+			ch.Close()
+			sendAfterClose = ch.Send(99)
+		})
+		for {
+			v, ok := ch.Recv()
+			if !ok {
+				break
+			}
+			got = append(got, v.(int))
+			s.Sleep(time.Millisecond) // force producer to block on the full queue
+		}
+		g.Wait()
+	})
+	if len(got) != 5 {
+		t.Fatalf("received %v, want 5 values", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("received %v, want 0..4 in order", got)
+		}
+	}
+	if sendAfterClose {
+		t.Error("Send after Close returned true")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two runs of an identical mixed workload must produce identical
+	// observation logs and identical final virtual times.
+	run := func() (string, time.Duration) {
+		s := New(3)
+		var log strings.Builder
+		var end time.Duration
+		s.Run(func() {
+			mu := s.NewMutex()
+			ch := s.NewChan(4)
+			g := env.GoEach(s, "w", 6, func(i int) {
+				for j := 0; j < 4; j++ {
+					s.Compute(time.Duration(i+1) * time.Millisecond)
+					mu.Lock()
+					fmt.Fprintf(&log, "%d.%d@%v ", i, j, s.Now())
+					mu.Unlock()
+					ch.Send(i)
+				}
+			})
+			for k := 0; k < 24; k++ {
+				ch.Recv()
+			}
+			g.Wait()
+			end = s.Now()
+		})
+		return log.String(), end
+	}
+	log1, end1 := run()
+	log2, end2 := run()
+	if log1 != log2 {
+		t.Errorf("logs differ:\n%s\n%s", log1, log2)
+	}
+	if end1 != end2 {
+		t.Errorf("end times differ: %v vs %v", end1, end2)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "deadlock") {
+			t.Errorf("panic = %v, want deadlock diagnostics", r)
+		}
+	}()
+	s.Run(func() {
+		mu := s.NewMutex()
+		mu.Lock()
+		mu.Lock() // self-deadlock, no timers pending
+	})
+}
+
+func TestTaskPanicPropagates(t *testing.T) {
+	s := New(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate from task")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Errorf("panic = %v, want to contain 'boom'", r)
+		}
+	}()
+	s.Run(func() {
+		s.Go("bad", func() { panic("boom") })
+		s.Sleep(time.Hour)
+	})
+}
+
+func TestRunKillsLeftoverTasks(t *testing.T) {
+	// A task blocked forever must not prevent Run from returning, and its
+	// goroutine must be torn down (observed via the deferred marker).
+	s := New(1)
+	cleaned := make(chan struct{})
+	s.Run(func() {
+		mu := s.NewMutex()
+		mu.Lock()
+		s.Go("stuck", func() {
+			defer close(cleaned)
+			mu.Lock()
+		})
+		s.Sleep(time.Millisecond)
+	})
+	select {
+	case <-cleaned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leftover task was not torn down")
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Run(func() {
+		s.Go("other", func() { order = append(order, "other") })
+		s.Sleep(0)
+		order = append(order, "main")
+	})
+	if len(order) != 2 || order[0] != "other" || order[1] != "main" {
+		t.Errorf("order = %v, want [other main]", order)
+	}
+}
+
+func TestNestedSpawnAndJoin(t *testing.T) {
+	s := New(4)
+	total := 0
+	s.Run(func() {
+		mu := s.NewMutex()
+		outer := env.GoEach(s, "outer", 3, func(int) {
+			inner := env.GoEach(s, "inner", 3, func(int) {
+				s.Compute(time.Millisecond)
+				mu.Lock()
+				total++
+				mu.Unlock()
+			})
+			inner.Wait()
+		})
+		outer.Wait()
+	})
+	if total != 9 {
+		t.Errorf("total = %d, want 9", total)
+	}
+}
+
+func TestMachinesAreIndependentCPUPools(t *testing.T) {
+	// Two machines with 1 core each: two concurrent computes on DIFFERENT
+	// machines overlap; two on the SAME machine serialize.
+	s := New(1)
+	m1 := s.AddMachine(1)
+	var sameElapsed, crossElapsed time.Duration
+	s.Run(func() {
+		start := s.Now()
+		g := env.NewGroup(s)
+		g.Add(2)
+		s.Go("a", func() { defer g.Done(); s.Compute(10 * time.Millisecond) })
+		s.Go("b", func() { defer g.Done(); s.Compute(10 * time.Millisecond) })
+		g.Wait()
+		sameElapsed = s.Now() - start
+
+		start = s.Now()
+		g2 := env.NewGroup(s)
+		g2.Add(2)
+		s.Go("c", func() { defer g2.Done(); s.Compute(10 * time.Millisecond) })
+		s.GoOn(m1, "d", func() { defer g2.Done(); s.Compute(10 * time.Millisecond) })
+		g2.Wait()
+		crossElapsed = s.Now() - start
+	})
+	if sameElapsed != 20*time.Millisecond {
+		t.Errorf("same machine: %v, want 20ms (serialized)", sameElapsed)
+	}
+	if crossElapsed != 10*time.Millisecond {
+		t.Errorf("cross machine: %v, want 10ms (parallel)", crossElapsed)
+	}
+}
+
+func TestMachineInheritedBySpawnedTasks(t *testing.T) {
+	s := New(1)
+	m1 := s.AddMachine(1)
+	var elapsed time.Duration
+	s.Run(func() {
+		g := env.NewGroup(s)
+		g.Add(1)
+		s.GoOn(m1, "parent", func() {
+			defer g.Done()
+			inner := env.GoEach(s, "child", 2, func(int) {
+				s.Compute(10 * time.Millisecond)
+			})
+			inner.Wait()
+		})
+		start := s.Now()
+		g.Wait()
+		elapsed = s.Now() - start
+	})
+	// Both children inherited machine 1 (1 core): serialized to 20ms.
+	if elapsed != 20*time.Millisecond {
+		t.Errorf("children elapsed %v, want 20ms on the inherited 1-core machine", elapsed)
+	}
+}

@@ -1,0 +1,319 @@
+// Package storage provides the durable state Rex replicas need: an
+// append-only record log for the consensus engine (acceptor promises,
+// accepted values, chosen values) and a snapshot store for checkpoints
+// (§3.3). Both have an in-memory implementation for simulation and tests
+// and a file-backed implementation for cmd/rexd.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is an append-only record log. Append must be durable before it
+// returns (to the level the implementation promises).
+type Log interface {
+	// Append adds one record.
+	Append(rec []byte) error
+	// Records returns all records in append order.
+	Records() ([][]byte, error)
+	// Rewrite atomically replaces the log's contents (compaction).
+	Rewrite(recs [][]byte) error
+	// Close releases resources.
+	Close() error
+}
+
+// SnapshotStore persists checkpoint snapshots.
+type SnapshotStore interface {
+	// Save stores a snapshot for the given checkpoint id, replacing any
+	// previous snapshot.
+	Save(id uint64, data []byte) error
+	// Load returns the most recent snapshot, if any.
+	Load() (id uint64, data []byte, ok bool, err error)
+}
+
+// MemLog is an in-memory Log.
+type MemLog struct {
+	mu   sync.Mutex
+	recs [][]byte
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (l *MemLog) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, append([]byte(nil), rec...))
+	return nil
+}
+
+// Records implements Log.
+func (l *MemLog) Records() ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.recs))
+	copy(out, l.recs)
+	return out, nil
+}
+
+// Rewrite implements Log.
+func (l *MemLog) Rewrite(recs [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = nil
+	for _, r := range recs {
+		l.recs = append(l.recs, append([]byte(nil), r...))
+	}
+	return nil
+}
+
+// Close implements Log.
+func (l *MemLog) Close() error { return nil }
+
+// MemSnapshots is an in-memory SnapshotStore.
+type MemSnapshots struct {
+	mu   sync.Mutex
+	id   uint64
+	data []byte
+	has  bool
+}
+
+// NewMemSnapshots returns an empty in-memory snapshot store.
+func NewMemSnapshots() *MemSnapshots { return &MemSnapshots{} }
+
+// Save implements SnapshotStore.
+func (s *MemSnapshots) Save(id uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.id = id
+	s.data = append([]byte(nil), data...)
+	s.has = true
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (s *MemSnapshots) Load() (uint64, []byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.has {
+		return 0, nil, false, nil
+	}
+	return s.id, append([]byte(nil), s.data...), true, nil
+}
+
+// FileLog is a file-backed Log. Records are framed as
+// [len uint32][crc uint32][payload]; recovery stops at the first torn or
+// corrupt frame, which is the expected state after a crash mid-append.
+type FileLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	sync bool
+}
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("storage: log closed")
+
+// OpenFileLog opens (creating if needed) a file log. If syncEach is true,
+// every Append fsyncs.
+func OpenFileLog(path string, syncEach bool) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileLog{path: path, f: f, sync: syncEach}, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	if l.sync {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Records implements Log.
+func (l *FileLog) Records() ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, ErrClosed
+	}
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil, err
+	}
+	var recs [][]byte
+	for off := 0; off+8 <= len(data); {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if off+8+n > len(data) {
+			break // torn tail
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(body) != crc {
+			break // corrupt tail
+		}
+		recs = append(recs, append([]byte(nil), body...))
+		off += 8 + n
+	}
+	return recs, nil
+}
+
+// Rewrite implements Log: writes a fresh log beside the old one and renames
+// it into place, so compaction is crash-atomic.
+func (l *FileLog) Rewrite(recs [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
+		if _, err := nf.Write(hdr[:]); err != nil {
+			nf.Close()
+			return err
+		}
+		if _, err := nf.Write(rec); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	l.f.Close()
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		l.f = nil
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		l.f = nil
+		return err
+	}
+	l.f = f
+	return nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// FileSnapshots stores snapshots as files in a directory, one per
+// checkpoint, keeping only the latest.
+type FileSnapshots struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// NewFileSnapshots returns a snapshot store rooted at dir (created if
+// needed).
+func NewFileSnapshots(dir string) (*FileSnapshots, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileSnapshots{dir: dir}, nil
+}
+
+// Save implements SnapshotStore.
+func (s *FileSnapshots) Save(id uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(s.dir, "snap.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, fmt.Sprintf("snap-%016d", id))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	// Drop older snapshots.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil //nolint:nilerr // best-effort cleanup
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(final) && len(e.Name()) == len("snap-0000000000000000") {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (s *FileSnapshots) Load() (uint64, []byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	best := ""
+	var bestID uint64
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%d", &id); err == nil {
+			if best == "" || id > bestID {
+				best, bestID = e.Name(), id
+			}
+		}
+	}
+	if best == "" {
+		return 0, nil, false, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, best))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return bestID, data, true, nil
+}

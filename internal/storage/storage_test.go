@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func testLog(t *testing.T, open func(t *testing.T) Log) {
+	t.Helper()
+	l := open(t)
+	defer l.Close()
+	recs := [][]byte{[]byte("a"), []byte("bb"), {}, []byte("dddd")}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got, err := l.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], recs[i])
+		}
+	}
+	if err := l.Rewrite([][]byte{[]byte("only")}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	got, _ = l.Records()
+	if len(got) != 1 || string(got[0]) != "only" {
+		t.Fatalf("after rewrite: %q", got)
+	}
+	if err := l.Append([]byte("more")); err != nil {
+		t.Fatalf("Append after rewrite: %v", err)
+	}
+	got, _ = l.Records()
+	if len(got) != 2 || string(got[1]) != "more" {
+		t.Fatalf("after rewrite+append: %q", got)
+	}
+}
+
+func TestMemLog(t *testing.T) {
+	testLog(t, func(t *testing.T) Log { return NewMemLog() })
+}
+
+func TestFileLog(t *testing.T) {
+	testLog(t, func(t *testing.T) Log {
+		l, err := OpenFileLog(filepath.Join(t.TempDir(), "wal"), false)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return l
+	})
+}
+
+func TestFileLogReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := OpenFileLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	l.Close()
+	l2, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.Records()
+	if err != nil || len(got) != 2 || string(got[1]) != "two" {
+		t.Fatalf("reopen: %v %q", err, got)
+	}
+	l2.Append([]byte("three"))
+	got, _ = l2.Records()
+	if len(got) != 3 {
+		t.Fatalf("append after reopen: %q", got)
+	}
+}
+
+func TestFileLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := OpenFileLog(path, false)
+	l.Append([]byte("good"))
+	l.Append([]byte("alsogood"))
+	l.Close()
+	// Simulate a crash mid-append: truncate the file inside the last frame.
+	info, _ := os.Stat(path)
+	os.Truncate(path, info.Size()-3)
+	l2, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("after torn tail: %q", got)
+	}
+}
+
+func TestFileLogCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := OpenFileLog(path, false)
+	l.Append([]byte("good"))
+	l.Append([]byte("soon-corrupt"))
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+	l2, _ := OpenFileLog(path, false)
+	defer l2.Close()
+	got, _ := l2.Records()
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("after corrupt tail: %q", got)
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	stores := map[string]SnapshotStore{
+		"mem": NewMemSnapshots(),
+	}
+	fs, err := NewFileSnapshots(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["file"] = fs
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			if _, _, ok, err := s.Load(); ok || err != nil {
+				t.Fatalf("empty Load = %v, %v", ok, err)
+			}
+			if err := s.Save(3, []byte("v3")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save(7, []byte("v7")); err != nil {
+				t.Fatal(err)
+			}
+			id, data, ok, err := s.Load()
+			if err != nil || !ok || id != 7 || string(data) != "v7" {
+				t.Fatalf("Load = %d %q %v %v", id, data, ok, err)
+			}
+		})
+	}
+}
+
+func TestQuickFileLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(recs [][]byte) bool {
+		i++
+		path := filepath.Join(dir, "wal", "")
+		os.Remove(path)
+		l, err := OpenFileLog(path, false)
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+		if err := l.Rewrite(nil); err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if err := l.Append(r); err != nil {
+				return false
+			}
+		}
+		got, err := l.Records()
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for j := range recs {
+			if !bytes.Equal(got[j], recs[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,473 @@
+// Package trace defines Rex's partially ordered execution traces: the
+// synchronization events and causal edges a primary records during the
+// execute stage, the unit replicas agree on during the agree stage, and the
+// script secondaries follow during the follow stage.
+//
+// A trace holds, per logical thread, an append-only event log. An event is
+// identified by (thread, clock) where the clock is the 1-based index of the
+// event in its thread's log. Causal edges are stored with their destination
+// event. The trace also carries the request payload table (the committed
+// trace is the replicated log: it contains both client requests and the
+// synchronization events — §6.3) and checkpoint marks (§3.3).
+package trace
+
+import "fmt"
+
+// EventID identifies a synchronization event: the logical thread it occurred
+// on and its 1-based per-thread logical clock.
+type EventID struct {
+	Thread int32
+	Clock  int32
+}
+
+func (e EventID) String() string { return fmt.Sprintf("(%d,%d)", e.Thread, e.Clock) }
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. The Res and Arg fields of Event are interpreted per kind as
+// documented on each constant.
+const (
+	KindInvalid Kind = iota
+	// KindReqBegin marks a worker starting a request. Res = index of the
+	// request in the trace's request table.
+	KindReqBegin
+	// KindReqEnd marks request completion. Res = request-table index,
+	// Arg = FNV-64a hash of the response (for result checking, §5.1).
+	KindReqEnd
+	// KindLockAcq is a successful mutex acquisition. Res = resource id,
+	// Arg = resource version (for version checking, §5.1).
+	KindLockAcq
+	// KindLockRel is a mutex release. Res = resource id, Arg = version.
+	KindLockRel
+	// KindTryAcq is a successful TryLock. Res/Arg as KindLockAcq.
+	KindTryAcq
+	// KindTryFail is a failed TryLock (Fig. 4). Res = resource id,
+	// Arg = version observed.
+	KindTryFail
+	// KindRLockAcq / KindRLockRel are reader acquisitions/releases of a
+	// readers–writer lock. Res = resource id, Arg = version.
+	KindRLockAcq
+	KindRLockRel
+	// KindWLockAcq / KindWLockRel are writer acquisitions/releases.
+	KindWLockAcq
+	KindWLockRel
+	// KindSemAcq / KindSemRel are semaphore acquire/release. Res = resource
+	// id, Arg = version.
+	KindSemAcq
+	KindSemRel
+	// KindCondWaitBegin marks entry to Cond.Wait: it releases the associated
+	// lock (acts as the release event in the lock's causal chain).
+	// Res = lock resource id, Arg = version.
+	KindCondWaitBegin
+	// KindCondWake marks return from Cond.Wait: it reacquires the associated
+	// lock (acts as the acquire event in the lock's chain) and carries an
+	// edge from the signal/broadcast event that enabled it.
+	// Res = lock resource id, Arg = version.
+	KindCondWake
+	// KindCondSignal / KindCondBroadcast are Signal/Broadcast events.
+	// Res = condition-variable resource id, Arg = version.
+	KindCondSignal
+	KindCondBroadcast
+	// KindValue records the result of a nondeterministic function
+	// (Ctx.Now, Ctx.Rand, ...). Res = a small tag, Arg = the value.
+	KindValue
+	// KindTimerFire marks a background timer callback starting.
+	// Res = timer id, Arg = firing sequence number.
+	KindTimerFire
+	kindMax
+)
+
+var kindNames = [...]string{
+	KindInvalid:       "invalid",
+	KindReqBegin:      "req-begin",
+	KindReqEnd:        "req-end",
+	KindLockAcq:       "lock-acq",
+	KindLockRel:       "lock-rel",
+	KindTryAcq:        "try-acq",
+	KindTryFail:       "try-fail",
+	KindRLockAcq:      "rlock-acq",
+	KindRLockRel:      "rlock-rel",
+	KindWLockAcq:      "wlock-acq",
+	KindWLockRel:      "wlock-rel",
+	KindSemAcq:        "sem-acq",
+	KindSemRel:        "sem-rel",
+	KindCondWaitBegin: "cond-waitbegin",
+	KindCondWake:      "cond-wake",
+	KindCondSignal:    "cond-signal",
+	KindCondBroadcast: "cond-broadcast",
+	KindValue:         "value",
+	KindTimerFire:     "timer-fire",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one synchronization event. Its identity (thread, clock) is
+// implicit in its position within a thread log.
+type Event struct {
+	Kind Kind
+	Res  uint32
+	Arg  uint64
+}
+
+// Req is a client request carried in the trace.
+type Req struct {
+	Client uint64
+	Seq    uint64
+	Body   []byte
+}
+
+// Cut is a per-thread vector of clocks; thread t's events with clock ≤
+// Cut[t] are inside the cut.
+type Cut []int32
+
+// Clone returns an independent copy of c.
+func (c Cut) Clone() Cut {
+	o := make(Cut, len(c))
+	copy(o, c)
+	return o
+}
+
+// Covers reports whether event id is inside the cut.
+func (c Cut) Covers(id EventID) bool {
+	return int(id.Thread) < len(c) && c[id.Thread] >= id.Clock
+}
+
+// AtLeast reports whether c includes o pointwise (o is a prefix of c).
+func (c Cut) AtLeast(o Cut) bool {
+	for i := range o {
+		var ci int32
+		if i < len(c) {
+			ci = c[i]
+		}
+		if ci < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two cuts are pointwise equal (missing entries
+// count as zero).
+func (c Cut) Equal(o Cut) bool {
+	return c.AtLeast(o) && o.AtLeast(c)
+}
+
+// Mark is a checkpoint mark embedded in the trace: when replay reaches Cut,
+// the designated secondary snapshots the application (§3.3).
+type Mark struct {
+	ID  uint64
+	Cut Cut
+}
+
+// ThreadLog is the event log of one logical thread. Events[i] is the event
+// with clock Base+i+1; In[i] holds the source events of the causal edges
+// whose destination is that event. Base > 0 after prefix garbage
+// collection (§3.3: everything before a checkpoint's cut can be dropped)
+// or when the trace was reconstructed from a checkpoint.
+type ThreadLog struct {
+	Base   int32
+	Events []Event
+	In     [][]EventID
+}
+
+// Append adds an event with its incoming edges and returns its EventID.
+func (l *ThreadLog) Append(thread int32, ev Event, in []EventID) EventID {
+	l.Events = append(l.Events, ev)
+	l.In = append(l.In, in)
+	return EventID{Thread: thread, Clock: l.Base + int32(len(l.Events))}
+}
+
+// forgetTo drops events with clock ≤ c (clamped to what is present).
+func (l *ThreadLog) forgetTo(c int32) {
+	drop := int(c - l.Base)
+	if drop <= 0 {
+		return
+	}
+	if drop > len(l.Events) {
+		drop = len(l.Events)
+	}
+	l.Events = append([]Event(nil), l.Events[drop:]...)
+	l.In = append([][]EventID(nil), l.In[drop:]...)
+	l.Base += int32(drop)
+}
+
+// Trace is a partially ordered execution trace over a fixed set of logical
+// threads. Reqs[i] is the request with global index ReqsBase+i; requests
+// below ReqsBase were garbage collected (any still in flight at the
+// collection cut live in Stash, populated from a checkpoint's live-request
+// list).
+type Trace struct {
+	Threads  []ThreadLog
+	ReqsBase uint64
+	Reqs     []Req
+	Stash    map[uint64]Req
+	Marks    []Mark
+}
+
+// New returns an empty trace over n logical threads.
+func New(n int) *Trace {
+	return &Trace{Threads: make([]ThreadLog, n)}
+}
+
+// NewAt returns an empty trace whose frontier is already at cut with
+// reqBase requests considered present-but-collected. A replica restoring
+// from a checkpoint uses it as the base to apply post-checkpoint deltas
+// onto; the region before the cut is never replayed (the replayer starts
+// at or beyond it).
+func NewAt(n int, cut Cut, reqBase uint64) *Trace {
+	tr := New(n)
+	for t := 0; t < n; t++ {
+		if t < len(cut) {
+			tr.Threads[t].Base = cut[t]
+		}
+	}
+	tr.ReqsBase = reqBase
+	return tr
+}
+
+// StashReq registers a request that predates ReqsBase (a checkpoint's
+// live request): it is still replayable via Req().
+func (tr *Trace) StashReq(idx uint64, r Req) {
+	if tr.Stash == nil {
+		tr.Stash = make(map[uint64]Req)
+	}
+	tr.Stash[idx] = r
+}
+
+// Req returns the request with the given global index.
+func (tr *Trace) Req(idx uint64) (Req, bool) {
+	if idx >= tr.ReqsBase {
+		if off := idx - tr.ReqsBase; off < uint64(len(tr.Reqs)) {
+			return tr.Reqs[off], true
+		}
+		return Req{}, false
+	}
+	r, ok := tr.Stash[idx]
+	return r, ok
+}
+
+// LiveLowWater returns the smallest request index that may still be
+// needed given that all requests completed (req-end) inside cut are done:
+// the lowest live request, or the end of the table when everything
+// completed.
+func (tr *Trace) LiveLowWater(cut Cut) uint64 {
+	done := make(map[uint64]bool)
+	for t := range tr.Threads {
+		l := &tr.Threads[t]
+		limit := int32(0)
+		if t < len(cut) {
+			limit = cut[t]
+		}
+		for c := l.Base + 1; c <= limit; c++ {
+			ev := l.Events[c-1-l.Base]
+			if ev.Kind == KindReqEnd {
+				done[uint64(ev.Res)] = true
+			}
+		}
+	}
+	low := tr.ReqsBase + uint64(len(tr.Reqs))
+	for idx := range tr.Stash {
+		if !done[idx] && idx < low {
+			low = idx
+		}
+	}
+	for i := range tr.Reqs {
+		idx := tr.ReqsBase + uint64(i)
+		if !done[idx] && idx < low {
+			low = idx
+		}
+	}
+	return low
+}
+
+// Forget garbage-collects the trace prefix covered by a checkpoint: all
+// events with clocks inside cut and all requests below keepReqsFrom
+// (typically the checkpoint's lowest live request index). Callers must
+// ensure nothing will read inside the forgotten region again — on a
+// secondary, that replay has executed past cut.
+func (tr *Trace) Forget(cut Cut, keepReqsFrom uint64) {
+	for t := range tr.Threads {
+		if t < len(cut) {
+			tr.Threads[t].forgetTo(cut[t])
+		}
+	}
+	if keepReqsFrom > tr.ReqsBase {
+		drop := keepReqsFrom - tr.ReqsBase
+		if drop > uint64(len(tr.Reqs)) {
+			drop = uint64(len(tr.Reqs))
+		}
+		tr.Reqs = append([]Req(nil), tr.Reqs[drop:]...)
+		tr.ReqsBase += drop
+	}
+	for idx := range tr.Stash {
+		if idx < keepReqsFrom {
+			delete(tr.Stash, idx)
+		}
+	}
+	kept := tr.Marks[:0]
+	for _, m := range tr.Marks {
+		if !cut.AtLeast(m.Cut) || m.Cut.Equal(cut) {
+			kept = append(kept, m)
+		}
+	}
+	tr.Marks = kept
+}
+
+// NumThreads returns the number of logical threads.
+func (tr *Trace) NumThreads() int { return len(tr.Threads) }
+
+// Cut returns the trace's current frontier (all events).
+func (tr *Trace) Cut() Cut {
+	c := make(Cut, len(tr.Threads))
+	for i := range tr.Threads {
+		c[i] = tr.Threads[i].Base + int32(len(tr.Threads[i].Events))
+	}
+	return c
+}
+
+// Event returns the event with the given id, which must not have been
+// garbage collected.
+func (tr *Trace) Event(id EventID) Event {
+	l := &tr.Threads[id.Thread]
+	return l.Events[id.Clock-1-l.Base]
+}
+
+// In returns the incoming edge sources of the event with the given id.
+func (tr *Trace) In(id EventID) []EventID {
+	l := &tr.Threads[id.Thread]
+	return l.In[id.Clock-1-l.Base]
+}
+
+// EventCount returns the total number of events.
+func (tr *Trace) EventCount() int {
+	n := 0
+	for i := range tr.Threads {
+		n += len(tr.Threads[i].Events)
+	}
+	return n
+}
+
+// EdgeCount returns the total number of causal edges.
+func (tr *Trace) EdgeCount() int {
+	n := 0
+	for i := range tr.Threads {
+		for _, in := range tr.Threads[i].In {
+			n += len(in)
+		}
+	}
+	return n
+}
+
+// ConsistentCut computes the trace's last consistent cut: the maximal cut
+// such that for every causal edge whose destination is inside the cut, the
+// source is inside the cut too (§3.2). base must be a known-consistent cut
+// (use a zero cut for the whole trace); only events beyond base are
+// examined, which makes incremental maintenance cheap.
+func (tr *Trace) ConsistentCut(base Cut) Cut {
+	cut := tr.Cut()
+	for i := range base {
+		if i < len(cut) && cut[i] < base[i] {
+			panic(fmt.Sprintf("trace: base cut %v beyond available events %v", base, cut))
+		}
+	}
+	for {
+		changed := false
+		for t := range tr.Threads {
+			lo := tr.Threads[t].Base
+			if t < len(base) && base[t] > lo {
+				lo = base[t]
+			}
+			limit := cut[t]
+			for c := lo + 1; c <= limit; c++ {
+				violated := false
+				for _, src := range tr.Threads[t].In[c-1-tr.Threads[t].Base] {
+					if !cut.Covers(src) {
+						violated = true
+						break
+					}
+				}
+				if violated {
+					cut[t] = c - 1
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return cut
+		}
+	}
+}
+
+// IsConsistent reports whether cut is a consistent cut of the trace.
+// Garbage-collected prefixes are assumed consistent (they were covered by
+// a checkpoint at a consistent cut).
+func (tr *Trace) IsConsistent(cut Cut) bool {
+	for t := range tr.Threads {
+		l := &tr.Threads[t]
+		limit := int32(0)
+		if t < len(cut) {
+			limit = cut[t]
+		}
+		if limit > l.Base+int32(len(l.Events)) {
+			return false
+		}
+		for c := l.Base + 1; c <= limit; c++ {
+			for _, src := range l.In[c-1-l.Base] {
+				if !cut.Covers(src) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TruncateTo discards all events beyond cut, along with marks beyond it.
+// Used when a new primary rebases the trace to the last consistent cut
+// after a leader change (§3.2).
+//
+// The request table is deliberately left untouched: its length is part of
+// the replicated state (delta base checks compare it), and replicas that
+// restored from a checkpoint hold placeholder events from which references
+// cannot be recomputed. A request orphaned by the truncation (admitted by
+// the old primary but never begun) simply stays in the table unexecuted;
+// its client retries at the new primary.
+func (tr *Trace) TruncateTo(cut Cut) {
+	for t := range tr.Threads {
+		l := &tr.Threads[t]
+		limit := int(cut[t] - l.Base)
+		if limit < 0 {
+			panic(fmt.Sprintf("trace: truncation cut %v inside the collected prefix (base %d)", cut, l.Base))
+		}
+		l.Events = l.Events[:limit]
+		l.In = l.In[:limit]
+	}
+	kept := tr.Marks[:0]
+	for _, m := range tr.Marks {
+		if cut.AtLeast(m.Cut) {
+			kept = append(kept, m)
+		}
+	}
+	tr.Marks = kept
+}
+
+// Stats summarizes a trace for the §4.2/§6.3 measurements.
+type Stats struct {
+	Events       int
+	Edges        int
+	Reqs         int
+	EncodedBytes int
+}
+
+// Stats computes summary statistics; EncodedBytes is filled by callers that
+// encode the trace.
+func (tr *Trace) Stats() Stats {
+	return Stats{Events: tr.EventCount(), Edges: tr.EdgeCount(), Reqs: len(tr.Reqs)}
+}

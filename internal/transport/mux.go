@@ -1,0 +1,72 @@
+package transport
+
+import "rex/internal/env"
+
+// Mux multiplexes several logical channels over one Endpoint by prefixing
+// each payload with a channel tag. Rex uses channel 0 for Paxos and
+// channel 1 for its control plane (checkpoint transfer, replay status).
+type Mux struct {
+	ep   Endpoint
+	subs []*muxEndpoint
+}
+
+// NewMux wraps ep into n logical channels and starts the demux pump.
+func NewMux(e env.Env, ep Endpoint, n int) *Mux {
+	m := &Mux{ep: ep}
+	for ch := 0; ch < n; ch++ {
+		m.subs = append(m.subs, &muxEndpoint{
+			mux:   m,
+			tag:   byte(ch),
+			inbox: e.NewChan(0),
+		})
+	}
+	e.Go("transport-mux", func() {
+		for {
+			payload, from, ok := ep.Recv()
+			if !ok {
+				for _, s := range m.subs {
+					s.inbox.Close()
+				}
+				return
+			}
+			if len(payload) == 0 || int(payload[0]) >= len(m.subs) {
+				continue // unroutable
+			}
+			m.subs[payload[0]].inbox.TrySend(delivery{payload: payload[1:], from: from})
+		}
+	})
+	return m
+}
+
+// Channel returns logical channel ch as an Endpoint.
+func (m *Mux) Channel(ch int) Endpoint { return m.subs[ch] }
+
+// Close closes the underlying endpoint (which stops the pump and closes
+// every channel).
+func (m *Mux) Close() { m.ep.Close() }
+
+type muxEndpoint struct {
+	mux   *Mux
+	tag   byte
+	inbox env.Chan
+}
+
+func (s *muxEndpoint) ID() int { return s.mux.ep.ID() }
+
+func (s *muxEndpoint) Send(to int, payload []byte) {
+	buf := make([]byte, 0, len(payload)+1)
+	buf = append(buf, s.tag)
+	buf = append(buf, payload...)
+	s.mux.ep.Send(to, buf)
+}
+
+func (s *muxEndpoint) Recv() ([]byte, int, bool) {
+	v, ok := s.inbox.Recv()
+	if !ok {
+		return nil, 0, false
+	}
+	d := v.(delivery)
+	return d.payload, d.from, true
+}
+
+func (s *muxEndpoint) Close() { s.inbox.Close() }

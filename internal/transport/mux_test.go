@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"rex/internal/sim"
+)
+
+func TestMuxRoutesChannels(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, time.Millisecond, 1)
+		muxA := NewMux(e, nw.Endpoint(0), 2)
+		muxB := NewMux(e, nw.Endpoint(1), 2)
+		defer muxA.Close()
+		defer muxB.Close()
+
+		muxA.Channel(0).Send(1, []byte("paxos"))
+		muxA.Channel(1).Send(1, []byte("ctrl"))
+
+		p, from, ok := muxB.Channel(0).Recv()
+		if !ok || from != 0 || string(p) != "paxos" {
+			t.Fatalf("channel 0 got %q from %d ok=%v", p, from, ok)
+		}
+		c, _, ok := muxB.Channel(1).Recv()
+		if !ok || string(c) != "ctrl" {
+			t.Fatalf("channel 1 got %q ok=%v", c, ok)
+		}
+	})
+}
+
+func TestMuxDropsUnroutable(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, 0, 1)
+		mux := NewMux(e, nw.Endpoint(1), 1)
+		defer mux.Close()
+		// A raw frame with an out-of-range channel tag must be dropped, not
+		// crash the pump.
+		nw.Endpoint(0).Send(1, []byte{7, 'x'})
+		nw.Endpoint(0).Send(1, []byte{}) // empty frame
+		nw.Endpoint(0).Send(1, []byte{0, 'o', 'k'})
+		e.Sleep(time.Millisecond)
+		p, _, ok := mux.Channel(0).Recv()
+		if !ok || string(p) != "ok" {
+			t.Fatalf("got %q ok=%v", p, ok)
+		}
+	})
+}
+
+func TestMuxCloseClosesChannels(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, 0, 1)
+		mux := NewMux(e, nw.Endpoint(0), 2)
+		done := 0
+		for ch := 0; ch < 2; ch++ {
+			ch := ch
+			e.Go("rx", func() {
+				_, _, ok := mux.Channel(ch).Recv()
+				if !ok {
+					done++
+				}
+			})
+		}
+		e.Sleep(time.Millisecond)
+		mux.Close()
+		e.Sleep(time.Millisecond)
+		if done != 2 {
+			t.Errorf("%d channel receivers unblocked, want 2", done)
+		}
+	})
+}
+
+func TestMuxID(t *testing.T) {
+	e := sim.New(1)
+	e.Run(func() {
+		nw := NewNetwork(e, 3, 0, 1)
+		mux := NewMux(e, nw.Endpoint(2), 1)
+		defer mux.Close()
+		if got := mux.Channel(0).ID(); got != 2 {
+			t.Errorf("channel ID = %d, want 2", got)
+		}
+	})
+}

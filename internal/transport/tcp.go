@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPEndpoint implements Endpoint over TCP for real deployments
+// (cmd/rexd). Peers dial lazily and reconnect on failure; a message that
+// cannot be delivered is dropped, which the consensus engine tolerates.
+// Use only under the real environment (it blocks OS threads).
+type TCPEndpoint struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn
+	closed bool
+
+	inbox chan tcpDelivery
+	wg    sync.WaitGroup
+}
+
+type tcpDelivery struct {
+	payload []byte
+	from    int
+}
+
+// Frame: [4-byte big-endian length][4-byte big-endian sender id][payload].
+const tcpMaxFrame = 64 << 20
+
+// ListenTCP starts an endpoint for replica id; addrs[i] is replica i's
+// listen address.
+func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("transport: id %d out of range for %d peers", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, err
+	}
+	ep := &TCPEndpoint{
+		id:    id,
+		addrs: addrs,
+		ln:    ln,
+		conns: make(map[int]net.Conn),
+		inbox: make(chan tcpDelivery, 4096),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// ID implements Endpoint.
+func (ep *TCPEndpoint) ID() int { return ep.id }
+
+// Addr returns the bound listen address.
+func (ep *TCPEndpoint) Addr() net.Addr { return ep.ln.Addr() }
+
+func (ep *TCPEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return
+		}
+		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *TCPEndpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer conn.Close()
+	for {
+		payload, from, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		ep.mu.Lock()
+		closed := ep.closed
+		ep.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case ep.inbox <- tcpDelivery{payload: payload, from: from}:
+		default:
+			// Inbox overflow: drop, like a congested network.
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, int, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	from := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if n > tcpMaxFrame {
+		return nil, 0, errors.New("transport: oversized frame")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, err
+	}
+	return payload, from, nil
+}
+
+func writeFrame(w io.Writer, from int, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(from))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func (ep *TCPEndpoint) conn(to int) (net.Conn, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if c, ok := ep.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.DialTimeout("tcp", ep.addrs[to], 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	ep.conns[to] = c
+	return c, nil
+}
+
+// Send implements Endpoint. Failures drop the message and the cached
+// connection; the next Send re-dials.
+func (ep *TCPEndpoint) Send(to int, payload []byte) {
+	if to == ep.id {
+		select {
+		case ep.inbox <- tcpDelivery{payload: payload, from: ep.id}:
+		default:
+		}
+		return
+	}
+	c, err := ep.conn(to)
+	if err != nil {
+		return
+	}
+	ep.mu.Lock()
+	err = writeFrame(c, ep.id, payload)
+	if err != nil {
+		c.Close()
+		delete(ep.conns, to)
+	}
+	ep.mu.Unlock()
+}
+
+// Recv implements Endpoint.
+func (ep *TCPEndpoint) Recv() ([]byte, int, bool) {
+	d, ok := <-ep.inbox
+	if !ok {
+		return nil, 0, false
+	}
+	return d.payload, d.from, true
+}
+
+// Close implements Endpoint.
+func (ep *TCPEndpoint) Close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	for _, c := range ep.conns {
+		c.Close()
+	}
+	ep.mu.Unlock()
+	ep.ln.Close()
+	close(ep.inbox)
+}

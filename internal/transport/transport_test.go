@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rex/internal/sim"
+)
+
+func TestDeliveryWithDelay(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, 5*time.Millisecond, 1)
+		a, b := nw.Endpoint(0), nw.Endpoint(1)
+		start := e.Now()
+		a.Send(1, []byte("hello"))
+		payload, from, ok := b.Recv()
+		if !ok || from != 0 || string(payload) != "hello" {
+			t.Fatalf("Recv = %q,%d,%v", payload, from, ok)
+		}
+		if got := e.Now() - start; got != 5*time.Millisecond {
+			t.Errorf("delivered after %v, want 5ms", got)
+		}
+	})
+}
+
+func TestSelfSendIsImmediate(t *testing.T) {
+	e := sim.New(1)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, 50*time.Millisecond, 1)
+		a := nw.Endpoint(0)
+		start := e.Now()
+		a.Send(0, []byte("loop"))
+		_, _, ok := a.Recv()
+		if !ok {
+			t.Fatal("self recv failed")
+		}
+		if got := e.Now() - start; got != 0 {
+			t.Errorf("self delivery took %v, want 0", got)
+		}
+	})
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, time.Millisecond, 1)
+		a, b := nw.Endpoint(0), nw.Endpoint(1)
+		for i := 0; i < 20; i++ {
+			a.Send(1, []byte(fmt.Sprintf("%d", i)))
+		}
+		for i := 0; i < 20; i++ {
+			payload, _, ok := b.Recv()
+			if !ok || string(payload) != fmt.Sprintf("%d", i) {
+				t.Fatalf("message %d = %q (ok=%v)", i, payload, ok)
+			}
+		}
+	})
+}
+
+func TestPartitionBlocksDirected(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, time.Millisecond, 1)
+		a, b := nw.Endpoint(0), nw.Endpoint(1)
+		nw.SetPartition(0, 1, true)
+		a.Send(1, []byte("blocked"))
+		b.Send(0, []byte("open"))
+		payload, _, ok := a.Recv()
+		if !ok || string(payload) != "open" {
+			t.Fatalf("reverse direction broken: %q", payload)
+		}
+		e.Sleep(10 * time.Millisecond)
+		if n := nw.inboxes[1].Len(); n != 0 {
+			t.Errorf("partitioned link delivered %d messages", n)
+		}
+		nw.SetPartition(0, 1, false)
+		a.Send(1, []byte("now"))
+		payload, _, _ = b.Recv()
+		if string(payload) != "now" {
+			t.Errorf("after healing got %q", payload)
+		}
+	})
+}
+
+func TestIsolationDropsBothDirectionsAndInFlight(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, 10*time.Millisecond, 1)
+		a := nw.Endpoint(0)
+		// Message in flight when the destination crashes: must be lost.
+		a.Send(1, []byte("inflight"))
+		e.Sleep(2 * time.Millisecond)
+		nw.Isolate(1, true)
+		e.Sleep(20 * time.Millisecond)
+		if n := nw.inboxes[1].Len(); n != 0 {
+			t.Errorf("crashed replica received %d in-flight messages", n)
+		}
+		nw.Isolate(1, false)
+		a.Send(1, []byte("alive"))
+		e.Sleep(20 * time.Millisecond)
+		if n := nw.inboxes[1].Len(); n != 1 {
+			t.Errorf("rejoined replica has %d queued, want 1", n)
+		}
+	})
+}
+
+func TestLossIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) uint64 {
+		var dropped uint64
+		e := sim.New(2)
+		e.Run(func() {
+			nw := NewNetwork(e, 2, time.Millisecond, seed)
+			nw.SetLoss(0.5)
+			a := nw.Endpoint(0)
+			for i := 0; i < 100; i++ {
+				a.Send(1, []byte("x"))
+			}
+			_, _, dropped = nw.Stats()
+		})
+		return dropped
+	}
+	if run(7) != run(7) {
+		t.Error("same seed produced different loss patterns")
+	}
+	if run(7) == 0 {
+		t.Error("50% loss dropped nothing")
+	}
+}
+
+func TestStatsCountBytes(t *testing.T) {
+	e := sim.New(1)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, 0, 1)
+		a := nw.Endpoint(0)
+		a.Send(1, make([]byte, 100))
+		a.Send(1, make([]byte, 50))
+		msgs, bytes, _ := nw.Stats()
+		if msgs != 2 || bytes != 150 {
+			t.Errorf("stats = %d msgs %d bytes, want 2, 150", msgs, bytes)
+		}
+	})
+}
+
+func TestCloseUnblocksReceiver(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, time.Millisecond, 1)
+		b := nw.Endpoint(1)
+		got := make(chan bool, 1)
+		e.Go("rx", func() {
+			_, _, ok := b.Recv()
+			got <- ok
+		})
+		e.Sleep(time.Millisecond)
+		b.Close()
+		e.Sleep(time.Millisecond)
+		select {
+		case ok := <-got:
+			if ok {
+				t.Error("Recv reported ok after Close")
+			}
+		default:
+			t.Error("receiver still blocked after Close")
+		}
+	})
+}

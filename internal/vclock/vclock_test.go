@@ -1,0 +1,90 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestObserveAndCovers(t *testing.T) {
+	v := New(4)
+	if v.Covers(2, 1) {
+		t.Error("fresh clock covers (2,1)")
+	}
+	v.Observe(2, 5)
+	if !v.Covers(2, 5) || !v.Covers(2, 1) {
+		t.Error("Observe(2,5) not covered")
+	}
+	if v.Covers(2, 6) {
+		t.Error("covers beyond observation")
+	}
+	v.Observe(2, 3) // must not regress
+	if !v.Covers(2, 5) {
+		t.Error("Observe regressed the clock")
+	}
+}
+
+func TestCoversOutOfRange(t *testing.T) {
+	v := New(2)
+	if v.Covers(5, 1) {
+		t.Error("covers an out-of-range thread")
+	}
+	v.Observe(5, 1) // must be a no-op, not a panic
+}
+
+func TestJoinIsPointwiseMax(t *testing.T) {
+	a := VC{1, 5, 0}
+	b := VC{3, 2, 7}
+	a.Join(b)
+	want := VC{3, 5, 7}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Join = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := VC{1, 2}
+	b := a.Clone()
+	b.Observe(0, 9)
+	if a[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestQuickJoinProperties(t *testing.T) {
+	// Join is idempotent, commutative (on equal lengths), and monotone.
+	f := func(xs, ys []uint8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = int32(xs[i]), int32(ys[i])
+		}
+		ab := a.Clone()
+		ab.Join(b)
+		ba := b.Clone()
+		ba.Join(a)
+		for i := 0; i < n; i++ {
+			if ab[i] != ba[i] {
+				return false // commutative
+			}
+			if ab[i] < a[i] || ab[i] < b[i] {
+				return false // monotone
+			}
+		}
+		again := ab.Clone()
+		again.Join(b)
+		for i := 0; i < n; i++ {
+			if again[i] != ab[i] {
+				return false // idempotent
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
