@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages under the race detector: the transport
+# torture tests plus the core replica lifecycle tests.
+race:
+	$(GO) test -race ./internal/transport ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+check: build vet test race

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -22,6 +23,7 @@ import (
 	"rex/internal/apps"
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/obs"
 	"rex/internal/server"
 	"rex/internal/storage"
 	"rex/internal/transport"
@@ -36,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 8, "request worker threads")
 	readWorkers := flag.Int("read-workers", 2, "read-only query threads")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = disabled)")
+	metricsAddr := flag.String("metrics", "", "address to serve the metrics text dump on (e.g. :8080; empty = disabled)")
 	verbose := flag.Bool("v", false, "verbose replica logging")
 	flag.Parse()
 
@@ -69,6 +72,9 @@ func main() {
 		log.Fatalf("rexd: listen: %v", err)
 	}
 
+	reg := obs.NewRegistry()
+	ep.RegisterMetrics(reg)
+
 	e := env.NewReal()
 	cfg := core.Config{
 		ID:              *id,
@@ -83,6 +89,7 @@ func main() {
 		ReadWorkers:     *readWorkers,
 		CheckpointEvery: *checkpointEvery,
 		Seed:            int64(*id) + 1,
+		Metrics:         reg,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -97,6 +104,21 @@ func main() {
 	srv, err := server.Listen(replica, *clientAddr)
 	if err != nil {
 		log.Fatalf("rexd: client listener: %v", err)
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WriteText(w); err != nil {
+				log.Printf("rexd: metrics dump: %v", err)
+			}
+		})
+		go func() {
+			log.Printf("rexd: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("rexd: metrics endpoint: %v", err)
+			}
+		}()
 	}
 	log.Printf("rexd: replica %d/%d serving %q on %s (replication %s)",
 		*id, len(addrs), *appName, srv.Addr(), addrs[*id])

@@ -9,6 +9,7 @@ import (
 	"rex/internal/apps"
 	"rex/internal/cluster"
 	"rex/internal/env"
+	"rex/internal/obs"
 	"rex/internal/sim"
 )
 
@@ -54,11 +55,14 @@ func DefaultFig10() Fig10Config {
 	}
 }
 
-// Fig10Sample is one timeline bucket.
+// Fig10Sample is one timeline bucket. The final sample additionally
+// carries the surviving primary's metric snapshot (promotion, rebuild and
+// election series for the failover).
 type Fig10Sample struct {
 	At         time.Duration
 	Throughput float64
 	Event      string
+	Metrics    obs.Snapshot
 }
 
 // Fig10 runs the failover timeline and returns per-bucket throughput.
@@ -186,6 +190,9 @@ func Fig10(cfg Fig10Config) []Fig10Sample {
 			}
 		}
 		mu.Unlock()
+		if pr := c.Primary(); pr >= 0 && len(samples) > 0 {
+			samples[len(samples)-1].Metrics = c.Replicas[pr].Metrics()
+		}
 		g.Wait()
 		c.Stop()
 	})
@@ -217,4 +224,7 @@ func PrintFig10(w io.Writer, cfg Fig10Config, samples []Fig10Sample) {
 		"dies, recovers after election, and sags while the rejoined replica catches up under",
 		"aggressive flow control, then returns to normal.")
 	t.Fprint(w)
+	if n := len(samples); n > 0 {
+		PrintMetricsSummary(w, "surviving primary after failover", samples[n-1].Metrics)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rex/internal/apps"
+	"rex/internal/obs"
 )
 
 // Fig7Config parameterizes the Figure 7 reproduction.
@@ -46,6 +47,11 @@ type Fig7Row struct {
 	Rex          float64
 	RSM          float64
 	WaitedPerSec float64
+
+	// Client-observed Rex request latency in the measure window.
+	P50, P95, P99 time.Duration
+	// Metrics is the Rex primary's snapshot for this point.
+	Metrics obs.Snapshot
 }
 
 // Fig7 reproduces one panel of Figure 7 (throughput of a real-world
@@ -71,6 +77,10 @@ func Fig7(app apps.App, cfg Fig7Config) []Fig7Row {
 			Rex:          rex.Throughput,
 			RSM:          rsm.Throughput,
 			WaitedPerSec: rex.WaitedPerSec,
+			P50:          rex.P50,
+			P95:          rex.P95,
+			P99:          rex.P99,
+			Metrics:      rex.Primary,
 		})
 	}
 	return rows
@@ -80,17 +90,24 @@ func Fig7(app apps.App, cfg Fig7Config) []Fig7Row {
 func PrintFig7(w io.Writer, app apps.App, rows []Fig7Row) {
 	t := &Table{
 		Title: fmt.Sprintf("Figure 7: %s — throughput vs worker threads", app.Title),
-		Cols:  []string{"threads", "native (req/s)", "Rex (req/s)", "RSM (req/s)", "waited events/s", "Rex/RSM"},
+		Cols: []string{"threads", "native (req/s)", "Rex (req/s)", "RSM (req/s)", "waited events/s", "Rex/RSM",
+			"p50", "p95", "p99"},
 	}
 	for _, r := range rows {
 		ratio := 0.0
 		if r.RSM > 0 {
 			ratio = r.Rex / r.RSM
 		}
-		t.AddRow(fmt.Sprint(r.Threads), f0(r.Native), f0(r.Rex), f0(r.RSM), f0(r.WaitedPerSec), f1(ratio))
+		t.AddRow(fmt.Sprint(r.Threads), f0(r.Native), f0(r.Rex), f0(r.RSM), f0(r.WaitedPerSec), f1(ratio),
+			fdur(r.P50), fdur(r.P95), fdur(r.P99))
 	}
 	t.Notes = append(t.Notes,
 		"paper (§6.3): Rex tracks native within ~25% and reaches 3-16x the RSM baseline;",
-		"waited events/s tracks the native-vs-Rex gap.")
+		"waited events/s tracks the native-vs-Rex gap.",
+		"p50/p95/p99 are client-observed Rex request latencies in the measure window.")
 	t.Fprint(w)
+	if n := len(rows); n > 0 {
+		PrintMetricsSummary(w, fmt.Sprintf("%s primary @ %d threads", app.Title, rows[n-1].Threads),
+			rows[n-1].Metrics)
+	}
 }

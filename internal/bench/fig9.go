@@ -9,6 +9,7 @@ import (
 	"rex/internal/apps/lockserver"
 	"rex/internal/cluster"
 	"rex/internal/env"
+	"rex/internal/obs"
 	"rex/internal/sim"
 )
 
@@ -43,6 +44,10 @@ type Fig9Row struct {
 	UpdateThreads int
 	UpdateTput    float64
 	QueryTput     float64
+
+	// Metrics is the queried replica's snapshot for this point (the
+	// secondary's includes the replay wait histograms).
+	Metrics obs.Snapshot
 }
 
 // Fig9 reproduces Figure 9 for the given placement: onPrimary=false reads
@@ -158,6 +163,7 @@ func fig9Point(cfg Fig9Config, app apps.App, updateThreads int, onPrimary bool) 
 		u1, q1 := updates, queries
 		stop = true
 		mu.Unlock()
+		snap := c.Replicas[target].Metrics()
 		g.Wait()
 		c.Stop()
 		secs := cfg.Measure.Seconds()
@@ -165,6 +171,7 @@ func fig9Point(cfg Fig9Config, app apps.App, updateThreads int, onPrimary bool) 
 			UpdateThreads: updateThreads,
 			UpdateTput:    float64(u1-u0) / secs,
 			QueryTput:     float64(q1-q0) / secs,
+			Metrics:       snap,
 		}
 	})
 	return row
@@ -189,4 +196,8 @@ func PrintFig9(w io.Writer, onPrimary bool, rows []Fig9Row) {
 		"paper (§6.5): query throughput stays roughly flat on a secondary as updates scale,",
 		"but sags on the primary, whose threads rarely wait and so hold locks more contiguously.")
 	t.Fprint(w)
+	if n := len(rows); n > 0 {
+		PrintMetricsSummary(w, fmt.Sprintf("queried %s @ %d update threads", place, rows[n-1].UpdateThreads),
+			rows[n-1].Metrics)
+	}
 }

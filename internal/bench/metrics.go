@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rex/internal/obs"
+)
+
+// fdur formats a duration for the metrics tables: millisecond resolution
+// with enough digits for sub-millisecond latencies.
+func fdur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// PrintMetricsSummary renders the primary's metric snapshot after a figure
+// run: per-stage latency histograms and the consensus/replay counters. An
+// empty snapshot prints nothing.
+func PrintMetricsSummary(w io.Writer, title string, s obs.Snapshot) {
+	if len(s.Counters) == 0 && len(s.Histograms) == 0 {
+		return
+	}
+	lt := &Table{
+		Title: title + " — stage latencies",
+		Cols:  []string{"stage", "count", "p50", "p95", "p99", "max"},
+	}
+	for _, h := range []struct{ label, name string }{
+		{"exec (admit→handler done)", "rex_exec_latency_seconds"},
+		{"request (admit→release)", "rex_request_latency_seconds"},
+		{"agree (propose→commit)", "rex_paxos_commit_latency_seconds"},
+		{"replay edge wait", "rex_replay_wait_seconds"},
+		{"replay commit→replayed", "rex_replay_commit_lag_seconds"},
+		{"checkpoint pause", "rex_checkpoint_pause_seconds"},
+		{"checkpoint build", "rex_checkpoint_build_seconds"},
+		{"promotion", "rex_promotion_seconds"},
+		{"rebuild", "rex_rebuild_seconds"},
+	} {
+		hs := s.Histogram(h.name)
+		if hs.Count == 0 {
+			continue
+		}
+		lt.AddRow(h.label, fmt.Sprint(hs.Count),
+			fdur(hs.P50), fdur(hs.P95), fdur(hs.P99), fdur(hs.Max))
+	}
+	if len(lt.Rows) > 0 {
+		lt.Fprint(w)
+	}
+
+	ct := &Table{
+		Title: title + " — consensus and replay counters",
+		Cols:  []string{"counter", "value"},
+	}
+	for _, c := range []struct{ label, name string }{
+		{"requests admitted", "rex_requests_admitted_total"},
+		{"requests completed", "rex_requests_completed_total"},
+		{"paxos proposals", "rex_paxos_proposals_total"},
+		{"paxos commits", "rex_paxos_commits_total"},
+		{"paxos elections", "rex_paxos_elections_total"},
+		{"paxos leader wins", "rex_paxos_leader_wins_total"},
+		{"paxos nacks sent", "rex_paxos_nacks_sent_total"},
+		{"paxos nacks received", "rex_paxos_nacks_received_total"},
+		{"paxos learn requests", "rex_paxos_learn_requests_total"},
+		{"paxos heartbeats", "rex_paxos_heartbeats_total"},
+		{"replay released events", "rex_replay_released_total"},
+		{"replay waited events", "rex_replay_waited_total"},
+	} {
+		if v, ok := s.Counters[c.name]; ok && v > 0 {
+			ct.AddRow(c.label, fmt.Sprint(v))
+		}
+	}
+	if len(ct.Rows) > 0 {
+		ct.Fprint(w)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"rex/internal/cluster"
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/obs"
 	"rex/internal/sim"
 	"rex/internal/smr"
 	"rex/internal/storage"
@@ -79,6 +80,13 @@ type RunResult struct {
 	EdgesPerEvent float64 // causal edges per sync event (§4.2)
 	EventsPerReq  float64
 	SyncShare     float64 // sync-event bytes as a fraction of the log
+
+	// Client-observed request latency inside the measure window (Rex runs
+	// only; zero elsewhere).
+	P50, P95, P99 time.Duration
+	// Primary is the primary replica's metric snapshot at the end of the
+	// measure window (Rex runs only).
+	Primary obs.Snapshot
 }
 
 // RunNative measures the unreplicated baseline: Threads workers running
@@ -179,8 +187,10 @@ func RunRex(cfg RunConfig) RunResult {
 			}
 		}
 		var done uint64
+		lat := obs.NewHistogram()
 		mu := e.NewMutex()
 		stop := false
+		measuring := false
 		g := env.NewGroup(e)
 		for i := 0; i < cfg.Clients; i++ {
 			i := i
@@ -196,10 +206,15 @@ func RunRex(cfg RunConfig) RunResult {
 					if s {
 						return
 					}
+					t0 := e.Now()
 					if _, err := cl.Do(wl.Next()); err != nil {
 						return
 					}
+					d := e.Now() - t0
 					mu.Lock()
+					if measuring {
+						lat.Observe(d)
+					}
 					done++
 					mu.Unlock()
 				}
@@ -209,18 +224,24 @@ func RunRex(cfg RunConfig) RunResult {
 		e.Sleep(cfg.Warmup)
 		mu.Lock()
 		startDone := done
+		measuring = true
 		mu.Unlock()
 		s0 := c.Replicas[secondary].Stats()
 		p0 := c.Replicas[p].Stats()
 		e.Sleep(cfg.Measure)
 		mu.Lock()
 		endDone := done
+		measuring = false
 		stop = true
 		mu.Unlock()
 		s1 := c.Replicas[secondary].Stats()
 		p1 := c.Replicas[p].Stats()
+		res.Primary = c.Replicas[p].Metrics()
 		g.Wait()
 		c.Stop()
+		res.P50 = lat.Quantile(0.50)
+		res.P95 = lat.Quantile(0.95)
+		res.P99 = lat.Quantile(0.99)
 
 		secs := cfg.Measure.Seconds()
 		res.Throughput = float64(endDone-startDone) / secs

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"rex/internal/obs"
+	"rex/internal/paxos"
+	"rex/internal/sched"
+)
+
+// replicaMetrics bundles every series a replica records, together with the
+// registry they are exported in. The series are always allocated — when
+// Config.Metrics is nil the replica keeps a private registry — so hot
+// paths never nil-check.
+//
+// Units follow the registry conventions: *_seconds histograms, *_total
+// counters. See DESIGN.md "Observability" for the full catalogue.
+type replicaMetrics struct {
+	reg *obs.Registry
+
+	reqsAdmitted  *obs.Counter
+	reqsCompleted *obs.Counter
+	execLatency   *obs.Histogram // admission → handler done (primary)
+	reqLatency    *obs.Histogram // admission → response release (includes commit)
+	ckptPause     *obs.Histogram // primary pause while placing a checkpoint mark
+	ckptBuild     *obs.Histogram // snapshot serialization on the designated secondary
+	promoteDur    *obs.Histogram // leader win → serving as primary
+	rebuildDur    *obs.Histogram // rollback/recovery rebuild duration
+
+	paxos  *paxos.Metrics
+	replay *sched.ReplayObs
+}
+
+func newReplicaMetrics(reg *obs.Registry) *replicaMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &replicaMetrics{
+		reg:           reg,
+		reqsAdmitted:  reg.Counter("rex_requests_admitted_total"),
+		reqsCompleted: reg.Counter("rex_requests_completed_total"),
+		execLatency:   reg.Histogram("rex_exec_latency_seconds"),
+		reqLatency:    reg.Histogram("rex_request_latency_seconds"),
+		ckptPause:     reg.Histogram("rex_checkpoint_pause_seconds"),
+		ckptBuild:     reg.Histogram("rex_checkpoint_build_seconds"),
+		promoteDur:    reg.Histogram("rex_promotion_seconds"),
+		rebuildDur:    reg.Histogram("rex_rebuild_seconds"),
+		paxos:         paxos.NewMetrics(),
+		replay:        sched.NewReplayObs(),
+	}
+	m.paxos.Register(reg)
+	m.replay.Register(reg)
+	return m
+}
+
+// Metrics returns a point-in-time snapshot of every metric the replica
+// records: stage latencies, Paxos counters, replay wait histograms, and
+// checkpoint/promotion durations.
+func (r *Replica) Metrics() obs.Snapshot {
+	return r.obs.reg.Snapshot()
+}
+
+// MetricsRegistry exposes the replica's registry so callers (cmd/rexd's
+// -metrics endpoint) can serve a text dump or co-register more series.
+func (r *Replica) MetricsRegistry() *obs.Registry {
+	return r.obs.reg
+}

@@ -41,7 +41,8 @@ func (r *Replica) Submit(client, seq uint64, body []byte) ([]byte, error) {
 		r.cond.Wait()
 	}
 	idx := r.rt.Recorder().AddReq(trace.Req{Client: client, Seq: seq, Body: body})
-	p := &pendingReq{client: client, seq: seq, ch: r.e.NewChan(1)}
+	p := &pendingReq{client: client, seq: seq, at: r.e.Now(), ch: r.e.NewChan(1)}
+	r.obs.reqsAdmitted.Inc()
 	r.pending[idx] = p
 	r.outstanding++
 	r.workQ = append(r.workQ, reqWork{idx: idx, body: body})
@@ -139,12 +140,15 @@ func (r *Replica) completeLocal(idx uint64, resp []byte, end trace.EventID) {
 	p.done = true
 	r.dedup[p.client] = dedupEntry{seq: p.seq, resp: resp}
 	r.reqsCompleted++
+	r.obs.reqsCompleted.Inc()
+	r.obs.execLatency.Observe(r.e.Now() - p.at)
 	if r.lcc.Covers(end) {
 		r.releaseOneLocked(idx, p)
 	}
 }
 
 func (r *Replica) releaseOneLocked(idx uint64, p *pendingReq) {
+	r.obs.reqLatency.Observe(r.e.Now() - p.at)
 	p.ch.Send(p.resp)
 	delete(r.pending, idx)
 	r.outstanding--
@@ -201,6 +205,7 @@ func (r *Replica) initiateCheckpoint() error {
 	}
 	gen := r.gen
 	total := r.cfg.Workers + r.cfg.Timers
+	pauseStart := r.e.Now()
 	// Phase 1: pause request workers at request boundaries. Timer threads
 	// keep running so background tasks can unblock stalled handlers.
 	r.ckPauseWorkers = true
@@ -232,6 +237,7 @@ func (r *Replica) initiateCheckpoint() error {
 	r.ckPauseWorkers = false
 	r.ckPauseTimers = false
 	r.cond.Broadcast()
+	r.obs.ckptPause.Observe(r.e.Now() - pauseStart)
 	r.logf("checkpoint mark %d at cut %v", id, cut)
 	return nil
 }

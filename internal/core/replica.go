@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rex/internal/env"
+	"rex/internal/obs"
 	"rex/internal/paxos"
 	"rex/internal/sched"
 	"rex/internal/storage"
@@ -105,6 +106,12 @@ type Config struct {
 
 	Seed int64
 	Logf func(format string, args ...any)
+
+	// Metrics, if set, is the registry the replica exports its series
+	// into (shared with e.g. the transport endpoint). When nil the
+	// replica keeps a private registry; Replica.Metrics() works either
+	// way.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -150,7 +157,8 @@ type pendingReq struct {
 	resp        []byte
 	end         trace.EventID
 	done        bool
-	ch          env.Chan // cap 1; receives []byte or is closed on demotion
+	at          time.Duration // admission time, for stage latency metrics
+	ch          env.Chan      // cap 1; receives []byte or is closed on demotion
 }
 
 type dedupEntry struct {
@@ -173,6 +181,7 @@ type reqWork struct {
 type Replica struct {
 	cfg         Config
 	e           env.Env
+	obs         *replicaMetrics
 	mux         *transport.Mux
 	ctrl        transport.Endpoint
 	node        *paxos.Node
@@ -266,6 +275,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		markInst:  make(map[uint64]uint64),
 		peers:     make(map[int]peerStatus),
 	}
+	r.obs = newReplicaMetrics(cfg.Metrics)
 	r.mu = cfg.Env.NewMutex()
 	r.cond = cfg.Env.NewCond(r.mu)
 	r.applyQ = cfg.Env.NewChan(0)
@@ -285,6 +295,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		PipelineDepth:   cfg.PipelineDepth,
 		Seed:            cfg.Seed,
 		Logf:            cfg.Logf,
+		Metrics:         r.obs.paxos,
 		OnCommitted: func(inst uint64, val []byte) {
 			r.applyQ.Send(committedEvt{inst: inst, val: val})
 		},
@@ -536,6 +547,7 @@ func (r *Replica) handleGap(minInst uint64) {
 // cut, switch the runtime to record mode mid-flight (§4 mode change), and
 // schedule the rebasing proposal (§3.2).
 func (r *Replica) promote(chosenAt uint64) {
+	start := r.e.Now()
 	r.mu.Lock()
 	for r.applied < chosenAt && !r.stopped && r.role != RoleFaulted {
 		r.cond.Wait()
@@ -596,6 +608,7 @@ func (r *Replica) promote(chosenAt uint64) {
 	r.logf("promoted to primary at cut %v (reqs=%d, applied=%d)", cut, reqBase, r.applied)
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	r.obs.promoteDur.Observe(r.e.Now() - start)
 	rep.Abort()
 }
 

@@ -36,7 +36,9 @@ func (r *Replica) checkpointCoordinator(gen int, rt *sched.Runtime, sm StateMach
 		r.mu.Lock()
 		inst := r.markInst[m.ID]
 		r.mu.Unlock()
+		buildStart := r.e.Now()
 		blob, err := r.buildSnapshot(rt, rep, sm, m, inst)
+		r.obs.ckptBuild.Observe(r.e.Now() - buildStart)
 		if err != nil {
 			r.logf("checkpoint %d failed: %v", m.ID, err)
 			rep.CompleteMark(m.ID)

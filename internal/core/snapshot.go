@@ -158,6 +158,7 @@ func (r *Replica) loadLocalSnapshot() (*snapshotBlob, bool, error) {
 // starts it replaying as a secondary. It serves initial startup, crash
 // recovery, rejoin, and primary rollback after demotion (§5.2).
 func (r *Replica) rebuild() error {
+	start := r.e.Now()
 	threads := r.cfg.Workers + r.cfg.Timers
 	for {
 		var st paxos.ChosenState
@@ -242,6 +243,7 @@ func (r *Replica) rebuild() error {
 		rt.CheckVersions = !r.cfg.DisableVersionChecks
 		rt.DisablePruning = r.cfg.DisablePruning
 		rt.TotalOrderTryFail = r.cfg.TotalOrderTryFail
+		rt.Obs = r.obs.replay
 		host := &TimerHost{}
 		sm := r.cfg.Factory(rt, host)
 		if len(host.specs) != r.cfg.Timers {
@@ -278,6 +280,7 @@ func (r *Replica) rebuild() error {
 		}
 		r.logf("rebuilt (gen %d) from %s at applied=%d",
 			r.gen, map[bool]string{true: "checkpoint", false: "initial state"}[haveSnap], st.Seq)
+		r.obs.rebuildDur.Observe(r.e.Now() - start)
 		return nil
 	}
 }

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := NewGauge()
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// exactly at a bucket bound lands in that bucket, one nanosecond above
+// lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := BucketBounds()
+	for i, b := range bounds {
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(%v) = %d, want %d (boundary inclusive)", b, got, i)
+		}
+		if got := bucketIndex(b + 1); got != i+1 {
+			t.Errorf("bucketIndex(%v+1ns) = %d, want %d", b, got, i+1)
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(bounds[len(bounds)-1] + time.Hour); got != len(bounds) {
+		t.Errorf("overflow index = %d, want %d", got, len(bounds))
+	}
+}
+
+// TestHistogramQuantileAtBoundaries checks the percentile math against the
+// documented contract: Quantile(q) is the smallest bucket bound covering
+// at least ceil(q*count) observations.
+func TestHistogramQuantileAtBoundaries(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations: 50 at exactly 1ms, 45 at exactly 10ms, 5 at
+	// exactly 100ms. All are exact bucket bounds.
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.01, time.Millisecond},        // rank 1
+		{0.50, time.Millisecond},        // rank 50: exactly the first 50 obs
+		{0.51, 10 * time.Millisecond},   // rank 51 crosses into the next bucket
+		{0.95, 10 * time.Millisecond},   // rank 95 = 50+45
+		{0.951, 100 * time.Millisecond}, // rank 96
+		{0.99, 100 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	wantSum := 50*time.Millisecond + 450*time.Millisecond + 500*time.Millisecond
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("Sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	h.Observe(time.Minute) // beyond the last bound
+	if got := h.Quantile(0.99); got != time.Minute {
+		t.Fatalf("overflow Quantile = %v, want the observed max (1m)", got)
+	}
+	h.Observe(-time.Second) // clamps to zero
+	if got := h.Quantile(0.25); got != BucketBounds()[0] {
+		t.Fatalf("clamped Quantile = %v, want first bound", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+	var cum uint64
+	s := h.Snapshot()
+	for _, b := range s.Buckets {
+		cum += b
+	}
+	if cum != 8000 {
+		t.Fatalf("bucket sum = %d, want 8000", cum)
+	}
+}
+
+func TestRegistryTextDump(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("rex_requests_total")
+	c.Add(3)
+	g := reg.Gauge("rex_outstanding")
+	g.Set(2)
+	reg.RegisterGaugeFunc("rex_inbox_depth", func() int64 { return 9 })
+	h := reg.Histogram("rex_request_latency_seconds")
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rex_requests_total counter\nrex_requests_total 3\n",
+		"# TYPE rex_outstanding gauge\nrex_outstanding 2\n",
+		"rex_inbox_depth 9\n",
+		"# TYPE rex_request_latency_seconds histogram\n",
+		`rex_request_latency_seconds_bucket{le="0.001"} 1`,
+		`rex_request_latency_seconds_bucket{le="0.002"} 2`,
+		`rex_request_latency_seconds_bucket{le="+Inf"} 2`,
+		"rex_request_latency_seconds_sum 0.003\n",
+		"rex_request_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q\n---\n%s", want, out)
+		}
+	}
+
+	s := reg.Snapshot()
+	if s.Counter("rex_requests_total") != 3 {
+		t.Errorf("snapshot counter = %d, want 3", s.Counter("rex_requests_total"))
+	}
+	if s.Gauges["rex_inbox_depth"] != 9 {
+		t.Errorf("snapshot gauge func = %d, want 9", s.Gauges["rex_inbox_depth"])
+	}
+	if hs := s.Histogram("rex_request_latency_seconds"); hs.Count != 2 || hs.P95 != 2*time.Millisecond {
+		t.Errorf("snapshot histogram = %+v", hs)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("dup")
+	reg.Counter("dup")
+}
+
+// BenchmarkHistogramObserve is the metrics hot path: one Observe.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) & (1<<20 - 1))
+	}
+}
+
+// BenchmarkCounterInc is the cheapest metrics operation.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

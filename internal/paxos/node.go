@@ -53,6 +53,11 @@ type Config struct {
 	OnSnapshotGap func(minInst uint64)
 	// Logf, if set, receives diagnostic logging.
 	Logf func(format string, args ...any)
+
+	// Metrics, if set, receives consensus counters and the propose→commit
+	// latency histogram. NewNode substitutes a private set when nil, so
+	// instrumentation sites never nil-check.
+	Metrics *Metrics
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -142,6 +147,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.PipelineDepth <= 0 {
 		cfg.PipelineDepth = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
 	}
 	n := &Node{
 		cfg:        cfg,
@@ -429,6 +437,7 @@ func (n *Node) handleTick() {
 	if n.isLeader {
 		if now-n.lastHeartbeat >= n.cfg.HeartbeatEvery {
 			n.lastHeartbeat = now
+			n.cfg.Metrics.Heartbeats.Inc()
 			n.broadcast(&message{Kind: mHeartbeat, Ballot: n.prepBallot, ChosenSeq: n.chosenSeq})
 		}
 		// Retransmit stuck proposals (lost Accept or Accepted), in
@@ -465,6 +474,7 @@ func (n *Node) startElection() {
 	n.promises = make(map[int]*message)
 	n.prepSent = now
 	n.electionDeadline = now + n.electionTimeout()
+	n.cfg.Metrics.Elections.Inc()
 	n.cfg.logf("starting election with ballot %v from instance %d", n.prepBallot, n.chosenSeq)
 	n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq})
 }
@@ -535,6 +545,7 @@ func (n *Node) bumpLeaderContact(from int) {
 
 func (n *Node) onPrepare(m *message, from int) {
 	if m.Ballot.Less(n.promised) {
+		n.cfg.Metrics.NacksSent.Inc()
 		n.send(from, &message{Kind: mNack, Ballot: n.promised})
 		return
 	}
@@ -562,6 +573,7 @@ func (n *Node) onPromise(m *message, from int) {
 	n.promises[from] = m
 	if m.ChosenSeq > n.chosenSeq {
 		// A peer knows more chosen instances: learn them before leading.
+		n.cfg.Metrics.LearnReqs.Inc()
 		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})
 	}
 	n.tryCompleteElection()
@@ -600,6 +612,7 @@ func (n *Node) tryCompleteElection() {
 	n.leaderBallot = n.prepBallot
 	n.lastHeartbeat = 0
 	n.nextPropose = n.chosenSeq
+	n.cfg.Metrics.LeaderWins.Inc()
 	n.cfg.logf("won election with ballot %v at instance %d", n.prepBallot, n.chosenSeq)
 	if a, ok := n.accepted[n.chosenSeq]; ok {
 		n.announceAfter = true
@@ -619,6 +632,7 @@ func (n *Node) becomeLeaderNow() {
 
 func (n *Node) onNack(m *message, from int) {
 	_ = from
+	n.cfg.Metrics.NacksRecv.Inc()
 	if n.prepBallot.Less(m.Ballot) || n.promised.Less(m.Ballot) {
 		n.observeBallot(m.Ballot)
 		if n.preparing {
@@ -630,6 +644,7 @@ func (n *Node) onNack(m *message, from int) {
 
 func (n *Node) onAccept(m *message, from int) {
 	if m.Ballot.Less(n.promised) {
+		n.cfg.Metrics.NacksSent.Inc()
 		n.send(from, &message{Kind: mNack, Ballot: n.promised})
 		return
 	}
@@ -672,6 +687,7 @@ func (n *Node) onAccepted(m *message, from int) {
 			return
 		}
 		inst, val := n.chosenSeq, low.val
+		n.cfg.Metrics.CommitLatency.Observe(n.cfg.Env.Now() - low.sentAt)
 		delete(n.inflight, inst)
 		n.broadcast(&message{Kind: mCommit, Ballot: n.prepBallot, Inst: inst, Val: val})
 		// broadcast includes self; commitValue runs when the self-message
@@ -694,6 +710,7 @@ func (n *Node) onHeartbeat(m *message, from int) {
 	n.observeBallot(m.Ballot)
 	n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
 	if m.ChosenSeq > n.chosenSeq {
+		n.cfg.Metrics.LearnReqs.Inc()
 		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})
 	}
 }
@@ -722,6 +739,7 @@ func (n *Node) commitValue(inst uint64, val []byte, from int) {
 	if inst > n.chosenSeq {
 		// Gap: stash and ask for the missing prefix.
 		n.pendingVal[inst] = val
+		n.cfg.Metrics.LearnReqs.Inc()
 		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})
 		return
 	}
@@ -729,6 +747,7 @@ func (n *Node) commitValue(inst uint64, val []byte, from int) {
 		n.persistChosen(inst, val)
 		n.chosen = append(n.chosen, val)
 		n.chosenSeq++
+		n.cfg.Metrics.Commits.Inc()
 		delete(n.accepted, inst)
 		if n.cfg.OnCommitted != nil {
 			n.cfg.OnCommitted(inst, val)
@@ -760,6 +779,7 @@ func (n *Node) commitValue(inst uint64, val []byte, from int) {
 }
 
 func (n *Node) startPhase2(inst uint64, val []byte) {
+	n.cfg.Metrics.Proposals.Inc()
 	n.inflight[inst] = &inflightState{
 		val:    val,
 		acks:   make(map[int]bool),

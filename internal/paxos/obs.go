@@ -1,0 +1,52 @@
+package paxos
+
+import (
+	"rex/internal/obs"
+)
+
+// Metrics holds the consensus counters and the agree-stage latency
+// histogram. All fields are always allocated (NewNode substitutes a
+// private set when Config.Metrics is nil) so the event loop never
+// nil-checks individual series.
+type Metrics struct {
+	Elections  *obs.Counter // Prepare rounds started by this node
+	LeaderWins *obs.Counter // elections this node won
+	NacksSent  *obs.Counter // Nacks sent to stale ballots
+	NacksRecv  *obs.Counter // Nacks received for our ballots
+	LearnReqs  *obs.Counter // catch-up Learn requests sent
+	Commits    *obs.Counter // instances committed (learned chosen)
+	Proposals  *obs.Counter // phase-2 instances opened at the leader
+	Heartbeats *obs.Counter // leader beacons broadcast
+
+	// CommitLatency is propose→commit at the leader: from opening phase 2
+	// for an instance until a majority of Accepteds closes it.
+	CommitLatency *obs.Histogram
+}
+
+// NewMetrics allocates all series.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Elections:     obs.NewCounter(),
+		LeaderWins:    obs.NewCounter(),
+		NacksSent:     obs.NewCounter(),
+		NacksRecv:     obs.NewCounter(),
+		LearnReqs:     obs.NewCounter(),
+		Commits:       obs.NewCounter(),
+		Proposals:     obs.NewCounter(),
+		Heartbeats:    obs.NewCounter(),
+		CommitLatency: obs.NewHistogram(),
+	}
+}
+
+// Register exports the series into reg under rex_paxos_* names.
+func (m *Metrics) Register(reg *obs.Registry) {
+	reg.RegisterCounter("rex_paxos_elections_total", m.Elections)
+	reg.RegisterCounter("rex_paxos_leader_wins_total", m.LeaderWins)
+	reg.RegisterCounter("rex_paxos_nacks_sent_total", m.NacksSent)
+	reg.RegisterCounter("rex_paxos_nacks_received_total", m.NacksRecv)
+	reg.RegisterCounter("rex_paxos_learn_requests_total", m.LearnReqs)
+	reg.RegisterCounter("rex_paxos_commits_total", m.Commits)
+	reg.RegisterCounter("rex_paxos_proposals_total", m.Proposals)
+	reg.RegisterCounter("rex_paxos_heartbeats_total", m.Heartbeats)
+	reg.RegisterHistogram("rex_paxos_commit_latency_seconds", m.CommitLatency)
+}

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"rex/internal/obs"
+)
+
+// ReplayObs carries the follow-stage metrics. It lives on the Runtime (set
+// once by the owner) and is handed to each Replayer the runtime builds, so
+// the series survive replayer rebuilds across promotions and snapshot
+// restores. A nil ReplayObs disables collection.
+type ReplayObs struct {
+	// Released counts replayed sync events whose causal sources had all
+	// executed by the time the event was reached (no blocking).
+	Released *obs.Counter
+	// Waited counts replayed sync events that blocked on at least one
+	// causal edge — the paper's "waited events" (Fig. 7).
+	Waited *obs.Counter
+	// WaitTime is the time a waited event spent blocked in WaitSources.
+	WaitTime *obs.Histogram
+	// CommitLag is the time from a delta's commit (Extend) until replay
+	// has executed everything the delta released (commit→replayed).
+	CommitLag *obs.Histogram
+}
+
+// NewReplayObs allocates all series.
+func NewReplayObs() *ReplayObs {
+	return &ReplayObs{
+		Released:  obs.NewCounter(),
+		Waited:    obs.NewCounter(),
+		WaitTime:  obs.NewHistogram(),
+		CommitLag: obs.NewHistogram(),
+	}
+}
+
+// Register exports the series into reg under rex_replay_* names.
+func (o *ReplayObs) Register(reg *obs.Registry) {
+	reg.RegisterCounter("rex_replay_released_total", o.Released)
+	reg.RegisterCounter("rex_replay_waited_total", o.Waited)
+	reg.RegisterHistogram("rex_replay_wait_seconds", o.WaitTime)
+	reg.RegisterHistogram("rex_replay_commit_lag_seconds", o.CommitLag)
+}

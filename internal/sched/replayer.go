@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"time"
+
 	"rex/internal/env"
 	"rex/internal/trace"
 )
@@ -29,7 +31,22 @@ type Replayer struct {
 
 	waitedEvents   uint64 // events that blocked on at least one causal edge
 	replayedEvents uint64
+
+	e    env.Env
+	ob   *ReplayObs // nil disables metric collection
+	lagQ []lagMark  // commit-time watermarks pending execution, oldest first
 }
+
+// lagMark remembers when a committed delta's release frontier was reached,
+// so Commit can measure commit→replayed lag once replay catches up to it.
+type lagMark struct {
+	cut trace.Cut
+	at  time.Duration
+}
+
+// maxLagQ bounds the pending-watermark queue; when replay falls far behind
+// the commit stream, further deltas simply go unmeasured.
+const maxLagQ = 1024
 
 // NewReplayer wraps tr for replay. Events inside base are considered
 // already executed (restored from a checkpoint); base must be a consistent
@@ -40,6 +57,7 @@ func NewReplayer(e env.Env, tr *trace.Trace, base trace.Cut) *Replayer {
 		mu:       e.NewMutex(),
 		tr:       tr,
 		executed: make(trace.Cut, n),
+		e:        e,
 	}
 	for t := 0; t < n; t++ {
 		if t < len(base) {
@@ -70,6 +88,9 @@ func (r *Replayer) Extend(d *trace.Delta) error {
 		return err
 	}
 	r.limit = r.tr.ConsistentCut(r.limit)
+	if r.ob != nil && len(r.lagQ) < maxLagQ && !r.executed.AtLeast(r.limit) {
+		r.lagQ = append(r.lagQ, lagMark{cut: r.limit.Clone(), at: r.e.Now()})
+	}
 	r.marks = append(r.marks, d.Marks...)
 	r.grow.Broadcast()
 	return nil
@@ -122,18 +143,33 @@ func (r *Replayer) In(id trace.EventID) []trace.EventID {
 // causal edge (Fig. 7).
 func (r *Replayer) WaitSources(in []trace.EventID) bool {
 	if len(in) == 0 {
+		if r.ob != nil {
+			r.ob.Released.Inc()
+		}
 		return true
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	waited := false
+	var start time.Duration
 	for _, src := range in {
 		for r.executed[src.Thread] < src.Clock {
 			if r.aborted {
 				return false
 			}
-			waited = true
+			if !waited {
+				waited = true
+				start = r.e.Now()
+			}
 			r.perThread[src.Thread].Wait()
+		}
+	}
+	if r.ob != nil {
+		if waited {
+			r.ob.Waited.Inc()
+			r.ob.WaitTime.Observe(r.e.Now() - start)
+		} else {
+			r.ob.Released.Inc()
 		}
 	}
 	if waited {
@@ -149,6 +185,10 @@ func (r *Replayer) Commit(t int32) {
 	r.mu.Lock()
 	r.executed[t]++
 	r.replayedEvents++
+	for len(r.lagQ) > 0 && r.executed.AtLeast(r.lagQ[0].cut) {
+		r.ob.CommitLag.Observe(r.e.Now() - r.lagQ[0].at)
+		r.lagQ = r.lagQ[1:]
+	}
 	r.perThread[t].Broadcast()
 	r.progress.Broadcast()
 	r.mu.Unlock()

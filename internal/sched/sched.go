@@ -67,6 +67,11 @@ type Runtime struct {
 	// (Fig. 4 right). For the partial-order ablation benchmark.
 	TotalOrderTryFail bool
 
+	// Obs, when non-nil, collects follow-stage metrics. Set it before the
+	// first StartReplay; the same series are handed to every replayer the
+	// runtime builds, so they survive promotions and snapshot restores.
+	Obs *ReplayObs
+
 	mode  Mode
 	epoch uint64
 	// baseVC holds the per-thread clock floor of the current epoch (the
@@ -237,6 +242,7 @@ func (rt *Runtime) StartReplay(tr *trace.Trace, base trace.Cut) {
 	rt.epoch++
 	rt.baseVC = vclock.New(len(rt.workers))
 	rt.rep = NewReplayer(rt.Env, tr, base)
+	rt.rep.ob = rt.Obs
 }
 
 // Worker is one logical thread. All trace identity — event clocks, vector

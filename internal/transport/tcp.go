@@ -8,23 +8,56 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"rex/internal/obs"
 )
 
 // TCPEndpoint implements Endpoint over TCP for real deployments
 // (cmd/rexd). Peers dial lazily and reconnect on failure; a message that
 // cannot be delivered is dropped, which the consensus engine tolerates.
 // Use only under the real environment (it blocks OS threads).
+//
+// Concurrency design:
+//   - ep.mu guards the closed flag and the accepted-connection set; it is
+//     never held across network I/O.
+//   - Each peer has its own tcpPeer with a write lock held across
+//     dial+write, so one stalled or unreachable peer cannot block sends
+//     to the others.
+//   - Close stops the accept/read loops, closes their connections, and
+//     waits for them (ep.wg) before closing the inbox, so no loop can
+//     send on a closed channel.
 type TCPEndpoint struct {
 	id    int
 	addrs []string
 	ln    net.Listener
 
-	mu     sync.Mutex
-	conns  map[int]net.Conn
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	accepted map[net.Conn]struct{}
+
+	peers []*tcpPeer
 
 	inbox chan tcpDelivery
 	wg    sync.WaitGroup
+
+	// Metrics (always collected; RegisterMetrics exports them).
+	framesIn  *obs.Counter
+	bytesIn   *obs.Counter
+	framesOut *obs.Counter
+	bytesOut  *obs.Counter
+	drops     *obs.Counter // inbox overflow + undeliverable sends
+	redials   *obs.Counter // connections (re)established
+}
+
+// tcpPeer is one outbound connection slot. writeMu serializes dialing and
+// writing to this peer only; connMu guards the conn pointer so Close can
+// shut a stalled write down without taking writeMu.
+type tcpPeer struct {
+	writeMu sync.Mutex
+	wbuf    []byte // frame assembly buffer, guarded by writeMu
+
+	connMu sync.Mutex
+	conn   net.Conn
 }
 
 type tcpDelivery struct {
@@ -46,11 +79,22 @@ func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
 		return nil, err
 	}
 	ep := &TCPEndpoint{
-		id:    id,
-		addrs: addrs,
-		ln:    ln,
-		conns: make(map[int]net.Conn),
-		inbox: make(chan tcpDelivery, 4096),
+		id:       id,
+		addrs:    addrs,
+		ln:       ln,
+		accepted: make(map[net.Conn]struct{}),
+		peers:    make([]*tcpPeer, len(addrs)),
+		inbox:    make(chan tcpDelivery, 4096),
+
+		framesIn:  obs.NewCounter(),
+		bytesIn:   obs.NewCounter(),
+		framesOut: obs.NewCounter(),
+		bytesOut:  obs.NewCounter(),
+		drops:     obs.NewCounter(),
+		redials:   obs.NewCounter(),
+	}
+	for i := range ep.peers {
+		ep.peers[i] = &tcpPeer{}
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -63,6 +107,18 @@ func (ep *TCPEndpoint) ID() int { return ep.id }
 // Addr returns the bound listen address.
 func (ep *TCPEndpoint) Addr() net.Addr { return ep.ln.Addr() }
 
+// RegisterMetrics exports the endpoint's counters and inbox depth gauge
+// into reg under tcp_-prefixed names (see DESIGN.md "Observability").
+func (ep *TCPEndpoint) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("tcp_frames_in_total", ep.framesIn)
+	reg.RegisterCounter("tcp_bytes_in_total", ep.bytesIn)
+	reg.RegisterCounter("tcp_frames_out_total", ep.framesOut)
+	reg.RegisterCounter("tcp_bytes_out_total", ep.bytesOut)
+	reg.RegisterCounter("tcp_drops_total", ep.drops)
+	reg.RegisterCounter("tcp_redials_total", ep.redials)
+	reg.RegisterGaugeFunc("tcp_inbox_depth", func() int64 { return int64(len(ep.inbox)) })
+}
+
 func (ep *TCPEndpoint) acceptLoop() {
 	defer ep.wg.Done()
 	for {
@@ -70,29 +126,45 @@ func (ep *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// Register the connection before spawning its read loop so Close
+		// can unblock it; wg.Add under mu with closed==false is ordered
+		// before Close's wg.Wait.
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			conn.Close()
+			return
+		}
+		ep.accepted[conn] = struct{}{}
 		ep.wg.Add(1)
+		ep.mu.Unlock()
 		go ep.readLoop(conn)
 	}
 }
 
 func (ep *TCPEndpoint) readLoop(conn net.Conn) {
-	defer ep.wg.Done()
-	defer conn.Close()
+	defer func() {
+		ep.mu.Lock()
+		delete(ep.accepted, conn)
+		ep.mu.Unlock()
+		conn.Close()
+		ep.wg.Done()
+	}()
 	for {
 		payload, from, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		ep.mu.Lock()
-		closed := ep.closed
-		ep.mu.Unlock()
-		if closed {
-			return
-		}
+		// No closed-check is needed here: Close closes this connection and
+		// waits for this loop before closing the inbox, so the channel is
+		// always open when this send runs.
 		select {
 		case ep.inbox <- tcpDelivery{payload: payload, from: from}:
+			ep.framesIn.Inc()
+			ep.bytesIn.Add(uint64(len(payload)))
 		default:
 			// Inbox overflow: drop, like a congested network.
+			ep.drops.Inc()
 		}
 	}
 }
@@ -114,55 +186,108 @@ func readFrame(r io.Reader) ([]byte, int, error) {
 	return payload, from, nil
 }
 
-func writeFrame(w io.Writer, from int, payload []byte) error {
+// appendFrame assembles a frame into buf (reusing its capacity) so header
+// and payload go out in one Write: no partial-frame interleaving is
+// possible even if a connection were shared, and the syscall count halves.
+func appendFrame(buf []byte, from int, payload []byte) []byte {
+	buf = buf[:0]
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(from))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
 }
 
-func (ep *TCPEndpoint) conn(to int) (net.Conn, error) {
+func (ep *TCPEndpoint) isClosed() bool {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	if ep.closed {
-		return nil, errors.New("transport: endpoint closed")
-	}
-	if c, ok := ep.conns[to]; ok {
+	return ep.closed
+}
+
+// getConn returns the peer's live connection, dialing if needed. Called
+// with p.writeMu held; the dial blocks only senders to this peer.
+func (ep *TCPEndpoint) getConn(to int, p *tcpPeer) (net.Conn, error) {
+	p.connMu.Lock()
+	c := p.conn
+	p.connMu.Unlock()
+	if c != nil {
 		return c, nil
+	}
+	if ep.isClosed() {
+		return nil, errors.New("transport: endpoint closed")
 	}
 	c, err := net.DialTimeout("tcp", ep.addrs[to], 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	ep.conns[to] = c
+	p.connMu.Lock()
+	// Recheck closed while holding connMu: Close iterates peers under
+	// connMu after setting closed, so either it sees this conn and closes
+	// it, or we see closed here and back out.
+	if ep.isClosed() {
+		p.connMu.Unlock()
+		c.Close()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	p.conn = c
+	p.connMu.Unlock()
+	ep.redials.Inc()
 	return c, nil
 }
 
+// dropConn discards a failed connection so the next Send re-dials.
+func (p *tcpPeer) dropConn(c net.Conn) {
+	p.connMu.Lock()
+	if p.conn == c {
+		p.conn = nil
+	}
+	p.connMu.Unlock()
+	c.Close()
+}
+
 // Send implements Endpoint. Failures drop the message and the cached
-// connection; the next Send re-dials.
+// connection; the next Send re-dials. Sends to different peers proceed
+// independently: only senders to the same peer serialize.
 func (ep *TCPEndpoint) Send(to int, payload []byte) {
+	if to < 0 || to >= len(ep.peers) {
+		ep.drops.Inc()
+		return
+	}
 	if to == ep.id {
+		// Guard the self-delivery send with ep.mu: Close sets closed under
+		// the same mutex before it closes the inbox, so a send that passed
+		// the check completes before the channel can close.
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
 		select {
 		case ep.inbox <- tcpDelivery{payload: payload, from: ep.id}:
+			ep.framesIn.Inc()
+			ep.bytesIn.Add(uint64(len(payload)))
 		default:
+			ep.drops.Inc()
 		}
+		ep.mu.Unlock()
 		return
 	}
-	c, err := ep.conn(to)
+	p := ep.peers[to]
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	c, err := ep.getConn(to, p)
 	if err != nil {
+		ep.drops.Inc()
 		return
 	}
-	ep.mu.Lock()
-	err = writeFrame(c, ep.id, payload)
-	if err != nil {
-		c.Close()
-		delete(ep.conns, to)
+	p.wbuf = appendFrame(p.wbuf, ep.id, payload)
+	if _, err := c.Write(p.wbuf); err != nil {
+		p.dropConn(c)
+		ep.drops.Inc()
+		return
 	}
-	ep.mu.Unlock()
+	ep.framesOut.Inc()
+	ep.bytesOut.Add(uint64(len(payload)))
 }
 
 // Recv implements Endpoint.
@@ -174,7 +299,10 @@ func (ep *TCPEndpoint) Recv() ([]byte, int, bool) {
 	return d.payload, d.from, true
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint. It stops the accept and read loops, closes
+// every connection (unblocking stalled reads and writes), waits for the
+// loops to exit, and only then closes the inbox — so no concurrent Send
+// or readLoop can hit a closed channel.
 func (ep *TCPEndpoint) Close() {
 	ep.mu.Lock()
 	if ep.closed {
@@ -182,10 +310,24 @@ func (ep *TCPEndpoint) Close() {
 		return
 	}
 	ep.closed = true
-	for _, c := range ep.conns {
-		c.Close()
+	conns := make([]net.Conn, 0, len(ep.accepted))
+	for c := range ep.accepted {
+		conns = append(conns, c)
 	}
 	ep.mu.Unlock()
+
 	ep.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range ep.peers {
+		p.connMu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.connMu.Unlock()
+	}
+	ep.wg.Wait()
 	close(ep.inbox)
 }
