@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench chaos check
 
 all: build
 
@@ -21,4 +21,9 @@ vet:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-check: build vet test race
+# A short deterministic chaos sweep: every scenario must come back OK.
+# Reproduce a failure with `go run ./cmd/rexchaos -seed <seed> -v`.
+chaos:
+	$(GO) run ./cmd/rexchaos -scenarios 8 -seed 1
+
+check: build vet test race chaos

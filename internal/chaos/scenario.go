@@ -1,0 +1,224 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/sim"
+	"rex/internal/storage"
+)
+
+// Scenario is one reproducible chaos run: an application, a client load
+// phase, and a fault schedule, all derived from the seed.
+type Scenario struct {
+	Seed     int64
+	App      string
+	Duration time.Duration // virtual length of the client load phase
+	Clients  int
+	Schedule Schedule
+}
+
+// NewScenario derives a scenario deterministically from its seed. app
+// "all" (or "") picks one of the supported applications from the seed
+// itself, so re-running a printed seed reproduces the identical
+// scenario regardless of the original -app flag.
+func NewScenario(seed int64, app string, duration time.Duration) (Scenario, error) {
+	if duration <= 0 {
+		duration = 3 * time.Second
+	}
+	if app == "" || app == "all" {
+		names := Apps()
+		app = names[uint64(seed)%uint64(len(names))]
+	}
+	if _, err := specFor(app); err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Seed:     seed,
+		App:      app,
+		Duration: duration,
+		Clients:  4,
+		Schedule: Generate(seed, 3, duration),
+	}, nil
+}
+
+// Result is one scenario's verdict.
+type Result struct {
+	Seed        int64
+	App         string
+	OK          bool
+	Violations  []string
+	Ops         int // operations recorded
+	Timeouts    int // operations whose outcome is unknown
+	Check       check.Result
+	CheckerWall time.Duration
+	Faults      int // nemesis steps applied
+}
+
+// Run executes the scenario under a fresh simulator and checks every
+// piece of the correctness contract: linearizability of the recorded
+// history, the prefix property over chosen logs, cross-replica state
+// agreement after quiescence, and replay determinism across a secondary
+// restart. Metrics land in reg (which may be shared across scenarios).
+func (sc Scenario) Run(reg *obs.Registry, logf func(string, ...any)) Result {
+	res := Result{Seed: sc.Seed, App: sc.App}
+	spec, err := specFor(sc.App)
+	if err != nil {
+		res.Violations = append(res.Violations, err.Error())
+		return res
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	faults := make([]*FaultLog, 3)
+	var hist *check.History
+	var violations []string
+	timeouts := make([]int, sc.Clients)
+	e.Run(func() {
+		c := cluster.New(e, spec.factory, cluster.Options{
+			Replicas:        3,
+			Workers:         2,
+			Timers:          spec.timers,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 200 * time.Millisecond,
+			Seed:            sc.Seed,
+			Logf:            logf,
+			NewLog: func(i int) storage.Log {
+				f := NewFaultLog(storage.NewMemLog())
+				faults[i] = f
+				return f
+			},
+		})
+		// No deferred c.Stop(): when the run ends (or a task panics) the
+		// simulator reaps every remaining task itself, and a deferred Stop
+		// can deadlock teardown by waiting on an already-killed loop.
+		if err := c.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("cluster start: %v", err))
+			return
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		hist = check.NewHistory(e.Now)
+		engine := &Engine{C: c, Faults: faults, Reg: reg, Logf: logf}
+		begin := e.Now()
+		nemesis := env.GoEach(e, "nemesis", 1, func(int) {
+			engine.Run(sc.Schedule)
+		})
+		clients := env.GoEach(e, "chaos-client", sc.Clients, func(ci int) {
+			cl := c.NewClient(uint64(100 + ci))
+			cl.Recorder = hist
+			rng := rand.New(rand.NewSource(sc.Seed + int64(ci)*7919))
+			for seq := 0; e.Now() < begin+sc.Duration; seq++ {
+				body := spec.gen(rng, cl.ID, seq)
+				if _, err := cl.DoTimeout(body, 3*time.Second); err != nil {
+					timeouts[ci]++
+				}
+				e.Sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
+			}
+		})
+		clients.Wait()
+		nemesis.Wait()
+
+		// Fault phase over: heal, restart, quiesce, and check structure.
+		if err := engine.RecoverAll(); err != nil {
+			violations = append(violations, fmt.Sprintf("recovery: %v", err))
+			return
+		}
+		states, faulted, err := c.StableStates(30 * time.Second)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		for i, ferr := range faulted {
+			violations = append(violations, fmt.Sprintf("replica %d faulted after recovery: %v", i, ferr))
+		}
+		violations = append(violations, check.StateAgreement(states)...)
+		violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+
+		// Replay determinism: a secondary rebuilt from its WAL and
+		// snapshot must land in the same state as the others.
+		if len(violations) == 0 {
+			sec := -1
+			p := c.Primary()
+			for i := range c.Replicas {
+				if i != p && c.Replicas[i] != nil {
+					sec = i
+					break
+				}
+			}
+			if sec >= 0 {
+				c.Crash(sec)
+				if err := c.Restart(sec); err != nil {
+					violations = append(violations, fmt.Sprintf("replay restart: %v", err))
+					return
+				}
+				states, faulted, err = c.StableStates(30 * time.Second)
+				if err != nil {
+					violations = append(violations, fmt.Sprintf("after secondary restart: %v", err))
+					return
+				}
+				for i, ferr := range faulted {
+					violations = append(violations, fmt.Sprintf("replica %d faulted after replay restart: %v", i, ferr))
+				}
+				for _, v := range check.StateAgreement(states) {
+					violations = append(violations, "replay determinism: "+v)
+				}
+				violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+			}
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	for _, t := range timeouts {
+		res.Timeouts += t
+	}
+	if hist != nil {
+		res.Ops = hist.Len()
+		wall := time.Now()
+		res.Check = check.CheckLinearizable(spec.model, hist.Ops(), 0)
+		res.CheckerWall = time.Since(wall)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(res.Check.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		reg.HistogramOf("chaos_checker_wall").Observe(res.CheckerWall)
+		if !res.Check.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("history of %d ops is not linearizable (%s)", res.Check.Ops, sc.App))
+		}
+		if res.Check.Undecided {
+			res.Violations = append(res.Violations, "linearizability undecided: step budget exhausted")
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	reg.CounterOf("chaos_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_scenarios_failed").Inc()
+	}
+	res.Faults = len(sc.Schedule.Steps)
+	return res
+}
+
+// chosenLogs snapshots every live replica's chosen instance sequence.
+func chosenLogs(c *cluster.Cluster) []check.ChosenLog {
+	var logs []check.ChosenLog
+	for i, r := range c.Replicas {
+		if r == nil {
+			continue
+		}
+		base, vals := r.ChosenLog()
+		logs = append(logs, check.ChosenLog{Replica: i, Base: base, Vals: vals})
+	}
+	return logs
+}

@@ -1,0 +1,220 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/apps/lockserver"
+	"rex/internal/wire"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func okOp(client uint64, in, out []byte, begin, end int) Op {
+	return Op{Client: client, Input: in, Output: out, Begin: ms(begin), End: ms(end), Ok: true}
+}
+
+func lostOp(client uint64, in []byte, begin int) Op {
+	return Op{Client: client, Input: in, Begin: ms(begin), End: Unknown}
+}
+
+func getResp(ok bool, val []byte) []byte {
+	e := wire.NewEncoder(nil)
+	e.Bool(ok)
+	e.BytesVal(val)
+	return e.Bytes()
+}
+
+func TestKVSequentialOK(t *testing.T) {
+	ops := []Op{
+		okOp(1, hashdb.SetReq("a", []byte("x")), []byte{1}, 0, 10),
+		okOp(1, hashdb.GetReq("a"), getResp(true, []byte("x")), 20, 30),
+		okOp(1, hashdb.DelReq("a"), []byte{1}, 40, 50),
+		okOp(1, hashdb.GetReq("a"), getResp(false, nil), 60, 70),
+		okOp(2, hashdb.SetReq("b", []byte("y")), []byte{1}, 0, 10),
+		okOp(2, hashdb.GetReq("b"), getResp(true, []byte("y")), 20, 30),
+	}
+	res := CheckLinearizable(KVModel(false), ops, 0)
+	if !res.Ok || res.Undecided {
+		t.Fatalf("expected linearizable, got %+v", res)
+	}
+	if res.Partitions != 2 {
+		t.Fatalf("expected 2 partitions, got %d", res.Partitions)
+	}
+}
+
+func TestKVStaleReadRejected(t *testing.T) {
+	// Write of "new" acknowledged strictly before the read begins, yet the
+	// read observes the old value: not linearizable.
+	ops := []Op{
+		okOp(1, hashdb.SetReq("a", []byte("old")), []byte{1}, 0, 10),
+		okOp(1, hashdb.SetReq("a", []byte("new")), []byte{1}, 20, 30),
+		okOp(2, hashdb.GetReq("a"), getResp(true, []byte("old")), 40, 50),
+	}
+	res := CheckLinearizable(KVModel(false), ops, 0)
+	if res.Ok {
+		t.Fatalf("expected violation, got %+v", res)
+	}
+}
+
+func TestKVConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes; a later read may observe either one.
+	for _, winner := range []string{"x", "y"} {
+		ops := []Op{
+			okOp(1, hashdb.SetReq("a", []byte("x")), []byte{1}, 0, 30),
+			okOp(2, hashdb.SetReq("a", []byte("y")), []byte{1}, 10, 40),
+			okOp(3, hashdb.GetReq("a"), getResp(true, []byte(winner)), 50, 60),
+		}
+		res := CheckLinearizable(KVModel(false), ops, 0)
+		if !res.Ok {
+			t.Fatalf("winner %q should linearize, got %+v", winner, res)
+		}
+	}
+	// A value nobody wrote is a violation.
+	ops := []Op{
+		okOp(1, hashdb.SetReq("a", []byte("x")), []byte{1}, 0, 30),
+		okOp(3, hashdb.GetReq("a"), getResp(true, []byte("z")), 50, 60),
+	}
+	if res := CheckLinearizable(KVModel(false), ops, 0); res.Ok {
+		t.Fatalf("phantom value accepted: %+v", res)
+	}
+}
+
+func TestKVUnknownWrite(t *testing.T) {
+	// A timed-out write may or may not take effect: reads observing either
+	// state are fine, a third value is not.
+	base := []Op{
+		okOp(1, hashdb.SetReq("a", []byte("v1")), []byte{1}, 0, 10),
+		lostOp(2, hashdb.SetReq("a", []byte("v2")), 20),
+	}
+	for _, seen := range []string{"v1", "v2"} {
+		ops := append(append([]Op(nil), base...),
+			okOp(3, hashdb.GetReq("a"), getResp(true, []byte(seen)), 100, 110))
+		if res := CheckLinearizable(KVModel(false), ops, 0); !res.Ok {
+			t.Fatalf("read of %q after lost write should linearize, got %+v", seen, res)
+		}
+	}
+	ops := append(append([]Op(nil), base...),
+		okOp(3, hashdb.GetReq("a"), getResp(true, []byte("v3")), 100, 110))
+	if res := CheckLinearizable(KVModel(false), ops, 0); res.Ok {
+		t.Fatalf("phantom value accepted despite lost write")
+	}
+}
+
+func TestKVUnknownReadDropped(t *testing.T) {
+	ops := []Op{
+		okOp(1, hashdb.SetReq("a", []byte("x")), []byte{1}, 0, 10),
+		lostOp(2, hashdb.GetReq("a"), 20),
+	}
+	res := CheckLinearizable(KVModel(false), ops, 0)
+	if !res.Ok || res.Dropped != 1 || res.Ops != 1 {
+		t.Fatalf("expected dropped unknown read, got %+v", res)
+	}
+}
+
+func TestKVAllowMiss(t *testing.T) {
+	ops := []Op{
+		okOp(1, hashdb.SetReq("a", []byte("x")), []byte{1}, 0, 10),
+		okOp(2, hashdb.GetReq("a"), getResp(false, nil), 20, 30),
+	}
+	if res := CheckLinearizable(KVModel(false), ops, 0); res.Ok {
+		t.Fatalf("strict model must reject the miss")
+	}
+	if res := CheckLinearizable(KVModel(true), ops, 0); !res.Ok {
+		t.Fatalf("allowMiss model must forgive eviction misses")
+	}
+	// Even with allowMiss, a stale present value is rejected.
+	ops = []Op{
+		okOp(1, hashdb.SetReq("a", []byte("x")), []byte{1}, 0, 10),
+		okOp(1, hashdb.SetReq("a", []byte("y")), []byte{1}, 20, 30),
+		okOp(2, hashdb.GetReq("a"), getResp(true, []byte("x")), 40, 50),
+	}
+	if res := CheckLinearizable(KVModel(true), ops, 0); res.Ok {
+		t.Fatalf("allowMiss model must still reject stale values")
+	}
+}
+
+func TestLockModel(t *testing.T) {
+	// Ownership protocol: client 1 creates, renews; client 2's create
+	// fails; after observing a takeover, old renews must fail.
+	ops := []Op{
+		okOp(1, lockserver.CreateReq("f", 1, nil), []byte{1}, 0, 10),
+		okOp(1, lockserver.RenewReq("f", 1), []byte{1}, 20, 30),
+		okOp(2, lockserver.CreateReq("f", 2, nil), []byte{0}, 40, 50),
+		okOp(2, lockserver.RenewReq("f", 2), []byte{0}, 60, 70),
+		okOp(2, lockserver.UpdateReq("f", 2, nil), []byte{1}, 80, 90), // lease expired: takeover
+		okOp(1, lockserver.RenewReq("f", 1), []byte{0}, 100, 110),
+		okOp(2, lockserver.RenewReq("f", 2), []byte{1}, 120, 130),
+	}
+	if res := CheckLinearizable(LockModel(), ops, 0); !res.Ok {
+		t.Fatalf("lock protocol history should linearize, got %+v", res)
+	}
+	// Split-brain: both clients observe a successful create of the same
+	// name with no delete in between — impossible sequentially.
+	ops = []Op{
+		okOp(1, lockserver.CreateReq("f", 1, nil), []byte{1}, 0, 10),
+		okOp(2, lockserver.CreateReq("f", 2, nil), []byte{1}, 20, 30),
+	}
+	if res := CheckLinearizable(LockModel(), ops, 0); res.Ok {
+		t.Fatalf("double create must be a violation")
+	}
+	// Renewing a never-created lock cannot succeed.
+	ops = []Op{
+		okOp(1, lockserver.RenewReq("g", 1), []byte{1}, 0, 10),
+	}
+	if res := CheckLinearizable(LockModel(), ops, 0); res.Ok {
+		t.Fatalf("renew of missing lock must be a violation")
+	}
+}
+
+func TestCheckPrefix(t *testing.T) {
+	logs := []ChosenLog{
+		{Replica: 0, Base: 0, Vals: [][]byte{{1}, {2}, {3}}},
+		{Replica: 1, Base: 1, Vals: [][]byte{{2}, {3}, {4}}},
+		{Replica: 2, Base: 2, Vals: [][]byte{{3}}},
+	}
+	if v := CheckPrefix(logs); len(v) != 0 {
+		t.Fatalf("consistent logs flagged: %v", v)
+	}
+	logs[1].Vals[1] = []byte{9} // instance 2 now disagrees
+	v := CheckPrefix(logs)
+	if len(v) != 2 { // pairs (0,1) and (1,2) overlap at instance 2
+		t.Fatalf("expected 2 violations, got %v", v)
+	}
+}
+
+func TestStateAgreement(t *testing.T) {
+	if v := StateAgreement(map[int]string{0: "s", 1: "s", 2: "s"}); len(v) != 0 {
+		t.Fatalf("agreeing states flagged: %v", v)
+	}
+	v := StateAgreement(map[int]string{0: "s", 1: "t", 2: "s"})
+	if len(v) != 1 {
+		t.Fatalf("expected 1 violation, got %v", v)
+	}
+}
+
+func TestHistoryRecording(t *testing.T) {
+	var now time.Duration
+	h := NewHistory(func() time.Duration { return now })
+	now = ms(1)
+	id1 := h.Invoke(7, hashdb.SetReq("k", []byte("v")))
+	now = ms(2)
+	id2 := h.Invoke(8, hashdb.GetReq("k"))
+	now = ms(3)
+	h.Return(id1, []byte{1})
+	h.Timeout(id2)
+	ops := h.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("expected 2 ops, got %d", len(ops))
+	}
+	if !ops[0].Ok || ops[0].Begin != ms(1) || ops[0].End != ms(3) || ops[0].Output[0] != 1 {
+		t.Fatalf("bad completed op: %+v", ops[0])
+	}
+	if ops[1].Ok || ops[1].End != Unknown {
+		t.Fatalf("bad timed-out op: %+v", ops[1])
+	}
+	if res := CheckLinearizable(KVModel(false), ops, 0); !res.Ok {
+		t.Fatalf("recorded history should linearize, got %+v", res)
+	}
+}

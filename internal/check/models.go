@@ -1,0 +1,209 @@
+package check
+
+import (
+	"fmt"
+
+	"rex/internal/wire"
+)
+
+// The hashdb and memcache request codecs agree: op byte (1=set, 2=get,
+// 3=del), key string, optional value bytes. Sets and deletes answer
+// []byte{1}; gets answer Bool(exists) + BytesVal(value).
+const (
+	kvOpSet byte = 1
+	kvOpGet byte = 2
+	kvOpDel byte = 3
+)
+
+func kvDecode(input []byte) (op byte, key string, val []byte) {
+	d := wire.NewDecoder(input)
+	op = d.Byte()
+	key = d.String()
+	if op == kvOpSet {
+		val = d.BytesVal()
+	}
+	return op, key, val
+}
+
+type kvState struct {
+	present bool
+	val     string
+}
+
+func kvGetResp(present bool, val string) string {
+	e := wire.NewEncoder(nil)
+	e.Bool(present)
+	e.BytesVal([]byte(val))
+	return string(e.Bytes())
+}
+
+// KVModel is the per-key register model shared by hashdb and memcache.
+// allowMiss forgives gets that observe a missing key even though the
+// model says it is present — memcache's LRU eviction can remove any key
+// as a side effect of inserting another, which per-key partitioning
+// cannot see. A present key returning a stale value is still a
+// violation.
+func KVModel(allowMiss bool) Model {
+	return Model{
+		Partition: func(ops []Op) [][]Op {
+			byKey := make(map[string][]Op)
+			var order []string
+			for _, op := range ops {
+				_, key, _ := kvDecode(op.Input)
+				if _, ok := byKey[key]; !ok {
+					order = append(order, key)
+				}
+				byKey[key] = append(byKey[key], op)
+			}
+			parts := make([][]Op, 0, len(order))
+			for _, k := range order {
+				parts = append(parts, byKey[k])
+			}
+			return parts
+		},
+		Init: func() any { return kvState{} },
+		Step: func(state any, input, output []byte, unknown bool) (any, bool) {
+			s := state.(kvState)
+			op, _, val := kvDecode(input)
+			switch op {
+			case kvOpSet:
+				next := kvState{present: true, val: string(val)}
+				return next, unknown || string(output) == "\x01"
+			case kvOpDel:
+				next := kvState{}
+				return next, unknown || string(output) == "\x01"
+			case kvOpGet:
+				if unknown {
+					return s, true
+				}
+				if string(output) == kvGetResp(s.present, s.val) {
+					return s, true
+				}
+				if allowMiss && s.present && string(output) == kvGetResp(false, "") {
+					return s, true
+				}
+				return s, false
+			}
+			return s, false
+		},
+		Hash: func(state any) string {
+			s := state.(kvState)
+			return fmt.Sprintf("%t|%s", s.present, s.val)
+		},
+		DropUnknown: func(input []byte) bool {
+			op, _, _ := kvDecode(input)
+			return op == kvOpGet
+		},
+	}
+}
+
+// Lockserver request codec: op byte (1=renew, 2=create, 3=update,
+// 4=info), name string, client uvarint, content bytes for create/update.
+const (
+	lsOpRenew  byte = 1
+	lsOpCreate byte = 2
+	lsOpUpdate byte = 3
+	lsOpInfo   byte = 4
+)
+
+func lsDecode(input []byte) (op byte, name string, client uint64) {
+	d := wire.NewDecoder(input)
+	op = d.Byte()
+	name = d.String()
+	client = d.Uvarint()
+	return op, name, client
+}
+
+type lockState struct {
+	exists bool
+	holder uint64
+}
+
+// LockModel is the per-name ownership model for the lock server. It
+// tracks existence and the holder but not lease expiry (a function of
+// virtual time the checker cannot see), so an update by a non-holder
+// legally returns either "held by someone else" or a takeover; the model
+// follows the observed output. Renew and create are deterministic given
+// ownership, which is where replay divergence would surface.
+func LockModel() Model {
+	return Model{
+		Partition: func(ops []Op) [][]Op {
+			byName := make(map[string][]Op)
+			var order []string
+			for _, op := range ops {
+				_, name, _ := lsDecode(op.Input)
+				if _, ok := byName[name]; !ok {
+					order = append(order, name)
+				}
+				byName[name] = append(byName[name], op)
+			}
+			parts := make([][]Op, 0, len(order))
+			for _, n := range order {
+				parts = append(parts, byName[n])
+			}
+			return parts
+		},
+		Init: func() any { return lockState{} },
+		Step: func(state any, input, output []byte, unknown bool) (any, bool) {
+			s := state.(lockState)
+			op, _, client := lsDecode(input)
+			switch op {
+			case lsOpRenew:
+				want := byte(0)
+				if s.exists && s.holder == client {
+					want = 1
+				}
+				return s, unknown || (len(output) == 1 && output[0] == want)
+			case lsOpCreate:
+				if s.exists {
+					return s, unknown || (len(output) == 1 && output[0] == 0)
+				}
+				next := lockState{exists: true, holder: client}
+				return next, unknown || (len(output) == 1 && output[0] == 1)
+			case lsOpUpdate:
+				if !s.exists {
+					return s, unknown || (len(output) == 1 && output[0] == 0)
+				}
+				if s.holder == client {
+					return s, unknown || (len(output) == 1 && output[0] == 1)
+				}
+				// Non-holder: takeover iff the lease had expired.
+				if unknown {
+					return lockState{exists: true, holder: client}, true
+				}
+				if len(output) != 1 {
+					return s, false
+				}
+				switch output[0] {
+				case 1:
+					return lockState{exists: true, holder: client}, true
+				case 2:
+					return s, true
+				}
+				return s, false
+			case lsOpInfo:
+				if unknown {
+					return s, true
+				}
+				d := wire.NewDecoder(output)
+				exists := d.Bool()
+				if d.Err() != nil || exists != s.exists {
+					return s, false
+				}
+				if exists && d.Uvarint() != s.holder {
+					return s, false
+				}
+				return s, d.Err() == nil
+			}
+			return s, false
+		},
+		Hash: func(state any) string {
+			s := state.(lockState)
+			return fmt.Sprintf("%t|%d", s.exists, s.holder)
+		},
+		DropUnknown: func(input []byte) bool {
+			op, _, _ := lsDecode(input)
+			return op == lsOpInfo
+		},
+	}
+}

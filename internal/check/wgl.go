@@ -1,0 +1,230 @@
+package check
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+)
+
+// Model is a sequential specification used by the linearizability
+// checker. States are opaque to the checker; it only steps and hashes
+// them.
+type Model struct {
+	// Partition splits a history into independently checkable pieces
+	// (typically per key). Nil checks the whole history as one piece.
+	Partition func(ops []Op) [][]Op
+	// Init returns one partition's initial state.
+	Init func() any
+	// Step applies an operation's input to a state and returns the
+	// successor state plus whether the observed output is legal there.
+	// unknown is true for timed-out operations: any outcome must be
+	// accepted, and the returned successor is the executed-op state (the
+	// checker covers the never-executed case by deferring the op past
+	// every observed operation).
+	Step func(state any, input, output []byte, unknown bool) (any, bool)
+	// Hash serializes a state for memoization. States that hash equal
+	// must be behaviourally identical.
+	Hash func(state any) string
+	// DropUnknown reports whether a timed-out operation with this input
+	// can be discarded outright (sound for pure reads: whether or not
+	// they executed, no later state is affected).
+	DropUnknown func(input []byte) bool
+}
+
+// Result summarizes a linearizability check.
+type Result struct {
+	Ok         bool
+	Undecided  bool // step budget exhausted before a verdict
+	Ops        int  // operations checked (after dropping unknown reads)
+	Dropped    int  // timed-out reads discarded
+	Partitions int
+}
+
+// DefaultBudget bounds the checker's worst-case backtracking across all
+// partitions of one history.
+const DefaultBudget = 20_000_000
+
+// CheckLinearizable decides whether the history is linearizable with
+// respect to the model. budget <= 0 selects DefaultBudget.
+func CheckLinearizable(m Model, ops []Op, budget int64) Result {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	res := Result{Ok: true}
+	// Drop timed-out operations the model declares side-effect free.
+	kept := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if !op.Ok && m.DropUnknown != nil && m.DropUnknown(op.Input) {
+			res.Dropped++
+			continue
+		}
+		kept = append(kept, op)
+	}
+	res.Ops = len(kept)
+	parts := [][]Op{kept}
+	if m.Partition != nil {
+		parts = m.Partition(kept)
+	}
+	res.Partitions = len(parts)
+	// Check small partitions first: cheap verdicts land before any
+	// budget-hungry one runs.
+	sort.Slice(parts, func(i, j int) bool { return len(parts[i]) < len(parts[j]) })
+	for _, p := range parts {
+		ok, undecided := checkPartition(m, p, &budget)
+		if undecided {
+			res.Undecided = true
+		}
+		if !ok {
+			res.Ok = false
+			return res
+		}
+	}
+	return res
+}
+
+// entry is one endpoint (call or return) of an operation in the
+// doubly-linked scan list of the WGL search.
+type entry struct {
+	id         int
+	call       bool
+	time       time.Duration
+	op         *Op
+	match      *entry // a call's return entry (always present)
+	prev, next *entry
+}
+
+// lift removes the entry and its matching return from the list once the
+// operation is tentatively linearized.
+func (e *entry) lift() {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+// unlift reinserts the pair on backtrack (return first, then call, the
+// reverse of lift).
+func (e *entry) unlift() {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) key() string {
+	buf := make([]byte, 8*len(b))
+	for i, w := range b {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return string(buf)
+}
+
+// checkPartition runs the WGL search over one partition: scan the
+// time-ordered entry list, tentatively linearizing calls whose output the
+// model accepts, backtracking when a return is reached before its call
+// was linearized, and memoizing (linearized-set, state) pairs.
+func checkPartition(m Model, ops []Op, budget *int64) (ok, undecided bool) {
+	n := len(ops)
+	if n == 0 {
+		return true, false
+	}
+	entries := make([]*entry, 0, 2*n)
+	for i := range ops {
+		op := &ops[i]
+		call := &entry{id: i, call: true, time: op.Begin, op: op}
+		ret := &entry{id: i, time: op.End, op: op}
+		call.match = ret
+		entries = append(entries, call, ret)
+	}
+	// Sort by time; at equal times calls precede returns, so operations
+	// meeting at a timestamp count as concurrent (the permissive — and
+	// sound — reading of the real-time order).
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].time != entries[j].time {
+			return entries[i].time < entries[j].time
+		}
+		return entries[i].call && !entries[j].call
+	})
+	head := &entry{}
+	prev := head
+	for _, e := range entries {
+		prev.next = e
+		e.prev = prev
+		prev = e
+	}
+
+	type frame struct {
+		e     *entry
+		state any
+	}
+	var stack []frame
+	state := m.Init()
+	linearized := newBitset(n)
+	cache := make(map[string]struct{})
+	e := head.next
+	for head.next != nil {
+		*budget--
+		if *budget <= 0 {
+			return true, true
+		}
+		if e == nil {
+			// Scanned past the last entry without linearizing everything.
+			if len(stack) == 0 {
+				return false, false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			e = top.e
+			state = top.state
+			linearized.clear(e.id)
+			e.unlift()
+			e = e.next
+			continue
+		}
+		if !e.call {
+			// A return whose call was not linearized: backtrack.
+			if len(stack) == 0 {
+				return false, false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			e = top.e
+			state = top.state
+			linearized.clear(e.id)
+			e.unlift()
+			e = e.next
+			continue
+		}
+		newState, legal := m.Step(state, e.op.Input, e.op.Output, !e.op.Ok)
+		if legal {
+			linearized.set(e.id)
+			key := linearized.key() + "|" + m.Hash(newState)
+			if _, seen := cache[key]; !seen {
+				cache[key] = struct{}{}
+				stack = append(stack, frame{e: e, state: state})
+				state = newState
+				e.lift()
+				e = head.next
+				continue
+			}
+			linearized.clear(e.id)
+		}
+		e = e.next
+	}
+	return true, false
+}

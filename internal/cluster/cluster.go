@@ -37,6 +37,14 @@ type Options struct {
 	DisablePruning  bool
 	TotalOrderTry   bool
 	Logf            func(string, ...any)
+	// NewLog and NewSnapshots build replica i's durable state; defaults are
+	// in-memory stores. The chaos engine swaps in fault-injecting wrappers.
+	NewLog       func(i int) storage.Log
+	NewSnapshots func(i int) storage.SnapshotStore
+	// UnsafeReplayNoEdgeWaits injects a replication bug (replay releases
+	// events before their causal predecessors) so tests can prove the
+	// consistency checker catches real divergence. Never set outside tests.
+	UnsafeReplayNoEdgeWaits bool
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +59,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.NewLog == nil {
+		o.NewLog = func(int) storage.Log { return storage.NewMemLog() }
+	}
+	if o.NewSnapshots == nil {
+		o.NewSnapshots = func(int) storage.SnapshotStore { return storage.NewMemSnapshots() }
 	}
 	return o
 }
@@ -70,8 +84,8 @@ type Cluster struct {
 	Opts     Options
 	Factory  core.Factory
 	Replicas []*core.Replica
-	Logs     []*storage.MemLog
-	Snaps    []*storage.MemSnapshots
+	Logs     []storage.Log
+	Snaps    []storage.SnapshotStore
 	machines []int // simulated machine per replica (-1 without machineEnv)
 }
 
@@ -85,8 +99,8 @@ func New(e env.Env, factory core.Factory, opts Options) *Cluster {
 		Net:     transport.NewNetwork(e, opts.Replicas, opts.NetDelay, opts.Seed),
 	}
 	for i := 0; i < opts.Replicas; i++ {
-		c.Logs = append(c.Logs, storage.NewMemLog())
-		c.Snaps = append(c.Snaps, storage.NewMemSnapshots())
+		c.Logs = append(c.Logs, opts.NewLog(i))
+		c.Snaps = append(c.Snaps, opts.NewSnapshots(i))
 		c.Replicas = append(c.Replicas, nil)
 		c.machines = append(c.machines, -1)
 	}
@@ -102,31 +116,32 @@ func New(e env.Env, factory core.Factory, opts Options) *Cluster {
 
 func (c *Cluster) config(i int) core.Config {
 	return core.Config{
-		ID:                   i,
-		N:                    c.Opts.Replicas,
-		Env:                  c.Env,
-		Endpoint:             c.Net.Endpoint(i),
-		Log:                  c.Logs[i],
-		Snapshots:            c.Snaps[i],
-		Factory:              c.Factory,
-		Workers:              c.Opts.Workers,
-		Timers:               c.Opts.Timers,
-		ReadWorkers:          c.Opts.ReadWorkers,
-		ProposeEvery:         c.Opts.ProposeEvery,
-		PipelineDepth:        c.Opts.PipelineDepth,
-		HeartbeatEvery:       c.Opts.HeartbeatEvery,
-		ElectionTimeout:      c.Opts.ElectionTimeout,
-		CheckpointEvery:      c.Opts.CheckpointEvery,
-		StatusEvery:          c.Opts.StatusEvery,
-		MaxOutstanding:       c.Opts.MaxOutstanding,
-		LagLimitInstances:    c.Opts.LagInstances,
-		LagLimitEvents:       c.Opts.LagEvents,
-		DisableVersionChecks: c.Opts.DisableChecks,
-		DisableResultChecks:  c.Opts.DisableChecks,
-		DisablePruning:       c.Opts.DisablePruning,
-		TotalOrderTryFail:    c.Opts.TotalOrderTry,
-		Seed:                 c.Opts.Seed,
-		Logf:                 c.Opts.Logf,
+		ID:                      i,
+		N:                       c.Opts.Replicas,
+		Env:                     c.Env,
+		Endpoint:                c.Net.Endpoint(i),
+		Log:                     c.Logs[i],
+		Snapshots:               c.Snaps[i],
+		Factory:                 c.Factory,
+		Workers:                 c.Opts.Workers,
+		Timers:                  c.Opts.Timers,
+		ReadWorkers:             c.Opts.ReadWorkers,
+		ProposeEvery:            c.Opts.ProposeEvery,
+		PipelineDepth:           c.Opts.PipelineDepth,
+		HeartbeatEvery:          c.Opts.HeartbeatEvery,
+		ElectionTimeout:         c.Opts.ElectionTimeout,
+		CheckpointEvery:         c.Opts.CheckpointEvery,
+		StatusEvery:             c.Opts.StatusEvery,
+		MaxOutstanding:          c.Opts.MaxOutstanding,
+		LagLimitInstances:       c.Opts.LagInstances,
+		LagLimitEvents:          c.Opts.LagEvents,
+		DisableVersionChecks:    c.Opts.DisableChecks,
+		DisableResultChecks:     c.Opts.DisableChecks,
+		DisablePruning:          c.Opts.DisablePruning,
+		TotalOrderTryFail:       c.Opts.TotalOrderTry,
+		Seed:                    c.Opts.Seed,
+		Logf:                    c.Opts.Logf,
+		UnsafeReplayNoEdgeWaits: c.Opts.UnsafeReplayNoEdgeWaits,
 	}
 }
 
@@ -234,8 +249,8 @@ func (c *Cluster) Restart(i int) error {
 // RestartFresh brings replica i back with empty durable state (a replaced
 // machine), forcing a checkpoint transfer if the cluster compacted.
 func (c *Cluster) RestartFresh(i int) error {
-	c.Logs[i] = storage.NewMemLog()
-	c.Snaps[i] = storage.NewMemSnapshots()
+	c.Logs[i] = c.Opts.NewLog(i)
+	c.Snaps[i] = c.Opts.NewSnapshots(i)
 	return c.Restart(i)
 }
 
@@ -281,6 +296,77 @@ func (c *Cluster) WaitConverged(timeout time.Duration) (string, error) {
 	return "", errors.New("cluster: replicas did not converge in time")
 }
 
+// StableStates waits until every live replica's serialized application
+// state stops changing and returns the states by replica index. Unlike
+// WaitConverged it does not require the states to agree: the chaos
+// checker compares them itself, so a divergence becomes a reported
+// violation instead of a timeout here. Replicas that crashed on a
+// storage fault are returned in faults rather than treated as an error.
+func (c *Cluster) StableStates(timeout time.Duration) (states map[int]string, faults map[int]error, err error) {
+	deadline := c.Env.Now() + timeout
+	var last string
+	stable := 0
+	for c.Env.Now() < deadline {
+		cur := make(map[int]string)
+		curFaults := make(map[int]error)
+		quiesced := true
+		seq := uint64(0)
+		haveSeq := false
+		for i, r := range c.Replicas {
+			if r == nil {
+				continue
+			}
+			if r.Role() == core.RoleFaulted {
+				curFaults[i] = r.FaultError()
+				continue
+			}
+			// Quiescence means no live replica is still catching up: all
+			// share one chosen sequence and have applied everything in it.
+			// Without this, a frozen-but-lagging replica (e.g. one still
+			// bridging a compaction gap) reads as a stable divergence.
+			base, vals := r.ChosenLog()
+			s := base + uint64(len(vals))
+			if r.Stats().Applied < s {
+				quiesced = false
+			}
+			if haveSeq && s != seq {
+				quiesced = false
+			}
+			seq, haveSeq = s, true
+			var buf bytes.Buffer
+			if err := r.StateMachineForTest().WriteCheckpoint(&buf); err != nil {
+				return nil, nil, err
+			}
+			cur[i] = buf.String()
+		}
+		// Compare the whole snapshot (states and fault set) for stability.
+		key := fmt.Sprintf("%v|%v", cur, curFaults)
+		if quiesced && key == last {
+			stable++
+			if stable >= 3 {
+				return cur, curFaults, nil
+			}
+		} else {
+			stable = 0
+			last = key
+		}
+		c.Env.Sleep(20 * time.Millisecond)
+	}
+	return nil, nil, errors.New("cluster: replica states did not stabilize in time")
+}
+
+// HistoryRecorder observes client operations as a concurrent history for
+// the linearizability checker (implemented by check.History).
+type HistoryRecorder interface {
+	// Invoke records an operation's start and returns its id.
+	Invoke(client uint64, input []byte) uint64
+	// Return records a successful completion with the response bytes.
+	Return(id uint64, output []byte)
+	// Timeout marks the operation's outcome as unknown: it may or may not
+	// take effect at any point after the invocation.
+	Timeout(id uint64)
+}
+
 // Client submits requests with retry and primary discovery.
 type Client struct {
 	C   *Cluster
@@ -288,6 +374,9 @@ type Client struct {
 	seq uint64
 	// LastPrimary caches the replica to try first.
 	LastPrimary int
+	// Recorder, when set, observes every Do/DoTimeout call for the
+	// consistency checker.
+	Recorder HistoryRecorder
 }
 
 // NewClient returns a client with the given unique id.
@@ -306,6 +395,10 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 	cl.seq++
 	seq := cl.seq
 	e := cl.C.Env
+	var opID uint64
+	if cl.Recorder != nil {
+		opID = cl.Recorder.Invoke(cl.ID, body)
+	}
 	deadline := e.Now() + timeout
 	target := cl.LastPrimary
 	for e.Now() < deadline {
@@ -318,6 +411,9 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 		resp, err := r.Submit(cl.ID, seq, body)
 		if err == nil {
 			cl.LastPrimary = target % len(cl.C.Replicas)
+			if cl.Recorder != nil {
+				cl.Recorder.Return(opID, resp)
+			}
 			return resp, nil
 		}
 		var np core.ErrNotPrimary
@@ -327,6 +423,9 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 			target++
 		}
 		e.Sleep(2 * time.Millisecond)
+	}
+	if cl.Recorder != nil {
+		cl.Recorder.Timeout(opID)
 	}
 	return nil, fmt.Errorf("cluster: request timed out after %v", timeout)
 }

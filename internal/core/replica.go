@@ -103,6 +103,10 @@ type Config struct {
 	// DisablePruning and TotalOrderTryFail select the §4.2 ablations.
 	DisablePruning    bool
 	TotalOrderTryFail bool
+	// UnsafeReplayNoEdgeWaits injects a deliberate replay bug (events
+	// released before their causal predecessors) so the chaos checker can
+	// prove it detects divergence. Never set outside tests.
+	UnsafeReplayNoEdgeWaits bool
 
 	Seed int64
 	Logf func(format string, args ...any)
@@ -195,15 +199,16 @@ type Replica struct {
 	faultErr  error
 	stopped   bool
 
-	gen      int
-	gapUntil uint64 // highest compaction gap already being bridged
-	rt       *sched.Runtime
-	sm       StateMachine
-	timers   []timerSpec
-	tr       *trace.Trace // committed trace (primary bookkeeping)
-	lcc      trace.Cut    // last consistent cut of tr (primary)
-	applied  uint64       // committed instances applied locally
-	snapBase trace.Cut    // cut the current incarnation restored from
+	gen        int
+	gapUntil   uint64 // highest compaction gap already being bridged
+	needResync bool   // commits jumped past applied; a rebuild is required
+	rt         *sched.Runtime
+	sm         StateMachine
+	timers     []timerSpec
+	tr         *trace.Trace // committed trace (primary bookkeeping)
+	lcc        trace.Cut    // last consistent cut of tr (primary)
+	applied    uint64       // committed instances applied locally
+	snapBase   trace.Cut    // cut the current incarnation restored from
 
 	// Primary state.
 	workQ         []reqWork
@@ -308,6 +313,9 @@ func NewReplica(cfg Config) (*Replica, error) {
 		OnSnapshotGap: func(minInst uint64) {
 			r.lifeQ.Send(gapEvt{minInst: minInst})
 		},
+		OnStorageFault: func(err error) {
+			r.fault(fmt.Errorf("rex: consensus storage fault: %w", err))
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -320,15 +328,38 @@ func NewReplica(cfg Config) (*Replica, error) {
 // state from the latest local checkpoint plus the committed trace, then
 // joins the cluster.
 func (r *Replica) Start() error {
-	if err := r.rebuild(); err != nil {
+	joinCluster := func() {
+		r.nodeStarted = true
+		r.node.Start()
+		// The control plane must run alongside the learner: catching up
+		// across a compaction gap needs checkpoint transfers (ctrlLoop)
+		// and gap fast-forwards (lifecycleLoop's handleGap).
+		r.spawn("lifecycle", r.lifecycleLoop)
+		r.spawn("ctrl", r.ctrlLoop)
+	}
+	err := r.rebuild()
+	if errors.Is(err, errSnapshotAhead) {
+		// A checkpoint transfer raced the learner's WAL persistence
+		// before the crash: the stored checkpoint is valid but the delta
+		// carrying its mark never reached the local log. Join the
+		// cluster first so the learner can re-fetch the missing suffix
+		// from peers; rebuild then waits (bounded) for it to catch up.
+		joinCluster()
+		err = r.rebuild()
+	}
+	if err != nil {
+		// Tear down the already-started learner — unless it crash-stopped
+		// on its own (its loop is gone; a graceful Stop would hang).
+		if r.nodeStarted && r.FaultError() == nil {
+			r.Stop()
+		}
 		return err
 	}
-	r.nodeStarted = true
-	r.node.Start()
+	if !r.nodeStarted {
+		joinCluster()
+	}
 	r.spawn("apply", r.applyLoop)
-	r.spawn("lifecycle", r.lifecycleLoop)
 	r.spawn("pump", r.proposePump)
-	r.spawn("ctrl", r.ctrlLoop)
 	r.spawn("status", r.statusLoop)
 	if r.cfg.CheckpointEvery > 0 {
 		r.spawn("ckpt-timer", r.checkpointTimer)
@@ -356,7 +387,10 @@ func (r *Replica) Stop() {
 	}
 	r.stopped = true
 	r.failPendingLocked()
-	rep := r.rt.Replayer()
+	var rep *sched.Replayer
+	if r.rt != nil { // nil when Start never completed a rebuild
+		rep = r.rt.Replayer()
+	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	if rep != nil {
@@ -404,7 +438,10 @@ func (r *Replica) fault(err error) {
 		r.failPendingLocked()
 		r.logf("FAULT: %v", err)
 	}
-	rep := r.rt.Replayer()
+	var rep *sched.Replayer
+	if r.rt != nil { // nil when faulting during Start's initial rebuild
+		rep = r.rt.Replayer()
+	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	if rep != nil {
@@ -447,7 +484,12 @@ func (r *Replica) applyLoop() {
 		if evt.inst > r.applied {
 			// Commits jumped past us: a checkpoint transfer advanced the
 			// learner. Rebuild from the checkpoint; it will fold this
-			// instance in from the learner's chosen log.
+			// instance in from the learner's chosen log. The flag lets a
+			// promotion already occupying the lifecycle loop service the
+			// resync itself instead of waiting on an event queued behind
+			// it (see promote).
+			r.needResync = true
+			r.cond.Broadcast()
 			r.mu.Unlock()
 			r.lifeQ.Send(resyncEvt{})
 			continue
@@ -505,7 +547,10 @@ func (r *Replica) lifecycleLoop() {
 			r.handleGap(evt.minInst)
 		case resyncEvt:
 			r.mu.Lock()
-			ok := !r.stopped && r.role == RoleSecondary
+			ok := !r.stopped && r.role == RoleSecondary && r.needResync
+			if ok {
+				r.needResync = false
+			}
 			r.mu.Unlock()
 			if ok {
 				if err := r.rebuild(); err != nil {
@@ -550,6 +595,20 @@ func (r *Replica) promote(chosenAt uint64) {
 	start := r.e.Now()
 	r.mu.Lock()
 	for r.applied < chosenAt && !r.stopped && r.role != RoleFaulted {
+		if r.needResync {
+			// The learner jumped past a compaction gap, so applied can
+			// never reach chosenAt by folding commits in order. The
+			// resync event sits behind this promotion on the lifecycle
+			// queue — service it here or we deadlock.
+			r.needResync = false
+			r.mu.Unlock()
+			if err := r.rebuild(); err != nil {
+				r.fault(fmt.Errorf("rex: pre-promotion rebuild failed: %w", err))
+				return
+			}
+			r.mu.Lock()
+			continue
+		}
 		r.cond.Wait()
 	}
 	if r.stopped || r.role == RoleFaulted || r.role == RolePrimary {

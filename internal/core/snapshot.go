@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -153,6 +154,17 @@ func (r *Replica) loadLocalSnapshot() (*snapshotBlob, bool, error) {
 	return s, true, nil
 }
 
+// errSnapshotAhead reports a locally stored checkpoint newer than the
+// locally persisted chosen log: a checkpoint transfer landed before the
+// learner's entries reached the WAL, and then the process crashed. The
+// checkpoint itself is valid — recovery needs the learner running so it
+// can re-fetch the missing log suffix from peers (see Start).
+var errSnapshotAhead = errors.New("rex: checkpoint outruns the persisted chosen log")
+
+// snapCatchupTimeout bounds how long rebuild waits for the learner to
+// re-fetch chosen entries past a checkpoint's mark before giving up.
+const snapCatchupTimeout = 30 * time.Second
+
 // rebuild reconstructs the replica's execution state — a fresh runtime and
 // application — from the latest checkpoint plus the committed trace, and
 // starts it replaying as a secondary. It serves initial startup, crash
@@ -179,6 +191,19 @@ func (r *Replica) rebuild() error {
 			// The delta carrying the snapshot's mark is not in the chosen
 			// log yet (checkpoint transfer racing the learner).
 			if r.nodeStarted {
+				// Entries below the checkpoint may have been compacted
+				// cluster-wide, so the learner cannot fill them in; the
+				// checkpoint covers them, so fast-forward past the gap
+				// (same move handleGap makes) and wait for the delta
+				// carrying the mark to arrive from peers.
+				r.node.AdvanceTo(snap.Inst)
+				if ferr := r.FaultError(); ferr != nil {
+					return fmt.Errorf("rex: crash-stopped while recovering checkpoint at instance %d: %w", snap.Inst, ferr)
+				}
+				if r.e.Now()-start > snapCatchupTimeout {
+					return fmt.Errorf("rex: snapshot at instance %d unreachable: chosen log starts at %d and ends at %d: %w",
+						snap.Inst, st.Base, st.Seq, errSnapshotAhead)
+				}
 				if !r.sleepInterruptible(50 * time.Millisecond) {
 					return ErrStopped
 				}
@@ -187,8 +212,8 @@ func (r *Replica) rebuild() error {
 			if st.Base == 0 {
 				haveSnap = false // cold start: replay from the beginning
 			} else {
-				return fmt.Errorf("rex: snapshot at instance %d unusable: chosen log starts at %d and ends at %d",
-					snap.Inst, st.Base, st.Seq)
+				return fmt.Errorf("rex: snapshot at instance %d vs chosen log [%d, %d): %w",
+					snap.Inst, st.Base, st.Seq, errSnapshotAhead)
 			}
 		}
 		if !haveSnap && st.Base > 0 {
@@ -243,6 +268,7 @@ func (r *Replica) rebuild() error {
 		rt.CheckVersions = !r.cfg.DisableVersionChecks
 		rt.DisablePruning = r.cfg.DisablePruning
 		rt.TotalOrderTryFail = r.cfg.TotalOrderTryFail
+		rt.UnsafeSkipEdgeWaits = r.cfg.UnsafeReplayNoEdgeWaits
 		rt.Obs = r.obs.replay
 		host := &TimerHost{}
 		sm := r.cfg.Factory(rt, host)

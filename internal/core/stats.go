@@ -74,6 +74,15 @@ func (r *Replica) TraceRetainedForTest() (events, reqs int) {
 	return tr.EventCount(), len(tr.Reqs)
 }
 
+// ChosenLog returns a consistent snapshot of the consensus learner's
+// chosen instances: the first retained instance index (instances below it
+// were compacted after a checkpoint) and the chosen values from there on.
+// The chaos checker uses it to verify the prefix property across replicas.
+func (r *Replica) ChosenLog() (base uint64, vals [][]byte) {
+	st := r.node.ChosenSnapshot()
+	return st.Base, st.Vals
+}
+
 // TraceForTest exposes the replica's committed-trace view for debugging.
 func (r *Replica) TraceForTest() *trace.Trace {
 	r.mu.Lock()

@@ -257,6 +257,22 @@ func (r *Registry) RegisterCounter(name string, c *Counter) {
 	r.counters[name] = c
 }
 
+// CounterOf returns the counter registered under name, creating it on
+// first use. Unlike Counter it is idempotent, which suits dynamically
+// named metrics (the chaos engine's per-fault-kind counters). It still
+// panics if name is already taken by a different metric type.
+func (r *Registry) CounterOf(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.addName(name)
+	c := NewCounter()
+	r.counters[name] = c
+	return c
+}
+
 // Gauge creates and registers a gauge under name.
 func (r *Registry) Gauge(name string) *Gauge {
 	g := NewGauge()
@@ -294,6 +310,20 @@ func (r *Registry) RegisterHistogram(name string, h *Histogram) {
 	defer r.mu.Unlock()
 	r.addName(name)
 	r.histograms[name] = h
+}
+
+// HistogramOf returns the histogram registered under name, creating it
+// on first use (the idempotent counterpart of Histogram).
+func (r *Registry) HistogramOf(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.addName(name)
+	h := NewHistogram()
+	r.histograms[name] = h
+	return h
 }
 
 // Snapshot is a point-in-time copy of every registered metric.

@@ -51,6 +51,12 @@ type Config struct {
 	// learner needs was compacted away: the replica must obtain a
 	// checkpoint covering at least minInst and call AdvanceTo.
 	OnSnapshotGap func(minInst uint64)
+	// OnStorageFault, if set, fires when a WAL write fails. The node then
+	// goes silent — endpoint and inbox closed, event loop exited — which is
+	// the crash-stop behaviour consensus safety assumes: a promise or
+	// acceptance that did not reach disk is never advertised. When unset, a
+	// WAL write failure panics (a process with a dead disk cannot continue).
+	OnStorageFault func(err error)
 	// Logf, if set, receives diagnostic logging.
 	Logf func(format string, args ...any)
 
@@ -243,13 +249,21 @@ func (n *Node) recover() error {
 	return nil
 }
 
+// storageFault unwinds the event loop when a WAL write fails; loop()
+// recovers it and takes the node crash-stop silent (see OnStorageFault).
+type storageFault struct{ err error }
+
+func (n *Node) storageFailed(op string, err error) {
+	panic(storageFault{err: fmt.Errorf("paxos: log %s failed: %w", op, err)})
+}
+
 func (n *Node) persistPromised() {
 	e := wire.NewEncoder(nil)
 	e.Byte(recPromised)
 	e.Uvarint(n.promised.Round)
 	e.Uvarint(uint64(n.promised.Node))
 	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-		panic(fmt.Sprintf("paxos: log append failed: %v", err))
+		n.storageFailed("append", err)
 	}
 }
 
@@ -261,7 +275,7 @@ func (n *Node) persistAccepted(a acceptedEntry) {
 	e.Uvarint(uint64(a.Ballot.Node))
 	e.BytesVal(a.Val)
 	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-		panic(fmt.Sprintf("paxos: log append failed: %v", err))
+		n.storageFailed("append", err)
 	}
 }
 
@@ -271,7 +285,7 @@ func (n *Node) persistChosen(inst uint64, val []byte) {
 	e.Uvarint(inst)
 	e.BytesVal(val)
 	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-		panic(fmt.Sprintf("paxos: log append failed: %v", err))
+		n.storageFailed("append", err)
 	}
 }
 
@@ -342,7 +356,11 @@ func (n *Node) ChosenSnapshot() ChosenState {
 	if !n.inbox.Send(chosenReq{reply: reply}) {
 		return ChosenState{Base: n.chosenBase, Seq: n.chosenSeq}
 	}
-	v, _ := reply.Recv()
+	v, ok := reply.Recv()
+	if !ok {
+		// The loop exited (stop or storage fault) before answering.
+		return ChosenState{Base: n.chosenBase, Seq: n.chosenSeq}
+	}
 	return v.(ChosenState)
 }
 
@@ -374,6 +392,26 @@ func (n *Node) broadcast(m *message) {
 }
 
 func (n *Node) loop() {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		sf, ok := v.(storageFault)
+		if !ok {
+			panic(v)
+		}
+		if n.cfg.OnStorageFault == nil {
+			panic(sf.err.Error())
+		}
+		// Crash-stop: drop off the network before reporting, so no state
+		// that failed to persist is ever advertised to a peer.
+		n.stopped = true
+		n.cfg.Endpoint.Close()
+		n.inbox.Close()
+		n.cfg.logf("storage fault, going silent: %v", sf.err)
+		n.cfg.OnStorageFault(sf.err)
+	}()
 	for {
 		v, ok := n.inbox.Recv()
 		if !ok {
@@ -399,7 +437,7 @@ func (n *Node) loop() {
 				e.Byte(recAdvance)
 				e.Uvarint(c.to)
 				if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-					panic(fmt.Sprintf("paxos: log append failed: %v", err))
+					n.storageFailed("append", err)
 				}
 				n.chosenBase = c.to
 				n.chosen = nil
@@ -841,7 +879,7 @@ func (n *Node) handleCompact(upTo uint64) {
 		recs = append(recs, append([]byte(nil), e.Bytes()...))
 	}
 	if err := n.cfg.Log.Rewrite(recs); err != nil {
-		panic(fmt.Sprintf("paxos: log rewrite failed: %v", err))
+		n.storageFailed("rewrite", err)
 	}
 }
 

@@ -32,6 +32,13 @@ type Replayer struct {
 	waitedEvents   uint64 // events that blocked on at least one causal edge
 	replayedEvents uint64
 
+	// skipEdgeWaits, when set, makes WaitSources release every event
+	// immediately instead of waiting for its causal predecessors —
+	// deliberately breaking the Determinism leg of the Rex contract. It
+	// exists only so the chaos checker can prove it catches a broken
+	// replayer (set via Runtime.UnsafeSkipEdgeWaits; never in production).
+	skipEdgeWaits bool
+
 	e    env.Env
 	ob   *ReplayObs // nil disables metric collection
 	lagQ []lagMark  // commit-time watermarks pending execution, oldest first
@@ -142,6 +149,9 @@ func (r *Replayer) In(id trace.EventID) []trace.EventID {
 // "waited events" statistic: the number of events that had to wait for a
 // causal edge (Fig. 7).
 func (r *Replayer) WaitSources(in []trace.EventID) bool {
+	if r.skipEdgeWaits {
+		return true // injected bug: release before causal predecessors
+	}
 	if len(in) == 0 {
 		if r.ob != nil {
 			r.ob.Released.Inc()

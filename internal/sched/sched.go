@@ -62,6 +62,12 @@ type Runtime struct {
 	// program order. For the pruning ablation benchmark.
 	DisablePruning bool
 
+	// UnsafeSkipEdgeWaits injects a replay bug: replayers release events
+	// without waiting for their causal predecessors. Test-only — it exists
+	// so the chaos consistency checker can demonstrate that it detects a
+	// broken replayer (see internal/chaos).
+	UnsafeSkipEdgeWaits bool
+
 	// TotalOrderTryFail records failed TryLocks in the per-resource total
 	// order (Fig. 4 left) instead of the ground-truth partial order
 	// (Fig. 4 right). For the partial-order ablation benchmark.
@@ -243,6 +249,7 @@ func (rt *Runtime) StartReplay(tr *trace.Trace, base trace.Cut) {
 	rt.baseVC = vclock.New(len(rt.workers))
 	rt.rep = NewReplayer(rt.Env, tr, base)
 	rt.rep.ob = rt.Obs
+	rt.rep.skipEdgeWaits = rt.UnsafeSkipEdgeWaits
 }
 
 // Worker is one logical thread. All trace identity — event clocks, vector

@@ -122,6 +122,22 @@ type FileLog struct {
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("storage: log closed")
 
+// fileSync and dirSync are indirections over fsync so durability-ordering
+// tests can observe that a temp file is synced before it is renamed into
+// place and that the containing directory is synced after. Production code
+// never swaps them.
+var (
+	fileSync = func(f *os.File) error { return f.Sync() }
+	dirSync  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return d.Sync()
+	}
+)
+
 // OpenFileLog opens (creating if needed) a file log. If syncEach is true,
 // every Append fsyncs.
 func OpenFileLog(path string, syncEach bool) (*FileLog, error) {
@@ -212,7 +228,7 @@ func (l *FileLog) Rewrite(recs [][]byte) error {
 			return err
 		}
 	}
-	if err := nf.Sync(); err != nil {
+	if err := fileSync(nf); err != nil {
 		nf.Close()
 		return err
 	}
@@ -220,6 +236,12 @@ func (l *FileLog) Rewrite(recs [][]byte) error {
 		return err
 	}
 	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	// The rename itself must survive power loss: fsync the directory so the
+	// new directory entry is durable before the compacted records are
+	// trusted to have replaced the old log.
+	if err := dirSync(filepath.Dir(l.path)); err != nil {
 		return err
 	}
 	l.f.Close()
@@ -265,16 +287,35 @@ func NewFileSnapshots(dir string) (*FileSnapshots, error) {
 	return &FileSnapshots{dir: dir}, nil
 }
 
-// Save implements SnapshotStore.
+// Save implements SnapshotStore. The snapshot bytes are fsynced to a temp
+// file before the rename and the directory is fsynced after it, so a
+// checkpoint reported saved cannot vanish (or appear truncated) on power
+// loss — a snapshot whose WAL prefix has been compacted away is the only
+// copy of that state.
 func (s *FileSnapshots) Save(id uint64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp := filepath.Join(s.dir, "snap.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := fileSync(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	final := filepath.Join(s.dir, fmt.Sprintf("snap-%016d", id))
 	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := dirSync(s.dir); err != nil {
 		return err
 	}
 	// Drop older snapshots.

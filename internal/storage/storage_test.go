@@ -188,3 +188,131 @@ func TestQuickFileLogRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// captureSyncs swaps the fsync indirections for recording versions and
+// restores them when the test ends. Each recorded event carries the state
+// of the filesystem at sync time, which is what the durability argument
+// rests on: the temp file's bytes must be on disk before the rename makes
+// them the authoritative copy, and the rename must itself be synced (via
+// the directory) before Save/Rewrite returns.
+type syncEvent struct {
+	kind       string // "file" or "dir"
+	name       string // file path or directory path
+	finalSeen  bool   // the final (post-rename) path existed at sync time
+	finalBytes []byte // contents of the final path at sync time, if present
+	tmpSeen    bool   // the temp file existed at sync time
+}
+
+func captureSyncs(t *testing.T, finalPath, tmpPath string) *[]syncEvent {
+	t.Helper()
+	var events []syncEvent
+	prevFile, prevDir := fileSync, dirSync
+	t.Cleanup(func() { fileSync, dirSync = prevFile, prevDir })
+	observe := func(kind, name string) error {
+		ev := syncEvent{kind: kind, name: name}
+		if data, err := os.ReadFile(finalPath); err == nil {
+			ev.finalSeen = true
+			ev.finalBytes = data
+		}
+		if _, err := os.Stat(tmpPath); err == nil {
+			ev.tmpSeen = true
+		}
+		events = append(events, ev)
+		return nil
+	}
+	fileSync = func(f *os.File) error {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		return observe("file", f.Name())
+	}
+	dirSync = func(dir string) error {
+		return observe("dir", dir)
+	}
+	return &events
+}
+
+// TestSnapshotSaveSyncOrdering proves FileSnapshots.Save fsyncs the temp
+// file before renaming it into place and fsyncs the directory after: a
+// checkpoint whose WAL prefix was compacted away is the only copy of that
+// state, so it must not be able to vanish on power loss.
+func TestSnapshotSaveSyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	final := filepath.Join(dir, "snap-0000000000000042")
+	events := captureSyncs(t, final, filepath.Join(dir, "snap.tmp"))
+	s, err := NewFileSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("checkpoint payload")
+	if err := s.Save(42, data); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if len(*events) != 2 {
+		t.Fatalf("got %d sync events, want file then dir: %+v", len(*events), *events)
+	}
+	fe, de := (*events)[0], (*events)[1]
+	if fe.kind != "file" || filepath.Base(fe.name) != "snap.tmp" {
+		t.Fatalf("first sync = %+v, want fsync of snap.tmp", fe)
+	}
+	if fe.finalSeen {
+		t.Fatal("snapshot renamed into place before its bytes were fsynced")
+	}
+	if de.kind != "dir" || de.name != dir {
+		t.Fatalf("second sync = %+v, want fsync of %s", de, dir)
+	}
+	if !de.finalSeen || !bytes.Equal(de.finalBytes, data) {
+		t.Fatalf("directory fsynced before the rename was complete: %+v", de)
+	}
+}
+
+// TestRewriteSyncOrdering proves FileLog.Rewrite fsyncs the compacted log
+// before the rename and the directory after, so compaction cannot lose
+// the log on power loss.
+func TestRewriteSyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	l, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("old-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("old-2")); err != nil {
+		t.Fatal(err)
+	}
+	events := captureSyncs(t, path, path+".tmp")
+	if err := l.Rewrite([][]byte{[]byte("compacted")}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(*events) != 2 {
+		t.Fatalf("got %d sync events, want file then dir: %+v", len(*events), *events)
+	}
+	fe, de := (*events)[0], (*events)[1]
+	if fe.kind != "file" || fe.name != path+".tmp" {
+		t.Fatalf("first sync = %+v, want fsync of %s.tmp", fe, path)
+	}
+	// At temp-file sync time the rename has not happened: the tmp file is
+	// still on disk and the live log still holds the pre-compaction bytes.
+	if !fe.tmpSeen {
+		t.Fatal("tmp file missing at fsync time")
+	}
+	if !bytes.Contains(fe.finalBytes, []byte("old-1")) {
+		t.Fatalf("live log already replaced before tmp was fsynced: %q", fe.finalBytes)
+	}
+	if de.kind != "dir" || de.name != dir {
+		t.Fatalf("second sync = %+v, want fsync of %s", de, dir)
+	}
+	if de.tmpSeen {
+		t.Fatal("tmp file still present when the directory was fsynced")
+	}
+	if !bytes.Contains(de.finalBytes, []byte("compacted")) || bytes.Contains(de.finalBytes, []byte("old-1")) {
+		t.Fatalf("directory fsynced before the compacted log was renamed in: %q", de.finalBytes)
+	}
+	recs, err := l.Records()
+	if err != nil || len(recs) != 1 || string(recs[0]) != "compacted" {
+		t.Fatalf("after rewrite: recs=%q err=%v", recs, err)
+	}
+}

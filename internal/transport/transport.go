@@ -36,8 +36,9 @@ type Network struct {
 	jitter  time.Duration
 	lossP   float64
 	rng     *rand.Rand
-	cut     [][]bool // cut[a][b]: messages a→b are dropped
-	down    []bool   // down[i]: replica isolated (crashed)
+	cut     [][]bool       // cut[a][b]: messages a→b are dropped
+	down    []bool         // down[i]: replica isolated (crashed)
+	link    [][]delayRange // link[a][b]: per-link delay override (zero = none)
 
 	bytesSent uint64
 	msgsSent  uint64
@@ -59,8 +60,21 @@ func NewNetwork(e env.Env, n int, delay time.Duration, seed int64) *Network {
 		nw.inboxes = append(nw.inboxes, e.NewChan(0))
 		nw.cut[i] = make([]bool, n)
 	}
+	nw.link = make([][]delayRange, n)
+	for i := range nw.link {
+		nw.link[i] = make([]delayRange, n)
+	}
 	return nw
 }
+
+// delayRange is a per-link delivery delay override; max <= min means a
+// fixed delay of min.
+type delayRange struct {
+	min, max time.Duration
+}
+
+// Size returns the number of replicas the fabric connects.
+func (nw *Network) Size() int { return len(nw.inboxes) }
 
 // Endpoint returns replica i's endpoint.
 func (nw *Network) Endpoint(i int) Endpoint { return &netEndpoint{nw: nw, id: i} }
@@ -93,6 +107,33 @@ func (nw *Network) SetLoss(p float64) {
 func (nw *Network) SetJitter(d time.Duration) {
 	nw.mu.Lock()
 	nw.jitter = d
+	nw.mu.Unlock()
+}
+
+// SetDelay overrides the delivery delay of the directed link a→b with a
+// range [min, max). max <= min pins the link to a fixed delay of min; a
+// zero range restores the network-wide base delay. The extra delay inside
+// the range is drawn from the network's seeded rng, so a whole schedule of
+// slow-link asymmetries replays identically from the same seed.
+func (nw *Network) SetDelay(a, b int, min, max time.Duration) {
+	nw.mu.Lock()
+	nw.link[a][b] = delayRange{min: min, max: max}
+	nw.mu.Unlock()
+}
+
+// Heal clears every fault the network carries — partitions, loss, jitter,
+// and per-link delay overrides — leaving only the base delay. Crash
+// isolation (Isolate) is replica state, not link state, and is untouched.
+func (nw *Network) Heal() {
+	nw.mu.Lock()
+	for a := range nw.cut {
+		for b := range nw.cut[a] {
+			nw.cut[a][b] = false
+			nw.link[a][b] = delayRange{}
+		}
+	}
+	nw.lossP = 0
+	nw.jitter = 0
 	nw.mu.Unlock()
 }
 
@@ -165,6 +206,12 @@ func (ep *netEndpoint) Send(to int, payload []byte) {
 		return
 	}
 	d := nw.delay
+	if lr := nw.link[ep.id][to]; lr.min > 0 || lr.max > 0 {
+		d = lr.min
+		if lr.max > lr.min {
+			d += time.Duration(nw.rng.Int63n(int64(lr.max - lr.min)))
+		}
+	}
 	if nw.jitter > 0 {
 		d += time.Duration(nw.rng.Int63n(int64(nw.jitter)))
 	}

@@ -166,3 +166,83 @@ func TestCloseUnblocksReceiver(t *testing.T) {
 		}
 	})
 }
+
+func TestSetDelayOverridesPerLink(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		nw := NewNetwork(e, 2, time.Millisecond, 1)
+		a, b := nw.Endpoint(0), nw.Endpoint(1)
+
+		// A fixed override (max <= min) pins the directed link; the reverse
+		// direction keeps the base delay — slow links are asymmetric.
+		nw.SetDelay(0, 1, 40*time.Millisecond, 0)
+		start := e.Now()
+		a.Send(1, []byte("slow"))
+		b.Recv()
+		if got := e.Now() - start; got != 40*time.Millisecond {
+			t.Errorf("overridden link delivered after %v, want 40ms", got)
+		}
+		start = e.Now()
+		b.Send(0, []byte("base"))
+		a.Recv()
+		if got := e.Now() - start; got != time.Millisecond {
+			t.Errorf("reverse link delivered after %v, want base 1ms", got)
+		}
+
+		// A range [min, max) stays inside its bounds.
+		nw.SetDelay(0, 1, 10*time.Millisecond, 30*time.Millisecond)
+		for i := 0; i < 5; i++ {
+			start = e.Now()
+			a.Send(1, []byte("jittered"))
+			b.Recv()
+			got := e.Now() - start
+			if got < 10*time.Millisecond || got >= 30*time.Millisecond {
+				t.Errorf("ranged delay %v outside [10ms, 30ms)", got)
+			}
+		}
+
+		// Heal clears the override back to the base delay.
+		nw.Heal()
+		start = e.Now()
+		a.Send(1, []byte("healed"))
+		b.Recv()
+		if got := e.Now() - start; got != time.Millisecond {
+			t.Errorf("healed link delivered after %v, want base 1ms", got)
+		}
+	})
+}
+
+func TestSetDelayDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		e := sim.New(2)
+		e.Run(func() {
+			nw := NewNetwork(e, 2, time.Millisecond, seed)
+			nw.SetDelay(0, 1, time.Millisecond, 20*time.Millisecond)
+			a, b := nw.Endpoint(0), nw.Endpoint(1)
+			for i := 0; i < 10; i++ {
+				start := e.Now()
+				a.Send(1, []byte("x"))
+				b.Recv()
+				delays = append(delays, e.Now()-start)
+			}
+		})
+		return delays
+	}
+	x, y := run(11), run(11)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("same seed diverged at send %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+	z := run(12)
+	same := true
+	for i := range x {
+		if x[i] != z[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical delay sequences")
+	}
+}
