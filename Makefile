@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench chaos check
+.PHONY: all build test race vet bench bench-json chaos check
 
 all: build
 
@@ -20,6 +20,11 @@ vet:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Commit-path acceptance evidence: WAL group-commit shape, encode
+# allocs/op, and a quick Figure 7, as machine-readable JSON.
+bench-json:
+	$(GO) run ./cmd/rexbench -exp commitpath -json BENCH_commit_path.json
 
 # A short deterministic chaos sweep: every scenario must come back OK.
 # Reproduce a failure with `go run ./cmd/rexchaos -seed <seed> -v`.

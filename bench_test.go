@@ -18,6 +18,7 @@ import (
 	"rex/internal/rexsync"
 	"rex/internal/sched"
 	"rex/internal/trace"
+	"rex/internal/wire"
 )
 
 // --- Table 1 ---
@@ -351,12 +352,39 @@ func buildBenchDelta(n int) *trace.Delta {
 
 func BenchmarkTraceEncode(b *testing.B) {
 	d := buildBenchDelta(1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var bytes int
 	for i := 0; i < b.N; i++ {
 		bytes = len(d.EncodeBytes())
 	}
 	b.ReportMetric(float64(bytes)/float64(d.EventCount()), "bytes/event")
+}
+
+// BenchmarkTraceEncodeCold is the pre-pooling baseline — a fresh encoder
+// per delta pays O(log n) growth reallocations that the pooled path
+// (BenchmarkTraceEncodeHint) amortizes away. Compare allocs/op.
+func BenchmarkTraceEncodeCold(b *testing.B) {
+	d := buildBenchDelta(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := wire.NewEncoder(nil)
+		d.Encode(e)
+		_ = e.Bytes()
+	}
+}
+
+// BenchmarkTraceEncodeHint is the primary's hot path: a pooled encoder
+// pre-sized from the previous delta's encoded length.
+func BenchmarkTraceEncodeHint(b *testing.B) {
+	d := buildBenchDelta(1000)
+	hint := len(d.EncodeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.EncodeBytesHint(hint)
+	}
 }
 
 func BenchmarkTraceDecode(b *testing.B) {

@@ -21,10 +21,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|all")
 	appName := flag.String("app", "", "application for fig7 (default: all six)")
 	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
 	threads := flag.Int("threads", 8, "worker threads for tracesize/edges/ablations")
+	jsonOut := flag.String("json", "", "also write the commitpath result as JSON to this path")
 	flag.Parse()
 
 	out := os.Stdout
@@ -92,6 +93,29 @@ func main() {
 		bench.PrintFig10(out, cfg, bench.Fig10(cfg))
 	}
 
+	runCommitPath := func() {
+		res, err := bench.CommitPath()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commitpath: %v\n", err)
+			os.Exit(1)
+		}
+		bench.PrintCommitPath(out, res)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = bench.WriteCommitPathJSON(f, res)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "commitpath: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		}
+	}
+
 	switch *exp {
 	case "table1":
 		bench.PrintTable1(out)
@@ -115,6 +139,8 @@ func main() {
 		bench.PrintDeltaAblation(out, *threads)
 	case "ablate-pipeline":
 		bench.PrintPipelineAblation(out, *threads)
+	case "commitpath":
+		runCommitPath()
 	case "all":
 		bench.PrintTable1(out)
 		runFig7()

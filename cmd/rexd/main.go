@@ -74,6 +74,9 @@ func main() {
 
 	reg := obs.NewRegistry()
 	ep.RegisterMetrics(reg)
+	walObs := storage.NewLogMetrics()
+	walObs.Register(reg)
+	wal.SetMetrics(walObs)
 
 	e := env.NewReal()
 	cfg := core.Config{

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/apps"
+	"rex/internal/storage"
+	"rex/internal/trace"
+	"rex/internal/wire"
+)
+
+// CommitPathResult is the machine-readable evidence for the commit-path
+// acceptance criteria: group commit amortizes fsyncs (fsyncs/append well
+// below 1, mean batch above 1), the pooled delta encoder cuts allocs/op
+// against a cold encoder, and the quick Figure 7 throughput is intact.
+// `make bench-json` serializes it as BENCH_commit_path.json.
+type CommitPathResult struct {
+	WAL    WALBenchResult    `json:"wal"`
+	Encode EncodeBenchResult `json:"encode"`
+	Fig7   []Fig7Point       `json:"fig7_quick"`
+}
+
+// WALBenchResult measures the FileLog under concurrent appenders on the
+// real filesystem.
+type WALBenchResult struct {
+	Writers         int     `json:"writers"`
+	AppendsPerGor   int     `json:"appends_per_writer"`
+	RecordBytes     int     `json:"record_bytes"`
+	Appends         uint64  `json:"appends"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	FsyncsPerAppend float64 `json:"fsyncs_per_append"`
+	BatchMean       float64 `json:"batch_records_mean"`
+	BatchMax        uint64  `json:"batch_records_max"`
+	NsPerAppend     float64 `json:"ns_per_append"`
+}
+
+// EncodeBenchResult compares the pooled EncodeBytesHint path against a
+// cold (fresh-encoder) baseline, both measured with testing.Benchmark so
+// allocs/op are the runtime's own accounting.
+type EncodeBenchResult struct {
+	EventsPerDelta    int     `json:"events_per_delta"`
+	DeltaBytes        int     `json:"delta_bytes"`
+	ColdNsPerOp       float64 `json:"cold_ns_per_op"`
+	ColdAllocsPerOp   int64   `json:"cold_allocs_per_op"`
+	ColdBytesPerOp    int64   `json:"cold_bytes_per_op"`
+	PooledNsPerOp     float64 `json:"pooled_ns_per_op"`
+	PooledAllocsPerOp int64   `json:"pooled_allocs_per_op"`
+	PooledBytesPerOp  int64   `json:"pooled_bytes_per_op"`
+}
+
+// Fig7Point is one quick Figure 7 x-axis point plus the commit-path
+// metrics the primary recorded while producing it.
+type Fig7Point struct {
+	Threads            int     `json:"threads"`
+	RexReqPerSec       float64 `json:"rex_req_per_sec"`
+	NativeReqPerSec    float64 `json:"native_req_per_sec"`
+	ProposeCommitP50Ms float64 `json:"propose_commit_p50_ms"`
+	DeltaBytesMean     float64 `json:"delta_bytes_mean"`
+	DeltaEventsMean    float64 `json:"delta_events_mean"`
+	PersistBatchMean   float64 `json:"persist_batch_records_mean"`
+	PersistBatchMax    uint64  `json:"persist_batch_records_max"`
+}
+
+// walBench drives a FileLog with writers concurrent appenders issuing
+// sequential durable appends each, the pattern the Paxos node produces
+// under load, and reads the group-commit shape off the log's own metrics.
+func walBench(writers, appendsPer, recordBytes int) (WALBenchResult, error) {
+	r := WALBenchResult{Writers: writers, AppendsPerGor: appendsPer, RecordBytes: recordBytes}
+	dir, err := os.MkdirTemp("", "rex-walbench")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := storage.OpenFileLog(filepath.Join(dir, "wal"), true)
+	if err != nil {
+		return r, err
+	}
+	defer l.Close()
+	m := storage.NewLogMetrics()
+	l.SetMetrics(m)
+
+	rec := make([]byte, recordBytes)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < appendsPer; i++ {
+				if err := l.Append(rec); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return r, err
+		}
+	}
+	batch := m.BatchRecords.Snapshot()
+	r.Appends = m.Appends.Value()
+	r.Fsyncs = m.Fsyncs.Value()
+	if r.Appends > 0 {
+		r.FsyncsPerAppend = float64(r.Fsyncs) / float64(r.Appends)
+		r.NsPerAppend = float64(elapsed.Nanoseconds()) / float64(r.Appends)
+	}
+	r.BatchMean = batch.Mean()
+	r.BatchMax = batch.Max
+	return r, nil
+}
+
+// commitPathDelta builds a delta shaped like a busy primary's proposal:
+// two-event, one-edge request traces spread over a few threads.
+func commitPathDelta(n int) *trace.Delta {
+	d := &trace.Delta{Base: trace.Cut{0, 0}, Threads: make([]trace.ThreadLog, 2)}
+	for i := 0; i < n; i++ {
+		d.Threads[0].Append(0, trace.Event{Kind: trace.KindLockAcq, Res: 1, Arg: uint64(i)}, nil)
+		d.Threads[1].Append(1, trace.Event{Kind: trace.KindLockAcq, Res: 2, Arg: uint64(i)},
+			[]trace.EventID{{Thread: 0, Clock: int32(i + 1)}})
+	}
+	return d
+}
+
+// encodeBench measures the cold baseline (a fresh encoder per delta, the
+// pre-group-commit behavior) against the pooled EncodeBytesHint hot path.
+func encodeBench(events int) EncodeBenchResult {
+	d := commitPathDelta(events / 2)
+	hint := len(d.EncodeBytes())
+	r := EncodeBenchResult{EventsPerDelta: d.EventCount(), DeltaBytes: hint}
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := wire.NewEncoder(nil)
+			d.Encode(e)
+			_ = e.Bytes()
+		}
+	})
+	pooled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = d.EncodeBytesHint(hint)
+		}
+	})
+	r.ColdNsPerOp = float64(cold.NsPerOp())
+	r.ColdAllocsPerOp = cold.AllocsPerOp()
+	r.ColdBytesPerOp = cold.AllocedBytesPerOp()
+	r.PooledNsPerOp = float64(pooled.NsPerOp())
+	r.PooledAllocsPerOp = pooled.AllocsPerOp()
+	r.PooledBytesPerOp = pooled.AllocedBytesPerOp()
+	return r
+}
+
+// CommitPath runs the commit-path evidence suite: the WAL group-commit
+// microbench, the encode allocation microbench, and a quick Figure 7
+// panel (lock server) with the primary's commit-path metrics attached.
+func CommitPath() (CommitPathResult, error) {
+	var res CommitPathResult
+	wal, err := walBench(8, 200, 256)
+	if err != nil {
+		return res, err
+	}
+	res.WAL = wal
+	res.Encode = encodeBench(2000)
+	for _, row := range Fig7(apps.LockServer(), QuickFig7()) {
+		pc := row.Metrics.Histogram("rex_propose_commit_seconds")
+		db := row.Metrics.Size("rex_delta_bytes")
+		de := row.Metrics.Size("rex_delta_events")
+		pb := row.Metrics.Size("rex_paxos_persist_batch_records")
+		res.Fig7 = append(res.Fig7, Fig7Point{
+			Threads:            row.Threads,
+			RexReqPerSec:       row.Rex,
+			NativeReqPerSec:    row.Native,
+			ProposeCommitP50Ms: float64(pc.P50.Nanoseconds()) / 1e6,
+			DeltaBytesMean:     db.Mean(),
+			DeltaEventsMean:    de.Mean(),
+			PersistBatchMean:   pb.Mean(),
+			PersistBatchMax:    pb.Max,
+		})
+	}
+	return res, nil
+}
+
+// WriteCommitPathJSON serializes r as indented JSON.
+func WriteCommitPathJSON(w io.Writer, r CommitPathResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintCommitPath renders the suite as tables.
+func PrintCommitPath(w io.Writer, r CommitPathResult) {
+	t := &Table{
+		Title: "Commit path: WAL group commit under concurrent appenders",
+		Cols:  []string{"writers", "appends", "fsyncs", "fsyncs/append", "batch mean", "batch max", "ns/append"},
+	}
+	t.AddRow(fmt.Sprint(r.WAL.Writers), fmt.Sprint(r.WAL.Appends), fmt.Sprint(r.WAL.Fsyncs),
+		f2(r.WAL.FsyncsPerAppend), f2(r.WAL.BatchMean), fmt.Sprint(r.WAL.BatchMax), f0(r.WAL.NsPerAppend))
+	t.Notes = append(t.Notes,
+		"acceptance: fsyncs/append well below 1 and batch mean above 1 under concurrency.")
+	t.Fprint(w)
+
+	t = &Table{
+		Title: "Commit path: delta encoding, cold encoder vs pooled EncodeBytesHint",
+		Cols:  []string{"path", "ns/op", "allocs/op", "B/op"},
+	}
+	t.AddRow("cold", f0(r.Encode.ColdNsPerOp), fmt.Sprint(r.Encode.ColdAllocsPerOp), fmt.Sprint(r.Encode.ColdBytesPerOp))
+	t.AddRow("pooled", f0(r.Encode.PooledNsPerOp), fmt.Sprint(r.Encode.PooledAllocsPerOp), fmt.Sprint(r.Encode.PooledBytesPerOp))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d events, %d encoded bytes per delta; acceptance: pooled allocs/op below cold.",
+			r.Encode.EventsPerDelta, r.Encode.DeltaBytes))
+	t.Fprint(w)
+
+	t = &Table{
+		Title: "Commit path: quick Figure 7 (lock server) with primary commit-path metrics",
+		Cols: []string{"threads", "Rex (req/s)", "native (req/s)", "propose→commit p50 (ms)",
+			"delta bytes", "delta events", "persist batch mean", "persist batch max"},
+	}
+	for _, p := range r.Fig7 {
+		t.AddRow(fmt.Sprint(p.Threads), f0(p.RexReqPerSec), f0(p.NativeReqPerSec),
+			f2(p.ProposeCommitP50Ms), f0(p.DeltaBytesMean), f1(p.DeltaEventsMean),
+			f2(p.PersistBatchMean), fmt.Sprint(p.PersistBatchMax))
+	}
+	t.Fprint(w)
+}

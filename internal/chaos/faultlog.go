@@ -65,6 +65,26 @@ func (l *FaultLog) Append(rec []byte) error {
 	return l.inner.Append(rec)
 }
 
+// AppendBatch implements storage.Log. An armed fault consumes up to one
+// arming per record in the batch and fails the whole batch: a group
+// commit is one unit of durability, so a dying disk takes every record in
+// the flush down with it (the paxos node reacts crash-stop either way).
+func (l *FaultLog) AppendBatch(recs [][]byte) error {
+	l.mu.Lock()
+	if l.armed > 0 {
+		n := len(recs)
+		if n > l.armed {
+			n = l.armed
+		}
+		l.armed -= n
+		l.injected += uint64(n)
+		l.mu.Unlock()
+		return fmt.Errorf("chaos: injected WAL write error (batch)")
+	}
+	l.mu.Unlock()
+	return l.inner.AppendBatch(recs)
+}
+
 // Records implements storage.Log.
 func (l *FaultLog) Records() ([][]byte, error) { return l.inner.Records() }
 

@@ -25,6 +25,12 @@ type replicaMetrics struct {
 	promoteDur    *obs.Histogram // leader win → serving as primary
 	rebuildDur    *obs.Histogram // rollback/recovery rebuild duration
 
+	// Commit-path series: per-proposal delta shape and the end-to-end
+	// propose → commit-applied latency at the primary.
+	proposeCommit *obs.Histogram     // pump Propose → instance applied
+	deltaBytes    *obs.SizeHistogram // encoded bytes per proposed delta
+	deltaEvents   *obs.SizeHistogram // sync events per proposed delta
+
 	paxos  *paxos.Metrics
 	replay *sched.ReplayObs
 }
@@ -43,6 +49,9 @@ func newReplicaMetrics(reg *obs.Registry) *replicaMetrics {
 		ckptBuild:     reg.Histogram("rex_checkpoint_build_seconds"),
 		promoteDur:    reg.Histogram("rex_promotion_seconds"),
 		rebuildDur:    reg.Histogram("rex_rebuild_seconds"),
+		proposeCommit: reg.Histogram("rex_propose_commit_seconds"),
+		deltaBytes:    reg.SizeHistogram("rex_delta_bytes"),
+		deltaEvents:   reg.SizeHistogram("rex_delta_events"),
 		paxos:         paxos.NewMetrics(),
 		replay:        sched.NewReplayObs(),
 	}

@@ -165,28 +165,77 @@ func (r *Replica) releaseResponsesLocked() {
 	}
 }
 
-// proposePump periodically collects the recorder's growth and proposes it
-// (§3.1). It also carries the one-time rebase marker after a promotion.
+// proposePump collects the recorder's growth and proposes it (§3.1). It is
+// demand-driven rather than fixed-cadence: the recorder wakes it on the
+// first event/request after a drain, applyLoop wakes it when a committed
+// instance opens pipeline room, and proposeTicker wakes it every
+// ProposeEvery as the max-delay backstop. It also carries the one-time
+// rebase marker after a promotion.
 func (r *Replica) proposePump() {
 	for {
-		if !r.sleepInterruptible(r.cfg.ProposeEvery) {
+		if _, ok := r.proposeWake.Recv(); !ok {
 			return
 		}
+		r.pumpDrain()
+	}
+}
+
+// pumpDrain proposes until the recorder is empty or pacing defers: the
+// first open instance goes out immediately (sub-cap commit latency at low
+// load), additional pipelined instances require ProposeBatchEvents of
+// backlog or the ProposeEvery cap since the last proposal, and a full
+// pipeline waits for a commit to wake the pump again. Re-collecting until
+// empty also closes the race with the recorder's edge-triggered notify (an
+// append landing between the drain and the re-arm is picked up here).
+func (r *Replica) pumpDrain() {
+	for {
 		r.mu.Lock()
-		if r.role != RolePrimary {
+		if r.stopped || r.role != RolePrimary {
 			r.mu.Unlock()
-			continue
+			return
+		}
+		now := r.e.Now()
+		if r.proposeInflight > 0 {
+			if r.proposeInflight >= r.cfg.PipelineDepth {
+				r.mu.Unlock()
+				return // a commit re-wakes us
+			}
+			if r.rt.Recorder().PendingEvents() < r.cfg.ProposeBatchEvents &&
+				now-r.lastProposeAt < r.cfg.ProposeEvery {
+				r.mu.Unlock()
+				return // the ticker re-checks at the cap
+			}
 		}
 		d := r.rt.Recorder().Collect()
 		if r.pendingRebase != nil {
 			d.Rebase = r.pendingRebase
 			r.pendingRebase = nil
 		}
-		r.mu.Unlock()
 		if d.Empty() {
-			continue
+			r.mu.Unlock()
+			return
 		}
-		r.node.Propose(d.EncodeBytes())
+		r.proposeInflight++
+		r.lastProposeAt = now
+		r.proposeTimes = append(r.proposeTimes, now)
+		r.mu.Unlock()
+		val := d.EncodeBytesHint(r.lastDeltaBytes)
+		r.lastDeltaBytes = len(val)
+		r.obs.deltaBytes.Observe(uint64(len(val)))
+		r.obs.deltaEvents.Observe(uint64(d.EventCount()))
+		r.node.Propose(val)
+	}
+}
+
+// proposeTicker is the pump's liveness backstop: whatever edge-triggered
+// wake-ups were deferred or lost, pending growth is proposed at most
+// ProposeEvery late.
+func (r *Replica) proposeTicker() {
+	for {
+		if !r.sleepInterruptible(r.cfg.ProposeEvery) {
+			return
+		}
+		r.wakePump()
 	}
 }
 

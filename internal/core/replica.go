@@ -72,9 +72,19 @@ type Config struct {
 	Timers      int
 	ReadWorkers int
 
-	// ProposeEvery is the trace-collection cadence (§3.1: "periodically
-	// proposes the up-to-date trace").
+	// ProposeEvery is the max-delay cap on trace collection (§3.1:
+	// "periodically proposes the up-to-date trace"). The pump is
+	// demand-driven — the recorder wakes it on the first event or request
+	// after a drain, and commits wake it when pipeline room opens — so
+	// this cadence only bounds how stale a proposal can get when every
+	// edge-triggered wake-up is deferred by the batching thresholds.
 	ProposeEvery time.Duration
+	// ProposeBatchEvents is the minimum recorder backlog required to open
+	// an ADDITIONAL pipelined consensus instance. The first instance is
+	// always proposed immediately on demand (commit latency at low load);
+	// later ones wait for this much growth or the ProposeEvery cap, so a
+	// hot recorder cannot flood consensus with per-event deltas.
+	ProposeBatchEvents int
 	// PipelineDepth is how many consensus instances may be open at once:
 	// 1 (default) is the paper's one-active-instance design; higher values
 	// enable the §3.1 piggyback alternative.
@@ -128,6 +138,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.ProposeEvery <= 0 {
 		cfg.ProposeEvery = 2 * time.Millisecond
+	}
+	if cfg.ProposeBatchEvents <= 0 {
+		cfg.ProposeBatchEvents = 256
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 1
 	}
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 20 * time.Millisecond
@@ -217,6 +233,17 @@ type Replica struct {
 	pendingRebase trace.Cut
 	dedup         map[uint64]dedupEntry
 
+	// Propose-pump state. proposeWake (cap 1) is the demand edge: the
+	// recorder pokes it on new work, applyLoop pokes it when a commit
+	// opens pipeline room, and a ticker pokes it every ProposeEvery as
+	// the max-delay backstop. proposeInflight/lastProposeAt/proposeTimes
+	// are under mu; lastDeltaBytes is owned by the pump task alone.
+	proposeWake     env.Chan
+	proposeInflight int
+	lastProposeAt   time.Duration
+	proposeTimes    []time.Duration // FIFO propose stamps, for propose→commit
+	lastDeltaBytes  int             // size hint for the next delta encode
+
 	// Checkpointing.
 	// Checkpoint pause happens in two phases: request workers pause at
 	// request boundaries first, while timer threads keep running so that
@@ -286,6 +313,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 	r.applyQ = cfg.Env.NewChan(0)
 	r.lifeQ = cfg.Env.NewChan(0)
 	r.queryQ = cfg.Env.NewChan(0)
+	r.proposeWake = cfg.Env.NewChan(1)
 	r.group = env.NewGroup(cfg.Env)
 	r.mux = transport.NewMux(cfg.Env, cfg.Endpoint, 2)
 	r.ctrl = r.mux.Channel(1)
@@ -360,6 +388,7 @@ func (r *Replica) Start() error {
 	}
 	r.spawn("apply", r.applyLoop)
 	r.spawn("pump", r.proposePump)
+	r.spawn("pump-tick", r.proposeTicker)
 	r.spawn("status", r.statusLoop)
 	if r.cfg.CheckpointEvery > 0 {
 		r.spawn("ckpt-timer", r.checkpointTimer)
@@ -401,6 +430,7 @@ func (r *Replica) Stop() {
 	r.applyQ.Close()
 	r.lifeQ.Close()
 	r.queryQ.Close()
+	r.proposeWake.Close()
 	r.group.Wait()
 }
 
@@ -459,6 +489,8 @@ func (r *Replica) failPendingLocked() {
 	}
 	r.outstanding = 0
 	r.workQ = nil
+	r.proposeInflight = 0
+	r.proposeTimes = nil
 	r.cond.Broadcast()
 }
 
@@ -506,7 +538,18 @@ func (r *Replica) applyLoop() {
 			r.markInst[m.ID] = evt.inst
 		}
 		var applyErr error
+		wakePump := false
 		if r.role == RolePrimary {
+			// One of our proposals closed: pipeline room opened, so wake
+			// the pump (it paces additional instances on backlog/cap).
+			if r.proposeInflight > 0 {
+				r.proposeInflight--
+				if len(r.proposeTimes) > 0 {
+					r.obs.proposeCommit.Observe(r.e.Now() - r.proposeTimes[0])
+					r.proposeTimes = r.proposeTimes[1:]
+				}
+				wakePump = true
+			}
 			applyErr = r.tr.Apply(d)
 			if applyErr == nil {
 				r.lcc = r.tr.ConsistentCut(r.lcc)
@@ -526,7 +569,16 @@ func (r *Replica) applyLoop() {
 		r.applied = evt.inst + 1
 		r.cond.Broadcast()
 		r.mu.Unlock()
+		if wakePump {
+			r.wakePump()
+		}
 	}
+}
+
+// wakePump pokes the propose pump's demand edge; a full (or closed) wake
+// channel means a wake-up is already pending, which is all we need.
+func (r *Replica) wakePump() {
+	r.proposeWake.TrySend(struct{}{})
 }
 
 // lifecycleLoop serializes promotions and demotions.
@@ -657,9 +709,12 @@ func (r *Replica) promote(chosenAt uint64) {
 	r.lcc = cut.Clone()
 	reqBase := r.tr.ReqsBase + uint64(len(r.tr.Reqs))
 	r.rt.StartRecord(cut, reqBase)
+	r.rt.Recorder().SetNotify(r.wakePump)
 	r.pendingRebase = cut.Clone()
 	r.role = RolePrimary
 	r.curLeader = r.cfg.ID
+	r.proposeInflight = 0
+	r.proposeTimes = nil
 	r.markBase = (r.applied << 20) | uint64(r.cfg.ID)<<12
 	r.nextMarkID = 0
 	r.pending = make(map[uint64]*pendingReq)
@@ -668,6 +723,8 @@ func (r *Replica) promote(chosenAt uint64) {
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.obs.promoteDur.Observe(r.e.Now() - start)
+	// Push out the one-time rebasing delta without waiting for demand.
+	r.wakePump()
 	rep.Abort()
 }
 

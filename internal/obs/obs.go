@@ -221,6 +221,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]GaugeFunc
 	histograms map[string]*Histogram
+	sizeHists  map[string]*SizeHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -230,6 +231,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		gaugeFuncs: make(map[string]GaugeFunc),
 		histograms: make(map[string]*Histogram),
+		sizeHists:  make(map[string]*SizeHistogram),
 	}
 }
 
@@ -326,11 +328,27 @@ func (r *Registry) HistogramOf(name string) *Histogram {
 	return h
 }
 
+// SizeHistogram creates and registers a size histogram under name.
+func (r *Registry) SizeHistogram(name string) *SizeHistogram {
+	h := NewSizeHistogram()
+	r.RegisterSizeHistogram(name, h)
+	return h
+}
+
+// RegisterSizeHistogram registers an existing size histogram under name.
+func (r *Registry) RegisterSizeHistogram(name string, h *SizeHistogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addName(name)
+	r.sizeHists[name] = h
+}
+
 // Snapshot is a point-in-time copy of every registered metric.
 type Snapshot struct {
 	Counters   map[string]uint64
 	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
+	Sizes      map[string]SizeSnapshot
 }
 
 // Counter returns the named counter's value (0 if absent).
@@ -338,6 +356,9 @@ func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
 
 // Histogram returns the named histogram's snapshot (zero if absent).
 func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
+
+// Size returns the named size histogram's snapshot (zero if absent).
+func (s Snapshot) Size(name string) SizeSnapshot { return s.Sizes[name] }
 
 // Snapshot copies every registered metric.
 func (r *Registry) Snapshot() Snapshot {
@@ -347,6 +368,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+		Sizes:      make(map[string]SizeSnapshot, len(r.sizeHists)),
 	}
 	for n, c := range r.counters {
 		s.Counters[n] = c.Value()
@@ -359,6 +381,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, h := range r.histograms {
 		s.Histograms[n] = h.Snapshot()
+	}
+	for n, h := range r.sizeHists {
+		s.Sizes[n] = h.Snapshot()
 	}
 	return s
 }
@@ -380,6 +405,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gaugeFuncs[name]())
 		case r.histograms[name] != nil:
 			err = writeHistText(w, name, r.histograms[name].Snapshot())
+		case r.sizeHists[name] != nil:
+			err = writeSizeHistText(w, name, r.sizeHists[name].Snapshot())
 		}
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"strings"
 	"sync"
 	"testing"
@@ -199,5 +200,58 @@ func BenchmarkCounterInc(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	h := NewSizeHistogram()
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	h.Observe(0) // clamps into the first bucket
+	if h.Count() != 101 {
+		t.Errorf("Count = %d, want 101", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d, want 100", h.Max())
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Errorf("Sum = %d, want 5050", got)
+	}
+	if m := h.Mean(); m < 49 || m > 51 {
+		t.Errorf("Mean = %f, want ~50", m)
+	}
+	// Quantiles are bucket upper bounds: p50 of 1..100 lands in the 50
+	// bucket, p99 in the 100 bucket.
+	if q := h.Quantile(0.50); q != 50 {
+		t.Errorf("P50 = %d, want 50 (bucket bound)", q)
+	}
+	if q := h.Quantile(0.99); q != 100 {
+		t.Errorf("P99 = %d, want 100 (bucket bound)", q)
+	}
+
+	reg := NewRegistry()
+	reg.RegisterSizeHistogram("rex_test_sizes", h)
+	s := reg.Snapshot()
+	if sz := s.Size("rex_test_sizes"); sz.Count != 101 || sz.Max != 100 {
+		t.Errorf("snapshot size hist = %+v", sz)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rex_test_sizes_count 101") || !strings.Contains(out, `le="50"`) {
+		t.Errorf("WriteText output missing size histogram lines:\n%s", out)
+	}
+}
+
+// BenchmarkSizeHistogramObserve guards the group-commit hot path: one
+// batch-size observation per flush.
+func BenchmarkSizeHistogramObserve(b *testing.B) {
+	h := NewSizeHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) & (1<<18 - 1))
 	}
 }

@@ -111,6 +111,36 @@ type Node struct {
 	lastHeartbeat    time.Duration
 	electionDeadline time.Duration
 	stopped          bool
+
+	// Batched-persistence state. Handlers append durable records to the
+	// walEnc arena (walEnds marks record boundaries) and queue outgoing
+	// messages and commit callbacks instead of acting immediately; the
+	// event loop flushes everything it drained from the inbox with ONE
+	// AppendBatch — so N messages cost one fsync, not N — and only then
+	// releases the sends and callbacks. Persistence therefore still
+	// happens before any state is advertised, exactly as in the
+	// record-per-fsync design.
+	walEnc   *wire.Encoder
+	walEnds  []int    // arena offset after each pending record
+	walRecs  [][]byte // scratch sub-slice view passed to AppendBatch
+	outbox   []outMsg
+	commits  []commitNote
+}
+
+// outMsg is a deferred send; to < 0 broadcasts.
+type outMsg struct {
+	to int
+	m  *message
+}
+
+// commitNote is a deferred OnCommitted callback, or (promote=true) a
+// deferred OnBecomeLeader announcement queued behind the commits it
+// depends on so the callbacks fire in the same order as the
+// record-per-fsync design.
+type commitNote struct {
+	inst    uint64
+	val     []byte
+	promote bool
 }
 
 // inflightState tracks one open phase-2 instance at the leader.
@@ -165,6 +195,7 @@ func NewNode(cfg Config) (*Node, error) {
 		pendingVal: make(map[uint64][]byte),
 		inflight:   make(map[uint64]*inflightState),
 		curLeader:  -1,
+		walEnc:     wire.NewEncoder(nil),
 	}
 	if err := n.recover(); err != nil {
 		return nil, err
@@ -257,35 +288,100 @@ func (n *Node) storageFailed(op string, err error) {
 	panic(storageFault{err: fmt.Errorf("paxos: log %s failed: %w", op, err)})
 }
 
+// walEnd closes the record currently being written into the arena.
+func (n *Node) walEnd() {
+	n.walEnds = append(n.walEnds, n.walEnc.Len())
+}
+
 func (n *Node) persistPromised() {
-	e := wire.NewEncoder(nil)
+	e := n.walEnc
 	e.Byte(recPromised)
 	e.Uvarint(n.promised.Round)
 	e.Uvarint(uint64(n.promised.Node))
-	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-		n.storageFailed("append", err)
-	}
+	n.walEnd()
 }
 
 func (n *Node) persistAccepted(a acceptedEntry) {
-	e := wire.NewEncoder(nil)
+	e := n.walEnc
 	e.Byte(recAccepted)
 	e.Uvarint(a.Inst)
 	e.Uvarint(a.Ballot.Round)
 	e.Uvarint(uint64(a.Ballot.Node))
 	e.BytesVal(a.Val)
-	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
+	n.walEnd()
+}
+
+func (n *Node) persistChosen(inst uint64, val []byte) {
+	e := n.walEnc
+	e.Byte(recChosen)
+	e.Uvarint(inst)
+	e.BytesVal(val)
+	n.walEnd()
+}
+
+// flushWAL retires every record pending in the arena with one AppendBatch
+// (one fsync under a file log). A failure unwinds into the crash-stop
+// storage-fault path before anything queued behind the records (sends,
+// commit callbacks) is released.
+func (n *Node) flushWAL() {
+	if len(n.walEnds) == 0 {
+		return
+	}
+	buf := n.walEnc.Bytes()
+	recs := n.walRecs[:0]
+	prev := 0
+	for _, end := range n.walEnds {
+		recs = append(recs, buf[prev:end:end])
+		prev = end
+	}
+	n.walRecs = recs
+	n.cfg.Metrics.PersistBatch.Observe(uint64(len(recs)))
+	err := n.cfg.Log.AppendBatch(recs)
+	// The log has retired (or rejected) the batch; the arena is ours again.
+	n.walEnc.Reset()
+	n.walEnds = n.walEnds[:0]
+	if err != nil {
 		n.storageFailed("append", err)
 	}
 }
 
-func (n *Node) persistChosen(inst uint64, val []byte) {
-	e := wire.NewEncoder(nil)
-	e.Byte(recChosen)
-	e.Uvarint(inst)
-	e.BytesVal(val)
-	if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-		n.storageFailed("append", err)
+// flushBatch releases everything deferred during the current drain cycle,
+// in durability order: WAL first, then commit callbacks, then sends.
+func (n *Node) flushBatch() {
+	n.flushWAL()
+	if len(n.commits) > 0 {
+		// n.commits may grow while we iterate (OnCommitted is documented
+		// to run on the event loop and must not re-enter, but commitValue
+		// itself is not called from callbacks) — iterate by index anyway
+		// so an append during iteration cannot be skipped.
+		for i := 0; i < len(n.commits); i++ {
+			c := n.commits[i]
+			switch {
+			case c.promote:
+				if n.cfg.OnBecomeLeader != nil {
+					n.cfg.OnBecomeLeader()
+				}
+			case n.cfg.OnCommitted != nil:
+				n.cfg.OnCommitted(c.inst, c.val)
+			}
+			n.commits[i] = commitNote{}
+		}
+		n.commits = n.commits[:0]
+	}
+	if len(n.outbox) > 0 {
+		for i := range n.outbox {
+			o := n.outbox[i]
+			payload := o.m.encode()
+			if o.to < 0 {
+				for peer := 0; peer < n.cfg.N; peer++ {
+					n.cfg.Endpoint.Send(peer, payload)
+				}
+			} else {
+				n.cfg.Endpoint.Send(o.to, payload)
+			}
+			n.outbox[i] = outMsg{}
+		}
+		n.outbox = n.outbox[:0]
 	}
 }
 
@@ -380,15 +476,15 @@ func (n *Node) electionTimeout() time.Duration {
 
 func (n *Node) majority() int { return n.cfg.N/2 + 1 }
 
+// send and broadcast queue into the outbox; the event loop releases the
+// messages only after the WAL batch holding any state they advertise has
+// been flushed (see flushBatch).
 func (n *Node) send(to int, m *message) {
-	n.cfg.Endpoint.Send(to, m.encode())
+	n.outbox = append(n.outbox, outMsg{to: to, m: m})
 }
 
 func (n *Node) broadcast(m *message) {
-	payload := m.encode()
-	for i := 0; i < n.cfg.N; i++ {
-		n.cfg.Endpoint.Send(i, payload)
-	}
+	n.outbox = append(n.outbox, outMsg{to: -1, m: m})
 }
 
 func (n *Node) loop() {
@@ -412,62 +508,94 @@ func (n *Node) loop() {
 		n.cfg.logf("storage fault, going silent: %v", sf.err)
 		n.cfg.OnStorageFault(sf.err)
 	}()
+	// Drain greedily: one blocking Recv, then non-blocking TryRecv until the
+	// inbox is empty (capped so a firehose cannot starve the flush). All the
+	// durable records the drained handlers produced retire with ONE
+	// AppendBatch in flushBatch — the group-commit half of the paper's
+	// agree-stage pipelining — before any send or callback they queued is
+	// released.
+	const maxDrain = 256
 	for {
 		v, ok := n.inbox.Recv()
 		if !ok {
 			return
 		}
-		switch c := v.(type) {
-		case netMsg:
-			n.handleMessage(c.m, c.from)
-		case tickMsg:
-			n.handleTick()
-		case proposeCmd:
-			if n.isLeader {
-				n.proposeQ = append(n.proposeQ, c.val)
-				n.proposeNext()
-			} else {
-				n.cfg.logf("dropping proposal while not leader")
-			}
-		case compactCmd:
-			n.handleCompact(c.upTo)
-		case advanceCmd:
-			if c.to > n.chosenSeq {
-				e := wire.NewEncoder(nil)
-				e.Byte(recAdvance)
-				e.Uvarint(c.to)
-				if err := n.cfg.Log.Append(e.Bytes()); err != nil {
-					n.storageFailed("append", err)
-				}
-				n.chosenBase = c.to
-				n.chosen = nil
-				n.chosenSeq = c.to
-				for inst := range n.accepted {
-					if inst < c.to {
-						delete(n.accepted, inst)
-					}
-				}
-				// Values committed past the gap were stashed; fold in any
-				// that are now contiguous.
-				if v, ok := n.pendingVal[n.chosenSeq]; ok {
-					delete(n.pendingVal, n.chosenSeq)
-					n.commitValue(n.chosenSeq, v, n.cfg.ID)
-				}
-			}
-		case chosenReq:
-			c.reply.Send(ChosenState{
-				Base: n.chosenBase,
-				Vals: append([][]byte(nil), n.chosen...),
-				Seq:  n.chosenSeq,
-			})
-		case stopCmd:
-			n.stopped = true
-			n.cfg.Endpoint.Close()
-			n.inbox.Close()
-			c.done.Send(struct{}{})
+		if n.handleCmd(v) {
 			return
 		}
+		for drained := 0; drained < maxDrain; drained++ {
+			v, ok, _ = n.inbox.TryRecv()
+			if !ok {
+				break
+			}
+			if n.handleCmd(v) {
+				return
+			}
+		}
+		n.flushBatch()
 	}
+}
+
+// handleCmd dispatches one inbox value; it returns true when the event
+// loop must exit.
+func (n *Node) handleCmd(v any) (quit bool) {
+	switch c := v.(type) {
+	case netMsg:
+		n.handleMessage(c.m, c.from)
+	case tickMsg:
+		n.handleTick()
+	case proposeCmd:
+		if n.isLeader {
+			n.proposeQ = append(n.proposeQ, c.val)
+			n.proposeNext()
+		} else {
+			n.cfg.logf("dropping proposal while not leader")
+		}
+	case compactCmd:
+		// Rewrite replaces the whole log; records still pending in the
+		// arena must reach the old log first so the snapshot supersedes
+		// rather than races them.
+		n.flushWAL()
+		n.handleCompact(c.upTo)
+	case advanceCmd:
+		if c.to > n.chosenSeq {
+			e := n.walEnc
+			e.Byte(recAdvance)
+			e.Uvarint(c.to)
+			n.walEnd()
+			n.chosenBase = c.to
+			n.chosen = nil
+			n.chosenSeq = c.to
+			for inst := range n.accepted {
+				if inst < c.to {
+					delete(n.accepted, inst)
+				}
+			}
+			// Values committed past the gap were stashed; fold in any
+			// that are now contiguous.
+			if v, ok := n.pendingVal[n.chosenSeq]; ok {
+				delete(n.pendingVal, n.chosenSeq)
+				n.commitValue(n.chosenSeq, v, n.cfg.ID)
+			}
+		}
+	case chosenReq:
+		// Snapshots promise durable state, as the record-per-fsync design
+		// delivered by construction.
+		n.flushWAL()
+		c.reply.Send(ChosenState{
+			Base: n.chosenBase,
+			Vals: append([][]byte(nil), n.chosen...),
+			Seq:  n.chosenSeq,
+		})
+	case stopCmd:
+		n.flushBatch()
+		n.stopped = true
+		n.cfg.Endpoint.Close()
+		n.inbox.Close()
+		c.done.Send(struct{}{})
+		return true
+	}
+	return false
 }
 
 func (n *Node) handleTick() {
@@ -662,9 +790,10 @@ func (n *Node) tryCompleteElection() {
 
 func (n *Node) becomeLeaderNow() {
 	n.announceAfter = false
-	if n.cfg.OnBecomeLeader != nil {
-		n.cfg.OnBecomeLeader()
-	}
+	// Queue the announcement behind any commits already pending so the
+	// replica layer observes them before the promotion, exactly as when
+	// OnCommitted fired inline.
+	n.commits = append(n.commits, commitNote{promote: true})
 	n.proposeNext()
 }
 
@@ -787,9 +916,7 @@ func (n *Node) commitValue(inst uint64, val []byte, from int) {
 		n.chosenSeq++
 		n.cfg.Metrics.Commits.Inc()
 		delete(n.accepted, inst)
-		if n.cfg.OnCommitted != nil {
-			n.cfg.OnCommitted(inst, val)
-		}
+		n.commits = append(n.commits, commitNote{inst: inst, val: val})
 		if n.isLeader && n.announceAfter {
 			// Re-proposal(s) from takeover committed: check whether the
 			// next instance also has an accepted value to re-propose.

@@ -21,6 +21,11 @@ type Metrics struct {
 	// CommitLatency is propose→commit at the leader: from opening phase 2
 	// for an instance until a majority of Accepteds closes it.
 	CommitLatency *obs.Histogram
+
+	// PersistBatch is the number of durable records retired per WAL
+	// AppendBatch — how well the event loop amortizes fsyncs when draining
+	// its inbox (mean > 1 under load means N messages cost < N fsyncs).
+	PersistBatch *obs.SizeHistogram
 }
 
 // NewMetrics allocates all series.
@@ -35,6 +40,7 @@ func NewMetrics() *Metrics {
 		Proposals:     obs.NewCounter(),
 		Heartbeats:    obs.NewCounter(),
 		CommitLatency: obs.NewHistogram(),
+		PersistBatch:  obs.NewSizeHistogram(),
 	}
 }
 
@@ -49,4 +55,5 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	reg.RegisterCounter("rex_paxos_proposals_total", m.Proposals)
 	reg.RegisterCounter("rex_paxos_heartbeats_total", m.Heartbeats)
 	reg.RegisterHistogram("rex_paxos_commit_latency_seconds", m.CommitLatency)
+	reg.RegisterSizeHistogram("rex_paxos_persist_batch_records", m.PersistBatch)
 }

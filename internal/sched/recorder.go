@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sync/atomic"
+
 	"rex/internal/env"
 	"rex/internal/trace"
 )
@@ -22,6 +24,14 @@ type Recorder struct {
 
 	// Collection state (owned by the single collector).
 	collected trace.Cut
+
+	// notify, when set, fires edge-triggered when work lands for the
+	// collector: at most once per Collect cycle for events (armed re-arms
+	// at the top of Collect), and on every request/mark admission (those
+	// want a prompt proposal). It powers the primary's demand-driven
+	// propose pump; it must be cheap and non-blocking.
+	notify func()
+	armed  atomic.Bool
 }
 
 type threadBuf struct {
@@ -51,6 +61,21 @@ func NewRecorder(e env.Env, n int, cut trace.Cut, reqBase uint64) *Recorder {
 	return r
 }
 
+// SetNotify installs fn as the collector wake-up hook and arms it. Call
+// before recording begins (it is not synchronized against Append).
+func (r *Recorder) SetNotify(fn func()) {
+	r.notify = fn
+	r.armed.Store(true)
+}
+
+// maybeNotify fires the hook once per armed cycle. The fast path (already
+// fired, or no hook) is a single atomic load.
+func (r *Recorder) maybeNotify() {
+	if r.notify != nil && r.armed.Load() && r.armed.CompareAndSwap(true, false) {
+		r.notify()
+	}
+}
+
 // Append adds an event (with its incoming edges) to thread t's buffer.
 func (r *Recorder) Append(t int32, ev trace.Event, in []trace.EventID) {
 	b := r.threads[t]
@@ -58,6 +83,7 @@ func (r *Recorder) Append(t int32, ev trace.Event, in []trace.EventID) {
 	b.events = append(b.events, ev)
 	b.in = append(b.in, in)
 	b.mu.Unlock()
+	r.maybeNotify()
 }
 
 // AddReq appends a request payload to the table and returns its global
@@ -66,10 +92,11 @@ func (r *Recorder) Append(t int32, ev trace.Event, in []trace.EventID) {
 // an earlier delta.
 func (r *Recorder) AddReq(req trace.Req) uint64 {
 	r.reqMu.Lock()
-	defer r.reqMu.Unlock()
 	idx := r.nextReq
 	r.nextReq++
 	r.reqs = append(r.reqs, req)
+	r.reqMu.Unlock()
+	r.maybeNotify()
 	return idx
 }
 
@@ -77,8 +104,9 @@ func (r *Recorder) AddReq(req trace.Req) uint64 {
 // paused at the mark's cut when calling this (§3.3).
 func (r *Recorder) AddMark(m trace.Mark) {
 	r.reqMu.Lock()
-	defer r.reqMu.Unlock()
 	r.marks = append(r.marks, m)
+	r.reqMu.Unlock()
+	r.maybeNotify()
 }
 
 // PendingEvents reports how many recorded events have not been collected
@@ -102,6 +130,10 @@ func (r *Recorder) PendingEvents() int {
 // Delta.Empty); callers that only propose on growth skip empty deltas.
 // Collect must be called from a single collector task.
 func (r *Recorder) Collect() *trace.Delta {
+	// Re-arm the wake-up hook BEFORE draining: an append that lands while
+	// we drain may notify spuriously (harmless — the pump re-collects) but
+	// can never be lost.
+	r.armed.Store(true)
 	d := &trace.Delta{
 		Base:    r.collected.Clone(),
 		Threads: make([]trace.ThreadLog, len(r.threads)),

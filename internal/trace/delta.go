@@ -149,9 +149,20 @@ func (d *Delta) Encode(e *wire.Encoder) {
 
 // EncodeBytes returns the wire form of d.
 func (d *Delta) EncodeBytes() []byte {
-	e := wire.NewEncoder(nil)
+	return d.EncodeBytesHint(0)
+}
+
+// EncodeBytesHint returns the wire form of d, encoding through a pooled
+// scratch buffer pre-sized to sizeHint (callers pass the previous delta's
+// encoded size). The returned slice is exact-length and owned by the
+// caller; steady state costs one allocation (the copy), not the O(log n)
+// growth reallocations of a cold encoder.
+func (d *Delta) EncodeBytesHint(sizeHint int) []byte {
+	e := wire.GetEncoder(sizeHint)
 	d.Encode(e)
-	return e.Bytes()
+	out := e.AppendCopy(make([]byte, 0, e.Len()))
+	e.Release()
+	return out
 }
 
 // DecodeDelta parses a delta from dec.

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 )
 
 // ErrShort reports that the buffer ended before a complete value was read.
@@ -29,6 +30,46 @@ type Encoder struct {
 
 // NewEncoder returns an Encoder writing into buf (which may be nil).
 func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// encPool recycles Encoders (and, more importantly, their grown buffers)
+// across hot-path encodes: delta proposals, WAL record framing.
+var encPool = sync.Pool{New: func() any { return &Encoder{} }}
+
+// maxPooledBuf bounds the buffer capacity returned to the pool so one
+// pathological giant delta cannot pin memory forever.
+const maxPooledBuf = 1 << 22 // 4 MiB
+
+// GetEncoder returns a pooled, reset Encoder whose buffer holds at least
+// sizeHint bytes without growing. Callers that know the size of the
+// previous encode (e.g. the previous delta) pass it so steady-state
+// encoding never reallocates. Release the encoder when its bytes have been
+// fully consumed or copied.
+func GetEncoder(sizeHint int) *Encoder {
+	e := encPool.Get().(*Encoder)
+	if cap(e.buf) < sizeHint {
+		e.buf = make([]byte, 0, sizeHint)
+	} else {
+		e.buf = e.buf[:0]
+	}
+	return e
+}
+
+// Release returns e to the pool. The caller must not touch e or any slice
+// obtained from e.Bytes() afterwards (copy first if the bytes outlive the
+// encode).
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encPool.Put(e)
+}
+
+// AppendCopy appends the encoded bytes to dst and returns the result —
+// the right-sized escape hatch before Release when the bytes must
+// outlive the encoder.
+func (e *Encoder) AppendCopy(dst []byte) []byte {
+	return append(dst, e.buf...)
+}
 
 // Bytes returns the encoded bytes accumulated so far.
 func (e *Encoder) Bytes() []byte { return e.buf }
