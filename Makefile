@@ -21,14 +21,17 @@ vet:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Commit-path acceptance evidence: WAL group-commit shape, encode
-# allocs/op, and a quick Figure 7, as machine-readable JSON.
+# Acceptance evidence as machine-readable JSON: the commit-path suite
+# (WAL group-commit shape, encode allocs/op, quick Figure 7) plus the
+# shard-scaling suite (aggregate throughput at 1/2/4/8 groups).
 bench-json:
 	$(GO) run ./cmd/rexbench -exp commitpath -json BENCH_commit_path.json
+	$(GO) run ./cmd/rexbench -exp shards -json BENCH_shard_scaling.json
 
 # A short deterministic chaos sweep: every scenario must come back OK.
 # Reproduce a failure with `go run ./cmd/rexchaos -seed <seed> -v`.
 chaos:
 	$(GO) run ./cmd/rexchaos -scenarios 8 -seed 1
+	$(GO) run ./cmd/rexchaos -shards -scenarios 2 -seed 1
 
 check: build vet test race chaos

@@ -21,11 +21,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|all")
 	appName := flag.String("app", "", "application for fig7 (default: all six)")
 	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
 	threads := flag.Int("threads", 8, "worker threads for tracesize/edges/ablations")
-	jsonOut := flag.String("json", "", "also write the commitpath result as JSON to this path")
+	jsonOut := flag.String("json", "", "also write the commitpath/shards result as JSON to this path")
 	flag.Parse()
 
 	out := os.Stdout
@@ -116,6 +116,35 @@ func main() {
 		}
 	}
 
+	runShards := func() {
+		cfg := bench.DefaultShardScaling()
+		if *quick {
+			cfg = bench.QuickShardScaling()
+		}
+		res, err := bench.RunShardScaling(cfg, func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shards: %v\n", err)
+			os.Exit(1)
+		}
+		bench.PrintShardScaling(out, res)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = bench.WriteShardScalingJSON(f, res)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shards: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		}
+	}
+
 	switch *exp {
 	case "table1":
 		bench.PrintTable1(out)
@@ -141,6 +170,8 @@ func main() {
 		bench.PrintPipelineAblation(out, *threads)
 	case "commitpath":
 		runCommitPath()
+	case "shards":
+		runShards()
 	case "all":
 		bench.PrintTable1(out)
 		runFig7()

@@ -24,6 +24,8 @@ func main() {
 		scenarios = flag.Int("scenarios", 10, "number of scenarios to run")
 		app       = flag.String("app", "all", "hashdb|memcache|lockserver|all (all derives the app from each seed)")
 		duration  = flag.Duration("duration", 3*time.Second, "virtual client-load phase per scenario")
+		shards    = flag.Bool("shards", false, "run the sharded fault-isolation scenario instead (kill one group's primary, check blast radius)")
+		groups    = flag.Int("groups", 4, "replica groups for -shards")
 		verbose   = flag.Bool("v", false, "log nemesis actions as they fire")
 	)
 	flag.Parse()
@@ -38,6 +40,40 @@ func main() {
 
 	start := time.Now()
 	var failed []int64
+	if *shards {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			res := chaos.RunShardScenario(chaos.ShardScenarioConfig{
+				Seed:   s,
+				Groups: *groups,
+				Phase:  *duration / 2,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d groups=%-2d killed=g%d/r%d ops=%-5d timeouts=%-3d pre=%s post=%s %s\n",
+				i+1, *scenarios, s, *groups, res.KilledGroup, res.KilledReplica,
+				res.Ops, res.Timeouts, rateList(res.PreKill), rateList(res.PostKill), verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -shards -scenarios 1 -seed %d -groups %d -duration %v\n",
+				failed[0], *groups, *duration)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d sharded scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	for i := 0; i < *scenarios; i++ {
 		s := *seed + int64(i)
 		sc, err := chaos.NewScenario(s, *app, *duration)
@@ -71,6 +107,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+}
+
+// rateList renders per-group ops/sec compactly, e.g. [120 118 125 0].
+func rateList(rates []float64) string {
+	parts := make([]string, len(rates))
+	for i, r := range rates {
+		parts[i] = fmt.Sprintf("%.0f", r)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func printMetrics(reg *obs.Registry) {

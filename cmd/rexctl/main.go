@@ -4,6 +4,15 @@
 //	       -app lsmkv put mykey myvalue
 //	rexctl -servers ... -app lsmkv get mykey
 //	rexctl -servers ... -app lsmkv -query -replica 1 get mykey
+//
+// Against a sharded cluster (rexd -shards N), -sharded fetches the shard
+// map and routes the command by key (default: the command's first
+// argument); `shardmap` prints the deployment's map and `status` prints
+// every group's role/leader/progress:
+//
+//	rexctl -servers ... -app hashdb -sharded put mykey myvalue
+//	rexctl -servers ... shardmap
+//	rexctl -servers ... status
 package main
 
 import (
@@ -14,14 +23,66 @@ import (
 	"strings"
 
 	"rex/internal/apps"
+	"rex/internal/core"
 	"rex/internal/server"
+	"rex/internal/shard"
 )
 
+// fetchMap asks each server in turn for the shard map.
+func fetchMap(cl *server.Client, n int) (*shard.ShardMap, error) {
+	var err error
+	for i := 0; i < n; i++ {
+		var m *shard.ShardMap
+		if m, err = cl.FetchShardMap(i); err == nil {
+			return m, nil
+		}
+	}
+	return nil, err
+}
+
+func roleName(r core.Role) string {
+	switch r {
+	case core.RolePrimary:
+		return "primary"
+	case core.RoleSecondary:
+		return "secondary"
+	case core.RoleFaulted:
+		return "faulted"
+	}
+	return fmt.Sprintf("role-%d", r)
+}
+
+// printStatus dumps each group's per-replica status. For an unsharded
+// cluster the map is a single group spanning every server.
+func printStatus(id uint64, m *shard.ShardMap, addrs []string) {
+	for g := 0; g < m.Groups(); g++ {
+		row := m.Placement[g]
+		gaddrs := make([]string, len(row))
+		for r, n := range row {
+			gaddrs[r] = addrs[n]
+		}
+		cl := server.NewGroupClient(id+uint64(g), g, gaddrs)
+		fmt.Printf("group %d:\n", g)
+		for r := range row {
+			st, err := cl.Status(r)
+			if err != nil {
+				fmt.Printf("  replica %d (node %d, %s): unreachable: %v\n", r, row[r], gaddrs[r], err)
+				continue
+			}
+			fmt.Printf("  replica %d (node %d, %s): %s leader=%d applied=%d completed=%d outstanding=%d\n",
+				r, row[r], gaddrs[r], roleName(st.Role), st.Leader, st.Applied, st.ReqsCompleted, st.Outstanding)
+		}
+		cl.Close()
+	}
+}
+
 func main() {
-	servers := flag.String("servers", "", "comma-separated client addresses of the replicas")
+	servers := flag.String("servers", "", "comma-separated client addresses of the nodes")
 	appName := flag.String("app", "lsmkv", "application the cluster runs")
 	query := flag.Bool("query", false, "run as a read-only query instead of a replicated request")
-	replica := flag.Int("replica", 0, "replica to query (with -query)")
+	replica := flag.Int("replica", 0, "replica to query (with -query; in-group index when sharded)")
+	sharded := flag.Bool("sharded", false, "fetch the shard map and route the command by key")
+	key := flag.String("key", "", "routing key with -sharded (default: the command's first argument)")
 	clientID := flag.Uint64("client", 0, "client id (default: random)")
 	flag.Parse()
 
@@ -30,20 +91,71 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("rexctl: no command (e.g. `put k v`, `get k`)")
+		log.Fatal("rexctl: no command (e.g. `put k v`, `get k`, `shardmap`, `status`)")
 	}
-	body, err := apps.Command(*appName, args)
-	if err != nil {
-		log.Fatalf("rexctl: %v", err)
-	}
+	addrs := strings.Split(*servers, ",")
 	id := *clientID
 	if id == 0 {
 		id = rand.Uint64()
 	}
-	cl := server.NewClient(id, strings.Split(*servers, ","))
+	cl := server.NewClient(id, addrs)
 	defer cl.Close()
 
+	switch args[0] {
+	case "shardmap":
+		m, err := fetchMap(cl, len(addrs))
+		if err != nil {
+			log.Fatalf("rexctl: %v", err)
+		}
+		fmt.Println(m)
+		return
+	case "status":
+		m, err := fetchMap(cl, len(addrs))
+		if err != nil {
+			// Unsharded: one group, replica i on "node" i.
+			m = &shard.ShardMap{Version: 0, Nodes: len(addrs), Placement: [][]int{make([]int, len(addrs))}}
+			for i := range m.Placement[0] {
+				m.Placement[0][i] = i
+			}
+		}
+		printStatus(id, m, addrs)
+		return
+	}
+
+	body, err := apps.Command(*appName, args)
+	if err != nil {
+		log.Fatalf("rexctl: %v", err)
+	}
+
 	var resp []byte
+	if *sharded {
+		m, err := fetchMap(cl, len(addrs))
+		if err != nil {
+			log.Fatalf("rexctl: fetch shard map: %v", err)
+		}
+		router, err := server.NewShardRouter(id+1, m, addrs)
+		if err != nil {
+			log.Fatalf("rexctl: %v", err)
+		}
+		k := *key
+		if k == "" {
+			if len(args) < 2 {
+				log.Fatal("rexctl: -sharded needs a routing key (-key or a command argument)")
+			}
+			k = args[1]
+		}
+		if *query {
+			resp, err = router.Query([]byte(k), *replica, body)
+		} else {
+			resp, err = router.Do([]byte(k), body)
+		}
+		if err != nil {
+			log.Fatalf("rexctl: %v", err)
+		}
+		fmt.Printf("(group %d) %s\n", router.GroupFor([]byte(k)), apps.FormatResponse(*appName, args[0], resp))
+		return
+	}
+
 	if *query {
 		resp, err = cl.Query(*replica, body)
 	} else {

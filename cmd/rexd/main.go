@@ -1,10 +1,14 @@
-// Command rexd runs one Rex replica over TCP, serving one of the built-in
+// Command rexd runs one Rex process over TCP, serving one of the built-in
 // applications (see internal/apps). A three-replica local cluster:
 //
 //	rexd -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
 //	     -client 127.0.0.1:8000 -app lsmkv -dir /tmp/rex0 &
 //	rexd -id 1 -peers ... -client 127.0.0.1:8001 -app lsmkv -dir /tmp/rex1 &
 //	rexd -id 2 -peers ... -client 127.0.0.1:8002 -app lsmkv -dir /tmp/rex2 &
+//
+// With -shards N the same processes host N independent replica groups
+// (one core.Replica per group per process, per-group WAL and snapshot
+// directories) and clients route requests by key; see DESIGN.md §9.
 //
 // Then drive it with rexctl.
 package main
@@ -17,34 +21,39 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rex/internal/apps"
 	"rex/internal/core"
 	"rex/internal/env"
 	"rex/internal/obs"
 	"rex/internal/server"
+	"rex/internal/shard"
 	"rex/internal/storage"
 	"rex/internal/transport"
 )
 
 func main() {
-	id := flag.Int("id", 0, "replica id (index into -peers)")
-	peers := flag.String("peers", "", "comma-separated replication addresses, one per replica")
+	id := flag.Int("id", 0, "node id (index into -peers)")
+	peers := flag.String("peers", "", "comma-separated replication addresses, one per node")
 	clientAddr := flag.String("client", "", "address to serve clients on")
 	appName := flag.String("app", "lsmkv", "application: thumbnail|lockserver|lsmkv|hashdb|simplefs|memcache")
-	dir := flag.String("dir", "", "data directory (WAL + checkpoints)")
-	workers := flag.Int("workers", 8, "request worker threads")
-	readWorkers := flag.Int("read-workers", 2, "read-only query threads")
+	dir := flag.String("dir", "", "data directory (WAL + checkpoints; per-group subdirectories when sharded)")
+	workers := flag.Int("workers", 8, "request worker threads (per group)")
+	readWorkers := flag.Int("read-workers", 2, "read-only query threads (per group)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = disabled)")
+	shards := flag.Int("shards", 1, "number of independent replica groups (1 = unsharded)")
+	groupReplicas := flag.Int("group-replicas", 0, "replicas per group (0 = one per node)")
 	metricsAddr := flag.String("metrics", "", "address to serve the metrics text dump on (e.g. :8080; empty = disabled)")
 	verbose := flag.Bool("v", false, "verbose replica logging")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
 	if *peers == "" || *id < 0 || *id >= len(addrs) {
-		log.Fatalf("rexd: -peers must list all replicas and -id must index into it")
+		log.Fatalf("rexd: -peers must list all nodes and -id must index into it")
 	}
 	if *clientAddr == "" {
 		log.Fatalf("rexd: -client address required")
@@ -59,14 +68,6 @@ func main() {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatalf("rexd: %v", err)
 	}
-	wal, err := storage.OpenFileLog(filepath.Join(*dir, "wal"), true)
-	if err != nil {
-		log.Fatalf("rexd: open WAL: %v", err)
-	}
-	snaps, err := storage.NewFileSnapshots(filepath.Join(*dir, "snapshots"))
-	if err != nil {
-		log.Fatalf("rexd: snapshot store: %v", err)
-	}
 	ep, err := transport.ListenTCP(*id, addrs)
 	if err != nil {
 		log.Fatalf("rexd: listen: %v", err)
@@ -74,40 +75,111 @@ func main() {
 
 	reg := obs.NewRegistry()
 	ep.RegisterMetrics(reg)
-	walObs := storage.NewLogMetrics()
-	walObs.Register(reg)
-	wal.SetMetrics(walObs)
 
 	e := env.NewReal()
-	cfg := core.Config{
-		ID:              *id,
-		N:               len(addrs),
+	template := core.Config{
 		Env:             e,
-		Endpoint:        ep,
-		Log:             wal,
-		Snapshots:       snaps,
 		Factory:         app.Factory,
 		Workers:         *workers,
 		Timers:          app.Timers,
 		ReadWorkers:     *readWorkers,
 		CheckpointEvery: *checkpointEvery,
+		ElectionTimeout: 150 * time.Millisecond,
 		Seed:            int64(*id) + 1,
-		Metrics:         reg,
 	}
 	if *verbose {
-		cfg.Logf = log.Printf
+		template.Logf = log.Printf
 	}
-	replica, err := core.NewReplica(cfg)
-	if err != nil {
-		log.Fatalf("rexd: %v", err)
+
+	var wals []*storage.FileLog
+	// openWAL opens one group's (or the unsharded replica's) WAL with
+	// metrics registered into the given (possibly group-labeled) registry.
+	openWAL := func(gdir string, labeled *obs.Registry) (*storage.FileLog, error) {
+		if err := os.MkdirAll(gdir, 0o755); err != nil {
+			return nil, err
+		}
+		wal, err := storage.OpenFileLog(filepath.Join(gdir, "wal"), true)
+		if err != nil {
+			return nil, fmt.Errorf("open WAL: %w", err)
+		}
+		walObs := storage.NewLogMetrics()
+		walObs.Register(labeled)
+		wal.SetMetrics(walObs)
+		wals = append(wals, wal)
+		return wal, nil
 	}
-	if err := replica.Start(); err != nil {
-		log.Fatalf("rexd: start: %v", err)
+	groupDir := func(g int) string { return filepath.Join(*dir, fmt.Sprintf("group-%d", g)) }
+
+	var srv *server.Server
+	var stopReplicas func()
+	if *shards > 1 {
+		rpg := *groupReplicas
+		if rpg <= 0 {
+			rpg = len(addrs)
+		}
+		smap, err := shard.NewShardMap(1, *shards, len(addrs), rpg)
+		if err != nil {
+			log.Fatalf("rexd: %v", err)
+		}
+		node, err := shard.NewNode(shard.NodeConfig{
+			Env:      e,
+			Map:      smap,
+			Node:     *id,
+			Endpoint: ep,
+			NewLog: func(g int) (storage.Log, error) {
+				return openWAL(groupDir(g), reg.Labeled("group", strconv.Itoa(g)))
+			},
+			NewSnapshots: func(g int) (storage.SnapshotStore, error) {
+				return storage.NewFileSnapshots(filepath.Join(groupDir(g), "snapshots"))
+			},
+			Template: template,
+			Metrics:  reg,
+		})
+		if err != nil {
+			log.Fatalf("rexd: %v", err)
+		}
+		if err := node.Start(); err != nil {
+			log.Fatalf("rexd: start: %v", err)
+		}
+		srv, err = server.ListenNode(node, *clientAddr)
+		if err != nil {
+			log.Fatalf("rexd: client listener: %v", err)
+		}
+		stopReplicas = node.Stop
+		log.Printf("rexd: node %d/%d hosting groups %v of %d (%q) on %s (replication %s)",
+			*id, len(addrs), node.Groups(), *shards, *appName, srv.Addr(), addrs[*id])
+	} else {
+		wal, err := openWAL(*dir, reg)
+		if err != nil {
+			log.Fatalf("rexd: %v", err)
+		}
+		snaps, err := storage.NewFileSnapshots(filepath.Join(*dir, "snapshots"))
+		if err != nil {
+			log.Fatalf("rexd: snapshot store: %v", err)
+		}
+		cfg := template
+		cfg.ID = *id
+		cfg.N = len(addrs)
+		cfg.Endpoint = ep
+		cfg.Log = wal
+		cfg.Snapshots = snaps
+		cfg.Metrics = reg
+		replica, err := core.NewReplica(cfg)
+		if err != nil {
+			log.Fatalf("rexd: %v", err)
+		}
+		if err := replica.Start(); err != nil {
+			log.Fatalf("rexd: start: %v", err)
+		}
+		srv, err = server.Listen(replica, *clientAddr)
+		if err != nil {
+			log.Fatalf("rexd: client listener: %v", err)
+		}
+		stopReplicas = replica.Stop
+		log.Printf("rexd: replica %d/%d serving %q on %s (replication %s)",
+			*id, len(addrs), *appName, srv.Addr(), addrs[*id])
 	}
-	srv, err := server.Listen(replica, *clientAddr)
-	if err != nil {
-		log.Fatalf("rexd: client listener: %v", err)
-	}
+
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -123,14 +195,14 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("rexd: replica %d/%d serving %q on %s (replication %s)",
-		*id, len(addrs), *appName, srv.Addr(), addrs[*id])
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("rexd: shutting down")
 	srv.Close()
-	replica.Stop()
-	wal.Close()
+	stopReplicas()
+	for _, wal := range wals {
+		wal.Close()
+	}
 }

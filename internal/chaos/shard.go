@@ -1,0 +1,276 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/shard"
+	"rex/internal/sim"
+)
+
+// ShardScenarioConfig parameterizes the sharded fault-isolation scenario:
+// kill one group's primary under load and demand that (a) the other
+// groups keep committing at speed, (b) the killed group re-elects and
+// serves again, and (c) every group's history stays linearizable.
+type ShardScenarioConfig struct {
+	Seed             int64
+	Groups           int
+	Nodes            int
+	ReplicasPerGroup int
+	Clients          int           // routed closed-loop clients
+	Keys             int           // shared key space, routed across groups
+	Phase            time.Duration // virtual length of each load phase
+}
+
+func (c ShardScenarioConfig) withDefaults() ShardScenarioConfig {
+	if c.Groups <= 0 {
+		c.Groups = 4
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.ReplicasPerGroup <= 0 {
+		c.ReplicasPerGroup = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Keys <= 0 {
+		c.Keys = 8 * c.Groups
+	}
+	if c.Phase <= 0 {
+		c.Phase = time.Second
+	}
+	return c
+}
+
+// ShardResult is the scenario's verdict.
+type ShardResult struct {
+	OK            bool
+	Violations    []string
+	Ops           int // operations recorded across all groups
+	Timeouts      int // operations with unknown outcome
+	KilledGroup   int
+	KilledReplica int
+	PreKill       []float64 // per-group committed ops/sec before the kill
+	PostKill      []float64 // per-group committed ops/sec after the kill
+	Checks        []check.Result
+}
+
+// RunShardScenario executes the sharded chaos scenario under a fresh
+// simulator. The load runs in two phases — Phase before the kill, Phase
+// after — and each surviving group must keep at least half its pre-kill
+// rate through the victim group's failover (blast-radius check). After
+// the phases the crashed replica restarts and every group must pass
+// state agreement, the prefix property, and per-group linearizability.
+func RunShardScenario(cfg ShardScenarioConfig, reg *obs.Registry, logf func(string, ...any)) ShardResult {
+	cfg = cfg.withDefaults()
+	res := ShardResult{KilledGroup: -1, KilledReplica: -1}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	hists := make([]*check.History, cfg.Groups)
+	var violations []string
+	timeouts := 0
+	e.Run(func() {
+		m, err := shard.NewShardMap(1, cfg.Groups, cfg.Nodes, cfg.ReplicasPerGroup)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		mc, err := cluster.NewMulti(e, hashdb.New(hashdb.DefaultOptions()), m, cluster.Options{
+			Workers:         2,
+			Timers:          hashdb.Timers(),
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 200 * time.Millisecond,
+			Seed:            cfg.Seed,
+			Logf:            logf,
+		})
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		// As in Scenario.Run, no deferred Stop: the simulator reaps
+		// remaining tasks itself when the run ends.
+		if err := mc.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("multi-cluster start: %v", err))
+			return
+		}
+		if err := mc.WaitAllPrimaries(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		for g := range hists {
+			hists[g] = check.NewHistory(e.Now)
+		}
+		key := func(k int) string { return fmt.Sprintf("k%d", k) }
+
+		done := make([]uint64, cfg.Groups)
+		mu := e.NewMutex()
+		stop := false
+		clients := env.GoEach(e, "shard-chaos-client", cfg.Clients, func(ci int) {
+			// One client per group per routed task, recording each
+			// group's operations into that group's history. Ids are
+			// unique within every group because each task uses one id
+			// for all groups.
+			gcs := make([]*cluster.Client, cfg.Groups)
+			for g := 0; g < cfg.Groups; g++ {
+				cl := mc.Groups[g].NewClient(uint64(100 + ci))
+				cl.Recorder = hists[g]
+				gcs[g] = cl
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			for seq := 0; ; seq++ {
+				mu.Lock()
+				s := stop
+				mu.Unlock()
+				if s {
+					return
+				}
+				k := key(rng.Intn(cfg.Keys))
+				var body []byte
+				switch r := rng.Intn(100); {
+				case r < 45:
+					body = hashdb.GetReq(k)
+				case r < 90:
+					body = hashdb.SetReq(k, []byte(fmt.Sprintf("c%d-n%d", ci, seq)))
+				default:
+					body = hashdb.DelReq(k)
+				}
+				g := m.GroupFor([]byte(k))
+				if _, err := gcs[g].DoTimeout(body, 2*time.Second); err != nil {
+					mu.Lock()
+					timeouts++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				done[g]++
+				mu.Unlock()
+				e.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+			}
+		})
+
+		snapshot := func() []uint64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]uint64(nil), done...)
+		}
+		rates := func(a, b []uint64) []float64 {
+			out := make([]float64, len(a))
+			for i := range a {
+				out[i] = float64(b[i]-a[i]) / cfg.Phase.Seconds()
+			}
+			return out
+		}
+
+		// Phase 1: healthy load.
+		e.Sleep(cfg.Phase)
+		pre0 := snapshot()
+		e.Sleep(cfg.Phase)
+		pre1 := snapshot()
+		res.PreKill = rates(pre0, pre1)
+
+		// Kill one group's primary (seed-derived victim).
+		victim := int(uint64(cfg.Seed) % uint64(cfg.Groups))
+		p, err := mc.CrashGroupPrimary(victim)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		res.KilledGroup, res.KilledReplica = victim, p
+		if logf != nil {
+			logf("killed group %d primary (replica %d)", victim, p)
+		}
+		reg.CounterOf("chaos_shard_primary_kills").Inc()
+
+		// Phase 2: the other groups must ride through the failover.
+		post0 := snapshot()
+		e.Sleep(cfg.Phase)
+		post1 := snapshot()
+		res.PostKill = rates(post0, post1)
+		for g := 0; g < cfg.Groups; g++ {
+			if g == victim {
+				continue
+			}
+			if res.PostKill[g] < 0.5*res.PreKill[g] {
+				violations = append(violations, fmt.Sprintf(
+					"group %d throughput collapsed during group %d failover: %.0f -> %.0f ops/sec",
+					g, victim, res.PreKill[g], res.PostKill[g]))
+			}
+		}
+
+		// The killed group must re-elect and serve again.
+		if _, err := mc.Groups[victim].WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, fmt.Sprintf("group %d after kill: %v", victim, err))
+		}
+
+		mu.Lock()
+		stop = true
+		mu.Unlock()
+		clients.Wait()
+
+		// Heal: restart the crashed replica, then every group must
+		// quiesce into agreement with clean logs.
+		if err := mc.Groups[victim].Restart(p); err != nil {
+			violations = append(violations, fmt.Sprintf("restart group %d replica %d: %v", victim, p, err))
+			return
+		}
+		for g := 0; g < cfg.Groups; g++ {
+			states, faulted, err := mc.Groups[g].StableStates(30 * time.Second)
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("group %d: %v", g, err))
+				continue
+			}
+			for i, ferr := range faulted {
+				violations = append(violations, fmt.Sprintf("group %d replica %d faulted after recovery: %v", g, i, ferr))
+			}
+			for _, v := range check.StateAgreement(states) {
+				violations = append(violations, fmt.Sprintf("group %d: %s", g, v))
+			}
+			for _, v := range check.CheckPrefix(chosenLogs(mc.Groups[g])) {
+				violations = append(violations, fmt.Sprintf("group %d: %s", g, v))
+			}
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	res.Timeouts = timeouts
+	model := check.KVModel(false)
+	for g, h := range hists {
+		if h == nil {
+			continue
+		}
+		res.Ops += h.Len()
+		cr := check.CheckLinearizable(model, h.Ops(), 0)
+		res.Checks = append(res.Checks, cr)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(cr.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		if !cr.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("group %d history of %d ops is not linearizable", g, cr.Ops))
+		}
+		if cr.Undecided {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("group %d linearizability undecided: step budget exhausted", g))
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	reg.CounterOf("chaos_shard_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_shard_scenarios_failed").Inc()
+	}
+	return res
+}

@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"rex/internal/obs"
+)
+
+// TestShardScenarioIsolation kills one group's primary under load and
+// verifies the blast radius stays inside that group: the other groups
+// keep committing, the victim re-elects, and every group's history stays
+// linearizable.
+func TestShardScenarioIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := RunShardScenario(ShardScenarioConfig{
+		Seed:    3,
+		Groups:  3,
+		Nodes:   3,
+		Clients: 6,
+		Phase:   700 * time.Millisecond,
+	}, reg, t.Logf)
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !res.OK {
+		t.Fatalf("scenario failed (killed group %d replica %d, pre %v post %v)",
+			res.KilledGroup, res.KilledReplica, res.PreKill, res.PostKill)
+	}
+	if res.KilledGroup < 0 || res.KilledReplica < 0 {
+		t.Fatalf("no primary was killed: %+v", res)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if len(res.Checks) != 3 {
+		t.Fatalf("got %d per-group checks, want 3", len(res.Checks))
+	}
+	// The load must actually have exercised every group in both phases.
+	for g, r := range res.PreKill {
+		if r <= 0 {
+			t.Errorf("group %d idle before the kill", g)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("chaos_shard_primary_kills") != 1 {
+		t.Errorf("chaos_shard_primary_kills = %d, want 1", snap.Counter("chaos_shard_primary_kills"))
+	}
+}

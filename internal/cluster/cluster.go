@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"rex/internal/core"
@@ -41,6 +42,22 @@ type Options struct {
 	// in-memory stores. The chaos engine swaps in fault-injecting wrappers.
 	NewLog       func(i int) storage.Log
 	NewSnapshots func(i int) storage.SnapshotStore
+	// Endpoints, when set, supplies replica i's network attachment instead
+	// of a cluster-private transport.Network (Net stays nil). The shard
+	// package uses this to run one group over a node-level endpoint mesh
+	// shared with other groups; each call must return a fresh endpoint
+	// (Restart relies on that for an empty inbox).
+	Endpoints func(i int) transport.Endpoint
+	// Machines, when set (one entry per replica), pins replicas to these
+	// pre-created simulator machines instead of adding a machine per
+	// replica. The shard package uses this so every group hosted on one
+	// node shares that node's CPU cores, like colocated processes do.
+	Machines []int
+	// ElectionTimeoutOf, when set, overrides ElectionTimeout per replica.
+	// The shard package biases replica 0 (the map's preferred primary)
+	// with a shorter timeout so per-group primaries land where the
+	// placement rotation put them.
+	ElectionTimeoutOf func(i int) time.Duration
 	// UnsafeReplayNoEdgeWaits injects a replication bug (replay releases
 	// events before their causal predecessors) so tests can prove the
 	// consistency checker catches real divergence. Never set outside tests.
@@ -96,7 +113,9 @@ func New(e env.Env, factory core.Factory, opts Options) *Cluster {
 		Env:     e,
 		Opts:    opts,
 		Factory: factory,
-		Net:     transport.NewNetwork(e, opts.Replicas, opts.NetDelay, opts.Seed),
+	}
+	if opts.Endpoints == nil {
+		c.Net = transport.NewNetwork(e, opts.Replicas, opts.NetDelay, opts.Seed)
 	}
 	for i := 0; i < opts.Replicas; i++ {
 		c.Logs = append(c.Logs, opts.NewLog(i))
@@ -104,9 +123,11 @@ func New(e env.Env, factory core.Factory, opts Options) *Cluster {
 		c.Replicas = append(c.Replicas, nil)
 		c.machines = append(c.machines, -1)
 	}
-	// Under the simulator, every replica gets its own machine with as many
-	// cores as machine 0 (the paper's identical servers).
-	if me, ok := e.(machineEnv); ok {
+	if len(opts.Machines) == opts.Replicas {
+		copy(c.machines, opts.Machines)
+	} else if me, ok := e.(machineEnv); ok {
+		// Under the simulator, every replica gets its own machine with as
+		// many cores as machine 0 (the paper's identical servers).
 		for i := 0; i < opts.Replicas; i++ {
 			c.machines[i] = me.AddMachine(me.Cores())
 		}
@@ -115,11 +136,19 @@ func New(e env.Env, factory core.Factory, opts Options) *Cluster {
 }
 
 func (c *Cluster) config(i int) core.Config {
+	ep := c.Opts.Endpoints
+	if ep == nil {
+		ep = c.Net.Endpoint
+	}
+	et := c.Opts.ElectionTimeout
+	if c.Opts.ElectionTimeoutOf != nil {
+		et = c.Opts.ElectionTimeoutOf(i)
+	}
 	return core.Config{
 		ID:                      i,
 		N:                       c.Opts.Replicas,
 		Env:                     c.Env,
-		Endpoint:                c.Net.Endpoint(i),
+		Endpoint:                ep(i),
 		Log:                     c.Logs[i],
 		Snapshots:               c.Snaps[i],
 		Factory:                 c.Factory,
@@ -129,7 +158,7 @@ func (c *Cluster) config(i int) core.Config {
 		ProposeEvery:            c.Opts.ProposeEvery,
 		PipelineDepth:           c.Opts.PipelineDepth,
 		HeartbeatEvery:          c.Opts.HeartbeatEvery,
-		ElectionTimeout:         c.Opts.ElectionTimeout,
+		ElectionTimeout:         et,
 		CheckpointEvery:         c.Opts.CheckpointEvery,
 		StatusEvery:             c.Opts.StatusEvery,
 		MaxOutstanding:          c.Opts.MaxOutstanding,
@@ -227,9 +256,13 @@ func (c *Cluster) WaitPrimary(timeout time.Duration) (int, error) {
 }
 
 // Crash stops replica i and cuts it from the network, preserving its
-// durable log and snapshots for a later Restart.
+// durable log and snapshots for a later Restart. With external endpoints
+// (Opts.Endpoints) there is no cluster-private network to cut; stopping
+// the replica closes its endpoint, which is the process dying.
 func (c *Cluster) Crash(i int) {
-	c.Net.Isolate(i, true)
+	if c.Net != nil {
+		c.Net.Isolate(i, true)
+	}
 	if c.Replicas[i] != nil {
 		c.Replicas[i].Stop()
 		c.Replicas[i] = nil
@@ -241,8 +274,10 @@ func (c *Cluster) Restart(i int) error {
 	if c.Replicas[i] != nil {
 		return fmt.Errorf("cluster: replica %d still running", i)
 	}
-	c.Net.Reset(i) // fresh inbox: the crashed process's socket is gone
-	c.Net.Isolate(i, false)
+	if c.Net != nil {
+		c.Net.Reset(i) // fresh inbox: the crashed process's socket is gone
+		c.Net.Isolate(i, false)
+	}
 	return c.startReplica(i)
 }
 
@@ -367,16 +402,42 @@ type HistoryRecorder interface {
 	Timeout(id uint64)
 }
 
-// Client submits requests with retry and primary discovery.
+// DefaultMaxAttempts bounds one Do/DoTimeout call's redirect-and-retry
+// loop. With the backoff schedule below it gives a retry budget of a few
+// seconds — plenty for any election — so a request that still cannot land
+// (a partitioned majority, a stale map) fails with ErrTooManyAttempts
+// instead of spinning until the deadline.
+const DefaultMaxAttempts = 256
+
+// retry backoff: exponential from 1ms, jittered in [b/2, b], capped so a
+// long outage is probed every ~25ms rather than ever more rarely.
+const (
+	minRetryBackoff = time.Millisecond
+	maxRetryBackoff = 25 * time.Millisecond
+)
+
+// ErrTooManyAttempts reports a request abandoned after MaxAttempts
+// redirects/retries. The outcome is unknown (like a timeout): the request
+// may still have been admitted by a primary the client gave up on.
+var ErrTooManyAttempts = errors.New("cluster: too many submit attempts")
+
+// Client submits requests with retry and primary discovery. `not primary`
+// hints are followed with jittered exponential backoff, and each call
+// gives up with ErrTooManyAttempts after MaxAttempts tries.
 type Client struct {
 	C   *Cluster
 	ID  uint64
 	seq uint64
 	// LastPrimary caches the replica to try first.
 	LastPrimary int
+	// MaxAttempts caps redirects/retries per call; 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
 	// Recorder, when set, observes every Do/DoTimeout call for the
 	// consistency checker.
 	Recorder HistoryRecorder
+
+	rng *rand.Rand
 }
 
 // NewClient returns a client with the given unique id.
@@ -385,9 +446,25 @@ func (c *Cluster) NewClient(id uint64) *Client {
 }
 
 // Do submits one request, retrying across failovers until a response
-// arrives or the deadline passes.
+// arrives, the deadline passes, or the attempt budget runs out.
 func (cl *Client) Do(body []byte) ([]byte, error) {
 	return cl.DoTimeout(body, 30*time.Second)
+}
+
+// backoff sleeps a jittered exponential delay and returns the next base.
+func (cl *Client) backoff(b time.Duration) time.Duration {
+	if cl.rng == nil {
+		// Seeded from the client id: deterministic under the simulator,
+		// decorrelated across clients.
+		cl.rng = rand.New(rand.NewSource(int64(cl.ID)*0x9e3779b9 + 0x7f4a7c15))
+	}
+	d := b/2 + time.Duration(cl.rng.Int63n(int64(b/2)+1))
+	cl.C.Env.Sleep(d)
+	b *= 2
+	if b > maxRetryBackoff {
+		b = maxRetryBackoff
+	}
+	return b
 }
 
 // DoTimeout is Do with an explicit deadline.
@@ -399,13 +476,26 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 	if cl.Recorder != nil {
 		opID = cl.Recorder.Invoke(cl.ID, body)
 	}
+	maxAttempts := cl.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
 	deadline := e.Now() + timeout
 	target := cl.LastPrimary
-	for e.Now() < deadline {
+	b := minRetryBackoff
+	for attempts := 0; e.Now() < deadline; attempts++ {
+		if attempts >= maxAttempts {
+			// Unknown outcome, exactly like a timeout: some earlier attempt
+			// may still be admitted and executed.
+			if cl.Recorder != nil {
+				cl.Recorder.Timeout(opID)
+			}
+			return nil, fmt.Errorf("%w: gave up after %d attempts", ErrTooManyAttempts, attempts)
+		}
 		r := cl.C.Replicas[target%len(cl.C.Replicas)]
 		if r == nil {
 			target++
-			e.Sleep(time.Millisecond)
+			b = cl.backoff(b)
 			continue
 		}
 		resp, err := r.Submit(cl.ID, seq, body)
@@ -419,10 +509,13 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 		var np core.ErrNotPrimary
 		if errors.As(err, &np) && np.Leader >= 0 {
 			target = np.Leader
+			// A fresh hint is authoritative; restart the backoff so the
+			// redirect is followed promptly.
+			b = minRetryBackoff
 		} else {
 			target++
 		}
-		e.Sleep(2 * time.Millisecond)
+		b = cl.backoff(b)
 	}
 	if cl.Recorder != nil {
 		cl.Recorder.Timeout(opID)

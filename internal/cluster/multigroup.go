@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/shard"
+	"rex/internal/storage"
+	"rex/internal/transport"
+)
+
+// MultiCluster runs a sharded in-process deployment: one node-level
+// network over the shard map's nodes, a shard.NodeMux per node, and one
+// Cluster per replica group attached through the muxes. Groups colocated
+// on a node share that node's simulated machine (its CPU cores), exactly
+// like colocated replica processes share a server.
+type MultiCluster struct {
+	Env    env.Env
+	Map    *shard.ShardMap
+	Net    *transport.Network // node-level fabric, indexed by node id
+	Muxes  []*shard.NodeMux   // one per node
+	Groups []*Cluster         // one per group
+}
+
+// MultiStoreIndex flattens (group, replica) into the index passed to
+// Options.NewLog / Options.NewSnapshots by NewMulti, so custom stores for
+// different groups never collide.
+func MultiStoreIndex(group, replica int) int { return group*256 + replica }
+
+// NewMulti builds (but does not start) a multi-group cluster over m.
+// opts applies per group; Replicas is taken from the map, Seed is
+// decorrelated per group, and NewLog/NewSnapshots are called with
+// MultiStoreIndex(group, replica). Replica 0 of each group — the map's
+// preferred primary — gets a shortened election timeout so primaries land
+// where the placement rotation put them.
+func NewMulti(e env.Env, factory core.Factory, m *shard.ShardMap, opts Options) (*MultiCluster, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	mc := &MultiCluster{
+		Env: e,
+		Map: m,
+		Net: transport.NewNetwork(e, m.Nodes, opts.NetDelay, opts.Seed),
+	}
+	nodeMachines := make([]int, m.Nodes)
+	for n := range nodeMachines {
+		nodeMachines[n] = -1
+	}
+	if me, ok := e.(machineEnv); ok {
+		for n := range nodeMachines {
+			nodeMachines[n] = me.AddMachine(me.Cores())
+		}
+	}
+	for n := 0; n < m.Nodes; n++ {
+		mc.Muxes = append(mc.Muxes, shard.NewNodeMux(e, mc.Net.Endpoint(n), m, n))
+	}
+	baseET := opts.ElectionTimeout
+	if baseET <= 0 {
+		baseET = 150 * time.Millisecond // core's default
+	}
+	for g := 0; g < m.Groups(); g++ {
+		g := g
+		og := opts
+		og.Replicas = m.Replicas(g)
+		og.Seed = opts.Seed + int64(g)*1009
+		og.Endpoints = func(i int) transport.Endpoint {
+			return mc.Muxes[m.Placement[g][i]].Endpoint(g)
+		}
+		og.Machines = make([]int, og.Replicas)
+		for i := range og.Machines {
+			og.Machines[i] = nodeMachines[m.Placement[g][i]]
+		}
+		// Paxos picks base + rand(0..base); halving replica 0's base puts
+		// its whole range below the others', so absent faults each group
+		// elects the map's preferred primary.
+		og.ElectionTimeoutOf = func(i int) time.Duration {
+			if i == 0 {
+				return baseET / 2
+			}
+			return baseET
+		}
+		baseLog, baseSnaps := opts.NewLog, opts.NewSnapshots
+		og.NewLog = func(i int) storage.Log { return baseLog(MultiStoreIndex(g, i)) }
+		og.NewSnapshots = func(i int) storage.SnapshotStore { return baseSnaps(MultiStoreIndex(g, i)) }
+		mc.Groups = append(mc.Groups, New(e, factory, og))
+	}
+	return mc, nil
+}
+
+// Start brings every group up.
+func (mc *MultiCluster) Start() error {
+	for g, c := range mc.Groups {
+		if err := c.Start(); err != nil {
+			return fmt.Errorf("cluster: start group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// Stop shuts every group down, then the node muxes.
+func (mc *MultiCluster) Stop() {
+	for _, c := range mc.Groups {
+		c.Stop()
+	}
+	for _, nm := range mc.Muxes {
+		nm.Close()
+	}
+}
+
+// Primary returns group g's current primary index within the group, or -1.
+func (mc *MultiCluster) Primary(g int) int { return mc.Groups[g].Primary() }
+
+// WaitAllPrimaries polls until every group has a primary, under one
+// shared deadline.
+func (mc *MultiCluster) WaitAllPrimaries(timeout time.Duration) error {
+	deadline := mc.Env.Now() + timeout
+	for g, c := range mc.Groups {
+		for c.Primary() < 0 {
+			if mc.Env.Now() >= deadline {
+				return fmt.Errorf("cluster: group %d has no primary in time", g)
+			}
+			mc.Env.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// CrashGroupPrimary crashes group g's current primary and returns its
+// in-group index. Other groups — including ones hosting replicas on the
+// same node — keep running: only the one replica stops, not the node.
+func (mc *MultiCluster) CrashGroupPrimary(g int) (int, error) {
+	p := mc.Groups[g].Primary()
+	if p < 0 {
+		return -1, errors.New("cluster: group has no primary to crash")
+	}
+	mc.Groups[g].Crash(p)
+	return p, nil
+}
+
+// NewRouter returns a keyed router backed by one fresh client per group.
+// Client ids are idBase+group; callers running several routers (or extra
+// per-group clients) must space their id ranges so ids stay unique within
+// each group.
+func (mc *MultiCluster) NewRouter(idBase uint64) *shard.Router {
+	clients := make([]shard.GroupClient, mc.Map.Groups())
+	for g := range clients {
+		clients[g] = mc.Groups[g].NewClient(idBase + uint64(g))
+	}
+	r, err := shard.NewRouter(mc.Map, clients)
+	if err != nil {
+		panic(err) // impossible: one client per map group by construction
+	}
+	return r
+}

@@ -214,6 +214,12 @@ func BucketBounds() []time.Duration {
 
 // Registry names and exports metrics. Registration takes a lock; updates
 // to the registered metrics never do.
+//
+// A Registry may be a labeled view of another registry (see Labeled):
+// views share the parent's storage but decorate every registered name
+// with a label block, so one process hosting several shard groups can
+// register each group's identically named series side by side
+// (`rex_requests_admitted_total{group="2"}`).
 type Registry struct {
 	mu         sync.Mutex
 	names      []string // registration order
@@ -222,6 +228,11 @@ type Registry struct {
 	gaugeFuncs map[string]GaugeFunc
 	histograms map[string]*Histogram
 	sizeHists  map[string]*SizeHistogram
+
+	// base and labels make this a labeled view: registrations decorate
+	// names and land in base's maps. Both are nil/empty on a root registry.
+	base   *Registry
+	labels string
 }
 
 // NewRegistry returns an empty registry.
@@ -233,6 +244,59 @@ func NewRegistry() *Registry {
 		histograms: make(map[string]*Histogram),
 		sizeHists:  make(map[string]*SizeHistogram),
 	}
+}
+
+// Labeled returns a view of r that attaches `key="value"` to every metric
+// name registered through it. The view shares r's storage: snapshots and
+// text dumps of r include the labeled series. Chaining Labeled appends
+// further pairs.
+func (r *Registry) Labeled(key, value string) *Registry {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	labels := r.labels
+	if labels != "" {
+		labels += "," + pair
+	} else {
+		labels = pair
+	}
+	return &Registry{base: r.root(), labels: labels}
+}
+
+// root returns the registry owning the storage (r itself unless r is a
+// labeled view).
+func (r *Registry) root() *Registry {
+	if r.base != nil {
+		return r.base
+	}
+	return r
+}
+
+// decorate merges the view's labels into name.
+func (r *Registry) decorate(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	return WithLabels(name, r.labels)
+}
+
+// WithLabels merges a comma-joined `k="v"` label list into a series name,
+// inserting into an existing label block if the name already has one.
+func WithLabels(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + labels + "}"
+	}
+	return name + "{" + labels + "}"
+}
+
+// SplitLabels splits a decorated series name into its base name and label
+// list (empty when undecorated).
+func SplitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
 }
 
 func (r *Registry) addName(name string) {
@@ -253,10 +317,11 @@ func (r *Registry) Counter(name string) *Counter {
 
 // RegisterCounter registers an existing counter under name.
 func (r *Registry) RegisterCounter(name string, c *Counter) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.addName(name)
-	r.counters[name] = c
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addName(name)
+	t.counters[name] = c
 }
 
 // CounterOf returns the counter registered under name, creating it on
@@ -264,14 +329,15 @@ func (r *Registry) RegisterCounter(name string, c *Counter) {
 // named metrics (the chaos engine's per-fault-kind counters). It still
 // panics if name is already taken by a different metric type.
 func (r *Registry) CounterOf(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok := r.counters[name]; ok {
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.counters[name]; ok {
 		return c
 	}
-	r.addName(name)
+	t.addName(name)
 	c := NewCounter()
-	r.counters[name] = c
+	t.counters[name] = c
 	return c
 }
 
@@ -284,19 +350,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // RegisterGauge registers an existing gauge under name.
 func (r *Registry) RegisterGauge(name string, g *Gauge) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.addName(name)
-	r.gauges[name] = g
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addName(name)
+	t.gauges[name] = g
 }
 
 // RegisterGaugeFunc registers a computed gauge under name. fn must be safe
 // to call from any goroutine.
 func (r *Registry) RegisterGaugeFunc(name string, fn GaugeFunc) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.addName(name)
-	r.gaugeFuncs[name] = fn
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addName(name)
+	t.gaugeFuncs[name] = fn
 }
 
 // Histogram creates and registers a histogram under name.
@@ -308,23 +376,25 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // RegisterHistogram registers an existing histogram under name.
 func (r *Registry) RegisterHistogram(name string, h *Histogram) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.addName(name)
-	r.histograms[name] = h
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addName(name)
+	t.histograms[name] = h
 }
 
 // HistogramOf returns the histogram registered under name, creating it
 // on first use (the idempotent counterpart of Histogram).
 func (r *Registry) HistogramOf(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok := r.histograms[name]; ok {
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok := t.histograms[name]; ok {
 		return h
 	}
-	r.addName(name)
+	t.addName(name)
 	h := NewHistogram()
-	r.histograms[name] = h
+	t.histograms[name] = h
 	return h
 }
 
@@ -337,10 +407,11 @@ func (r *Registry) SizeHistogram(name string) *SizeHistogram {
 
 // RegisterSizeHistogram registers an existing size histogram under name.
 func (r *Registry) RegisterSizeHistogram(name string, h *SizeHistogram) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.addName(name)
-	r.sizeHists[name] = h
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addName(name)
+	t.sizeHists[name] = h
 }
 
 // Snapshot is a point-in-time copy of every registered metric.
@@ -360,8 +431,10 @@ func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms
 // Size returns the named size histogram's snapshot (zero if absent).
 func (s Snapshot) Size(name string) SizeSnapshot { return s.Sizes[name] }
 
-// Snapshot copies every registered metric.
+// Snapshot copies every registered metric. On a labeled view it snapshots
+// the whole underlying registry (keys carry their label blocks).
 func (r *Registry) Snapshot() Snapshot {
+	r = r.root()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
@@ -392,17 +465,19 @@ func (r *Registry) Snapshot() Snapshot {
 // format (histograms as cumulative _bucket/_sum/_count series with le
 // labels in seconds), in registration order.
 func (r *Registry) WriteText(w io.Writer) error {
+	r = r.root()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, name := range r.names {
+		base, _ := SplitLabels(name)
 		var err error
 		switch {
 		case r.counters[name] != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, name, r.counters[name].Value())
 		case r.gauges[name] != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", base, name, r.gauges[name].Value())
 		case r.gaugeFuncs[name] != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gaugeFuncs[name]())
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", base, name, r.gaugeFuncs[name]())
 		case r.histograms[name] != nil:
 			err = writeHistText(w, name, r.histograms[name].Snapshot())
 		case r.sizeHists[name] != nil:
@@ -415,23 +490,38 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
+// histSeries renders the per-series name for a histogram sub-series:
+// base_bucket{<labels,>le="bound"} / base_sum{<labels>} / base_count{<labels>}.
+func histSeries(base, labels, suffix, le string) string {
+	all := labels
+	if le != "" {
+		if all != "" {
+			all += ","
+		}
+		all += `le="` + le + `"`
+	}
+	return WithLabels(base+suffix, all)
+}
+
 func writeHistText(w io.Writer, name string, s HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+	base, labels := SplitLabels(name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
 		return err
 	}
 	var cum uint64
 	for i, b := range histBounds {
 		cum += s.Buckets[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatSeconds(b), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(base, labels, "_bucket", formatSeconds(b)), cum); err != nil {
 			return err
 		}
 	}
 	cum += s.Buckets[NumBuckets-1]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(base, labels, "_bucket", "+Inf"), cum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-		name, formatSeconds(s.Sum), name, s.Count)
+	_, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+		histSeries(base, labels, "_sum", ""), formatSeconds(s.Sum),
+		histSeries(base, labels, "_count", ""), s.Count)
 	return err
 }
 
@@ -449,6 +539,7 @@ func formatSeconds(d time.Duration) string {
 
 // SortedNames returns the registered metric names, sorted.
 func (r *Registry) SortedNames() []string {
+	r = r.root()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := append([]string(nil), r.names...)

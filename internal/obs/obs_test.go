@@ -255,3 +255,75 @@ func BenchmarkSizeHistogramObserve(b *testing.B) {
 		h.Observe(uint64(i) & (1<<18 - 1))
 	}
 }
+
+// TestLabeledRegistry covers the labeled-view mechanism multi-group
+// hosting relies on: identically named series from several groups live
+// side by side in one registry, distinguished by label blocks.
+func TestLabeledRegistry(t *testing.T) {
+	root := NewRegistry()
+	g0 := root.Labeled("group", "0")
+	g1 := root.Labeled("group", "1")
+
+	c0 := g0.Counter("rex_requests_total")
+	c1 := g1.Counter("rex_requests_total") // same base name: must not panic
+	c0.Add(3)
+	c1.Add(7)
+
+	s := root.Snapshot()
+	if got := s.Counter(`rex_requests_total{group="0"}`); got != 3 {
+		t.Errorf("group 0 counter = %d, want 3", got)
+	}
+	if got := s.Counter(`rex_requests_total{group="1"}`); got != 7 {
+		t.Errorf("group 1 counter = %d, want 7", got)
+	}
+	// Snapshots via the view see the whole registry.
+	if got := g0.Snapshot().Counter(`rex_requests_total{group="1"}`); got != 7 {
+		t.Errorf("view snapshot counter = %d, want 7", got)
+	}
+
+	h := g1.Histogram("rex_latency_seconds")
+	h.Observe(2 * time.Millisecond)
+	sh := g1.SizeHistogram("rex_batch_size")
+	sh.Observe(4)
+
+	var buf bytes.Buffer
+	if err := root.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rex_requests_total{group="0"} 3`,
+		`rex_requests_total{group="1"} 7`,
+		"# TYPE rex_latency_seconds histogram",
+		`rex_latency_seconds_bucket{group="1",le="0.002"} 1`,
+		`rex_latency_seconds_count{group="1"} 1`,
+		`rex_batch_size_bucket{group="1",le="5"} 1`,
+		`rex_batch_size_sum{group="1"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE lines must use the base name, never the decorated one.
+	if strings.Contains(out, `# TYPE rex_requests_total{`) {
+		t.Errorf("TYPE line carries labels:\n%s", out)
+	}
+}
+
+// TestWithLabels covers label merging into already-decorated names.
+func TestWithLabels(t *testing.T) {
+	cases := []struct{ name, labels, want string }{
+		{"m", "", "m"},
+		{"m", `a="1"`, `m{a="1"}`},
+		{`m{a="1"}`, `b="2"`, `m{a="1",b="2"}`},
+	}
+	for _, c := range cases {
+		if got := WithLabels(c.name, c.labels); got != c.want {
+			t.Errorf("WithLabels(%q, %q) = %q, want %q", c.name, c.labels, got, c.want)
+		}
+	}
+	base, labels := SplitLabels(`m{a="1",b="2"}`)
+	if base != "m" || labels != `a="1",b="2"` {
+		t.Errorf("SplitLabels = %q, %q", base, labels)
+	}
+}

@@ -155,20 +155,23 @@ func SizeBucketBounds() []uint64 {
 }
 
 func writeSizeHistText(w io.Writer, name string, s SizeSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+	base, labels := SplitLabels(name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
 		return err
 	}
 	var cum uint64
 	for i, b := range sizeBounds {
 		cum += s.Buckets[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(base, labels, "_bucket", fmt.Sprintf("%d", b)), cum); err != nil {
 			return err
 		}
 	}
 	cum += s.Buckets[NumSizeBuckets-1]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(base, labels, "_bucket", "+Inf"), cum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
+	_, err := fmt.Fprintf(w, "%s %d\n%s %d\n",
+		histSeries(base, labels, "_sum", ""), s.Sum,
+		histSeries(base, labels, "_count", ""), s.Count)
 	return err
 }

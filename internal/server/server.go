@@ -1,13 +1,19 @@
-// Package server exposes a Rex replica to remote clients over a minimal
-// TCP protocol, used by cmd/rexd and cmd/rexctl.
+// Package server exposes Rex replicas to remote clients over a minimal
+// TCP protocol, used by cmd/rexd and cmd/rexctl. One server can host
+// several shard groups' replicas (one process, one listener).
 //
-// Request frame:  [4-byte len][1-byte kind][uvarint client][uvarint seq][body]
+// Request frame:  [4-byte len][1-byte kind][uvarint group][uvarint client][uvarint seq][body]
 // Response frame: [4-byte len][1-byte status][body]
 //
-// Kinds: 1 = submit (replicated), 2 = query (local read-only).
-// Status: 0 = ok (body is the application response), 1 = not primary
-// (body is a varint leader hint, -1 unknown), 2 = error (body is a
-// message).
+// Kinds: 1 = submit (replicated), 2 = query (local read-only), 3 = fetch
+// the shard map (group/client/seq ignored), 4 = group status.
+// Status: 0 = ok (body is the response), 1 = not primary (body is a
+// varint leader hint, -1 unknown), 2 = error (body is a message).
+//
+// Framing is defensive: an oversized length prefix gets an error response
+// and the connection is dropped (the stream cannot be resynced), and a
+// frame whose body never arrives times out instead of pinning the
+// connection handler forever.
 package server
 
 import (
@@ -17,15 +23,19 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"rex/internal/core"
+	"rex/internal/shard"
 	"rex/internal/wire"
 )
 
 // Protocol constants.
 const (
-	KindSubmit byte = 1
-	KindQuery  byte = 2
+	KindSubmit   byte = 1
+	KindQuery    byte = 2
+	KindShardMap byte = 3
+	KindStatus   byte = 4
 
 	StatusOK         byte = 0
 	StatusNotPrimary byte = 1
@@ -34,22 +44,47 @@ const (
 	maxFrame = 64 << 20
 )
 
-// Server serves client connections for one replica.
+// frameBodyTimeout bounds how long a connection may dangle between a
+// frame's length prefix and its last body byte. A package variable so the
+// truncated-frame test doesn't take 10 seconds.
+var frameBodyTimeout = 10 * time.Second
+
+// errOversized marks a frame whose declared length exceeds maxFrame; the
+// server answers it with StatusError before dropping the connection.
+var errOversized = errors.New("server: oversized frame")
+
+// Server serves client connections for the replicas of one process.
 type Server struct {
-	replica *core.Replica
-	ln      net.Listener
-	mu      sync.Mutex
-	closed  bool
-	wg      sync.WaitGroup
+	replicas map[int]*core.Replica // by group id
+	smap     *shard.ShardMap       // nil when unsharded
+	ln       net.Listener
+	mu       sync.Mutex
+	closed   bool
+	wg       sync.WaitGroup
 }
 
-// Listen starts serving clients on addr.
+// Listen starts serving a single, unsharded replica on addr (it answers
+// group 0; shard-map fetches report an error).
 func Listen(replica *core.Replica, addr string) (*Server, error) {
+	return listen(map[int]*core.Replica{0: replica}, nil, addr)
+}
+
+// ListenNode starts serving every group a shard node hosts, plus the
+// node's shard map.
+func ListenNode(n *shard.Node, addr string) (*Server, error) {
+	replicas := make(map[int]*core.Replica)
+	for _, g := range n.Groups() {
+		replicas[g] = n.Replica(g)
+	}
+	return listen(replicas, n.Map(), addr)
+}
+
+func listen(replicas map[int]*core.Replica, smap *shard.ShardMap, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{replica: replica, ln: ln}
+	s := &Server{replicas: replicas, smap: smap, ln: ln}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -85,6 +120,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
+			if errors.Is(err, errOversized) {
+				// Tell the client why before hanging up; the stream can't
+				// be resynced past a length we refuse to read.
+				writeFrame(conn, StatusError, []byte(err.Error()))
+			}
 			return
 		}
 		status, body := s.handle(frame)
@@ -97,15 +137,26 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) handle(frame []byte) (byte, []byte) {
 	d := wire.NewDecoder(frame)
 	kind := d.Byte()
+	group := d.Uvarint()
 	client := d.Uvarint()
 	seq := d.Uvarint()
 	body := d.BytesVal()
 	if d.Err() != nil {
 		return StatusError, []byte("malformed request")
 	}
+	if kind == KindShardMap {
+		if s.smap == nil {
+			return StatusError, []byte("server: not sharded (no shard map)")
+		}
+		return StatusOK, s.smap.EncodeBytes()
+	}
+	rep := s.replicas[int(group)]
+	if rep == nil {
+		return StatusError, []byte(fmt.Sprintf("server: group %d not hosted here", group))
+	}
 	switch kind {
 	case KindSubmit:
-		resp, err := s.replica.Submit(client, seq, body)
+		resp, err := rep.Submit(client, seq, body)
 		if err != nil {
 			var np core.ErrNotPrimary
 			if errors.As(err, &np) {
@@ -117,27 +168,67 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		}
 		return StatusOK, resp
 	case KindQuery:
-		resp, err := s.replica.Query(body)
+		resp, err := rep.Query(body)
 		if err != nil {
 			return StatusError, []byte(err.Error())
 		}
 		return StatusOK, resp
+	case KindStatus:
+		st := rep.Stats()
+		e := wire.NewEncoder(nil)
+		e.Byte(byte(st.Role))
+		e.Varint(int64(rep.Leader()))
+		e.Uvarint(st.Applied)
+		e.Uvarint(st.ReqsCompleted)
+		e.Uvarint(uint64(st.Outstanding))
+		return StatusOK, e.Bytes()
 	}
-	return StatusError, []byte(fmt.Sprintf("unknown request kind %d", frame[0]))
+	return StatusError, []byte(fmt.Sprintf("unknown request kind %d", kind))
+}
+
+// GroupStatus is one replica's answer to a KindStatus request.
+type GroupStatus struct {
+	Role          core.Role
+	Leader        int
+	Applied       uint64
+	ReqsCompleted uint64
+	Outstanding   int
+}
+
+func decodeGroupStatus(b []byte) (GroupStatus, error) {
+	d := wire.NewDecoder(b)
+	st := GroupStatus{
+		Role:          core.Role(d.Byte()),
+		Leader:        int(d.Varint()),
+		Applied:       d.Uvarint(),
+		ReqsCompleted: d.Uvarint(),
+		Outstanding:   int(d.Uvarint()),
+	}
+	return st, d.Err()
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
+	conn, _ := r.(net.Conn)
+	if conn != nil {
+		// Between frames a connection may idle forever.
+		conn.SetReadDeadline(time.Time{})
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, errors.New("server: oversized frame")
+		return nil, errOversized
+	}
+	// Once a length has been announced the body must follow promptly; a
+	// client that dies mid-frame must not pin this handler forever.
+	if conn != nil {
+		conn.SetReadDeadline(time.Now().Add(frameBodyTimeout))
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	if got, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("server: truncated frame (%d of %d bytes): %w", got, n, err)
 	}
 	return buf, nil
 }
@@ -153,20 +244,29 @@ func writeFrame(w io.Writer, status byte, body []byte) error {
 	return err
 }
 
-// Client talks to a replica group's client ports.
+// Client talks to one replica group's client ports.
 type Client struct {
 	addrs  []string
 	id     uint64
+	group  int
 	seq    uint64
 	mu     sync.Mutex
 	conns  map[int]net.Conn
 	target int
 }
 
-// NewClient creates a client with a unique id over the given client
-// addresses (one per replica, in replica-id order).
+// NewClient creates a client for an unsharded deployment (group 0) with a
+// unique id over the given client addresses (one per replica, in
+// replica-id order).
 func NewClient(id uint64, addrs []string) *Client {
-	return &Client{addrs: addrs, id: id, conns: make(map[int]net.Conn)}
+	return NewGroupClient(id, 0, addrs)
+}
+
+// NewGroupClient creates a client bound to one shard group. addrs are the
+// client addresses of the group's replicas in replica-id order (for a
+// sharded deployment: the nodes in the map's placement row).
+func NewGroupClient(id uint64, group int, addrs []string) *Client {
+	return &Client{addrs: addrs, id: id, group: group, conns: make(map[int]net.Conn)}
 }
 
 func (c *Client) conn(i int) (net.Conn, error) {
@@ -188,6 +288,7 @@ func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []b
 	}
 	e := wire.NewEncoder(nil)
 	e.Byte(kind)
+	e.Uvarint(uint64(c.group))
 	e.Uvarint(c.id)
 	e.Uvarint(seq)
 	e.BytesVal(body)
@@ -216,7 +317,8 @@ func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []b
 	return resp[0], resp[1:], nil
 }
 
-// Do submits a replicated request, following not-primary redirects.
+// Do submits a replicated request to the client's group, following
+// not-primary redirects.
 func (c *Client) Do(body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -251,7 +353,7 @@ func (c *Client) Do(body []byte) ([]byte, error) {
 	return nil, errors.New("server: no replica accepted the request")
 }
 
-// Query runs a read-only query against replica i.
+// Query runs a read-only query against the group's replica i.
 func (c *Client) Query(i int, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -265,6 +367,34 @@ func (c *Client) Query(i int, body []byte) ([]byte, error) {
 	return resp, nil
 }
 
+// Status fetches the group's status from replica i.
+func (c *Client) Status(i int) (GroupStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, resp, err := c.roundTrip(i, KindStatus, 0, nil)
+	if err != nil {
+		return GroupStatus{}, err
+	}
+	if status != StatusOK {
+		return GroupStatus{}, fmt.Errorf("server: status failed: %s", resp)
+	}
+	return decodeGroupStatus(resp)
+}
+
+// FetchShardMap asks the replica at i for the deployment's shard map.
+func (c *Client) FetchShardMap(i int) (*shard.ShardMap, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, resp, err := c.roundTrip(i, KindShardMap, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: shard map fetch failed: %s", resp)
+	}
+	return shard.DecodeShardMapBytes(resp)
+}
+
 // Close closes all connections.
 func (c *Client) Close() {
 	c.mu.Lock()
@@ -273,4 +403,23 @@ func (c *Client) Close() {
 		conn.Close()
 	}
 	c.conns = make(map[int]net.Conn)
+}
+
+// NewShardRouter builds a keyed router over a sharded deployment:
+// nodeAddrs maps node id → that process's client address, and each
+// group's client follows that group's placement row. Client ids are
+// idBase+group.
+func NewShardRouter(idBase uint64, m *shard.ShardMap, nodeAddrs []string) (*shard.Router, error) {
+	if len(nodeAddrs) != m.Nodes {
+		return nil, fmt.Errorf("server: %d node addresses for a %d-node map", len(nodeAddrs), m.Nodes)
+	}
+	clients := make([]shard.GroupClient, m.Groups())
+	for g := range clients {
+		addrs := make([]string, m.Replicas(g))
+		for r := range addrs {
+			addrs[r] = nodeAddrs[m.Placement[g][r]]
+		}
+		clients[g] = NewGroupClient(idBase+uint64(g), g, addrs)
+	}
+	return shard.NewRouter(m, clients)
 }

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"rex/internal/apps/hashdb"
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/shard"
 	"rex/internal/storage"
 	"rex/internal/transport"
 	"rex/internal/wire"
@@ -143,6 +146,20 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		}
 	}
 
+	// Status from the leader reflects its role.
+	st, err := cl.Status(leader)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Role != core.RolePrimary || st.Leader != leader {
+		t.Errorf("leader status = %+v", st)
+	}
+
+	// Unsharded servers have no map to serve.
+	if _, err := cl.FetchShardMap(leader); err == nil {
+		t.Error("unsharded server served a shard map")
+	}
+
 	// Submitting at a follower must redirect (the client handles it); a
 	// direct Submit must return ErrNotPrimary.
 	follower := (leader + 1) % 3
@@ -151,9 +168,150 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 }
 
-func TestClientProtocolFraming(t *testing.T) {
-	// Malformed and unknown frames must produce error responses, not
-	// crashes or hangs.
+// TestShardedTCPEndToEnd is the full multi-group deployment over real
+// TCP: three processes, two groups each (via shard.Node + ListenNode), a
+// keyed router over the node addresses, plus shard-map fetch and
+// per-group status.
+func TestShardedTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP cluster test")
+	}
+	m, err := shard.NewShardMap(1, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.HashDB()
+	peerAddrs := freePorts(t, 3)
+	clientAddrs := freePorts(t, 3)
+	e := env.NewReal()
+
+	var nodes []*shard.Node
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		ep, err := transport.ListenTCP(i, peerAddrs)
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		n, err := shard.NewNode(shard.NodeConfig{
+			Env:      e,
+			Map:      m,
+			Node:     i,
+			Endpoint: ep,
+			Template: core.Config{
+				Factory:         app.Factory,
+				Workers:         2,
+				Timers:          app.Timers,
+				ReadWorkers:     1,
+				HeartbeatEvery:  30 * time.Millisecond,
+				ElectionTimeout: 150 * time.Millisecond,
+				Seed:            11,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ListenNode(n, clientAddrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	// Wait until every group has a primary somewhere.
+	deadline := time.Now().Add(10 * time.Second)
+	for g := 0; g < m.Groups(); g++ {
+		for {
+			elected := false
+			for _, n := range nodes {
+				if r := n.Replica(g); r != nil && r.Role() == core.RolePrimary {
+					elected = true
+				}
+			}
+			if elected {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("group %d never elected a primary", g)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	router, err := NewShardRouter(100, m, clientAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[int]bool)
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("shard-key-%d", i)
+		covered[router.GroupFor([]byte(key))] = true
+		if _, err := router.Do([]byte(key), hashdb.SetReq(key, []byte(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatalf("set %s: %v", key, err)
+		}
+	}
+	if len(covered) != 2 {
+		t.Fatalf("16 keys covered %d of 2 groups", len(covered))
+	}
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("shard-key-%d", i)
+		resp, err := router.Do([]byte(key), hashdb.GetReq(key))
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		d := wire.NewDecoder(resp)
+		if ok := d.Bool(); !ok || string(d.BytesVal()) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %s = %q", key, resp)
+		}
+	}
+
+	// Any node serves the deployment's map, byte-identical to ours.
+	cl := NewClient(999, clientAddrs)
+	defer cl.Close()
+	fetched, err := cl.FetchShardMap(0)
+	if err != nil {
+		t.Fatalf("fetch map: %v", err)
+	}
+	if string(fetched.EncodeBytes()) != string(m.EncodeBytes()) {
+		t.Fatalf("fetched map differs: %v vs %v", fetched, m)
+	}
+
+	// Per-group status via a group-bound client.
+	g1 := NewGroupClient(1000, 1, []string{
+		clientAddrs[m.Placement[1][0]], clientAddrs[m.Placement[1][1]], clientAddrs[m.Placement[1][2]],
+	})
+	defer g1.Close()
+	st, err := g1.Status(0)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Leader < 0 {
+		t.Errorf("group 1 status has no leader: %+v", st)
+	}
+
+	// A request for a group the map doesn't define is an error, not a hang.
+	bogus := NewGroupClient(1001, 9, []string{clientAddrs[0]})
+	defer bogus.Close()
+	if _, err := bogus.Do([]byte("x")); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+// startFramingServer boots a single self-electing replica behind a TCP
+// server for protocol edge-case tests.
+func startFramingServer(t *testing.T) (*Server, func()) {
+	t.Helper()
 	app := apps.HashDB()
 	e := env.NewReal()
 	net1 := transport.NewNetwork(e, 1, 0, 1)
@@ -174,39 +332,133 @@ func TestClientProtocolFraming(t *testing.T) {
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer r.Stop()
 	srv, err := Listen(r, "127.0.0.1:0")
 	if err != nil {
+		r.Stop()
 		t.Fatal(err)
 	}
-	defer srv.Close()
-
-	// Wait for the single replica to self-elect.
 	deadline := time.Now().Add(5 * time.Second)
 	for r.Role() != core.RolePrimary && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
+	return srv, func() { srv.Close(); r.Stop() }
+}
 
-	conn, err := net.Dial("tcp", srv.Addr().String())
-	if err != nil {
-		t.Fatal(err)
+// request encodes a protocol frame body (without the length prefix).
+func request(kind byte, group, client, seq uint64, body []byte) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(kind)
+	e.Uvarint(group)
+	e.Uvarint(client)
+	e.Uvarint(seq)
+	e.BytesVal(body)
+	return e.Bytes()
+}
+
+// TestClientProtocolFraming is the table-driven framing edge-case suite:
+// malformed, unknown-kind, unknown-group, oversized, and truncated frames
+// must all produce clean errors — never a crash, a hang, or a poisoned
+// connection handler.
+func TestClientProtocolFraming(t *testing.T) {
+	srv, stop := startFramingServer(t)
+	defer stop()
+
+	oldTimeout := frameBodyTimeout
+	frameBodyTimeout = 300 * time.Millisecond
+	defer func() { frameBodyTimeout = oldTimeout }()
+
+	writeRaw := func(conn net.Conn, declaredLen uint32, payload []byte) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], declaredLen)
+		conn.Write(hdr[:])
+		conn.Write(payload)
 	}
-	defer conn.Close()
-	// Unknown kind.
-	e2 := wire.NewEncoder(nil)
-	e2.Byte(99)
-	e2.Uvarint(1)
-	e2.Uvarint(1)
-	e2.BytesVal(nil)
-	frame := e2.Bytes()
-	hdr := []byte{0, 0, 0, byte(len(frame))}
-	conn.Write(hdr)
-	conn.Write(frame)
-	resp, err := readFrame(conn)
-	if err != nil {
-		t.Fatal(err)
+
+	cases := []struct {
+		name string
+		// send writes one bad frame and reports what must happen next:
+		// wantStatus < 0 means the server must just close the connection.
+		send       func(conn net.Conn)
+		wantStatus int
+		wantMsg    string
+	}{
+		{
+			name: "unknown kind",
+			send: func(conn net.Conn) {
+				f := request(99, 0, 1, 1, nil)
+				writeRaw(conn, uint32(len(f)), f)
+			},
+			wantStatus: int(StatusError),
+			wantMsg:    "unknown request kind",
+		},
+		{
+			name: "unknown group",
+			send: func(conn net.Conn) {
+				f := request(KindSubmit, 7, 1, 1, []byte("x"))
+				writeRaw(conn, uint32(len(f)), f)
+			},
+			wantStatus: int(StatusError),
+			wantMsg:    "not hosted",
+		},
+		{
+			name: "malformed body",
+			send: func(conn net.Conn) {
+				// A bare kind byte: the decoder runs out of input.
+				writeRaw(conn, 1, []byte{KindSubmit})
+			},
+			wantStatus: int(StatusError),
+			wantMsg:    "malformed",
+		},
+		{
+			name: "oversized frame",
+			send: func(conn net.Conn) {
+				writeRaw(conn, maxFrame+1, nil)
+			},
+			wantStatus: int(StatusError),
+			wantMsg:    "oversized",
+		},
+		{
+			name: "short read",
+			send: func(conn net.Conn) {
+				// Announce 100 bytes, deliver 3, then go silent: the body
+				// timeout must free the handler (connection closes).
+				writeRaw(conn, 100, []byte{1, 2, 3})
+			},
+			wantStatus: -1,
+		},
 	}
-	if resp[0] != StatusError {
-		t.Errorf("unknown kind status = %d, want error", resp[0])
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			tc.send(conn)
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			resp, err := readFrame(conn)
+			if tc.wantStatus < 0 {
+				if err == nil {
+					t.Fatalf("expected closed connection, got response %x", resp)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("readFrame: %v", err)
+			}
+			if int(resp[0]) != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp[0], tc.wantStatus)
+			}
+			if !strings.Contains(string(resp[1:]), tc.wantMsg) {
+				t.Errorf("message = %q, want substring %q", resp[1:], tc.wantMsg)
+			}
+		})
+	}
+
+	// After all that abuse, a well-formed request still works.
+	cl := NewClient(1, []string{srv.Addr().String()})
+	defer cl.Close()
+	if _, err := cl.Do(hashdb.SetReq("k", []byte("v"))); err != nil {
+		t.Fatalf("well-formed request after abuse: %v", err)
 	}
 }

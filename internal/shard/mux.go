@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"rex/internal/env"
+	"rex/internal/transport"
+	"rex/internal/wire"
+)
+
+// NodeMux multiplexes one replica endpoint per hosted group over a single
+// node-level transport endpoint, so a process participating in many
+// groups needs only one listener and one peer mesh. Every payload is
+// prefixed with a uvarint group id; inbound messages are routed to the
+// group's sub-endpoint with the sender translated from node id to the
+// sender's replica index within that group (which is what Paxos
+// addresses).
+type NodeMux struct {
+	e    env.Env
+	ep   transport.Endpoint
+	m    *ShardMap
+	node int
+
+	mu   env.Mutex
+	subs map[int]*groupEndpoint
+}
+
+type groupDelivery struct {
+	payload []byte
+	from    int
+}
+
+// NewNodeMux wraps the node-level endpoint and starts the demux pump.
+func NewNodeMux(e env.Env, ep transport.Endpoint, m *ShardMap, node int) *NodeMux {
+	nm := &NodeMux{
+		e:    e,
+		ep:   ep,
+		m:    m,
+		node: node,
+		mu:   e.NewMutex(),
+		subs: make(map[int]*groupEndpoint),
+	}
+	e.Go("shard-mux", nm.pump)
+	return nm
+}
+
+func (nm *NodeMux) pump() {
+	for {
+		payload, fromNode, ok := nm.ep.Recv()
+		if !ok {
+			nm.mu.Lock()
+			for _, s := range nm.subs {
+				s.inbox.Close()
+			}
+			nm.mu.Unlock()
+			return
+		}
+		d := wire.NewDecoder(payload)
+		g := d.Uvarint()
+		if d.Err() != nil || g >= uint64(nm.m.Groups()) {
+			continue // unroutable
+		}
+		from := nm.m.ReplicaOn(int(g), fromNode)
+		if from < 0 {
+			continue // sender claims a group it has no replica in
+		}
+		nm.mu.Lock()
+		sub := nm.subs[int(g)]
+		nm.mu.Unlock()
+		if sub != nil {
+			sub.inbox.TrySend(groupDelivery{payload: payload[d.Offset():], from: from})
+		}
+	}
+}
+
+// Endpoint returns a fresh endpoint for group g's local replica,
+// replacing any previous one (a restarted replica starts with an empty
+// inbox, like a new process's socket). The replica must be placed on this
+// node.
+func (nm *NodeMux) Endpoint(g int) transport.Endpoint {
+	if nm.m.ReplicaOn(g, nm.node) < 0 {
+		panic("shard: node hosts no replica of this group")
+	}
+	sub := &groupEndpoint{nm: nm, group: g, inbox: nm.e.NewChan(0)}
+	nm.mu.Lock()
+	if old := nm.subs[g]; old != nil {
+		old.inbox.Close()
+	}
+	nm.subs[g] = sub
+	nm.mu.Unlock()
+	return sub
+}
+
+// Close shuts the node endpoint down; the pump then closes every group
+// sub-endpoint.
+func (nm *NodeMux) Close() { nm.ep.Close() }
+
+type groupEndpoint struct {
+	nm    *NodeMux
+	group int
+	inbox env.Chan
+}
+
+// ID is the local replica's index within its group (what Paxos uses).
+func (s *groupEndpoint) ID() int { return s.nm.m.ReplicaOn(s.group, s.nm.node) }
+
+func (s *groupEndpoint) Send(to int, payload []byte) {
+	row := s.nm.m.Placement[s.group]
+	if to < 0 || to >= len(row) {
+		panic("shard: send to unknown group replica")
+	}
+	e := wire.NewEncoder(make([]byte, 0, len(payload)+2))
+	e.Uvarint(uint64(s.group))
+	buf := append(e.Bytes(), payload...)
+	s.nm.ep.Send(row[to], buf)
+}
+
+func (s *groupEndpoint) Recv() ([]byte, int, bool) {
+	v, ok := s.inbox.Recv()
+	if !ok {
+		return nil, 0, false
+	}
+	d := v.(groupDelivery)
+	return d.payload, d.from, true
+}
+
+// Close closes only this group's inbox; the node endpoint and the other
+// groups keep running (one group's replica stopping is not a node crash).
+func (s *groupEndpoint) Close() { s.inbox.Close() }

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/storage"
+	"rex/internal/transport"
+)
+
+// NodeConfig assembles one process's share of a sharded deployment: one
+// core.Replica per group the map places on this node, all multiplexed
+// over a single node-level endpoint.
+type NodeConfig struct {
+	Env      env.Env
+	Map      *ShardMap
+	Node     int
+	Endpoint transport.Endpoint // node-level attachment (one listener, one peer mesh)
+
+	// NewLog and NewSnapshots build group g's durable state — per-group
+	// directories in a real process, so groups never share a WAL or a
+	// snapshot store. Defaults are in-memory stores.
+	NewLog       func(g int) (storage.Log, error)
+	NewSnapshots func(g int) (storage.SnapshotStore, error)
+
+	// Template seeds every group's core.Config. The per-group fields —
+	// ID, N, Env, Endpoint, Log, Snapshots, Seed, Metrics, and the
+	// election-timeout bias — are overwritten; everything else (Factory,
+	// Workers, Timers, tuning) passes through unchanged.
+	Template core.Config
+
+	// Metrics, when set, receives each group's full series set under a
+	// group="<g>" label, plus the node-wide rex_shard_* aggregates.
+	Metrics *obs.Registry
+}
+
+// Node hosts this process's replicas. One Node = one process in the
+// deployment; its groups fail independently (stopping one group's replica
+// does not touch the node endpoint or the other groups).
+type Node struct {
+	cfg  NodeConfig
+	mux  *NodeMux
+	gids []int
+	reps map[int]*core.Replica
+}
+
+// NewNode builds (but does not start) the node's replicas.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Node < 0 || cfg.Node >= cfg.Map.Nodes {
+		return nil, fmt.Errorf("shard: node %d outside map's %d nodes", cfg.Node, cfg.Map.Nodes)
+	}
+	gids := cfg.Map.GroupsOn(cfg.Node)
+	if len(gids) == 0 {
+		return nil, fmt.Errorf("shard: map places no groups on node %d", cfg.Node)
+	}
+	if cfg.NewLog == nil {
+		cfg.NewLog = func(int) (storage.Log, error) { return storage.NewMemLog(), nil }
+	}
+	if cfg.NewSnapshots == nil {
+		cfg.NewSnapshots = func(int) (storage.SnapshotStore, error) { return storage.NewMemSnapshots(), nil }
+	}
+	n := &Node{
+		cfg:  cfg,
+		mux:  NewNodeMux(cfg.Env, cfg.Endpoint, cfg.Map, cfg.Node),
+		gids: gids,
+		reps: make(map[int]*core.Replica, len(gids)),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("rex_shard_groups").Set(int64(len(gids)))
+		cfg.Metrics.Gauge("rex_shard_map_version").Set(int64(cfg.Map.Version))
+		cfg.Metrics.Gauge("rex_shard_node").Set(int64(cfg.Node))
+	}
+	for _, g := range gids {
+		rc := cfg.Template
+		rc.Env = cfg.Env
+		rc.ID = cfg.Map.ReplicaOn(g, cfg.Node)
+		rc.N = cfg.Map.Replicas(g)
+		rc.Endpoint = n.mux.Endpoint(g)
+		var err error
+		if rc.Log, err = cfg.NewLog(g); err != nil {
+			return nil, fmt.Errorf("shard: group %d log: %w", g, err)
+		}
+		if rc.Snapshots, err = cfg.NewSnapshots(g); err != nil {
+			return nil, fmt.Errorf("shard: group %d snapshots: %w", g, err)
+		}
+		// Decorrelate per-group randomness (election jitter above all):
+		// identical seeds would make colocated groups' timers fire in
+		// lockstep.
+		rc.Seed = cfg.Template.Seed + int64(g)*1009 + int64(rc.ID)*17
+		// The map's preferred primary (replica 0) gets half the election
+		// timeout — Paxos picks base + rand(0..base), so its whole jitter
+		// range sits below the others' and each group's primary lands
+		// where the placement rotation put it, spreading leader load over
+		// the nodes.
+		if rc.ID == 0 && rc.ElectionTimeout > 0 {
+			rc.ElectionTimeout = rc.ElectionTimeout / 2
+		}
+		if cfg.Metrics != nil {
+			rc.Metrics = cfg.Metrics.Labeled("group", strconv.Itoa(g))
+		}
+		rep, err := core.NewReplica(rc)
+		if err != nil {
+			return nil, fmt.Errorf("shard: group %d replica: %w", g, err)
+		}
+		n.reps[g] = rep
+	}
+	return n, nil
+}
+
+// Start brings every hosted replica up.
+func (n *Node) Start() error {
+	for _, g := range n.gids {
+		if err := n.reps[g].Start(); err != nil {
+			return fmt.Errorf("shard: start group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// Stop shuts every hosted replica down, then the node endpoint.
+func (n *Node) Stop() {
+	for _, g := range n.gids {
+		n.reps[g].Stop()
+	}
+	n.mux.Close()
+}
+
+// Groups lists the hosted group ids, ascending.
+func (n *Node) Groups() []int { return append([]int(nil), n.gids...) }
+
+// Replica returns the hosted replica for group g, or nil if the map does
+// not place g here.
+func (n *Node) Replica(g int) *core.Replica { return n.reps[g] }
+
+// Map returns the shard map the node was built from.
+func (n *Node) Map() *ShardMap { return n.cfg.Map }

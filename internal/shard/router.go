@@ -1,0 +1,48 @@
+package shard
+
+import "fmt"
+
+// GroupClient submits to one replica group. Both cluster.Client
+// (in-process) and server.Client (TCP) satisfy it: each follows its own
+// group's `not primary` hints independently, so a failover in one group
+// never stalls routing to the others.
+type GroupClient interface {
+	// Do submits one replicated request to the group and returns the
+	// application response.
+	Do(body []byte) ([]byte, error)
+	// Query runs a read-only query on the group's replica i (served by
+	// that replica's local hybrid read pool, outside the replication
+	// protocol).
+	Query(i int, q []byte) ([]byte, error)
+}
+
+// Router routes requests to groups by an application-supplied key. It is
+// as safe for concurrent use as its GroupClients (cluster.Client and
+// server.Client serialize internally, but a client per routing task
+// avoids head-of-line blocking between tasks).
+type Router struct {
+	Map    *ShardMap
+	Groups []GroupClient // one per group, indexed by group id
+}
+
+// NewRouter binds a map to its per-group clients.
+func NewRouter(m *ShardMap, groups []GroupClient) (*Router, error) {
+	if len(groups) != m.Groups() {
+		return nil, fmt.Errorf("shard: router has %d group clients for %d groups", len(groups), m.Groups())
+	}
+	return &Router{Map: m, Groups: groups}, nil
+}
+
+// GroupFor exposes the key hash for callers that track per-group state.
+func (r *Router) GroupFor(key []byte) int { return r.Map.GroupFor(key) }
+
+// Do submits body to the group owning key.
+func (r *Router) Do(key, body []byte) ([]byte, error) {
+	return r.Groups[r.Map.GroupFor(key)].Do(body)
+}
+
+// Query runs a read-only query for key against replica i of the owning
+// group (read fan-out: any replica's local hybrid pool can serve it).
+func (r *Router) Query(key []byte, i int, q []byte) ([]byte, error) {
+	return r.Groups[r.Map.GroupFor(key)].Query(i, q)
+}

@@ -1,0 +1,195 @@
+// Package shard runs N independent Rex replica groups across one set of
+// processes and routes client requests by key (partitioned parallel SMR:
+// Marandi & Pedone). Each group is a full Rex cluster — Consensus,
+// Determinism, and Prefix hold per group exactly as before — and the
+// key→group mapping is static and conflict-free, so no cross-group
+// ordering is ever needed. The pieces:
+//
+//   - ShardMap: the static, versioned placement of N groups × M replicas
+//     over P nodes, with each group's preferred primary rotated across
+//     nodes so leaders (and their WAL fsync load) spread over all
+//     machines.
+//   - NodeMux: multiplexes one replica endpoint per hosted group over a
+//     single node-level transport endpoint.
+//   - Router: hashes an application-supplied key to a group and forwards
+//     the request to that group's client, which follows per-group
+//     `not primary` hints independently.
+//   - Node: hosts one core.Replica per hosted group inside one process,
+//     with per-group storage and per-group-labeled metrics.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"rex/internal/wire"
+)
+
+// ShardMap is the static, versioned key→group→replica placement. It is
+// identical on every node (distributed out of band or fetched over the
+// client protocol) and never changes within a version; a resharding would
+// install a new version, which is why every routed request carries the
+// map version it was routed under.
+type ShardMap struct {
+	// Version identifies this placement; nodes reject requests routed
+	// under a different version.
+	Version uint64
+	// Nodes is the number of processes the groups are placed over.
+	Nodes int
+	// Placement[g][r] is the node hosting replica r of group g. Replica 0
+	// is the group's preferred primary; NewShardMap rotates it across
+	// nodes so per-group primaries spread over all machines.
+	Placement [][]int
+}
+
+// NewShardMap builds the canonical rotated placement: replica r of group
+// g lands on node (g+r) mod nodes, so group g's preferred primary sits on
+// node g mod nodes.
+func NewShardMap(version uint64, groups, nodes, replicasPerGroup int) (*ShardMap, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("shard: need at least one group, got %d", groups)
+	}
+	if replicasPerGroup < 1 {
+		return nil, fmt.Errorf("shard: need at least one replica per group, got %d", replicasPerGroup)
+	}
+	if nodes < replicasPerGroup {
+		return nil, fmt.Errorf("shard: %d replicas per group need at least that many nodes, got %d",
+			replicasPerGroup, nodes)
+	}
+	m := &ShardMap{Version: version, Nodes: nodes, Placement: make([][]int, groups)}
+	for g := range m.Placement {
+		row := make([]int, replicasPerGroup)
+		for r := range row {
+			row[r] = (g + r) % nodes
+		}
+		m.Placement[g] = row
+	}
+	return m, nil
+}
+
+// Groups returns the number of replica groups.
+func (m *ShardMap) Groups() int { return len(m.Placement) }
+
+// Replicas returns the number of replicas in group g.
+func (m *ShardMap) Replicas(g int) int { return len(m.Placement[g]) }
+
+// GroupFor hashes a key to its group. The hash is FNV-64a — a fixed,
+// seedless function — so the same key maps to the same group on every
+// node, in every process, across restarts, for as long as the map version
+// (and thus the group count) is unchanged.
+func (m *ShardMap) GroupFor(key []byte) int {
+	h := fnv.New64a()
+	h.Write(key)
+	return int(h.Sum64() % uint64(len(m.Placement)))
+}
+
+// ReplicaOn returns the index within group g of the replica hosted on
+// node, or -1 if the group has no replica there.
+func (m *ShardMap) ReplicaOn(g, node int) int {
+	for r, n := range m.Placement[g] {
+		if n == node {
+			return r
+		}
+	}
+	return -1
+}
+
+// GroupsOn lists the groups with a replica on node, ascending.
+func (m *ShardMap) GroupsOn(node int) []int {
+	var out []int
+	for g := range m.Placement {
+		if m.ReplicaOn(g, node) >= 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: non-empty groups, placement
+// within node bounds, and no group with two replicas on one node.
+func (m *ShardMap) Validate() error {
+	if len(m.Placement) == 0 {
+		return fmt.Errorf("shard: map has no groups")
+	}
+	if m.Nodes < 1 {
+		return fmt.Errorf("shard: map has %d nodes", m.Nodes)
+	}
+	for g, row := range m.Placement {
+		if len(row) == 0 {
+			return fmt.Errorf("shard: group %d has no replicas", g)
+		}
+		seen := make(map[int]bool, len(row))
+		for r, n := range row {
+			if n < 0 || n >= m.Nodes {
+				return fmt.Errorf("shard: group %d replica %d placed on unknown node %d", g, r, n)
+			}
+			if seen[n] {
+				return fmt.Errorf("shard: group %d has two replicas on node %d", g, n)
+			}
+			seen[n] = true
+		}
+	}
+	return nil
+}
+
+// Encode appends the map to e.
+func (m *ShardMap) Encode(e *wire.Encoder) {
+	e.Uvarint(m.Version)
+	e.Uvarint(uint64(m.Nodes))
+	e.Uvarint(uint64(len(m.Placement)))
+	for _, row := range m.Placement {
+		e.Uvarint(uint64(len(row)))
+		for _, n := range row {
+			e.Uvarint(uint64(n))
+		}
+	}
+}
+
+// EncodeBytes returns the map's wire encoding.
+func (m *ShardMap) EncodeBytes() []byte {
+	e := wire.NewEncoder(nil)
+	m.Encode(e)
+	return e.Bytes()
+}
+
+// DecodeShardMap reads a map written by Encode and validates it.
+func DecodeShardMap(d *wire.Decoder) (*ShardMap, error) {
+	m := &ShardMap{Version: d.Uvarint(), Nodes: int(d.Uvarint())}
+	groups := d.Uvarint()
+	const maxGroups = 1 << 16
+	if d.Err() == nil && (groups == 0 || groups > maxGroups) {
+		return nil, fmt.Errorf("shard: implausible group count %d", groups)
+	}
+	for g := uint64(0); g < groups && d.Err() == nil; g++ {
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(m.Nodes) {
+			return nil, fmt.Errorf("shard: group %d lists %d replicas over %d nodes", g, n, m.Nodes)
+		}
+		row := make([]int, 0, n)
+		for r := uint64(0); r < n && d.Err() == nil; r++ {
+			row = append(row, int(d.Uvarint()))
+		}
+		m.Placement = append(m.Placement, row)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("shard: decode map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeShardMapBytes decodes a map from its EncodeBytes form.
+func DecodeShardMapBytes(b []byte) (*ShardMap, error) {
+	return DecodeShardMap(wire.NewDecoder(b))
+}
+
+// String renders the placement compactly for logs and rexctl.
+func (m *ShardMap) String() string {
+	s := fmt.Sprintf("shardmap v%d: %d groups over %d nodes", m.Version, m.Groups(), m.Nodes)
+	for g, row := range m.Placement {
+		s += fmt.Sprintf("\n  group %d: nodes %v (preferred primary on node %d)", g, row, row[0])
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestNewShardMapRotatesPrimaries(t *testing.T) {
+	m, err := NewShardMap(1, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Replica r of group g on node (g+r) mod nodes; preferred primaries
+	// (replica 0) rotate over all nodes.
+	want := [][]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 0}, {3, 0, 1}}
+	for g, row := range want {
+		for r, n := range row {
+			if m.Placement[g][r] != n {
+				t.Errorf("Placement[%d][%d] = %d, want %d", g, r, m.Placement[g][r], n)
+			}
+		}
+	}
+	for g := 0; g < 4; g++ {
+		if m.Placement[g][0] != g%4 {
+			t.Errorf("group %d preferred primary on node %d, want %d", g, m.Placement[g][0], g%4)
+		}
+	}
+}
+
+func TestNewShardMapRejectsBadShapes(t *testing.T) {
+	cases := []struct{ groups, nodes, rpg int }{
+		{0, 3, 3}, // no groups
+		{2, 3, 0}, // no replicas
+		{2, 2, 3}, // more replicas per group than nodes
+	}
+	for _, c := range cases {
+		if _, err := NewShardMap(1, c.groups, c.nodes, c.rpg); err == nil {
+			t.Errorf("NewShardMap(%d groups, %d nodes, %d rpg) accepted", c.groups, c.nodes, c.rpg)
+		}
+	}
+}
+
+// TestGroupForDeterminism pins the routing hash: same key + same map
+// version must land on the same group on every node and across process
+// restarts, so the expected values are golden constants (FNV-64a is
+// seedless and process-independent). If this test ever needs regolding,
+// the change breaks rolling restarts of a sharded deployment.
+func TestGroupForDeterminism(t *testing.T) {
+	m, err := NewShardMap(1, 8, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]int{
+		"":        5, // FNV-64a offset basis 14695981039346656037 % 8
+		"a":       4,
+		"key-0":   1,
+		"key-1":   6,
+		"key-42":  5,
+		"user:17": 4,
+	}
+	for key, want := range golden {
+		if got := m.GroupFor([]byte(key)); got != want {
+			t.Errorf("GroupFor(%q) = %d, want golden %d", key, got, want)
+		}
+	}
+	// Every "node" computing the route independently — fresh map structs,
+	// as after a restart — agrees.
+	for node := 0; node < 3; node++ {
+		m2, err := NewShardMap(1, 8, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			key := []byte(fmt.Sprintf("key-%d", i))
+			if m.GroupFor(key) != m2.GroupFor(key) {
+				t.Fatalf("node %d disagrees on route for %q", node, key)
+			}
+		}
+	}
+}
+
+// TestGroupForSurvivesEncodeDecode models a restart that reloads the map
+// from its wire encoding (rexd fetching it, or rexctl caching it): the
+// decoded map must route every key identically.
+func TestGroupForSurvivesEncodeDecode(t *testing.T) {
+	m, err := NewShardMap(7, 5, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeShardMapBytes(m.EncodeBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 7 || m2.Nodes != 6 || m2.Groups() != 5 {
+		t.Fatalf("decoded map %v", m2)
+	}
+	if !bytes.Equal(m.EncodeBytes(), m2.EncodeBytes()) {
+		t.Fatal("re-encoding differs")
+	}
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if m.GroupFor(key) != m2.GroupFor(key) {
+			t.Fatalf("decoded map routes %q to %d, original to %d",
+				key, m2.GroupFor(key), m.GroupFor(key))
+		}
+	}
+	for g := 0; g < m.Groups(); g++ {
+		for n := 0; n < m.Nodes; n++ {
+			if m.ReplicaOn(g, n) != m2.ReplicaOn(g, n) {
+				t.Fatalf("decoded map disagrees on ReplicaOn(%d, %d)", g, n)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptMaps(t *testing.T) {
+	m, _ := NewShardMap(1, 2, 3, 2)
+	good := m.EncodeBytes()
+	if _, err := DecodeShardMapBytes(good[:len(good)-1]); err == nil {
+		t.Error("truncated map accepted")
+	}
+	if _, err := DecodeShardMapBytes([]byte{1, 3, 0}); err == nil {
+		t.Error("zero-group map accepted")
+	}
+	// A group with two replicas on one node must fail Validate.
+	bad := &ShardMap{Version: 1, Nodes: 2, Placement: [][]int{{0, 0}}}
+	if _, err := DecodeShardMapBytes(bad.EncodeBytes()); err == nil {
+		t.Error("duplicate-node placement accepted")
+	}
+}
+
+func TestGroupsOnAndReplicaOn(t *testing.T) {
+	m, err := NewShardMap(1, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 hosts: group 0 replica 0, group 2 replica 2, group 3 replica 1.
+	got := m.GroupsOn(0)
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("GroupsOn(0) = %v", got)
+	}
+	if r := m.ReplicaOn(2, 0); r != 2 {
+		t.Errorf("ReplicaOn(2, 0) = %d, want 2", r)
+	}
+	if r := m.ReplicaOn(1, 0); r != -1 {
+		t.Errorf("ReplicaOn(1, 0) = %d, want -1", r)
+	}
+}
