@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json chaos check
+.PHONY: all build test race vet staticcheck bench bench-json chaos check
 
 all: build
 
@@ -11,12 +11,23 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the transport
-# torture tests plus the core replica lifecycle tests.
+# torture tests, the core replica lifecycle tests, and the
+# reconfiguration drills (node replacement under load).
 race:
 	$(GO) test -race ./internal/transport ./internal/core
+	$(GO) test -race -run 'TestReplacementDrill|TestRemovedIdentityRefused' ./internal/cluster/
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (skipped when not installed); CI
+# installs and runs it unconditionally.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -33,5 +44,6 @@ bench-json:
 chaos:
 	$(GO) run ./cmd/rexchaos -scenarios 8 -seed 1
 	$(GO) run ./cmd/rexchaos -shards -scenarios 2 -seed 1
+	$(GO) run ./cmd/rexchaos -reconfig -scenarios 4 -seed 1 -duration 2s
 
-check: build vet test race chaos
+check: build vet staticcheck test race chaos

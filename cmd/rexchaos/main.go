@@ -26,6 +26,7 @@ func main() {
 		duration  = flag.Duration("duration", 3*time.Second, "virtual client-load phase per scenario")
 		shards    = flag.Bool("shards", false, "run the sharded fault-isolation scenario instead (kill one group's primary, check blast radius)")
 		groups    = flag.Int("groups", 4, "replica groups for -shards")
+		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration scenario instead (replace/add/remove members under partitions)")
 		verbose   = flag.Bool("v", false, "log nemesis actions as they fire")
 	)
 	flag.Parse()
@@ -40,6 +41,40 @@ func main() {
 
 	start := time.Now()
 	var failed []int64
+	if *reconfig {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			res := chaos.RunReconfigScenario(chaos.ReconfigScenarioConfig{
+				Seed:     s,
+				App:      *app,
+				Duration: *duration,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d app=%-10s faults=%-2d ops=%-4d timeouts=%-3d checked=%-4d wall=%-10v %s\n",
+				i+1, *scenarios, s, res.App, res.Faults, res.Ops, res.Timeouts,
+				res.Check.Ops, res.CheckerWall.Round(time.Microsecond), verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -reconfig -scenarios 1 -seed %d -duration %v\n",
+				failed[0], *duration)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d reconfiguration scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *shards {
 		for i := 0; i < *scenarios; i++ {
 			s := *seed + int64(i)

@@ -13,6 +13,16 @@
 //	rexctl -servers ... -app hashdb -sharded put mykey myvalue
 //	rexctl -servers ... shardmap
 //	rexctl -servers ... status
+//
+// Cluster operations (see the README runbook): `members` prints the
+// committed membership, and `reconfig` proposes a change (the request is
+// routed to the group's primary; -group targets one group of a sharded
+// deployment):
+//
+//	rexctl -servers ... members
+//	rexctl -servers ... reconfig add 3 127.0.0.1:7003
+//	rexctl -servers ... reconfig remove 1
+//	rexctl -servers ... reconfig replace 1 3 127.0.0.1:7003
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"rex/internal/apps"
@@ -48,8 +59,66 @@ func roleName(r core.Role) string {
 		return "secondary"
 	case core.RoleFaulted:
 		return "faulted"
+	case core.RoleRemoved:
+		return "removed"
 	}
 	return fmt.Sprintf("role-%d", r)
+}
+
+// runReconfig parses and submits one membership-change command:
+// `add <id> <addr>`, `remove <id>`, or `replace <oldID> <newID> <addr>`.
+// addr may be "-" for in-process deployments with no TCP addresses.
+func runReconfig(cl *server.Client, args []string) error {
+	atoi := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad replica id %q", s)
+		}
+		return n, nil
+	}
+	addrArg := func(s string) string {
+		if s == "-" {
+			return ""
+		}
+		return s
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("reconfig needs a subcommand: add|remove|replace")
+	}
+	switch args[0] {
+	case "add":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: reconfig add <id> <addr>")
+		}
+		nid, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		return cl.AddMember(nid, addrArg(args[2]))
+	case "remove":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: reconfig remove <id>")
+		}
+		nid, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		return cl.RemoveMember(nid)
+	case "replace":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: reconfig replace <oldID> <newID> <addr>")
+		}
+		oldID, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		newID, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		return cl.ReplaceMember(oldID, newID, addrArg(args[3]))
+	}
+	return fmt.Errorf("unknown reconfig subcommand %q", args[0])
 }
 
 // printStatus dumps each group's per-replica status. For an unsharded
@@ -84,6 +153,7 @@ func main() {
 	sharded := flag.Bool("sharded", false, "fetch the shard map and route the command by key")
 	key := flag.String("key", "", "routing key with -sharded (default: the command's first argument)")
 	clientID := flag.Uint64("client", 0, "client id (default: random)")
+	group := flag.Int("group", 0, "shard group for members/reconfig commands")
 	flag.Parse()
 
 	if *servers == "" {
@@ -119,6 +189,28 @@ func main() {
 			}
 		}
 		printStatus(id, m, addrs)
+		return
+	case "members":
+		gcl := server.NewGroupClient(id, *group, addrs)
+		defer gcl.Close()
+		var lastErr error
+		for i := range addrs {
+			m, err := gcl.Membership(i)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			fmt.Printf("group %d: %s\n", *group, m)
+			return
+		}
+		log.Fatalf("rexctl: no server answered a membership fetch: %v", lastErr)
+	case "reconfig":
+		gcl := server.NewGroupClient(id, *group, addrs)
+		defer gcl.Close()
+		if err := runReconfig(gcl, args[1:]); err != nil {
+			log.Fatalf("rexctl: %v", err)
+		}
+		fmt.Println("reconfiguration accepted")
 		return
 	}
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -30,6 +31,7 @@ import (
 	"rex/internal/core"
 	"rex/internal/env"
 	"rex/internal/obs"
+	"rex/internal/reconfig"
 	"rex/internal/server"
 	"rex/internal/shard"
 	"rex/internal/storage"
@@ -48,6 +50,7 @@ func main() {
 	shards := flag.Int("shards", 1, "number of independent replica groups (1 = unsharded)")
 	groupReplicas := flag.Int("group-replicas", 0, "replicas per group (0 = one per node)")
 	metricsAddr := flag.String("metrics", "", "address to serve the metrics text dump on (e.g. :8080; empty = disabled)")
+	join := flag.Bool("join", false, "start as a joining learner: this node is outside the bootstrap membership and must be admitted with `rexctl reconfig add|replace`")
 	verbose := flag.Bool("v", false, "verbose replica logging")
 	flag.Parse()
 
@@ -90,6 +93,13 @@ func main() {
 	if *verbose {
 		template.Logf = log.Printf
 	}
+	if *join {
+		if *shards > 1 {
+			log.Fatalf("rexd: -join supports unsharded deployments (admit a sharded node group by group with rexctl reconfig)")
+		}
+		m := reconfig.Joiner(len(addrs), *id)
+		template.Members = &m
+	}
 
 	var wals []*storage.FileLog
 	// openWAL opens one group's (or the unsharded replica's) WAL with
@@ -112,6 +122,7 @@ func main() {
 
 	var srv *server.Server
 	var stopReplicas func()
+	healthReps := make(map[int]*core.Replica) // by group id, for /healthz and /readyz
 	if *shards > 1 {
 		rpg := *groupReplicas
 		if rpg <= 0 {
@@ -145,6 +156,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("rexd: client listener: %v", err)
 		}
+		for _, g := range node.Groups() {
+			healthReps[g] = node.Replica(g)
+		}
 		stopReplicas = node.Stop
 		log.Printf("rexd: node %d/%d hosting groups %v of %d (%q) on %s (replication %s)",
 			*id, len(addrs), node.Groups(), *shards, *appName, srv.Addr(), addrs[*id])
@@ -164,6 +178,17 @@ func main() {
 		cfg.Log = wal
 		cfg.Snapshots = snaps
 		cfg.Metrics = reg
+		// Committed membership changes carry the replication addresses of
+		// admitted nodes; teach the TCP mesh each one so this process can
+		// reach joiners it was not started knowing about. (Unsharded only:
+		// membership ids here are node ids. A sharded group's membership
+		// uses in-group replica ids, which must not be fed to the node-id
+		// keyed peer map.)
+		cfg.OnMembership = func(m reconfig.Membership) {
+			for nid, a := range m.Addrs {
+				ep.SetPeer(nid, a)
+			}
+		}
 		replica, err := core.NewReplica(cfg)
 		if err != nil {
 			log.Fatalf("rexd: %v", err)
@@ -175,6 +200,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("rexd: client listener: %v", err)
 		}
+		healthReps[0] = replica
 		stopReplicas = replica.Stop
 		log.Printf("rexd: replica %d/%d serving %q on %s (replication %s)",
 			*id, len(addrs), *appName, srv.Addr(), addrs[*id])
@@ -188,8 +214,46 @@ func main() {
 				log.Printf("rexd: metrics dump: %v", err)
 			}
 		})
+		// Group ids in a stable order for the health dumps.
+		gids := make([]int, 0, len(healthReps))
+		for g := range healthReps {
+			gids = append(gids, g)
+		}
+		sort.Ints(gids)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, g := range gids {
+				h := healthReps[g].Health()
+				fmt.Fprintf(w, "group %d: role=%s epoch=%d applied=%d chosen=%d voters=%v learners=%v voter=%v catching_up=%v\n",
+					g, h.Role, h.Epoch, h.Applied, h.ChosenSeq, h.Voters, h.Learners, h.Voter, h.CatchingUp)
+			}
+			var dur uint64
+			for _, wal := range wals {
+				dur += wal.DurableRecords()
+			}
+			fmt.Fprintf(w, "wal_durable_records=%d\n", dur)
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			var notReady []string
+			for _, g := range gids {
+				h := healthReps[g].Health()
+				if !h.Ready() {
+					notReady = append(notReady,
+						fmt.Sprintf("group %d: role=%s voter=%v catching_up=%v", g, h.Role, h.Voter, h.CatchingUp))
+				}
+			}
+			if len(notReady) > 0 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				for _, line := range notReady {
+					fmt.Fprintln(w, line)
+				}
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
 		go func() {
-			log.Printf("rexd: metrics on http://%s/metrics", *metricsAddr)
+			log.Printf("rexd: metrics on http://%s/metrics (health: /healthz, /readyz)", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("rexd: metrics endpoint: %v", err)
 			}

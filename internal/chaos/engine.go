@@ -31,13 +31,13 @@ func (en *Engine) count(name string) {
 // isDown reports whether replica i is crashed or crash-stopped on a
 // storage fault.
 func (en *Engine) isDown(i int) bool {
-	r := en.C.Replicas[i]
+	r := en.C.Replica(i)
 	return r == nil || r.Role() == core.RoleFaulted
 }
 
 func (en *Engine) downCount() int {
 	n := 0
-	for i := range en.C.Replicas {
+	for i := 0; i < en.C.Size(); i++ {
 		if en.isDown(i) {
 			n++
 		}
@@ -63,7 +63,7 @@ func (en *Engine) Run(s Schedule) {
 // chaos_fault_skipped), so the generator never has to reason about
 // global liveness.
 func (en *Engine) Apply(st Step) {
-	n := len(en.C.Replicas)
+	n := en.C.Size()
 	switch st.Kind {
 	case KindCrashReplica, KindCrashPrimary:
 		i := st.I % n
@@ -130,13 +130,15 @@ func (en *Engine) Apply(st Step) {
 	en.count("fault_" + st.Kind.String())
 }
 
-// restartDown restarts every crashed or faulted replica.
+// restartDown restarts every crashed or faulted replica. Replicas parked
+// in RoleRemoved are not down — they left the membership and must stay
+// out (restarting their old identity would only be refused again).
 func (en *Engine) restartDown() error {
-	for i := range en.C.Replicas {
-		if r := en.C.Replicas[i]; r != nil && r.Role() == core.RoleFaulted {
+	for i := 0; i < en.C.Size(); i++ {
+		if r := en.C.Replica(i); r != nil && r.Role() == core.RoleFaulted {
 			en.C.Crash(i) // reap the crash-stopped process
 		}
-		if en.C.Replicas[i] == nil {
+		if en.C.Replica(i) == nil {
 			en.logf("chaos: restart replica %d", i)
 			if err := en.C.Restart(i); err != nil {
 				return err

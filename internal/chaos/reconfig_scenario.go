@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/sim"
+	"rex/internal/storage"
+)
+
+// ReconfigScenarioConfig parameterizes one membership-change chaos run.
+type ReconfigScenarioConfig struct {
+	Seed     int64
+	App      string        // "" or "all" derives the app from the seed
+	Duration time.Duration // virtual length of the client load phase
+	Clients  int
+}
+
+// reconfigWait bounds each membership transition inside the scenario
+// (virtual time; generous because transitions race partitions).
+const reconfigWait = 30 * time.Second
+
+// RunReconfigScenario runs the reconfiguration nemesis: a three-replica
+// cluster under continuous client load has a secondary replaced (half the
+// time crashed first, so the replacement heals a real failure), a fresh
+// node added and promoted, and a node removed — interleaved with random
+// partitions that also hit the joiner mid-catch-up. Afterwards the
+// standard contract is checked: linearizability of the client history,
+// the prefix property over chosen logs, and state agreement among the
+// surviving members.
+func RunReconfigScenario(cfg ReconfigScenarioConfig, reg *obs.Registry, logf func(string, ...any)) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	app := cfg.App
+	if app == "" || app == "all" {
+		names := Apps()
+		app = names[uint64(cfg.Seed)%uint64(len(names))]
+	}
+	res := Result{Seed: cfg.Seed, App: app}
+	spec, err := specFor(app)
+	if err != nil {
+		res.Violations = append(res.Violations, err.Error())
+		return res
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	var hist *check.History
+	var violations []string
+	var faults int
+	timeouts := make([]int, cfg.Clients)
+	e.Run(func() {
+		c := cluster.New(e, spec.factory, cluster.Options{
+			Replicas:        3,
+			Workers:         2,
+			Timers:          spec.timers,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 200 * time.Millisecond,
+			Seed:            cfg.Seed,
+			Logf:            logf,
+			NewLog:          func(int) storage.Log { return storage.NewMemLog() },
+		})
+		if err := c.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("cluster start: %v", err))
+			return
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		hist = check.NewHistory(e.Now)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7ec0f19))
+		begin := e.Now()
+		note := func(name, format string, args ...any) {
+			faults++
+			reg.CounterOf("chaos_fault_" + name).Inc()
+			if logf != nil {
+				logf("chaos: "+format, args...)
+			}
+		}
+		fail := func(format string, args ...any) {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+		sleep := func(min, max int) {
+			e.Sleep(time.Duration(min+rng.Intn(max-min)) * time.Millisecond)
+		}
+		// partition cuts replica i off from everyone else; heal undoes it.
+		partition := func(i int) {
+			note("partition", "partition {%d} | rest", i)
+			for j := 0; j < c.Size(); j++ {
+				if j != i {
+					c.Net.SetPartition(i, j, true)
+					c.Net.SetPartition(j, i, true)
+				}
+			}
+		}
+		// pickSecondary returns a random non-primary voter, -1 if none.
+		pickSecondary := func() int {
+			p := c.Primary()
+			if p < 0 {
+				return -1
+			}
+			r := c.Replica(p)
+			if r == nil {
+				return -1
+			}
+			m := r.Membership()
+			var cands []int
+			for _, v := range m.Voters {
+				if v != p {
+					cands = append(cands, v)
+				}
+			}
+			if len(cands) == 0 {
+				return -1
+			}
+			return cands[rng.Intn(len(cands))]
+		}
+
+		nemesis := env.GoEach(e, "reconfig-nemesis", 1, func(int) {
+			// A plain partition first, so the membership machinery below
+			// runs against a cluster that has already had to fail over.
+			sleep(100, 300)
+			partition(rng.Intn(3))
+			sleep(40, 120)
+			c.Net.Heal()
+			note("heal", "heal network")
+
+			// Replace a secondary; half the time crash it first so the
+			// replacement repairs an actual dead node.
+			sleep(50, 150)
+			if old := pickSecondary(); old >= 0 {
+				if rng.Intn(2) == 0 {
+					note("crash_replica", "crash replica %d before replacing it", old)
+					c.Crash(old)
+					sleep(30, 80)
+				}
+				note("reconfig_replace", "replace replica %d", old)
+				nid, err := c.ReplaceNode(old)
+				if err != nil {
+					fail("replace %d: %v", old, err)
+				} else {
+					if err := c.WaitVoter(nid, reconfigWait); err != nil {
+						fail("replacement %d never promoted: %v", nid, err)
+					}
+					if err := c.WaitRemoved(old, reconfigWait); err != nil {
+						fail("replaced %d never left: %v", old, err)
+					}
+				}
+			}
+
+			// Add a learner, partition a random member during its
+			// catch-up, then wait for promotion after healing.
+			sleep(50, 150)
+			note("reconfig_add", "add a node")
+			added, err := c.AddNode()
+			if err != nil {
+				fail("add: %v", err)
+			} else {
+				sleep(10, 60)
+				partition(rng.Intn(c.Size()))
+				sleep(40, 120)
+				c.Net.Heal()
+				note("heal", "heal network")
+				if err := c.WaitVoter(added, reconfigWait); err != nil {
+					fail("joiner %d never promoted: %v", added, err)
+				}
+				// Shrink back to three voters.
+				sleep(50, 150)
+				victim := pickSecondary()
+				if victim >= 0 {
+					note("reconfig_remove", "remove replica %d", victim)
+					if err := c.RemoveNode(victim); err != nil {
+						fail("remove %d: %v", victim, err)
+					} else if err := c.WaitRemoved(victim, reconfigWait); err != nil {
+						fail("removed %d never went quiet: %v", victim, err)
+					}
+				}
+			}
+		})
+		clients := env.GoEach(e, "reconfig-client", cfg.Clients, func(ci int) {
+			cl := c.NewClient(uint64(100 + ci))
+			cl.Recorder = hist
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			for seq := 0; e.Now() < begin+cfg.Duration || seq == 0; seq++ {
+				body := spec.gen(crng, cl.ID, seq)
+				if _, err := cl.DoTimeout(body, 3*time.Second); err != nil {
+					timeouts[ci]++
+				}
+				e.Sleep(time.Duration(2+crng.Intn(8)) * time.Millisecond)
+			}
+		})
+		nemesis.Wait()
+		clients.Wait()
+
+		// Recover: heal the network and restart every crashed replica that
+		// is still a member (a removed identity must stay out).
+		c.Net.Heal()
+		member := func(i int) bool {
+			p := c.Primary()
+			if p < 0 {
+				return true
+			}
+			r := c.Replica(p)
+			return r == nil || r.Membership().IsMember(i)
+		}
+		for i := 0; i < c.Size(); i++ {
+			if r := c.Replica(i); r != nil && r.Role() == core.RoleFaulted {
+				c.Crash(i)
+			}
+			if c.Replica(i) == nil && member(i) {
+				if err := c.Restart(i); err != nil {
+					fail("recovery restart %d: %v", i, err)
+					return
+				}
+			}
+		}
+		states, faulted, err := c.StableStates(30 * time.Second)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		for i, ferr := range faulted {
+			fail("replica %d faulted after recovery: %v", i, ferr)
+		}
+		violations = append(violations, check.StateAgreement(states)...)
+		violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	for _, t := range timeouts {
+		res.Timeouts += t
+	}
+	if hist != nil {
+		res.Ops = hist.Len()
+		wall := time.Now()
+		res.Check = check.CheckLinearizable(spec.model, hist.Ops(), 0)
+		res.CheckerWall = time.Since(wall)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(res.Check.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		reg.HistogramOf("chaos_checker_wall").Observe(res.CheckerWall)
+		if !res.Check.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("history of %d ops is not linearizable (%s)", res.Check.Ops, app))
+		}
+		if res.Check.Undecided {
+			res.Violations = append(res.Violations, "linearizability undecided: step budget exhausted")
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	res.Faults = faults
+	reg.CounterOf("chaos_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_scenarios_failed").Inc()
+	}
+	return res
+}

@@ -7,6 +7,7 @@ import (
 
 	"rex/internal/check"
 	"rex/internal/cluster"
+	"rex/internal/core"
 	"rex/internal/env"
 	"rex/internal/obs"
 	"rex/internal/sim"
@@ -153,8 +154,8 @@ func (sc Scenario) Run(reg *obs.Registry, logf func(string, ...any)) Result {
 		if len(violations) == 0 {
 			sec := -1
 			p := c.Primary()
-			for i := range c.Replicas {
-				if i != p && c.Replicas[i] != nil {
+			for i := 0; i < c.Size(); i++ {
+				if r := c.Replica(i); i != p && r != nil && r.Role() != core.RoleRemoved {
 					sec = i
 					break
 				}
@@ -213,7 +214,8 @@ func (sc Scenario) Run(reg *obs.Registry, logf func(string, ...any)) Result {
 // chosenLogs snapshots every live replica's chosen instance sequence.
 func chosenLogs(c *cluster.Cluster) []check.ChosenLog {
 	var logs []check.ChosenLog
-	for i, r := range c.Replicas {
+	for i := 0; i < c.Size(); i++ {
+		r := c.Replica(i)
 		if r == nil {
 			continue
 		}

@@ -5,6 +5,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/reconfig"
 	"rex/internal/storage"
 	"rex/internal/transport"
 )
@@ -95,6 +97,10 @@ type machineEnv interface {
 }
 
 // Cluster is a running in-process replica group.
+//
+// The exported slices are indexed by replica id and only ever grow
+// (AddNode); mu guards them because growth races concurrent clients.
+// Prefer Replica/Size over direct slice access in concurrent contexts.
 type Cluster struct {
 	Env      env.Env
 	Net      *transport.Network
@@ -104,6 +110,32 @@ type Cluster struct {
 	Logs     []storage.Log
 	Snaps    []storage.SnapshotStore
 	machines []int // simulated machine per replica (-1 without machineEnv)
+
+	mu env.Mutex
+}
+
+// Replica returns replica i, or nil if it is down or out of range.
+func (c *Cluster) Replica(i int) *core.Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.Replicas) {
+		return nil
+	}
+	return c.Replicas[i]
+}
+
+// Size returns the number of replica slots (including crashed ones).
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Replicas)
+}
+
+// live snapshots the replica table for iteration without holding mu.
+func (c *Cluster) live() []*core.Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*core.Replica(nil), c.Replicas...)
 }
 
 // New builds (but does not start) a cluster.
@@ -113,6 +145,7 @@ func New(e env.Env, factory core.Factory, opts Options) *Cluster {
 		Env:     e,
 		Opts:    opts,
 		Factory: factory,
+		mu:      e.NewMutex(),
 	}
 	if opts.Endpoints == nil {
 		c.Net = transport.NewNetwork(e, opts.Replicas, opts.NetDelay, opts.Seed)
@@ -188,13 +221,18 @@ func (c *Cluster) startReplica(i int) error {
 		}
 		return r, nil
 	}
+	install := func(r *core.Replica) {
+		c.mu.Lock()
+		c.Replicas[i] = r
+		c.mu.Unlock()
+	}
 	me, ok := c.Env.(machineEnv)
 	if !ok || c.machines[i] < 0 {
 		r, err := build()
 		if err != nil {
 			return err
 		}
-		c.Replicas[i] = r
+		install(r)
 		return nil
 	}
 	done := c.Env.NewChan(1)
@@ -204,7 +242,7 @@ func (c *Cluster) startReplica(i int) error {
 			done.Send(err)
 			return
 		}
-		c.Replicas[i] = r
+		install(r)
 		done.Send(nil)
 	})
 	v, _ := done.Recv()
@@ -226,7 +264,7 @@ func (c *Cluster) Start() error {
 
 // Stop shuts every live replica down.
 func (c *Cluster) Stop() {
-	for _, r := range c.Replicas {
+	for _, r := range c.live() {
 		if r != nil {
 			r.Stop()
 		}
@@ -235,7 +273,7 @@ func (c *Cluster) Stop() {
 
 // Primary returns the current primary's index, or -1.
 func (c *Cluster) Primary() int {
-	for i, r := range c.Replicas {
+	for i, r := range c.live() {
 		if r != nil && r.Role() == core.RolePrimary {
 			return i
 		}
@@ -263,15 +301,18 @@ func (c *Cluster) Crash(i int) {
 	if c.Net != nil {
 		c.Net.Isolate(i, true)
 	}
-	if c.Replicas[i] != nil {
-		c.Replicas[i].Stop()
-		c.Replicas[i] = nil
+	c.mu.Lock()
+	r := c.Replicas[i]
+	c.Replicas[i] = nil
+	c.mu.Unlock()
+	if r != nil {
+		r.Stop()
 	}
 }
 
 // Restart brings a crashed replica back with its durable state.
 func (c *Cluster) Restart(i int) error {
-	if c.Replicas[i] != nil {
+	if c.Replica(i) != nil {
 		return fmt.Errorf("cluster: replica %d still running", i)
 	}
 	if c.Net != nil {
@@ -284,9 +325,134 @@ func (c *Cluster) Restart(i int) error {
 // RestartFresh brings replica i back with empty durable state (a replaced
 // machine), forcing a checkpoint transfer if the cluster compacted.
 func (c *Cluster) RestartFresh(i int) error {
+	c.mu.Lock()
 	c.Logs[i] = c.Opts.NewLog(i)
 	c.Snaps[i] = c.Opts.NewSnapshots(i)
+	c.mu.Unlock()
 	return c.Restart(i)
+}
+
+// reconfigRetryTimeout bounds how long the membership-change helpers below
+// chase the primary (elections, an earlier change still in flight).
+const reconfigRetryTimeout = 30 * time.Second
+
+// onPrimary runs fn against the current primary, retrying through
+// elections and serialization conflicts until it is accepted.
+func (c *Cluster) onPrimary(fn func(r *core.Replica) error) error {
+	deadline := c.Env.Now() + reconfigRetryTimeout
+	var lastErr error = errors.New("cluster: no primary")
+	for c.Env.Now() < deadline {
+		if p := c.Primary(); p >= 0 {
+			if r := c.Replica(p); r != nil {
+				err := fn(r)
+				if err == nil {
+					return nil
+				}
+				lastErr = err
+				var np core.ErrNotPrimary
+				retriable := errors.As(err, &np) ||
+					errors.Is(err, core.ErrReconfigInFlight) ||
+					errors.Is(err, core.ErrStopped)
+				if !retriable {
+					return err
+				}
+			}
+		}
+		c.Env.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: membership change not accepted: %w", lastErr)
+}
+
+// addSlot grows the cluster's tables (and network) by one replica slot and
+// returns the new id. The replica itself is not started.
+func (c *Cluster) addSlot() int {
+	c.mu.Lock()
+	id := len(c.Replicas)
+	c.Replicas = append(c.Replicas, nil)
+	c.Logs = append(c.Logs, c.Opts.NewLog(id))
+	c.Snaps = append(c.Snaps, c.Opts.NewSnapshots(id))
+	machine := -1
+	if me, ok := c.Env.(machineEnv); ok && c.machines[0] >= 0 {
+		machine = me.AddMachine(me.Cores())
+	}
+	c.machines = append(c.machines, machine)
+	c.mu.Unlock()
+	if c.Net != nil {
+		c.Net.Grow(id + 1)
+	}
+	return id
+}
+
+// AddNode grows the cluster by one replica: it allocates the next id, asks
+// the primary to admit it as a learner, and boots it. The joiner catches up
+// from the chosen log (or a checkpoint transfer) and is promoted to voter
+// automatically; use WaitVoter to block until then.
+func (c *Cluster) AddNode() (int, error) {
+	id := c.addSlot()
+	if err := c.onPrimary(func(r *core.Replica) error { return r.AddMember(id, "") }); err != nil {
+		return -1, err
+	}
+	if err := c.startReplica(id); err != nil {
+		return -1, err
+	}
+	return id, nil
+}
+
+// RemoveNode commits the removal of replica id. The node stays up serving
+// the pre-activation window, then parks itself in RoleRemoved; call Crash
+// to reap it once WaitRemoved observes the change.
+func (c *Cluster) RemoveNode(id int) error {
+	return c.onPrimary(func(r *core.Replica) error { return r.RemoveMember(id) })
+}
+
+// ReplaceNode swaps failed (or retiring) replica oldID for a brand-new one
+// in a single committed change and boots the replacement; returns the new
+// replica's id.
+func (c *Cluster) ReplaceNode(oldID int) (int, error) {
+	id := c.addSlot()
+	if err := c.onPrimary(func(r *core.Replica) error { return r.ReplaceMember(oldID, id, "") }); err != nil {
+		return -1, err
+	}
+	if err := c.startReplica(id); err != nil {
+		return -1, err
+	}
+	return id, nil
+}
+
+// WaitMembership polls the primary's committed membership until pred holds.
+func (c *Cluster) WaitMembership(timeout time.Duration, pred func(reconfig.Membership) bool) error {
+	deadline := c.Env.Now() + timeout
+	for c.Env.Now() < deadline {
+		if p := c.Primary(); p >= 0 {
+			if r := c.Replica(p); r != nil && pred(r.Membership()) {
+				return nil
+			}
+		}
+		c.Env.Sleep(5 * time.Millisecond)
+	}
+	return errors.New("cluster: membership condition not reached in time")
+}
+
+// WaitVoter blocks until replica id is a voter in the primary's view.
+func (c *Cluster) WaitVoter(id int, timeout time.Duration) error {
+	return c.WaitMembership(timeout, func(m reconfig.Membership) bool { return m.IsVoter(id) })
+}
+
+// WaitRemoved blocks until replica id has left the primary's membership
+// AND the node itself (if still running) has parked in RoleRemoved.
+func (c *Cluster) WaitRemoved(id int, timeout time.Duration) error {
+	if err := c.WaitMembership(timeout, func(m reconfig.Membership) bool { return !m.IsMember(id) }); err != nil {
+		return err
+	}
+	deadline := c.Env.Now() + timeout
+	for c.Env.Now() < deadline {
+		r := c.Replica(id)
+		if r == nil || r.Role() == core.RoleRemoved {
+			return nil
+		}
+		c.Env.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: replica %d did not go quiet in time", id)
 }
 
 // WaitConverged waits until every live replica reports the same stable
@@ -298,9 +464,9 @@ func (c *Cluster) WaitConverged(timeout time.Duration) (string, error) {
 	for c.Env.Now() < deadline {
 		states := make(map[string]bool)
 		var s string
-		for _, r := range c.Replicas {
-			if r == nil {
-				continue
+		for _, r := range c.live() {
+			if r == nil || r.Role() == core.RoleRemoved {
+				continue // a removed node's state is frozen where it left off
 			}
 			if r.Role() == core.RoleFaulted {
 				return "", fmt.Errorf("cluster: replica faulted: %w", r.FaultError())
@@ -347,9 +513,9 @@ func (c *Cluster) StableStates(timeout time.Duration) (states map[int]string, fa
 		quiesced := true
 		seq := uint64(0)
 		haveSeq := false
-		for i, r := range c.Replicas {
-			if r == nil {
-				continue
+		for i, r := range c.live() {
+			if r == nil || r.Role() == core.RoleRemoved {
+				continue // removed nodes froze mid-stream; like a crash
 			}
 			if r.Role() == core.RoleFaulted {
 				curFaults[i] = r.FaultError()
@@ -448,7 +614,18 @@ func (c *Cluster) NewClient(id uint64) *Client {
 // Do submits one request, retrying across failovers until a response
 // arrives, the deadline passes, or the attempt budget runs out.
 func (cl *Client) Do(body []byte) ([]byte, error) {
-	return cl.DoTimeout(body, 30*time.Second)
+	return cl.doRetry(context.Background(), body, 30*time.Second)
+}
+
+// DoCtx is Do honoring ctx: cancellation or a ctx deadline aborts the
+// retry loop between attempts (an in-flight Submit still runs to
+// completion — the outcome is then recorded as unknown).
+func (cl *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
+	timeout := 30 * time.Second
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+	}
+	return cl.doRetry(ctx, body, timeout)
 }
 
 // backoff sleeps a jittered exponential delay and returns the next base.
@@ -469,6 +646,10 @@ func (cl *Client) backoff(b time.Duration) time.Duration {
 
 // DoTimeout is Do with an explicit deadline.
 func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) {
+	return cl.doRetry(context.Background(), body, timeout)
+}
+
+func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duration) ([]byte, error) {
 	cl.seq++
 	seq := cl.seq
 	e := cl.C.Env
@@ -484,6 +665,14 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 	target := cl.LastPrimary
 	b := minRetryBackoff
 	for attempts := 0; e.Now() < deadline; attempts++ {
+		if err := ctx.Err(); err != nil {
+			// Canceled between attempts: an earlier attempt may still land,
+			// so the outcome is unknown.
+			if cl.Recorder != nil {
+				cl.Recorder.Timeout(opID)
+			}
+			return nil, err
+		}
 		if attempts >= maxAttempts {
 			// Unknown outcome, exactly like a timeout: some earlier attempt
 			// may still be admitted and executed.
@@ -492,7 +681,8 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 			}
 			return nil, fmt.Errorf("%w: gave up after %d attempts", ErrTooManyAttempts, attempts)
 		}
-		r := cl.C.Replicas[target%len(cl.C.Replicas)]
+		n := cl.C.Size()
+		r := cl.C.Replica(target % n)
 		if r == nil {
 			target++
 			b = cl.backoff(b)
@@ -500,11 +690,19 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 		}
 		resp, err := r.Submit(cl.ID, seq, body)
 		if err == nil {
-			cl.LastPrimary = target % len(cl.C.Replicas)
+			cl.LastPrimary = target % n
 			if cl.Recorder != nil {
 				cl.Recorder.Return(opID, resp)
 			}
 			return resp, nil
+		}
+		if errors.Is(err, core.ErrStaleSeq) {
+			// Permanent: no primary will ever accept this sequence number
+			// again, so retrying elsewhere only burns the attempt budget.
+			if cl.Recorder != nil {
+				cl.Recorder.Timeout(opID)
+			}
+			return nil, err
 		}
 		var np core.ErrNotPrimary
 		if errors.As(err, &np) && np.Leader >= 0 {
@@ -525,7 +723,7 @@ func (cl *Client) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) 
 
 // Query runs a read-only query against replica i.
 func (cl *Client) Query(i int, q []byte) ([]byte, error) {
-	r := cl.C.Replicas[i]
+	r := cl.C.Replica(i)
 	if r == nil {
 		return nil, errors.New("cluster: replica down")
 	}

@@ -39,7 +39,10 @@ func decodeCtrl(buf []byte) (*ctrlMsg, bool) {
 
 func (r *Replica) broadcastCtrl(m *ctrlMsg) {
 	payload := m.encode()
-	for i := 0; i < r.cfg.N; i++ {
+	r.mu.Lock()
+	members := r.member.Members()
+	r.mu.Unlock()
+	for _, i := range members {
 		if i != r.cfg.ID {
 			r.ctrl.Send(i, payload)
 		}
@@ -62,8 +65,13 @@ func (r *Replica) ctrlLoop() {
 		case ctrlStatus:
 			r.mu.Lock()
 			r.peers[from] = peerStatus{applied: m.Applied, backlog: m.Backlog, at: r.e.Now()}
+			promo := r.promotionForLocked(from, m.Applied, m.Backlog)
 			r.cond.Broadcast()
 			r.mu.Unlock()
+			if promo != nil {
+				r.logf("learner %d caught up (applied=%d); proposing promotion", from, m.Applied)
+				r.node.Propose(promo)
+			}
 		case ctrlSnapRequest:
 			_, data, ok, err := r.cfg.Snapshots.Load()
 			if err == nil && ok {

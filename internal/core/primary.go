@@ -8,6 +8,11 @@ import (
 
 var errNotPrimaryNow = errors.New("rex: not primary")
 
+// ErrStaleSeq is returned for a client sequence number below the newest
+// one already answered: the request can never succeed, so clients must not
+// retry it.
+var ErrStaleSeq = errors.New("rex: stale client sequence number")
+
 // Submit executes one client request through the replication protocol and
 // returns its response. It blocks until the trace containing the request's
 // completion has committed (§2.1: the primary responds after consensus on
@@ -29,7 +34,7 @@ func (r *Replica) Submit(client, seq uint64, body []byte) ([]byte, error) {
 			resp := e.resp
 			r.mu.Unlock()
 			if seq < e.seq {
-				return nil, errors.New("rex: stale client sequence number")
+				return nil, ErrStaleSeq
 			}
 			return resp, nil
 		}
@@ -66,6 +71,12 @@ func (r *Replica) throttledLocked() bool {
 	stale := 8 * r.cfg.StatusEvery
 	for id, st := range r.peers {
 		if id == r.cfg.ID {
+			continue
+		}
+		// Only voters gate admission: a learner is expected to lag while it
+		// catches up (its promotion is what's gated on lag), and a removed
+		// node's last report must not throttle the cluster it left.
+		if !r.member.IsVoter(id) {
 			continue
 		}
 		if now-st.at > stale {

@@ -10,6 +10,7 @@ import (
 	"rex/internal/env"
 	"rex/internal/obs"
 	"rex/internal/paxos"
+	"rex/internal/reconfig"
 	"rex/internal/sched"
 	"rex/internal/storage"
 	"rex/internal/trace"
@@ -27,6 +28,9 @@ const (
 	// RoleFaulted means the replica detected divergence or an internal
 	// error and halted (§5.1's validity checks fired).
 	RoleFaulted
+	// RoleRemoved means a committed membership change took effect that no
+	// longer includes this replica; it has gone quiet.
+	RoleRemoved
 )
 
 func (r Role) String() string {
@@ -37,6 +41,8 @@ func (r Role) String() string {
 		return "primary"
 	case RoleFaulted:
 		return "faulted"
+	case RoleRemoved:
+		return "removed"
 	}
 	return fmt.Sprintf("role(%d)", uint8(r))
 }
@@ -58,6 +64,20 @@ type Config struct {
 	ID  int
 	N   int
 	Env env.Env
+
+	// Members, when set, is the starting cluster membership and overrides
+	// the static 0..N-1 voter set implied by N. A joiner bootstraps with a
+	// membership that lists itself as a learner (or not at all — it learns
+	// of its own admission from the chosen log).
+	Members *reconfig.Membership
+	// JoinLagInstances is how close (in committed instances) a learner must
+	// be to the primary's applied frontier before the primary proposes its
+	// promotion to voter.
+	JoinLagInstances uint64
+	// OnMembership, if set, is called (from the apply task, no locks held)
+	// whenever a membership change commits — the hook deployments use to
+	// update transport address books.
+	OnMembership func(reconfig.Membership)
 	// Endpoint is the replica's network attachment; Paxos and the Rex
 	// control plane are multiplexed over it.
 	Endpoint  transport.Endpoint
@@ -163,6 +183,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.LagLimitEvents == 0 {
 		cfg.LagLimitEvents = 1 << 14
 	}
+	if cfg.JoinLagInstances == 0 {
+		cfg.JoinLagInstances = 16
+	}
 	return cfg
 }
 
@@ -214,6 +237,17 @@ type Replica struct {
 	curLeader int
 	faultErr  error
 	stopped   bool
+
+	// Membership state. member is the latest committed membership this
+	// replica has applied (commit-time view; the paxos layer tracks the
+	// activation-time view). reconfigInflight serializes changes at the
+	// primary; pendingPromote is the learner id the primary will promote
+	// once its reported lag is within JoinLagInstances (-1: none);
+	// removed latches once a membership excluding this replica activates.
+	member           reconfig.Membership
+	reconfigInflight bool
+	pendingPromote   int
+	removed          bool
 
 	gen        int
 	gapUntil   uint64 // highest compaction gap already being bridged
@@ -299,13 +333,19 @@ type resyncEvt struct{}
 func NewReplica(cfg Config) (*Replica, error) {
 	cfg = cfg.withDefaults()
 	r := &Replica{
-		cfg:       cfg,
-		e:         cfg.Env,
-		curLeader: -1,
-		pending:   make(map[uint64]*pendingReq),
-		dedup:     make(map[uint64]dedupEntry),
-		markInst:  make(map[uint64]uint64),
-		peers:     make(map[int]peerStatus),
+		cfg:            cfg,
+		e:              cfg.Env,
+		curLeader:      -1,
+		pendingPromote: -1,
+		pending:        make(map[uint64]*pendingReq),
+		dedup:          make(map[uint64]dedupEntry),
+		markInst:       make(map[uint64]uint64),
+		peers:          make(map[int]peerStatus),
+	}
+	if cfg.Members != nil {
+		r.member = cfg.Members.Clone()
+	} else {
+		r.member = reconfig.Initial(cfg.N)
 	}
 	r.obs = newReplicaMetrics(cfg.Metrics)
 	r.mu = cfg.Env.NewMutex()
@@ -320,6 +360,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 	node, err := paxos.NewNode(paxos.Config{
 		ID:              cfg.ID,
 		N:               cfg.N,
+		Members:         cfg.Members,
 		Env:             cfg.Env,
 		Endpoint:        r.mux.Channel(0),
 		Log:             cfg.Log,
@@ -343,6 +384,14 @@ func NewReplica(cfg Config) (*Replica, error) {
 		},
 		OnStorageFault: func(err error) {
 			r.fault(fmt.Errorf("rex: consensus storage fault: %w", err))
+		},
+		OnRemoved: func(m reconfig.Membership) {
+			// Fires on the consensus event loop once a membership excluding
+			// this node activates; quiesce from a fresh task (finishRemoval
+			// stops the node, which must not happen from its own loop).
+			r.e.Go(fmt.Sprintf("rex-%d-removed", cfg.ID), func() {
+				r.finishRemoval(m)
+			})
 		},
 	})
 	if err != nil {
@@ -462,7 +511,7 @@ func (r *Replica) FaultError() error {
 // fault halts the replica after a divergence (§5.1).
 func (r *Replica) fault(err error) {
 	r.mu.Lock()
-	if r.faultErr == nil {
+	if r.faultErr == nil && !r.removed {
 		r.faultErr = err
 		r.role = RoleFaulted
 		r.failPendingLocked()
@@ -503,6 +552,14 @@ func (r *Replica) applyLoop() {
 			return
 		}
 		evt := v.(committedEvt)
+		if reconfig.IsMeta(evt.val) {
+			// Membership changes and activation padding share the stream
+			// with trace deltas but never touch the application state.
+			if !r.applyMeta(evt.inst, evt.val) {
+				return
+			}
+			continue
+		}
 		d, err := trace.DecodeDeltaBytes(evt.val)
 		if err != nil {
 			r.fault(fmt.Errorf("rex: corrupt committed delta %d: %w", evt.inst, err))
@@ -562,7 +619,11 @@ func (r *Replica) applyLoop() {
 			r.mu.Lock()
 		}
 		if applyErr != nil {
+			removed := r.removed
 			r.mu.Unlock()
+			if removed {
+				return // replayer aborted by removal, not divergence
+			}
 			r.fault(fmt.Errorf("rex: applying committed delta %d: %w", evt.inst, applyErr))
 			return
 		}
@@ -636,6 +697,9 @@ func (r *Replica) handleGap(minInst uint64) {
 	r.gapUntil = snap.Inst
 	r.mu.Unlock()
 	r.logf("bridging compaction gap with checkpoint %d (instance %d)", snap.MarkID, snap.Inst)
+	if len(snap.Configs) > 0 {
+		r.node.AdoptConfigs(snap.Configs)
+	}
 	r.node.AdvanceTo(snap.Inst)
 }
 
@@ -646,7 +710,7 @@ func (r *Replica) handleGap(minInst uint64) {
 func (r *Replica) promote(chosenAt uint64) {
 	start := r.e.Now()
 	r.mu.Lock()
-	for r.applied < chosenAt && !r.stopped && r.role != RoleFaulted {
+	for r.applied < chosenAt && !r.stopped && r.role != RoleFaulted && !r.removed {
 		if r.needResync {
 			// The learner jumped past a compaction gap, so applied can
 			// never reach chosenAt by folding commits in order. The
@@ -663,7 +727,7 @@ func (r *Replica) promote(chosenAt uint64) {
 		}
 		r.cond.Wait()
 	}
-	if r.stopped || r.role == RoleFaulted || r.role == RolePrimary {
+	if r.stopped || r.role == RoleFaulted || r.role == RolePrimary || r.removed {
 		r.mu.Unlock()
 		return
 	}
@@ -676,7 +740,7 @@ func (r *Replica) promote(chosenAt uint64) {
 	cut := rep.Executed()
 
 	r.mu.Lock()
-	if r.stopped || r.role == RoleFaulted {
+	if r.stopped || r.role == RoleFaulted || r.removed {
 		r.mu.Unlock()
 		return
 	}
@@ -719,6 +783,15 @@ func (r *Replica) promote(chosenAt uint64) {
 	r.nextMarkID = 0
 	r.pending = make(map[uint64]*pendingReq)
 	r.outstanding = 0
+	// A change proposed by the previous primary either committed (we saw it
+	// in the stream) or died with it; start with a clean slate. Any learner
+	// still in the membership is re-adopted so its promotion survives the
+	// failover.
+	r.reconfigInflight = false
+	r.pendingPromote = -1
+	if len(r.member.Learners) > 0 {
+		r.pendingPromote = r.member.Learners[0]
+	}
 	r.logf("promoted to primary at cut %v (reqs=%d, applied=%d)", cut, reqBase, r.applied)
 	r.cond.Broadcast()
 	r.mu.Unlock()
@@ -738,6 +811,8 @@ func (r *Replica) demote(leader int) {
 	if wasPrimary {
 		r.role = RoleSecondary
 		r.failPendingLocked()
+		r.reconfigInflight = false
+		r.pendingPromote = -1
 		r.logf("demoted; new leader is %d", leader)
 	}
 	r.cond.Broadcast()

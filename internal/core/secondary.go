@@ -64,18 +64,23 @@ func (r *Replica) checkpointCoordinator(gen int, rt *sched.Runtime, sm StateMach
 }
 
 // designatedSnapshotter picks which secondary snapshots a given mark: the
-// replica whose id equals the mark id modulo N, skipping the (believed)
-// leader. Replicas with a stale leader guess merely cause a skipped or
-// duplicated snapshot, never incorrectness.
+// voter at index (mark id modulo voter count), skipping the (believed)
+// leader. Replicas with a stale leader guess — or a briefly divergent
+// membership view — merely cause a skipped or duplicated snapshot, never
+// incorrectness.
 func (r *Replica) designatedSnapshotter(markID uint64) bool {
 	r.mu.Lock()
 	leader := r.curLeader
+	voters := append([]int(nil), r.member.Voters...)
 	r.mu.Unlock()
-	chosen := int(markID % uint64(r.cfg.N))
-	if chosen == leader {
-		chosen = (chosen + 1) % r.cfg.N
+	if len(voters) == 0 {
+		return false
 	}
-	return chosen == r.cfg.ID
+	idx := int(markID % uint64(len(voters)))
+	if voters[idx] == leader {
+		idx = (idx + 1) % len(voters)
+	}
+	return voters[idx] == r.cfg.ID
 }
 
 // statusLoop reports replay progress to the primary (feeding its flow

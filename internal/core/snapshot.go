@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rex/internal/paxos"
+	"rex/internal/reconfig"
 	"rex/internal/sched"
 	"rex/internal/trace"
 	"rex/internal/wire"
@@ -27,13 +28,20 @@ type snapshotBlob struct {
 	// a restore.
 	Versions []uint64
 	App      []byte
+	// Configs is the membership schedule governing the snapshot instance
+	// and beyond. A learner restored from this checkpoint may have had the
+	// chosen instances carrying those memberships compacted away; carrying
+	// them here means it can never assemble quorums from a stale world.
+	Configs []reconfig.Scheduled
 }
 
-const snapshotVersion = 1
+// snapshotVersion 2 added Configs; version-1 blobs (no schedule) still load.
+const snapshotVersion = 2
 
 func (s *snapshotBlob) encode() []byte {
 	e := wire.NewEncoder(nil)
 	e.Byte(snapshotVersion)
+	e.BytesVal(reconfig.EncodeSchedule(s.Configs))
 	e.Uvarint(s.MarkID)
 	e.Uvarint(s.Inst)
 	e.Uvarint(uint64(len(s.Cut)))
@@ -70,10 +78,18 @@ func (s *snapshotBlob) encode() []byte {
 
 func decodeSnapshot(buf []byte) (*snapshotBlob, error) {
 	d := wire.NewDecoder(buf)
-	if v := d.Byte(); d.Err() == nil && v != snapshotVersion {
+	v := d.Byte()
+	if d.Err() == nil && v != 1 && v != snapshotVersion {
 		return nil, fmt.Errorf("rex: unsupported snapshot version %d", v)
 	}
 	s := &snapshotBlob{Dedup: make(map[uint64]dedupEntry)}
+	if v >= 2 {
+		configs, err := reconfig.DecodeSchedule(d.BytesVal())
+		if err != nil {
+			return nil, fmt.Errorf("rex: snapshot config schedule: %w", err)
+		}
+		s.Configs = configs
+	}
 	s.MarkID = d.Uvarint()
 	s.Inst = d.Uvarint()
 	nCut := d.Uvarint()
@@ -137,6 +153,7 @@ func (r *Replica) buildSnapshot(rt *sched.Runtime, rep *sched.Replayer, sm State
 		Dedup:    dedup,
 		Versions: rt.VersionsSnapshot(),
 		App:      app.Bytes(),
+		Configs:  r.node.ChosenSnapshot().Configs,
 	}
 	return blob.encode(), nil
 }
@@ -187,6 +204,11 @@ func (r *Replica) rebuild() error {
 		if haveSnap && snap.Inst < st.Base {
 			haveSnap = false // snapshot predates the compaction horizon
 		}
+		if haveSnap && r.nodeStarted && len(snap.Configs) > 0 {
+			// Before any fast-forward: the jump must land with the schedule
+			// governing the snapshot instance already in place.
+			r.node.AdoptConfigs(snap.Configs)
+		}
 		if haveSnap && st.Seq <= snap.Inst {
 			// The delta carrying the snapshot's mark is not in the chosen
 			// log yet (checkpoint transfer racing the learner).
@@ -229,9 +251,27 @@ func (r *Replica) rebuild() error {
 		if haveSnap {
 			startInst = snap.Inst
 		}
+		// Adopt the membership schedule: the checkpoint carries the configs
+		// governing its instance (chosen entries holding them may be
+		// compacted away everywhere), and the chosen suffix may hold newer
+		// committed memberships.
+		var latest *reconfig.Membership
+		if haveSnap && len(snap.Configs) > 0 {
+			m := snap.Configs[len(snap.Configs)-1].M
+			latest = &m
+		}
 		deltas := make([]*trace.Delta, 0, st.Seq-startInst)
 		for i := startInst; i < st.Seq; i++ {
-			d, err := trace.DecodeDeltaBytes(st.Vals[i-st.Base])
+			raw := st.Vals[i-st.Base]
+			if reconfig.IsMeta(raw) {
+				if m, err := reconfig.DecodeValue(raw); err == nil {
+					if latest == nil || m.Epoch > latest.Epoch {
+						latest = &m
+					}
+				}
+				continue // memberships and padding carry no trace events
+			}
+			d, err := trace.DecodeDeltaBytes(raw)
 			if err != nil {
 				return fmt.Errorf("rex: corrupt chosen delta %d: %w", i, err)
 			}
@@ -295,7 +335,12 @@ func (r *Replica) rebuild() error {
 		if st.Seq > r.applied {
 			r.applied = st.Seq
 		}
-		r.role = RoleSecondary
+		if latest != nil && latest.Epoch > r.member.Epoch {
+			r.member = latest.Clone()
+		}
+		if !r.removed {
+			r.role = RoleSecondary
+		}
 		r.spawnExecutionLocked()
 		r.cond.Broadcast()
 		r.mu.Unlock()

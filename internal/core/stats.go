@@ -45,6 +45,54 @@ func (r *Replica) Stats() Stats {
 	return s
 }
 
+// Health is a point-in-time liveness/readiness view for operators (the
+// rexd /healthz and /readyz endpoints serve it).
+type Health struct {
+	Role       Role
+	Epoch      uint64 // latest committed membership epoch applied
+	Applied    uint64 // committed instances applied locally
+	ChosenSeq  uint64 // committed instances learned by consensus
+	Voters     []int
+	Learners   []int
+	Member     bool // this replica appears in the membership
+	Voter      bool // this replica votes
+	CatchingUp bool // applied lags the learned frontier
+}
+
+// healthLagSlack is how many learned-but-unapplied instances a replica may
+// carry before Health reports it catching up.
+const healthLagSlack = 16
+
+// Health reports the replica's role, membership view, and replication lag.
+func (r *Replica) Health() Health {
+	st := r.node.ChosenSnapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Health{
+		Role:       r.role,
+		Epoch:      r.member.Epoch,
+		Applied:    r.applied,
+		ChosenSeq:  st.Seq,
+		Voters:     append([]int(nil), r.member.Voters...),
+		Learners:   append([]int(nil), r.member.Learners...),
+		Member:     r.member.IsMember(r.cfg.ID),
+		Voter:      r.member.IsVoter(r.cfg.ID),
+		CatchingUp: st.Seq > r.applied+healthLagSlack,
+	}
+}
+
+// Ready reports whether the replica can serve: it is a live member (voter,
+// or primary) and is not still catching up on the committed stream.
+func (h Health) Ready() bool {
+	if h.Role == RoleFaulted || h.Role == RoleRemoved {
+		return false
+	}
+	if h.Role == RolePrimary {
+		return true
+	}
+	return h.Voter && !h.CatchingUp
+}
+
 // DeltaSizes returns the encoded size of every committed delta this
 // replica has applied, in instance order (for the §3.1 proposal-volume
 // ablation).

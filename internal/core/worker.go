@@ -84,7 +84,7 @@ func (r *Replica) workerLoop(gen int, rt *sched.Runtime, sm StateMachine, ti int
 func (r *Replica) genEnded(gen int) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.gen != gen || r.stopped || r.role == RoleFaulted
+	return r.gen != gen || r.stopped || r.role == RoleFaulted || r.role == RoleRemoved
 }
 
 // recordStep executes one request in record mode (primary, execute stage).

@@ -66,6 +66,11 @@ const (
 	// a checkpoint transfer (handled by the Rex layer) before it can
 	// resume learning.
 	mLearnNack
+	// mEpochNack rejects a prepare/accept/heartbeat whose Epoch is behind
+	// the receiver's active membership epoch. Epoch/FromInst/Val carry the
+	// receiver's active membership (and its activation instance) so a
+	// removed or lagging node learns the configuration it missed.
+	mEpochNack
 )
 
 func (k msgKind) String() string {
@@ -90,6 +95,8 @@ func (k msgKind) String() string {
 		return "learn-reply"
 	case mLearnNack:
 		return "learn-nack"
+	case mEpochNack:
+		return "epoch-nack"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(k))
 }
@@ -109,7 +116,8 @@ type message struct {
 	Inst      uint64 // mAccept/mAccepted/mCommit: instance
 	FromInst  uint64 // mPrepare/mLearn/mLearnReply: starting instance
 	ChosenSeq uint64 // mPromise/mHeartbeat: sender's chosen count
-	Val       []byte // mAccept/mCommit: proposal value
+	Epoch     uint64 // membership epoch governing the message's instance
+	Val       []byte // mAccept/mCommit: proposal value; mEpochNack: membership
 	Accepted  []acceptedEntry
 	Vals      [][]byte // mLearnReply: chosen values
 }
@@ -122,6 +130,7 @@ func (m *message) encode() []byte {
 	e.Uvarint(m.Inst)
 	e.Uvarint(m.FromInst)
 	e.Uvarint(m.ChosenSeq)
+	e.Uvarint(m.Epoch)
 	e.BytesVal(m.Val)
 	e.Uvarint(uint64(len(m.Accepted)))
 	for _, a := range m.Accepted {
@@ -146,6 +155,7 @@ func decodeMessage(buf []byte) (*message, error) {
 	m.Inst = d.Uvarint()
 	m.FromInst = d.Uvarint()
 	m.ChosenSeq = d.Uvarint()
+	m.Epoch = d.Uvarint()
 	m.Val = append([]byte(nil), d.BytesVal()...)
 	nAcc := d.Uvarint()
 	if d.Err() != nil {
@@ -171,7 +181,7 @@ func decodeMessage(buf []byte) (*message, error) {
 	for i := uint64(0); i < nVals; i++ {
 		m.Vals = append(m.Vals, append([]byte(nil), d.BytesVal()...))
 	}
-	if m.Kind == mInvalid || m.Kind > mLearnNack {
+	if m.Kind == mInvalid || m.Kind > mEpochNack {
 		return nil, wire.ErrCorrupt
 	}
 	return m, d.Err()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rex/internal/env"
+	"rex/internal/reconfig"
 	"rex/internal/storage"
 	"rex/internal/transport"
 	"rex/internal/wire"
@@ -18,6 +19,13 @@ type Config struct {
 	Env      env.Env
 	Endpoint transport.Endpoint
 	Log      storage.Log
+
+	// Members is the initial membership. When nil, the classic static
+	// configuration reconfig.Initial(N) (voters 0..N-1, epoch 0) is used.
+	// A node joining an existing cluster passes that cluster's current
+	// membership (which need not include the joiner: it participates as a
+	// learner until a committed change adds it).
+	Members *reconfig.Membership
 
 	// HeartbeatEvery is the leader's beacon period; ElectionTimeout is the
 	// base follower patience (actual deadline adds up to 100% random
@@ -51,6 +59,13 @@ type Config struct {
 	// learner needs was compacted away: the replica must obtain a
 	// checkpoint covering at least minInst and call AdvanceTo.
 	OnSnapshotGap func(minInst uint64)
+	// OnMembership fires on the event loop whenever a committed membership
+	// change reaches its activation instance and the node switches quorum
+	// and peer sets to it.
+	OnMembership func(m reconfig.Membership)
+	// OnRemoved fires once when an activated membership no longer includes
+	// this node: it has been removed from the cluster and should go quiet.
+	OnRemoved func(m reconfig.Membership)
 	// OnStorageFault, if set, fires when a WAL write fails. The node then
 	// goes silent — endpoint and inbox closed, event loop exited — which is
 	// the crash-stop behaviour consensus safety assumes: a promise or
@@ -112,6 +127,20 @@ type Node struct {
 	electionDeadline time.Duration
 	stopped          bool
 
+	// Membership schedule: configs[i] governs every instance in
+	// [configs[i].FromInst, configs[i+1].FromInst). Always non-empty,
+	// sorted by FromInst (equivalently by epoch: both grow in commit
+	// order). activeEpoch caches configAt(chosenSeq).Epoch; wasMember
+	// tracks whether this node belonged to the active config, so only a
+	// member→non-member transition counts as removal (a joiner replaying
+	// history is absent from every pre-admission config); removedFired
+	// latches OnRemoved; learnRR rotates a learner's catch-up targets.
+	configs      []reconfig.Scheduled
+	activeEpoch  uint64
+	wasMember    bool
+	removedFired bool
+	learnRR      int
+
 	// Batched-persistence state. Handlers append durable records to the
 	// walEnc arena (walEnds marks record boundaries) and queue outgoing
 	// messages and commit callbacks instead of acting immediately; the
@@ -161,6 +190,7 @@ type compactCmd struct{ upTo uint64 }
 type stopCmd struct{ done env.Chan }
 type chosenReq struct{ reply env.Chan }
 type advanceCmd struct{ to uint64 }
+type adoptCmd struct{ configs []reconfig.Scheduled }
 
 // ChosenState is a consistent snapshot of the learner's state, safe to
 // request from any task.
@@ -168,6 +198,11 @@ type ChosenState struct {
 	Base uint64
 	Vals [][]byte
 	Seq  uint64
+	// Configs is the membership schedule relevant from Base on: the config
+	// governing Base plus everything scheduled later. Checkpoint transfers
+	// carry it so a restored learner knows the quorums for the instances
+	// it skipped.
+	Configs []reconfig.Scheduled
 }
 
 // NewNode creates a node, recovering durable state from cfg.Log. Call
@@ -197,9 +232,20 @@ func NewNode(cfg Config) (*Node, error) {
 		curLeader:  -1,
 		walEnc:     wire.NewEncoder(nil),
 	}
+	base := reconfig.Initial(cfg.N)
+	if cfg.Members != nil {
+		if err := cfg.Members.Validate(); err != nil {
+			return nil, err
+		}
+		base = cfg.Members.Clone()
+	}
+	n.configs = []reconfig.Scheduled{{FromInst: 0, M: base}}
 	if err := n.recover(); err != nil {
 		return nil, err
 	}
+	n.pruneConfigs()
+	n.activeEpoch = n.activeConfig().Epoch
+	n.wasMember = n.activeConfig().IsMember(cfg.ID)
 	return n, nil
 }
 
@@ -209,6 +255,7 @@ const (
 	recAccepted byte = 2
 	recChosen   byte = 3
 	recAdvance  byte = 4
+	recConfig   byte = 5
 )
 
 func (n *Node) recover() error {
@@ -244,6 +291,16 @@ func (n *Node) recover() error {
 					maxChosen = inst
 				}
 				hasChosen = true
+			}
+		case recConfig:
+			from := d.Uvarint()
+			mv := d.BytesVal()
+			if d.Err() == nil {
+				m, merr := reconfig.DecodeValue(mv)
+				if merr != nil {
+					return fmt.Errorf("paxos: corrupt membership record: %w", merr)
+				}
+				n.recoverConfig(reconfig.Scheduled{FromInst: from, M: m})
 			}
 		}
 		if d.Err() != nil {
@@ -373,7 +430,7 @@ func (n *Node) flushBatch() {
 			o := n.outbox[i]
 			payload := o.m.encode()
 			if o.to < 0 {
-				for peer := 0; peer < n.cfg.N; peer++ {
+				for _, peer := range n.peerList() {
 					n.cfg.Endpoint.Send(peer, payload)
 				}
 			} else {
@@ -474,8 +531,6 @@ func (n *Node) electionTimeout() time.Duration {
 	return base + time.Duration(n.rng.Int63n(int64(base)+1))
 }
 
-func (n *Node) majority() int { return n.cfg.N/2 + 1 }
-
 // send and broadcast queue into the outbox; the event loop releases the
 // messages only after the WAL batch holding any state they advertise has
 // been flushed (see flushBatch).
@@ -571,6 +626,7 @@ func (n *Node) handleCmd(v any) (quit bool) {
 					delete(n.accepted, inst)
 				}
 			}
+			n.checkActivation()
 			// Values committed past the gap were stashed; fold in any
 			// that are now contiguous.
 			if v, ok := n.pendingVal[n.chosenSeq]; ok {
@@ -578,14 +634,19 @@ func (n *Node) handleCmd(v any) (quit bool) {
 				n.commitValue(n.chosenSeq, v, n.cfg.ID)
 			}
 		}
+	case adoptCmd:
+		for _, sc := range c.configs {
+			n.scheduleConfig(sc, true)
+		}
 	case chosenReq:
 		// Snapshots promise durable state, as the record-per-fsync design
 		// delivered by construction.
 		n.flushWAL()
 		c.reply.Send(ChosenState{
-			Base: n.chosenBase,
-			Vals: append([][]byte(nil), n.chosen...),
-			Seq:  n.chosenSeq,
+			Base:    n.chosenBase,
+			Vals:    append([][]byte(nil), n.chosen...),
+			Seq:     n.chosenSeq,
+			Configs: n.scheduledConfigs(n.chosenBase),
 		})
 	case stopCmd:
 		n.flushBatch()
@@ -604,22 +665,30 @@ func (n *Node) handleTick() {
 		if now-n.lastHeartbeat >= n.cfg.HeartbeatEvery {
 			n.lastHeartbeat = now
 			n.cfg.Metrics.Heartbeats.Inc()
-			n.broadcast(&message{Kind: mHeartbeat, Ballot: n.prepBallot, ChosenSeq: n.chosenSeq})
+			n.broadcast(&message{Kind: mHeartbeat, Ballot: n.prepBallot, ChosenSeq: n.chosenSeq, Epoch: n.activeEpoch})
 		}
 		// Retransmit stuck proposals (lost Accept or Accepted), in
 		// instance order so the acceptor-side chaining guard is satisfied.
 		for inst := n.chosenSeq; inst < n.nextPropose; inst++ {
 			if st, ok := n.inflight[inst]; ok && now-st.sentAt >= 4*n.cfg.Tick {
 				st.sentAt = now
-				n.broadcast(&message{Kind: mAccept, Ballot: n.prepBallot, Inst: inst, Val: st.val})
+				n.broadcast(&message{Kind: mAccept, Ballot: n.prepBallot, Inst: inst, Val: st.val, Epoch: n.epochAt(inst)})
 			}
+		}
+		return
+	}
+	if !n.isVoter() {
+		// A learner cannot lead; its election timeout instead drives
+		// catch-up from the voters until a committed change promotes it.
+		if now >= n.electionDeadline {
+			n.learnTick()
 		}
 		return
 	}
 	if n.preparing && now-n.prepSent >= 4*n.cfg.Tick {
 		// Retransmit the Prepare (lost messages).
 		n.prepSent = now
-		n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq})
+		n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq, Epoch: n.activeEpoch})
 	}
 	if now >= n.electionDeadline {
 		n.startElection()
@@ -642,7 +711,7 @@ func (n *Node) startElection() {
 	n.electionDeadline = now + n.electionTimeout()
 	n.cfg.Metrics.Elections.Inc()
 	n.cfg.logf("starting election with ballot %v from instance %d", n.prepBallot, n.chosenSeq)
-	n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq})
+	n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq, Epoch: n.activeEpoch})
 }
 
 // observeBallot tracks the highest ballot seen and fires leadership
@@ -700,6 +769,8 @@ func (n *Node) handleMessage(m *message, from int) {
 		if m.FromInst > n.chosenSeq && n.cfg.OnSnapshotGap != nil {
 			n.cfg.OnSnapshotGap(m.FromInst)
 		}
+	case mEpochNack:
+		n.onEpochNack(m, from)
 	}
 }
 
@@ -710,6 +781,15 @@ func (n *Node) bumpLeaderContact(from int) {
 }
 
 func (n *Node) onPrepare(m *message, from int) {
+	if !n.isVoter() {
+		return // learners never promise
+	}
+	if m.Epoch < n.activeEpoch || (m.Epoch == n.activeEpoch && !n.activeConfig().IsVoter(from)) {
+		// The candidate's membership view is stale (it may have been
+		// removed): refuse, and teach it the configuration it missed.
+		n.sendEpochNack(from)
+		return
+	}
 	if m.Ballot.Less(n.promised) {
 		n.cfg.Metrics.NacksSent.Inc()
 		n.send(from, &message{Kind: mNack, Ballot: n.promised})
@@ -746,8 +826,23 @@ func (n *Node) onPromise(m *message, from int) {
 }
 
 func (n *Node) tryCompleteElection() {
-	if !n.preparing || len(n.promises) < n.majority() {
+	if !n.preparing {
 		return
+	}
+	// Quorum intersection across the activation horizon: open instances ≥
+	// chosenSeq may be governed by the active config OR by any change
+	// scheduled after it, so the candidate needs a promise majority in
+	// every one of them before it may adopt-and-reproprose.
+	for _, sc := range n.scheduledConfigs(n.chosenSeq) {
+		got := 0
+		for id := range n.promises {
+			if sc.M.IsVoter(id) {
+				got++
+			}
+		}
+		if got < sc.M.Quorum() {
+			return
+		}
 	}
 	var maxChosen uint64
 	for _, p := range n.promises {
@@ -810,6 +905,13 @@ func (n *Node) onNack(m *message, from int) {
 }
 
 func (n *Node) onAccept(m *message, from int) {
+	if !n.configAt(m.Inst).IsVoter(n.cfg.ID) {
+		return // learners never accept
+	}
+	if m.Epoch < n.epochAt(m.Inst) {
+		n.sendEpochNack(from)
+		return
+	}
 	if m.Ballot.Less(n.promised) {
 		n.cfg.Metrics.NacksSent.Inc()
 		n.send(from, &message{Kind: mNack, Ballot: n.promised})
@@ -848,15 +950,28 @@ func (n *Node) onAccepted(m *message, from int) {
 	}
 	st.acks[from] = true
 	// Commit in instance order: only the lowest open instance may close.
+	// Acks are counted against the membership governing the instance, so a
+	// pipeline spanning an activation boundary uses the right quorum on
+	// both sides and learner acks never count.
 	for {
 		low, ok := n.inflight[n.chosenSeq]
-		if !ok || len(low.acks) < n.majority() {
+		if !ok {
+			return
+		}
+		cfgm := n.configAt(n.chosenSeq)
+		got := 0
+		for id := range low.acks {
+			if cfgm.IsVoter(id) {
+				got++
+			}
+		}
+		if got < cfgm.Quorum() {
 			return
 		}
 		inst, val := n.chosenSeq, low.val
 		n.cfg.Metrics.CommitLatency.Observe(n.cfg.Env.Now() - low.sentAt)
 		delete(n.inflight, inst)
-		n.broadcast(&message{Kind: mCommit, Ballot: n.prepBallot, Inst: inst, Val: val})
+		n.broadcast(&message{Kind: mCommit, Ballot: n.prepBallot, Inst: inst, Val: val, Epoch: n.epochAt(inst)})
 		// broadcast includes self; commitValue runs when the self-message
 		// arrives. Commit locally right away instead for promptness.
 		n.commitValue(inst, val, n.cfg.ID)
@@ -867,6 +982,14 @@ func (n *Node) onAccepted(m *message, from int) {
 }
 
 func (n *Node) onHeartbeat(m *message, from int) {
+	if !n.activeConfig().IsVoter(from) {
+		// A non-voter (typically a removed ex-leader that has not yet
+		// learned the change) must not suppress elections; teach it.
+		if m.Epoch < n.activeEpoch {
+			n.sendEpochNack(from)
+		}
+		return
+	}
 	if m.Ballot.Less(n.promised) {
 		return // stale leader
 	}
@@ -917,6 +1040,7 @@ func (n *Node) commitValue(inst uint64, val []byte, from int) {
 		n.cfg.Metrics.Commits.Inc()
 		delete(n.accepted, inst)
 		n.commits = append(n.commits, commitNote{inst: inst, val: val})
+		n.maybeScheduleFromValue(inst, val)
 		if n.isLeader && n.announceAfter {
 			// Re-proposal(s) from takeover committed: check whether the
 			// next instance also has an accepted value to re-propose.
@@ -933,6 +1057,7 @@ func (n *Node) commitValue(inst uint64, val []byte, from int) {
 		delete(n.pendingVal, n.chosenSeq)
 		inst, val = n.chosenSeq, next
 	}
+	n.checkActivation()
 	if n.isLeader {
 		n.proposeNext()
 	}
@@ -953,7 +1078,7 @@ func (n *Node) startPhase2(inst uint64, val []byte) {
 	if inst >= n.nextPropose {
 		n.nextPropose = inst + 1
 	}
-	n.broadcast(&message{Kind: mAccept, Ballot: n.prepBallot, Inst: inst, Val: val})
+	n.broadcast(&message{Kind: mAccept, Ballot: n.prepBallot, Inst: inst, Val: val, Epoch: n.epochAt(inst)})
 }
 
 func (n *Node) proposeNext() {
@@ -967,6 +1092,13 @@ func (n *Node) proposeNext() {
 		val := n.proposeQ[0]
 		n.proposeQ = n.proposeQ[1:]
 		n.startPhase2(n.nextPropose, val)
+	}
+	// A scheduled membership activates only when chosenSeq crosses its
+	// horizon; with no client traffic nothing else advances the counter,
+	// so the leader pads with no-ops until the boundary is crossed.
+	if len(n.inflight) == 0 && len(n.proposeQ) == 0 &&
+		n.configs[len(n.configs)-1].FromInst > n.chosenSeq {
+		n.startPhase2(n.nextPropose, reconfig.PaddingValue())
 	}
 }
 
@@ -1003,6 +1135,15 @@ func (n *Node) handleCompact(upTo uint64) {
 		e.Byte(recChosen)
 		e.Uvarint(n.chosenBase + uint64(i))
 		e.BytesVal(v)
+		recs = append(recs, append([]byte(nil), e.Bytes()...))
+	}
+	// The membership schedule must survive the rewrite: the reconfig
+	// values that produced it may live in the compacted-away prefix.
+	for _, sc := range n.scheduledConfigs(n.chosenBase) {
+		e.Reset()
+		e.Byte(recConfig)
+		e.Uvarint(sc.FromInst)
+		e.BytesVal(reconfig.EncodeValue(sc.M))
 		recs = append(recs, append([]byte(nil), e.Bytes()...))
 	}
 	if err := n.cfg.Log.Rewrite(recs); err != nil {

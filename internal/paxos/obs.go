@@ -17,6 +17,8 @@ type Metrics struct {
 	Commits    *obs.Counter // instances committed (learned chosen)
 	Proposals  *obs.Counter // phase-2 instances opened at the leader
 	Heartbeats *obs.Counter // leader beacons broadcast
+	EpochNacks *obs.Counter // stale-epoch rejections sent
+	Reconfigs  *obs.Counter // membership changes scheduled (chosen)
 
 	// CommitLatency is propose→commit at the leader: from opening phase 2
 	// for an instance until a majority of Accepteds closes it.
@@ -39,6 +41,8 @@ func NewMetrics() *Metrics {
 		Commits:       obs.NewCounter(),
 		Proposals:     obs.NewCounter(),
 		Heartbeats:    obs.NewCounter(),
+		EpochNacks:    obs.NewCounter(),
+		Reconfigs:     obs.NewCounter(),
 		CommitLatency: obs.NewHistogram(),
 		PersistBatch:  obs.NewSizeHistogram(),
 	}
@@ -54,6 +58,8 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	reg.RegisterCounter("rex_paxos_commits_total", m.Commits)
 	reg.RegisterCounter("rex_paxos_proposals_total", m.Proposals)
 	reg.RegisterCounter("rex_paxos_heartbeats_total", m.Heartbeats)
+	reg.RegisterCounter("rex_paxos_epoch_nacks_total", m.EpochNacks)
+	reg.RegisterCounter("rex_paxos_reconfigs_total", m.Reconfigs)
 	reg.RegisterHistogram("rex_paxos_commit_latency_seconds", m.CommitLatency)
 	reg.RegisterSizeHistogram("rex_paxos_persist_batch_records", m.PersistBatch)
 }

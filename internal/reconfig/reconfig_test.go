@@ -1,0 +1,126 @@
+package reconfig
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Membership{
+		Epoch:    7,
+		Voters:   []int{0, 1, 3},
+		Learners: []int{4},
+		Addrs:    map[int]string{0: "a:1", 1: "b:2", 3: "c:3", 4: "d:4"},
+		Alpha:    12,
+	}
+	val := EncodeValue(m)
+	if !IsValue(val) {
+		t.Fatal("encoded membership not recognized by IsValue")
+	}
+	got, err := DecodeValue(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestIsValueRejectsDeltas(t *testing.T) {
+	// Trace deltas start with their version byte (1); arbitrary small
+	// values must not be mistaken for memberships.
+	for _, b := range [][]byte{nil, {}, {1}, {1, 2, 3}, {0}} {
+		if IsValue(b) {
+			t.Fatalf("IsValue(%v) = true", b)
+		}
+	}
+	if _, err := DecodeValue([]byte{valueMagic}); err == nil {
+		t.Fatal("truncated membership decoded without error")
+	}
+}
+
+func TestChangeConstructors(t *testing.T) {
+	m := Initial(3)
+	if m.Epoch != 0 || !reflect.DeepEqual(m.Voters, []int{0, 1, 2}) {
+		t.Fatalf("Initial(3) = %+v", m)
+	}
+	if m.Quorum() != 2 {
+		t.Fatalf("quorum = %d", m.Quorum())
+	}
+
+	added, err := m.WithAdd(3, "x:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.Epoch != 1 || !added.IsLearner(3) || added.IsVoter(3) {
+		t.Fatalf("WithAdd: %+v", added)
+	}
+	if added.Quorum() != 2 {
+		t.Fatalf("learner changed quorum: %d", added.Quorum())
+	}
+	if _, err := added.WithAdd(3, "x:1"); err == nil {
+		t.Fatal("double add allowed")
+	}
+
+	promoted, err := added.WithPromote(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted.Epoch != 2 || !promoted.IsVoter(3) || promoted.IsLearner(3) {
+		t.Fatalf("WithPromote: %+v", promoted)
+	}
+	if promoted.Quorum() != 3 {
+		t.Fatalf("4-voter quorum = %d", promoted.Quorum())
+	}
+
+	removed, err := promoted.WithRemove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.IsMember(1) || removed.Epoch != 3 {
+		t.Fatalf("WithRemove: %+v", removed)
+	}
+	if _, ok := removed.Addrs[1]; ok {
+		t.Fatal("address survived removal")
+	}
+	if _, err := removed.WithPromote(0); err == nil {
+		t.Fatal("promoting a voter allowed")
+	}
+	if _, err := removed.WithRemove(9); err == nil {
+		t.Fatal("removing a stranger allowed")
+	}
+
+	// Cannot remove the last voter.
+	solo := Membership{Epoch: 0, Voters: []int{0}, Alpha: 1}
+	if _, err := solo.WithRemove(0); err == nil {
+		t.Fatal("removed last voter")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Membership{
+		{Voters: nil, Alpha: 1},
+		{Voters: []int{0}, Alpha: 0},
+		{Voters: []int{0, 0}, Alpha: 1},
+		{Voters: []int{0}, Learners: []int{0}, Alpha: 1},
+		{Voters: []int{-1}, Alpha: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: %+v validated", i, m)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	m0 := Initial(3)
+	m1, _ := m0.WithAdd(3, "x:1")
+	s := []Scheduled{{FromInst: 0, M: m0}, {FromInst: 42, M: m1}}
+	got, err := DecodeSchedule(EncodeSchedule(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("schedule round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}

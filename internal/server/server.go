@@ -6,9 +6,13 @@
 // Response frame: [4-byte len][1-byte status][body]
 //
 // Kinds: 1 = submit (replicated), 2 = query (local read-only), 3 = fetch
-// the shard map (group/client/seq ignored), 4 = group status.
+// the shard map (group/client/seq ignored), 4 = group status, 5 = propose
+// a membership change (body: op + ids + addr), 6 = fetch the group's
+// committed membership.
 // Status: 0 = ok (body is the response), 1 = not primary (body is a
-// varint leader hint, -1 unknown), 2 = error (body is a message).
+// varint leader hint, -1 unknown), 2 = error (body is a message; the
+// request may succeed elsewhere or later), 3 = failed permanently (body
+// is a message; retrying cannot help).
 //
 // Framing is defensive: an oversized length prefix gets an error response
 // and the connection is dropped (the stream cannot be resynced), and a
@@ -17,6 +21,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,23 +31,38 @@ import (
 	"time"
 
 	"rex/internal/core"
+	"rex/internal/reconfig"
 	"rex/internal/shard"
 	"rex/internal/wire"
 )
 
 // Protocol constants.
 const (
-	KindSubmit   byte = 1
-	KindQuery    byte = 2
-	KindShardMap byte = 3
-	KindStatus   byte = 4
+	KindSubmit     byte = 1
+	KindQuery      byte = 2
+	KindShardMap   byte = 3
+	KindStatus     byte = 4
+	KindReconfig   byte = 5
+	KindMembership byte = 6
 
 	StatusOK         byte = 0
 	StatusNotPrimary byte = 1
 	StatusError      byte = 2
+	StatusFailed     byte = 3
+
+	// Reconfig ops carried in a KindReconfig body.
+	ReconfigAdd     byte = 1
+	ReconfigRemove  byte = 2
+	ReconfigReplace byte = 3
 
 	maxFrame = 64 << 20
 )
+
+// ErrPermanent marks client errors that no retry can fix: the server
+// answered StatusFailed (stale sequence number, unknown group, a
+// membership change the current membership rejects), or the request
+// itself cannot be framed. Callers check with errors.Is.
+var ErrPermanent = errors.New("server: permanent failure")
 
 // frameBodyTimeout bounds how long a connection may dangle between a
 // frame's length prefix and its last body byte. A package variable so the
@@ -152,7 +172,9 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 	}
 	rep := s.replicas[int(group)]
 	if rep == nil {
-		return StatusError, []byte(fmt.Sprintf("server: group %d not hosted here", group))
+		// Placement is static per map version: no retry against this node
+		// can ever find the group.
+		return StatusFailed, []byte(fmt.Sprintf("server: group %d not hosted here", group))
 	}
 	switch kind {
 	case KindSubmit:
@@ -163,6 +185,11 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 				e := wire.NewEncoder(nil)
 				e.Varint(int64(np.Leader))
 				return StatusNotPrimary, e.Bytes()
+			}
+			if errors.Is(err, core.ErrStaleSeq) {
+				// The primary's dedup table has moved past this sequence
+				// number; no replica will ever accept it again.
+				return StatusFailed, []byte(err.Error())
 			}
 			return StatusError, []byte(err.Error())
 		}
@@ -182,8 +209,57 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		e.Uvarint(st.ReqsCompleted)
 		e.Uvarint(uint64(st.Outstanding))
 		return StatusOK, e.Bytes()
+	case KindReconfig:
+		return s.handleReconfig(rep, body)
+	case KindMembership:
+		// A replica parked after its own removal still knows a membership,
+		// but a stale one — make the client ask a live member instead.
+		if rep.Role() == core.RoleRemoved {
+			return StatusError, []byte("replica removed from membership")
+		}
+		return StatusOK, reconfig.EncodeValue(rep.Membership())
 	}
 	return StatusError, []byte(fmt.Sprintf("unknown request kind %d", kind))
+}
+
+func (s *Server) handleReconfig(rep *core.Replica, body []byte) (byte, []byte) {
+	d := wire.NewDecoder(body)
+	op := d.Byte()
+	id := int(d.Uvarint())
+	newID := int(d.Uvarint())
+	addr := string(d.BytesVal())
+	if d.Err() != nil {
+		return StatusError, []byte("malformed reconfig request")
+	}
+	var err error
+	switch op {
+	case ReconfigAdd:
+		err = rep.AddMember(id, addr)
+	case ReconfigRemove:
+		err = rep.RemoveMember(id)
+	case ReconfigReplace:
+		err = rep.ReplaceMember(id, newID, addr)
+	default:
+		return StatusFailed, []byte(fmt.Sprintf("unknown reconfig op %d", op))
+	}
+	if err != nil {
+		var np core.ErrNotPrimary
+		switch {
+		case errors.As(err, &np):
+			e := wire.NewEncoder(nil)
+			e.Varint(int64(np.Leader))
+			return StatusNotPrimary, e.Bytes()
+		case errors.Is(err, core.ErrReconfigInFlight), errors.Is(err, core.ErrStopped):
+			// Transient: the in-flight change commits, or another replica
+			// takes over; the same request can succeed on a later attempt.
+			return StatusError, []byte(err.Error())
+		default:
+			// Membership validation rejections (already a member, not a
+			// member, would drop below quorum) don't change on retry.
+			return StatusFailed, []byte(err.Error())
+		}
+	}
+	return StatusOK, nil
 }
 
 // GroupStatus is one replica's answer to a KindStatus request.
@@ -208,10 +284,17 @@ func decodeGroupStatus(b []byte) (GroupStatus, error) {
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameDeadline(r, time.Time{})
+}
+
+// readFrameDeadline is readFrame with an optional overall deadline: a
+// zero dl lets the connection idle forever between frames (the server's
+// posture), a non-zero dl caps both the wait for the header and the wait
+// for the body (a client honoring a context deadline).
+func readFrameDeadline(r io.Reader, dl time.Time) ([]byte, error) {
 	conn, _ := r.(net.Conn)
 	if conn != nil {
-		// Between frames a connection may idle forever.
-		conn.SetReadDeadline(time.Time{})
+		conn.SetReadDeadline(dl)
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -222,9 +305,13 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, errOversized
 	}
 	// Once a length has been announced the body must follow promptly; a
-	// client that dies mid-frame must not pin this handler forever.
+	// peer that dies mid-frame must not pin this handler forever.
 	if conn != nil {
-		conn.SetReadDeadline(time.Now().Add(frameBodyTimeout))
+		bodyDl := time.Now().Add(frameBodyTimeout)
+		if !dl.IsZero() && dl.Before(bodyDl) {
+			bodyDl = dl
+		}
+		conn.SetReadDeadline(bodyDl)
 	}
 	buf := make([]byte, n)
 	if got, err := io.ReadFull(r, buf); err != nil {
@@ -281,11 +368,7 @@ func (c *Client) conn(i int) (net.Conn, error) {
 	return conn, nil
 }
 
-func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []byte, error) {
-	conn, err := c.conn(i)
-	if err != nil {
-		return 0, nil, err
-	}
+func (c *Client) roundTrip(ctx context.Context, i int, kind byte, seq uint64, body []byte) (byte, []byte, error) {
 	e := wire.NewEncoder(nil)
 	e.Byte(kind)
 	e.Uvarint(uint64(c.group))
@@ -293,6 +376,21 @@ func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []b
 	e.Uvarint(seq)
 	e.BytesVal(body)
 	frame := e.Bytes()
+	if len(frame) > maxFrame {
+		// The server would refuse the length prefix and drop the
+		// connection; fail before poisoning the stream.
+		return 0, nil, fmt.Errorf("%w: request frame of %d bytes exceeds the %d-byte limit",
+			ErrPermanent, len(frame), maxFrame)
+	}
+	conn, err := c.conn(i)
+	if err != nil {
+		return 0, nil, err
+	}
+	var dl time.Time
+	if d, ok := ctx.Deadline(); ok {
+		dl = d
+	}
+	conn.SetWriteDeadline(dl)
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
 	if _, err := conn.Write(hdr[:]); err != nil {
@@ -305,7 +403,7 @@ func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []b
 		delete(c.conns, i)
 		return 0, nil, err
 	}
-	resp, err := readFrame(conn)
+	resp, err := readFrameDeadline(conn, dl)
 	if err != nil || len(resp) < 1 {
 		conn.Close()
 		delete(c.conns, i)
@@ -320,15 +418,29 @@ func (c *Client) roundTrip(i int, kind byte, seq uint64, body []byte) (byte, []b
 // Do submits a replicated request to the client's group, following
 // not-primary redirects.
 func (c *Client) Do(body []byte) ([]byte, error) {
+	return c.DoCtx(context.Background(), body)
+}
+
+// DoCtx is Do honoring ctx: cancellation aborts the retry loop between
+// attempts, and a ctx deadline also bounds each attempt's network I/O.
+// A StatusFailed answer (or an unframeable request) returns an error
+// wrapping ErrPermanent immediately, with no further retries.
+func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
 	seq := c.seq
 	tried := 0
 	for tried < 4*len(c.addrs) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		i := c.target % len(c.addrs)
-		status, resp, err := c.roundTrip(i, KindSubmit, seq, body)
+		status, resp, err := c.roundTrip(ctx, i, KindSubmit, seq, body)
 		if err != nil {
+			if errors.Is(err, ErrPermanent) {
+				return nil, err
+			}
 			c.target++
 			tried++
 			continue
@@ -345,6 +457,8 @@ func (c *Client) Do(body []byte) ([]byte, error) {
 				c.target++
 			}
 			tried++
+		case StatusFailed:
+			return nil, fmt.Errorf("%w: %s", ErrPermanent, resp)
 		default:
 			c.target++
 			tried++
@@ -357,7 +471,7 @@ func (c *Client) Do(body []byte) ([]byte, error) {
 func (c *Client) Query(i int, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	status, resp, err := c.roundTrip(i, KindQuery, 0, body)
+	status, resp, err := c.roundTrip(context.Background(), i, KindQuery, 0, body)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +485,7 @@ func (c *Client) Query(i int, body []byte) ([]byte, error) {
 func (c *Client) Status(i int) (GroupStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	status, resp, err := c.roundTrip(i, KindStatus, 0, nil)
+	status, resp, err := c.roundTrip(context.Background(), i, KindStatus, 0, nil)
 	if err != nil {
 		return GroupStatus{}, err
 	}
@@ -381,11 +495,89 @@ func (c *Client) Status(i int) (GroupStatus, error) {
 	return decodeGroupStatus(resp)
 }
 
+// Membership fetches the group's committed membership from replica i.
+func (c *Client) Membership(i int) (reconfig.Membership, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, resp, err := c.roundTrip(context.Background(), i, KindMembership, 0, nil)
+	if err != nil {
+		return reconfig.Membership{}, err
+	}
+	if status != StatusOK {
+		return reconfig.Membership{}, fmt.Errorf("server: membership fetch failed: %s", resp)
+	}
+	return reconfig.DecodeValue(resp)
+}
+
+// AddMember asks the group's primary to admit a new replica (it joins as
+// a learner and is promoted once caught up). addr is its paxos address in
+// a TCP deployment; empty for in-process transports.
+func (c *Client) AddMember(id int, addr string) error {
+	return c.reconfigOp(ReconfigAdd, id, 0, addr)
+}
+
+// RemoveMember asks the group's primary to retire a replica.
+func (c *Client) RemoveMember(id int) error {
+	return c.reconfigOp(ReconfigRemove, id, 0, "")
+}
+
+// ReplaceMember atomically swaps oldID out and admits newID in one
+// committed membership change.
+func (c *Client) ReplaceMember(oldID, newID int, addr string) error {
+	return c.reconfigOp(ReconfigReplace, oldID, newID, addr)
+}
+
+func (c *Client) reconfigOp(op byte, id, newID int, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := wire.NewEncoder(nil)
+	e.Byte(op)
+	e.Uvarint(uint64(id))
+	e.Uvarint(uint64(newID))
+	e.BytesVal([]byte(addr))
+	body := e.Bytes()
+	tried := 0
+	for tried < 4*len(c.addrs) {
+		i := c.target % len(c.addrs)
+		status, resp, err := c.roundTrip(context.Background(), i, KindReconfig, 0, body)
+		if err != nil {
+			c.target++
+			tried++
+			continue
+		}
+		switch status {
+		case StatusOK:
+			return nil
+		case StatusNotPrimary:
+			d := wire.NewDecoder(resp)
+			leader := d.Varint()
+			if d.Err() == nil && leader >= 0 {
+				c.target = int(leader)
+			} else {
+				c.target++
+			}
+			tried++
+		case StatusFailed:
+			return fmt.Errorf("%w: %s", ErrPermanent, resp)
+		default:
+			// Transient: a change already in flight, or a stopped/removed
+			// replica. Give it a moment, then move on — if the change is
+			// in flight on the primary the next server's redirect sends us
+			// straight back, while a parked removed replica would answer
+			// this way forever.
+			time.Sleep(50 * time.Millisecond)
+			c.target++
+			tried++
+		}
+	}
+	return errors.New("server: reconfiguration not accepted")
+}
+
 // FetchShardMap asks the replica at i for the deployment's shard map.
 func (c *Client) FetchShardMap(i int) (*shard.ShardMap, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	status, resp, err := c.roundTrip(i, KindShardMap, 0, nil)
+	status, resp, err := c.roundTrip(context.Background(), i, KindShardMap, 0, nil)
 	if err != nil {
 		return nil, err
 	}

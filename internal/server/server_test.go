@@ -397,7 +397,8 @@ func TestClientProtocolFraming(t *testing.T) {
 				f := request(KindSubmit, 7, 1, 1, []byte("x"))
 				writeRaw(conn, uint32(len(f)), f)
 			},
-			wantStatus: int(StatusError),
+			// Permanent: placement is static, retrying cannot help.
+			wantStatus: int(StatusFailed),
 			wantMsg:    "not hosted",
 		},
 		{

@@ -296,6 +296,14 @@ func (l *FileLog) SetMetrics(m *LogMetrics) {
 	}
 }
 
+// DurableRecords returns how many appended records the committer has made
+// durable so far — the WAL's durable frontier, exposed on rexd's /healthz.
+func (l *FileLog) DurableRecords() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dur
+}
+
 // Append implements Log: the record is queued for the committer and the
 // call returns once the flush covering it is durable.
 func (l *FileLog) Append(rec []byte) error {

@@ -27,15 +27,18 @@ import (
 //     waits for them (ep.wg) before closing the inbox, so no loop can
 //     send on a closed channel.
 type TCPEndpoint struct {
-	id    int
-	addrs []string
-	ln    net.Listener
+	id int
+	ln net.Listener
 
 	mu       sync.Mutex
 	closed   bool
 	accepted map[net.Conn]struct{}
 
-	peers []*tcpPeer
+	// peersMu guards the address book and peer slots, which change at
+	// runtime as membership changes (SetPeer); never held across I/O.
+	peersMu sync.Mutex
+	addrs   map[int]string
+	peers   map[int]*tcpPeer
 
 	inbox chan tcpDelivery
 	wg    sync.WaitGroup
@@ -80,10 +83,10 @@ func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
 	}
 	ep := &TCPEndpoint{
 		id:       id,
-		addrs:    addrs,
 		ln:       ln,
 		accepted: make(map[net.Conn]struct{}),
-		peers:    make([]*tcpPeer, len(addrs)),
+		addrs:    make(map[int]string, len(addrs)),
+		peers:    make(map[int]*tcpPeer, len(addrs)),
 		inbox:    make(chan tcpDelivery, 4096),
 
 		framesIn:  obs.NewCounter(),
@@ -93,7 +96,11 @@ func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
 		drops:     obs.NewCounter(),
 		redials:   obs.NewCounter(),
 	}
-	for i := range ep.peers {
+	for i, a := range addrs {
+		if a == "" {
+			continue // unknown peer; SetPeer fills it in later
+		}
+		ep.addrs[i] = a
 		ep.peers[i] = &tcpPeer{}
 	}
 	ep.wg.Add(1)
@@ -103,6 +110,45 @@ func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
 
 // ID implements Endpoint.
 func (ep *TCPEndpoint) ID() int { return ep.id }
+
+// SetPeer installs or updates the address for peer id, so deployments can
+// attach joiners (and re-point replaced ids) as membership changes commit.
+// An address change drops the cached connection; the next Send re-dials.
+// An empty addr removes the peer.
+func (ep *TCPEndpoint) SetPeer(id int, addr string) {
+	if id < 0 || id == ep.id {
+		return
+	}
+	ep.peersMu.Lock()
+	old, had := ep.addrs[id]
+	var stale net.Conn
+	if addr == "" {
+		delete(ep.addrs, id)
+		if p := ep.peers[id]; p != nil {
+			p.connMu.Lock()
+			stale = p.conn
+			p.conn = nil
+			p.connMu.Unlock()
+		}
+		delete(ep.peers, id)
+	} else {
+		ep.addrs[id] = addr
+		if _, ok := ep.peers[id]; !ok {
+			ep.peers[id] = &tcpPeer{}
+		}
+		if had && old != addr {
+			p := ep.peers[id]
+			p.connMu.Lock()
+			stale = p.conn
+			p.conn = nil
+			p.connMu.Unlock()
+		}
+	}
+	ep.peersMu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+}
 
 // Addr returns the bound listen address.
 func (ep *TCPEndpoint) Addr() net.Addr { return ep.ln.Addr() }
@@ -216,7 +262,13 @@ func (ep *TCPEndpoint) getConn(to int, p *tcpPeer) (net.Conn, error) {
 	if ep.isClosed() {
 		return nil, errors.New("transport: endpoint closed")
 	}
-	c, err := net.DialTimeout("tcp", ep.addrs[to], 2*time.Second)
+	ep.peersMu.Lock()
+	addr := ep.addrs[to]
+	ep.peersMu.Unlock()
+	if addr == "" {
+		return nil, errors.New("transport: no address for peer")
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +301,7 @@ func (p *tcpPeer) dropConn(c net.Conn) {
 // connection; the next Send re-dials. Sends to different peers proceed
 // independently: only senders to the same peer serialize.
 func (ep *TCPEndpoint) Send(to int, payload []byte) {
-	if to < 0 || to >= len(ep.peers) {
+	if to < 0 {
 		ep.drops.Inc()
 		return
 	}
@@ -272,7 +324,13 @@ func (ep *TCPEndpoint) Send(to int, payload []byte) {
 		ep.mu.Unlock()
 		return
 	}
+	ep.peersMu.Lock()
 	p := ep.peers[to]
+	ep.peersMu.Unlock()
+	if p == nil {
+		ep.drops.Inc()
+		return
+	}
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
 	c, err := ep.getConn(to, p)
@@ -320,7 +378,13 @@ func (ep *TCPEndpoint) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	ep.peersMu.Lock()
+	peers := make([]*tcpPeer, 0, len(ep.peers))
 	for _, p := range ep.peers {
+		peers = append(peers, p)
+	}
+	ep.peersMu.Unlock()
+	for _, p := range peers {
 		p.connMu.Lock()
 		if p.conn != nil {
 			p.conn.Close()

@@ -74,7 +74,35 @@ type delayRange struct {
 }
 
 // Size returns the number of replicas the fabric connects.
-func (nw *Network) Size() int { return len(nw.inboxes) }
+func (nw *Network) Size() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return len(nw.inboxes)
+}
+
+// Grow extends the fabric to n replicas (no-op if already that large), so
+// a cluster can attach joiners without rebuilding the network. New slots
+// start connected and fault-free.
+func (nw *Network) Grow(n int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for len(nw.inboxes) < n {
+		nw.inboxes = append(nw.inboxes, nw.e.NewChan(0))
+		nw.down = append(nw.down, false)
+	}
+	for i := range nw.cut {
+		for len(nw.cut[i]) < n {
+			nw.cut[i] = append(nw.cut[i], false)
+		}
+		for len(nw.link[i]) < n {
+			nw.link[i] = append(nw.link[i], delayRange{})
+		}
+	}
+	for len(nw.cut) < n {
+		nw.cut = append(nw.cut, make([]bool, n))
+		nw.link = append(nw.link, make([]delayRange, n))
+	}
+}
 
 // Endpoint returns replica i's endpoint.
 func (nw *Network) Endpoint(i int) Endpoint { return &netEndpoint{nw: nw, id: i} }
@@ -174,13 +202,21 @@ func (ep *netEndpoint) ID() int { return ep.id }
 
 func (ep *netEndpoint) Send(to int, payload []byte) {
 	nw := ep.nw
-	if to < 0 || to >= len(nw.inboxes) {
-		panic("transport: send to unknown replica")
+	if to < 0 {
+		panic("transport: send to negative replica id")
 	}
+	// An id beyond the fabric is dropped, not a panic: with dynamic
+	// membership a replica can briefly hold a config naming a joiner the
+	// test harness has not attached yet.
 	if to == ep.id {
 		// Local delivery (e.g. a leader's message to its own acceptor)
 		// bypasses the network: no delay, no loss.
 		nw.mu.Lock()
+		if to >= len(nw.inboxes) {
+			nw.dropped++
+			nw.mu.Unlock()
+			return
+		}
 		down := nw.down[ep.id]
 		var inbox env.Chan
 		if !down {
@@ -195,6 +231,11 @@ func (ep *netEndpoint) Send(to int, payload []byte) {
 		return
 	}
 	nw.mu.Lock()
+	if to >= len(nw.inboxes) {
+		nw.dropped++
+		nw.mu.Unlock()
+		return
+	}
 	if nw.down[ep.id] || nw.down[to] || nw.cut[ep.id][to] {
 		nw.dropped++
 		nw.mu.Unlock()
