@@ -45,5 +45,6 @@ chaos:
 	$(GO) run ./cmd/rexchaos -scenarios 8 -seed 1
 	$(GO) run ./cmd/rexchaos -shards -scenarios 2 -seed 1
 	$(GO) run ./cmd/rexchaos -reconfig -scenarios 4 -seed 1 -duration 2s
+	$(GO) run ./cmd/rexchaos -recovery -scenarios 4 -seed 1 -duration 4s
 
 check: build vet staticcheck test race chaos

@@ -27,6 +27,7 @@ func main() {
 		shards    = flag.Bool("shards", false, "run the sharded fault-isolation scenario instead (kill one group's primary, check blast radius)")
 		groups    = flag.Int("groups", 4, "replica groups for -shards")
 		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration scenario instead (replace/add/remove members under partitions)")
+		recovery  = flag.Bool("recovery", false, "run the bounded-recovery scenario instead (checkpoints disabled, promote/demote churn, must resync not panic)")
 		verbose   = flag.Bool("v", false, "log nemesis actions as they fire")
 	)
 	flag.Parse()
@@ -73,6 +74,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all %d reconfiguration scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *recovery {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			res := chaos.RunRecoveryScenario(chaos.RecoveryScenarioConfig{
+				Seed:     s,
+				App:      *app,
+				Duration: *duration,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d app=%-10s faults=%-2d ops=%-4d timeouts=%-3d resyncs=%-2d checked=%-4d wall=%-10v %s\n",
+				i+1, *scenarios, s, res.App, res.Faults, res.Ops, res.Timeouts,
+				res.Resyncs, res.Check.Ops, res.CheckerWall.Round(time.Microsecond), verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -recovery -scenarios 1 -seed %d -duration %v\n",
+				failed[0], *duration)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d bounded-recovery scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *shards {

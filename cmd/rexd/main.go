@@ -46,7 +46,8 @@ func main() {
 	dir := flag.String("dir", "", "data directory (WAL + checkpoints; per-group subdirectories when sharded)")
 	workers := flag.Int("workers", 8, "request worker threads (per group)")
 	readWorkers := flag.Int("read-workers", 2, "read-only query threads (per group)")
-	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = disabled)")
+	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 = explicit opt-out; recovery cost is then bounded only by -checkpoint-max-log)")
+	checkpointMaxLog := flag.Int64("checkpoint-max-log", 0, "force a checkpoint once this many log instances accumulate without one (0 = default 4096, negative = no floor)")
 	shards := flag.Int("shards", 1, "number of independent replica groups (1 = unsharded)")
 	groupReplicas := flag.Int("group-replicas", 0, "replicas per group (0 = one per node)")
 	metricsAddr := flag.String("metrics", "", "address to serve the metrics text dump on (e.g. :8080; empty = disabled)")
@@ -63,6 +64,15 @@ func main() {
 	}
 	if *dir == "" {
 		log.Fatalf("rexd: -dir data directory required")
+	}
+	if *checkpointEvery == 0 {
+		log.Printf("rexd: WARNING: periodic checkpoints disabled (-checkpoint-every 0); " +
+			"rebuild after a crash or demotion replays everything since the last checkpoint, " +
+			"bounded only by the -checkpoint-max-log floor")
+		if *checkpointMaxLog < 0 {
+			log.Printf("rexd: WARNING: -checkpoint-max-log < 0 removes the log-growth floor too; " +
+				"recovery time is now unbounded")
+		}
 	}
 	app, ok := apps.Get(*appName)
 	if !ok {
@@ -81,14 +91,15 @@ func main() {
 
 	e := env.NewReal()
 	template := core.Config{
-		Env:             e,
-		Factory:         app.Factory,
-		Workers:         *workers,
-		Timers:          app.Timers,
-		ReadWorkers:     *readWorkers,
-		CheckpointEvery: *checkpointEvery,
-		ElectionTimeout: 150 * time.Millisecond,
-		Seed:            int64(*id) + 1,
+		Env:                              e,
+		Factory:                          app.Factory,
+		Workers:                          *workers,
+		Timers:                           app.Timers,
+		ReadWorkers:                      *readWorkers,
+		CheckpointEvery:                  *checkpointEvery,
+		MaxLogInstancesWithoutCheckpoint: *checkpointMaxLog,
+		ElectionTimeout:                  150 * time.Millisecond,
+		Seed:                             int64(*id) + 1,
 	}
 	if *verbose {
 		template.Logf = log.Printf

@@ -107,6 +107,31 @@ func TestScenarioSmoke(t *testing.T) {
 	}
 }
 
+// TestRecoveryScenarioPinnedSeed replays the bounded-recovery scenario at
+// a pinned seed: checkpoints disabled, promote/demote churn, and a
+// secondary bounced across checkpoint-floor compaction. This configuration
+// used to livelock and then panic in Replayer.Extend; the scenario must
+// now finish with every replica live, the history linearizable, and at
+// least one rex_resync_total increment proving the defensive resync path
+// (not luck) carried the lagging replica back.
+func TestRecoveryScenarioPinnedSeed(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := RunRecoveryScenario(RecoveryScenarioConfig{
+		Seed:     1,
+		Duration: 4 * time.Second,
+	}, reg, nil)
+	if !res.OK {
+		t.Fatalf("recovery scenario failed: %v", res.Violations)
+	}
+	if res.Resyncs < 1 {
+		t.Fatalf("resyncs = %d, want >= 1", res.Resyncs)
+	}
+	if res.Ops == 0 || res.Check.Ops == 0 {
+		t.Fatalf("no operations recorded/checked: %+v", res)
+	}
+	t.Logf("recovery: app=%s faults=%d ops=%d resyncs=%d", res.App, res.Faults, res.Ops, res.Resyncs)
+}
+
 // journal is an order-sensitive state machine for the bug-detection test:
 // every request appends its tag to one list under a single Rex lock, so a
 // replayer that releases events before their causal predecessors can

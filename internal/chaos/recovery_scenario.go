@@ -1,0 +1,210 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/sim"
+	"rex/internal/storage"
+)
+
+// RecoveryScenarioConfig parameterizes one bounded-recovery chaos run.
+type RecoveryScenarioConfig struct {
+	Seed     int64
+	App      string        // "" or "all" derives the app from the seed
+	Duration time.Duration // virtual length of the client load phase
+	Clients  int
+}
+
+// RunRecoveryScenario runs the bounded-recovery nemesis: a three-replica
+// cluster with periodic checkpoints DISABLED (the checkpoint floor is the
+// only thing bounding log growth) is driven through promote/demote churn —
+// the current primary is repeatedly isolated just long enough for a new
+// leader to win and issue a rebasing delta, then healed so the deposed
+// primary demotes and rebuilds mid-stream. A secondary is also crashed and
+// restarted after the floor has compacted the log, forcing it to recover
+// via snapshot and follow committed deltas whose cuts may run beyond its
+// rebuilt trace. This is the configuration that used to livelock under
+// churn and then kill replicas with "panic: trace: base cut ... beyond
+// available events"; the run must instead end with every replica live, the
+// client history linearizable, states agreeing, and at least one
+// rex_resync_total increment proving the defensive resync path fired.
+func RunRecoveryScenario(cfg RecoveryScenarioConfig, reg *obs.Registry, logf func(string, ...any)) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	app := cfg.App
+	if app == "" || app == "all" {
+		names := Apps()
+		app = names[uint64(cfg.Seed)%uint64(len(names))]
+	}
+	res := Result{Seed: cfg.Seed, App: app}
+	spec, err := specFor(app)
+	if err != nil {
+		res.Violations = append(res.Violations, err.Error())
+		return res
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	var hist *check.History
+	var violations []string
+	var faults, resyncs int
+	timeouts := make([]int, cfg.Clients)
+	e.Run(func() {
+		c := cluster.New(e, spec.factory, cluster.Options{
+			Replicas:        3,
+			Workers:         2,
+			Timers:          spec.timers,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 120 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 0,  // periodic checkpoints off: the old livelock setup
+			MaxLogInstances: 48, // the log-growth floor is the only checkpoint driver
+			Seed:            cfg.Seed,
+			Logf:            logf,
+			NewLog:          func(int) storage.Log { return storage.NewMemLog() },
+		})
+		if err := c.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("cluster start: %v", err))
+			return
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		hist = check.NewHistory(e.Now)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ec0fe5))
+		begin := e.Now()
+		note := func(name, format string, args ...any) {
+			faults++
+			reg.CounterOf("chaos_fault_" + name).Inc()
+			if logf != nil {
+				logf("chaos: "+format, args...)
+			}
+		}
+		fail := func(format string, args ...any) {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+		sleep := func(min, max int) {
+			e.Sleep(time.Duration(min+rng.Intn(max-min)) * time.Millisecond)
+		}
+
+		nemesis := env.GoEach(e, "recovery-nemesis", 1, func(int) {
+			crashRound := 2 + rng.Intn(3) // bounce a secondary once, mid-churn
+			for round := 0; e.Now() < begin+cfg.Duration; round++ {
+				sleep(180, 320)
+				p := c.Primary()
+				if p < 0 {
+					continue
+				}
+				note("isolate_primary", "round %d: isolate primary %d", round, p)
+				c.Net.Isolate(p, true)
+				sleep(150, 260)
+				c.Net.Isolate(p, false)
+				note("heal", "round %d: heal primary %d", round, p)
+				if round == crashRound {
+					// Bounce a secondary so its recovery has to cross whatever
+					// the checkpoint floor compacted in the meantime.
+					victim := (c.Primary() + 1) % c.Size()
+					if victim == p {
+						victim = (victim + 1) % c.Size()
+					}
+					note("crash_replica", "round %d: crash secondary %d", round, victim)
+					c.Crash(victim)
+					sleep(500, 800)
+					if err := c.Restart(victim); err != nil {
+						fail("round %d restart %d: %v", round, victim, err)
+						return
+					}
+					note("restart_replica", "round %d: restart secondary %d", round, victim)
+				}
+			}
+		})
+		clients := env.GoEach(e, "recovery-client", cfg.Clients, func(ci int) {
+			cl := c.NewClient(uint64(100 + ci))
+			cl.Recorder = hist
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			for seq := 0; e.Now() < begin+cfg.Duration || seq == 0; seq++ {
+				body := spec.gen(crng, cl.ID, seq)
+				if _, err := cl.DoTimeout(body, 3*time.Second); err != nil {
+					timeouts[ci]++
+				}
+				e.Sleep(time.Duration(2+crng.Intn(8)) * time.Millisecond)
+			}
+		})
+		nemesis.Wait()
+		clients.Wait()
+
+		// Recover: heal the network and bring every replica back.
+		c.Net.Heal()
+		for i := 0; i < c.Size(); i++ {
+			if c.Replica(i) == nil {
+				if err := c.Restart(i); err != nil {
+					fail("recovery restart %d: %v", i, err)
+					return
+				}
+			}
+		}
+		states, faulted, err := c.StableStates(30 * time.Second)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		for i, ferr := range faulted {
+			fail("replica %d faulted after recovery: %v", i, ferr)
+		}
+		violations = append(violations, check.StateAgreement(states)...)
+		violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+
+		for i := 0; i < c.Size(); i++ {
+			if r := c.Replica(i); r != nil {
+				resyncs += int(r.Metrics().Counter("rex_resync_total"))
+			}
+		}
+		if resyncs == 0 {
+			fail("no rex_resync_total increment: the scenario never exercised the resync path")
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	res.Resyncs = resyncs
+	for _, t := range timeouts {
+		res.Timeouts += t
+	}
+	if hist != nil {
+		res.Ops = hist.Len()
+		wall := time.Now()
+		res.Check = check.CheckLinearizable(spec.model, hist.Ops(), 0)
+		res.CheckerWall = time.Since(wall)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(res.Check.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		reg.HistogramOf("chaos_checker_wall").Observe(res.CheckerWall)
+		if !res.Check.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("history of %d ops is not linearizable (%s)", res.Check.Ops, app))
+		}
+		if res.Check.Undecided {
+			res.Violations = append(res.Violations, "linearizability undecided: step budget exhausted")
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	res.Faults = faults
+	reg.CounterOf("chaos_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_scenarios_failed").Inc()
+	}
+	return res
+}

@@ -59,6 +59,7 @@ type Result struct {
 	Check       check.Result
 	CheckerWall time.Duration
 	Faults      int // nemesis steps applied
+	Resyncs     int // rex_resync_total summed over live replicas at the end
 }
 
 // Run executes the scenario under a fresh simulator and checks every

@@ -31,6 +31,10 @@ type Options struct {
 	HeartbeatEvery  time.Duration
 	ElectionTimeout time.Duration
 	CheckpointEvery time.Duration
+	// MaxLogInstances is the log-growth checkpoint floor
+	// (core.Config.MaxLogInstancesWithoutCheckpoint): 0 takes the core
+	// default, negative disables it.
+	MaxLogInstances int64
 	StatusEvery     time.Duration
 	MaxOutstanding  int
 	LagInstances    uint64
@@ -178,32 +182,33 @@ func (c *Cluster) config(i int) core.Config {
 		et = c.Opts.ElectionTimeoutOf(i)
 	}
 	return core.Config{
-		ID:                      i,
-		N:                       c.Opts.Replicas,
-		Env:                     c.Env,
-		Endpoint:                ep(i),
-		Log:                     c.Logs[i],
-		Snapshots:               c.Snaps[i],
-		Factory:                 c.Factory,
-		Workers:                 c.Opts.Workers,
-		Timers:                  c.Opts.Timers,
-		ReadWorkers:             c.Opts.ReadWorkers,
-		ProposeEvery:            c.Opts.ProposeEvery,
-		PipelineDepth:           c.Opts.PipelineDepth,
-		HeartbeatEvery:          c.Opts.HeartbeatEvery,
-		ElectionTimeout:         et,
-		CheckpointEvery:         c.Opts.CheckpointEvery,
-		StatusEvery:             c.Opts.StatusEvery,
-		MaxOutstanding:          c.Opts.MaxOutstanding,
-		LagLimitInstances:       c.Opts.LagInstances,
-		LagLimitEvents:          c.Opts.LagEvents,
-		DisableVersionChecks:    c.Opts.DisableChecks,
-		DisableResultChecks:     c.Opts.DisableChecks,
-		DisablePruning:          c.Opts.DisablePruning,
-		TotalOrderTryFail:       c.Opts.TotalOrderTry,
-		Seed:                    c.Opts.Seed,
-		Logf:                    c.Opts.Logf,
-		UnsafeReplayNoEdgeWaits: c.Opts.UnsafeReplayNoEdgeWaits,
+		ID:                               i,
+		N:                                c.Opts.Replicas,
+		Env:                              c.Env,
+		Endpoint:                         ep(i),
+		Log:                              c.Logs[i],
+		Snapshots:                        c.Snaps[i],
+		Factory:                          c.Factory,
+		Workers:                          c.Opts.Workers,
+		Timers:                           c.Opts.Timers,
+		ReadWorkers:                      c.Opts.ReadWorkers,
+		ProposeEvery:                     c.Opts.ProposeEvery,
+		PipelineDepth:                    c.Opts.PipelineDepth,
+		HeartbeatEvery:                   c.Opts.HeartbeatEvery,
+		ElectionTimeout:                  et,
+		CheckpointEvery:                  c.Opts.CheckpointEvery,
+		StatusEvery:                      c.Opts.StatusEvery,
+		MaxLogInstancesWithoutCheckpoint: c.Opts.MaxLogInstances,
+		MaxOutstanding:                   c.Opts.MaxOutstanding,
+		LagLimitInstances:                c.Opts.LagInstances,
+		LagLimitEvents:                   c.Opts.LagEvents,
+		DisableVersionChecks:             c.Opts.DisableChecks,
+		DisableResultChecks:              c.Opts.DisableChecks,
+		DisablePruning:                   c.Opts.DisablePruning,
+		TotalOrderTryFail:                c.Opts.TotalOrderTry,
+		Seed:                             c.Opts.Seed,
+		Logf:                             c.Opts.Logf,
+		UnsafeReplayNoEdgeWaits:          c.Opts.UnsafeReplayNoEdgeWaits,
 	}
 }
 

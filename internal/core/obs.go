@@ -25,6 +25,15 @@ type replicaMetrics struct {
 	promoteDur    *obs.Histogram // leader win → serving as primary
 	rebuildDur    *obs.Histogram // rollback/recovery rebuild duration
 
+	// Recovery-bound series: how often replicas fall back to a checkpoint
+	// re-sync, how much work each rebuild folds in, and how often the
+	// log-growth checkpoint floor fires (DESIGN.md "Recovery bounds").
+	resyncs       *obs.Counter       // desync detected → rebuild scheduled
+	rebuilds      *obs.Counter       // rebuilds completed (any cause)
+	rebuildDeltas *obs.SizeHistogram // chosen instances folded per rebuild
+	ckptFloor     *obs.Counter       // checkpoints forced by the log-growth floor
+	applyBacklog  *obs.Gauge         // committed instances queued behind apply
+
 	// Commit-path series: per-proposal delta shape and the end-to-end
 	// propose → commit-applied latency at the primary.
 	proposeCommit *obs.Histogram     // pump Propose → instance applied
@@ -49,6 +58,11 @@ func newReplicaMetrics(reg *obs.Registry) *replicaMetrics {
 		ckptBuild:     reg.Histogram("rex_checkpoint_build_seconds"),
 		promoteDur:    reg.Histogram("rex_promotion_seconds"),
 		rebuildDur:    reg.Histogram("rex_rebuild_seconds"),
+		resyncs:       reg.Counter("rex_resync_total"),
+		rebuilds:      reg.Counter("rex_rebuild_total"),
+		rebuildDeltas: reg.SizeHistogram("rex_rebuild_deltas"),
+		ckptFloor:     reg.Counter("rex_checkpoint_floor_total"),
+		applyBacklog:  reg.Gauge("rex_apply_backlog"),
 		proposeCommit: reg.Histogram("rex_propose_commit_seconds"),
 		deltaBytes:    reg.SizeHistogram("rex_delta_bytes"),
 		deltaEvents:   reg.SizeHistogram("rex_delta_events"),

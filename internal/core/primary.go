@@ -294,6 +294,11 @@ func (r *Replica) initiateCheckpoint() error {
 	r.nextMarkID++
 	id := r.markBase + r.nextMarkID
 	r.rt.Recorder().AddMark(trace.Mark{ID: id, Cut: cut})
+	if r.applied > r.lastCkptInst {
+		// Reset the log-growth floor immediately; the mark's own commit
+		// will bump this again to its exact instance.
+		r.lastCkptInst = r.applied
+	}
 	r.ckPauseWorkers = false
 	r.ckPauseTimers = false
 	r.cond.Broadcast()

@@ -113,7 +113,16 @@ type Config struct {
 	ElectionTimeout time.Duration
 	// CheckpointEvery is the primary's checkpoint initiation period; 0
 	// disables periodic checkpoints (Checkpoint can still be called).
+	// Even at 0, the MaxLogInstancesWithoutCheckpoint floor still forces a
+	// checkpoint when the log has grown too far, keeping rebuild cost —
+	// and hence recovery time — bounded.
 	CheckpointEvery time.Duration
+	// MaxLogInstancesWithoutCheckpoint is the log-growth checkpoint floor:
+	// when the committed log holds at least this many instances beyond the
+	// last checkpoint mark, the primary initiates a checkpoint regardless
+	// of CheckpointEvery. 0 selects the default (4096); negative disables
+	// the floor (rebuild cost then grows without bound — test-only).
+	MaxLogInstancesWithoutCheckpoint int64
 	// StatusEvery is the secondary's replay-status report period, feeding
 	// the primary's flow control.
 	StatusEvery time.Duration
@@ -185,6 +194,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.JoinLagInstances == 0 {
 		cfg.JoinLagInstances = 16
+	}
+	if cfg.MaxLogInstancesWithoutCheckpoint == 0 {
+		cfg.MaxLogInstancesWithoutCheckpoint = 4096
 	}
 	return cfg
 }
@@ -291,11 +303,25 @@ type Replica struct {
 	nextMarkID     uint64
 	markInst       map[uint64]uint64
 	lastSnapID     uint64
+	// lastCkptInst is the highest committed instance known to carry (or
+	// follow from) a checkpoint mark; the log-growth floor measures
+	// applied - lastCkptInst. Under mu.
+	lastCkptInst uint64
 
 	peers map[int]peerStatus
 
+	// Commit intake: OnCommitted runs on the paxos event loop, which also
+	// drives heartbeats and elections, so it must never block behind the
+	// apply path (a replica mid-rebuild can stall apply for a long time;
+	// blocking here was the election-churn half of the checkpoint-disabled
+	// livelock). Committed instances land in an unbounded slice queue and
+	// applyLoop drains them at its own pace.
+	commitMu     env.Mutex
+	commitCond   env.Cond
+	commitQ      []committedEvt
+	commitClosed bool
+
 	queryQ env.Chan
-	applyQ env.Chan
 	lifeQ  env.Chan
 
 	group *env.Group // all long-lived tasks, for Stop
@@ -350,7 +376,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 	r.obs = newReplicaMetrics(cfg.Metrics)
 	r.mu = cfg.Env.NewMutex()
 	r.cond = cfg.Env.NewCond(r.mu)
-	r.applyQ = cfg.Env.NewChan(0)
+	r.commitMu = cfg.Env.NewMutex()
+	r.commitCond = cfg.Env.NewCond(r.commitMu)
 	r.lifeQ = cfg.Env.NewChan(0)
 	r.queryQ = cfg.Env.NewChan(0)
 	r.proposeWake = cfg.Env.NewChan(1)
@@ -371,7 +398,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 		Logf:            cfg.Logf,
 		Metrics:         r.obs.paxos,
 		OnCommitted: func(inst uint64, val []byte) {
-			r.applyQ.Send(committedEvt{inst: inst, val: val})
+			r.enqueueCommit(committedEvt{inst: inst, val: val})
 		},
 		OnBecomeLeader: func() {
 			r.lifeQ.Send(leaderEvt{becameLeader: true, leader: cfg.ID, chosenAt: r.node.ChosenSeq()})
@@ -442,6 +469,9 @@ func (r *Replica) Start() error {
 	if r.cfg.CheckpointEvery > 0 {
 		r.spawn("ckpt-timer", r.checkpointTimer)
 	}
+	if r.cfg.MaxLogInstancesWithoutCheckpoint > 0 {
+		r.spawn("ckpt-floor", r.checkpointFloorLoop)
+	}
 	for i := 0; i < r.cfg.ReadWorkers; i++ {
 		r.spawn(fmt.Sprintf("read-%d", i), r.readWorker)
 	}
@@ -476,7 +506,7 @@ func (r *Replica) Stop() {
 	}
 	r.node.Stop()
 	r.mux.Close()
-	r.applyQ.Close()
+	r.closeCommitQ()
 	r.lifeQ.Close()
 	r.queryQ.Close()
 	r.proposeWake.Close()
@@ -543,15 +573,70 @@ func (r *Replica) failPendingLocked() {
 	r.cond.Broadcast()
 }
 
+// enqueueCommit appends a committed instance to the intake queue. It runs
+// on the paxos event loop and never blocks.
+func (r *Replica) enqueueCommit(evt committedEvt) {
+	r.commitMu.Lock()
+	if !r.commitClosed {
+		r.commitQ = append(r.commitQ, evt)
+		r.obs.applyBacklog.Set(int64(len(r.commitQ)))
+		r.commitCond.Broadcast()
+	}
+	r.commitMu.Unlock()
+}
+
+// nextCommit blocks until a committed instance is available (ok) or the
+// intake is closed (!ok).
+func (r *Replica) nextCommit() (committedEvt, bool) {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	for len(r.commitQ) == 0 {
+		if r.commitClosed {
+			return committedEvt{}, false
+		}
+		r.commitCond.Wait()
+	}
+	evt := r.commitQ[0]
+	r.commitQ[0] = committedEvt{}
+	r.commitQ = r.commitQ[1:]
+	if len(r.commitQ) == 0 {
+		r.commitQ = nil // let the drained backing array go
+	}
+	r.obs.applyBacklog.Set(int64(len(r.commitQ)))
+	return evt, true
+}
+
+func (r *Replica) closeCommitQ() {
+	r.commitMu.Lock()
+	r.commitClosed = true
+	r.commitQ = nil
+	r.commitCond.Broadcast()
+	r.commitMu.Unlock()
+}
+
+// noteResyncLocked records that this replica's applied state has
+// desynchronized from the committed stream and a rebuild is required.
+// Callers must hold r.mu; it reports whether a resyncEvt should be posted
+// (false when one is already pending, so a replica mid-rebuild batches the
+// committed backlog instead of queueing one event per skipped instance).
+func (r *Replica) noteResyncLocked() bool {
+	if r.needResync {
+		return false
+	}
+	r.needResync = true
+	r.obs.resyncs.Inc()
+	r.cond.Broadcast()
+	return true
+}
+
 // applyLoop consumes committed deltas from Paxos and folds them into the
 // replica's view of the committed trace.
 func (r *Replica) applyLoop() {
 	for {
-		v, ok := r.applyQ.Recv()
+		evt, ok := r.nextCommit()
 		if !ok {
 			return
 		}
-		evt := v.(committedEvt)
 		if reconfig.IsMeta(evt.val) {
 			// Membership changes and activation padding share the stream
 			// with trace deltas but never touch the application state.
@@ -576,11 +661,15 @@ func (r *Replica) applyLoop() {
 			// instance in from the learner's chosen log. The flag lets a
 			// promotion already occupying the lifecycle loop service the
 			// resync itself instead of waiting on an event queued behind
-			// it (see promote).
-			r.needResync = true
-			r.cond.Broadcast()
+			// it (see promote). While a resync is already pending, further
+			// jumped instances are simply dropped — the rebuild reads them
+			// from the chosen log — so a rebuilding replica batches the
+			// committed backlog instead of queueing an event per instance.
+			post := r.noteResyncLocked()
 			r.mu.Unlock()
-			r.lifeQ.Send(resyncEvt{})
+			if post {
+				r.lifeQ.Send(resyncEvt{})
+			}
 			continue
 		}
 		r.eventsProposed += uint64(d.EventCount())
@@ -593,6 +682,9 @@ func (r *Replica) applyLoop() {
 		r.deltaSizes = append(r.deltaSizes, len(evt.val))
 		for _, m := range d.Marks {
 			r.markInst[m.ID] = evt.inst
+		}
+		if len(d.Marks) > 0 && evt.inst > r.lastCkptInst {
+			r.lastCkptInst = evt.inst
 		}
 		var applyErr error
 		wakePump := false
@@ -609,8 +701,12 @@ func (r *Replica) applyLoop() {
 			}
 			applyErr = r.tr.Apply(d)
 			if applyErr == nil {
-				r.lcc = r.tr.ConsistentCut(r.lcc)
-				r.releaseResponsesLocked()
+				var lcc trace.Cut
+				lcc, applyErr = r.tr.ConsistentCut(r.lcc)
+				if applyErr == nil {
+					r.lcc = lcc
+					r.releaseResponsesLocked()
+				}
 			}
 		} else {
 			rep := r.rt.Replayer()
@@ -619,6 +715,27 @@ func (r *Replica) applyLoop() {
 			r.mu.Lock()
 		}
 		if applyErr != nil {
+			if errors.Is(applyErr, sched.ErrReplayerAborted) {
+				// A stale incarnation: the replayer was aborted under us
+				// (promotion, rebuild, or a prior desync). Whatever replaces
+				// it folds this instance back in from the chosen log.
+				r.mu.Unlock()
+				continue
+			}
+			if errors.Is(applyErr, trace.ErrCutBeyondTrace) && r.role == RoleSecondary && !r.stopped {
+				// The committed delta's cuts have desynchronized from our
+				// local trace (e.g. a rebasing delta across rapid
+				// promote/demote cycles). Exactly like the commits-jumped-
+				// past-applied case above: degrade to a checkpoint re-sync
+				// instead of crashing.
+				r.logf("resync: committed delta %d beyond local trace: %v", evt.inst, applyErr)
+				post := r.noteResyncLocked()
+				r.mu.Unlock()
+				if post {
+					r.lifeQ.Send(resyncEvt{})
+				}
+				continue
+			}
 			removed := r.removed
 			r.mu.Unlock()
 			if removed {
@@ -745,7 +862,11 @@ func (r *Replica) promote(chosenAt uint64) {
 		return
 	}
 	r.tr = rep.Trace()
-	r.tr.TruncateTo(cut)
+	if err := r.tr.TruncateTo(cut); err != nil {
+		r.mu.Unlock()
+		r.fault(fmt.Errorf("rex: promotion truncate to executed cut: %w", err))
+		return
+	}
 	if os.Getenv("REX_DEBUG_VERSIONS") != "" {
 		expect := make(map[uint32]uint64)
 		for t := range r.tr.Threads {
@@ -838,6 +959,39 @@ func (r *Replica) checkpointTimer() {
 		if err := r.initiateCheckpoint(); err != nil && !errors.Is(err, errNotPrimaryNow) {
 			r.logf("checkpoint failed: %v", err)
 		}
+	}
+}
+
+// checkpointFloorPoll is how often the log-growth floor is evaluated. The
+// floor is a coarse bound on rebuild cost, not a cadence, so a fixed short
+// poll is fine.
+const checkpointFloorPoll = 25 * time.Millisecond
+
+// checkpointFloorLoop enforces Config.MaxLogInstancesWithoutCheckpoint:
+// even with CheckpointEvery == 0, the primary initiates a checkpoint once
+// the committed log has grown that many instances past the last checkpoint
+// mark, so a recovery never rebuilds over an unbounded log (the
+// checkpoint-disabled livelock; see DESIGN.md "Recovery bounds").
+func (r *Replica) checkpointFloorLoop() {
+	floor := uint64(r.cfg.MaxLogInstancesWithoutCheckpoint)
+	for {
+		if !r.sleepInterruptible(checkpointFloorPoll) {
+			return
+		}
+		r.mu.Lock()
+		due := r.role == RolePrimary && !r.ckPauseWorkers &&
+			r.applied > r.lastCkptInst && r.applied-r.lastCkptInst >= floor
+		r.mu.Unlock()
+		if !due {
+			continue
+		}
+		if err := r.initiateCheckpoint(); err != nil {
+			if !errors.Is(err, errNotPrimaryNow) {
+				r.logf("floor checkpoint failed: %v", err)
+			}
+			continue
+		}
+		r.obs.ckptFloor.Inc()
 	}
 }
 

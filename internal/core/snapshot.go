@@ -321,7 +321,9 @@ func (r *Replica) rebuild() error {
 			}
 			rt.RestoreVersions(snap.Versions)
 		}
-		rt.StartReplay(tr, base)
+		if err := rt.StartReplay(tr, base); err != nil {
+			return fmt.Errorf("rex: starting replay from checkpoint cut %v: %w", base, err)
+		}
 
 		r.mu.Lock()
 		oldRT := r.rt
@@ -334,6 +336,9 @@ func (r *Replica) rebuild() error {
 		r.snapBase = base
 		if st.Seq > r.applied {
 			r.applied = st.Seq
+		}
+		if startInst > r.lastCkptInst {
+			r.lastCkptInst = startInst
 		}
 		if latest != nil && latest.Epoch > r.member.Epoch {
 			r.member = latest.Clone()
@@ -352,6 +357,8 @@ func (r *Replica) rebuild() error {
 		r.logf("rebuilt (gen %d) from %s at applied=%d",
 			r.gen, map[bool]string{true: "checkpoint", false: "initial state"}[haveSnap], st.Seq)
 		r.obs.rebuildDur.Observe(r.e.Now() - start)
+		r.obs.rebuilds.Inc()
+		r.obs.rebuildDeltas.Observe(st.Seq - startInst)
 		return nil
 	}
 }

@@ -1,10 +1,17 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"rex/internal/trace"
 )
+
+// ErrReplayerAborted reports that an operation was attempted on a replayer
+// that has been aborted (by Abort, or by itself after a desynchronized
+// delta). The replayer is permanently inert; the owner rebuilds a fresh one
+// from a checkpoint.
+var ErrReplayerAborted = errors.New("sched: replayer aborted")
 
 // DivergenceError reports that a replica's replay diverged from the
 // recorded trace: the operation a worker was about to perform does not

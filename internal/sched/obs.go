@@ -20,15 +20,21 @@ type ReplayObs struct {
 	// CommitLag is the time from a delta's commit (Extend) until replay
 	// has executed everything the delta released (commit→replayed).
 	CommitLag *obs.Histogram
+	// LagDropped counts committed deltas whose commit→replayed watermark
+	// was dropped because the pending queue was saturated (replay more than
+	// maxLagQ deltas behind the commit stream). A nonzero value means
+	// CommitLag under-reports exactly when lag is worst.
+	LagDropped *obs.Counter
 }
 
 // NewReplayObs allocates all series.
 func NewReplayObs() *ReplayObs {
 	return &ReplayObs{
-		Released:  obs.NewCounter(),
-		Waited:    obs.NewCounter(),
-		WaitTime:  obs.NewHistogram(),
-		CommitLag: obs.NewHistogram(),
+		Released:   obs.NewCounter(),
+		Waited:     obs.NewCounter(),
+		WaitTime:   obs.NewHistogram(),
+		CommitLag:  obs.NewHistogram(),
+		LagDropped: obs.NewCounter(),
 	}
 }
 
@@ -38,4 +44,5 @@ func (o *ReplayObs) Register(reg *obs.Registry) {
 	reg.RegisterCounter("rex_replay_waited_total", o.Waited)
 	reg.RegisterHistogram("rex_replay_wait_seconds", o.WaitTime)
 	reg.RegisterHistogram("rex_replay_commit_lag_seconds", o.CommitLag)
+	reg.RegisterCounter("rex_replay_lag_dropped_total", o.LagDropped)
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"rex/internal/env"
@@ -57,8 +59,8 @@ const maxLagQ = 1024
 
 // NewReplayer wraps tr for replay. Events inside base are considered
 // already executed (restored from a checkpoint); base must be a consistent
-// cut of tr.
-func NewReplayer(e env.Env, tr *trace.Trace, base trace.Cut) *Replayer {
+// cut of tr. A base beyond tr's frontier yields ErrCutBeyondTrace.
+func NewReplayer(e env.Env, tr *trace.Trace, base trace.Cut) (*Replayer, error) {
 	n := tr.NumThreads()
 	r := &Replayer{
 		mu:       e.NewMutex(),
@@ -71,7 +73,11 @@ func NewReplayer(e env.Env, tr *trace.Trace, base trace.Cut) *Replayer {
 			r.executed[t] = base[t]
 		}
 	}
-	r.limit = tr.ConsistentCut(r.executed.Clone())
+	limit, err := tr.ConsistentCut(r.executed.Clone())
+	if err != nil {
+		return nil, err
+	}
+	r.limit = limit
 	r.grow = e.NewCond(r.mu)
 	r.progress = e.NewCond(r.mu)
 	for t := 0; t < n; t++ {
@@ -83,20 +89,50 @@ func NewReplayer(e env.Env, tr *trace.Trace, base trace.Cut) *Replayer {
 			r.marks = append(r.marks, m)
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Extend applies a committed delta to the trace, advances the release
 // frontier to the new last consistent cut, and wakes blocked workers.
+//
+// On a replayer that is already aborted it returns ErrReplayerAborted
+// without touching the trace. If the delta's cuts have desynchronized from
+// the local trace (ErrCutBeyondTrace from Apply or ConsistentCut), the
+// replayer aborts itself — workers must not keep executing against a trace
+// whose committed extension it can no longer follow — and the error is
+// returned for the owner to resolve by re-syncing from a checkpoint.
 func (r *Replayer) Extend(d *trace.Delta) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.aborted {
+		return ErrReplayerAborted
+	}
+	if d.Rebase != nil && !d.Rebase.AtLeast(r.limit) {
+		// The rebase would cut below the release frontier: workers may
+		// already have executed events the new primary discarded. Only a
+		// checkpoint restore can realign us.
+		r.abortLocked()
+		return fmt.Errorf("%w: rebase cut %v below release frontier %v",
+			trace.ErrCutBeyondTrace, d.Rebase, r.limit)
+	}
 	if err := r.tr.Apply(d); err != nil {
+		if errors.Is(err, trace.ErrCutBeyondTrace) {
+			r.abortLocked()
+		}
 		return err
 	}
-	r.limit = r.tr.ConsistentCut(r.limit)
-	if r.ob != nil && len(r.lagQ) < maxLagQ && !r.executed.AtLeast(r.limit) {
-		r.lagQ = append(r.lagQ, lagMark{cut: r.limit.Clone(), at: r.e.Now()})
+	limit, err := r.tr.ConsistentCut(r.limit)
+	if err != nil {
+		r.abortLocked()
+		return err
+	}
+	r.limit = limit
+	if r.ob != nil && !r.executed.AtLeast(r.limit) {
+		if len(r.lagQ) < maxLagQ {
+			r.lagQ = append(r.lagQ, lagMark{cut: r.limit.Clone(), at: r.e.Now()})
+		} else if r.ob.LagDropped != nil {
+			r.ob.LagDropped.Inc()
+		}
 	}
 	r.marks = append(r.marks, d.Marks...)
 	r.grow.Broadcast()
@@ -280,13 +316,24 @@ func (r *Replayer) CompleteMark(id uint64) {
 // Abort unblocks every waiter; Next and WaitSources return false.
 func (r *Replayer) Abort() {
 	r.mu.Lock()
+	r.abortLocked()
+	r.mu.Unlock()
+}
+
+// Aborted reports whether the replayer has been aborted.
+func (r *Replayer) Aborted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aborted
+}
+
+func (r *Replayer) abortLocked() {
 	r.aborted = true
 	r.grow.Broadcast()
 	r.progress.Broadcast()
 	for _, c := range r.perThread {
 		c.Broadcast()
 	}
-	r.mu.Unlock()
 }
 
 // ReqBody returns the payload of request idx from the trace's table.

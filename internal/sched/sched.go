@@ -242,14 +242,21 @@ func (rt *Runtime) StartRecord(cut trace.Cut, reqBase uint64) {
 // StartReplay switches the runtime into replay mode following tr, whose
 // events strictly after base are executed (events inside base are assumed
 // already reflected in application state, e.g. restored from a checkpoint).
-// Must be called only when all workers are quiescent.
-func (rt *Runtime) StartReplay(tr *trace.Trace, base trace.Cut) {
+// Must be called only when all workers are quiescent. A base beyond tr's
+// frontier yields trace.ErrCutBeyondTrace, leaving the runtime's mode and
+// previous replayer untouched.
+func (rt *Runtime) StartReplay(tr *trace.Trace, base trace.Cut) error {
+	rep, err := NewReplayer(rt.Env, tr, base)
+	if err != nil {
+		return err
+	}
 	rt.mode = ModeReplay
 	rt.epoch++
 	rt.baseVC = vclock.New(len(rt.workers))
-	rt.rep = NewReplayer(rt.Env, tr, base)
+	rt.rep = rep
 	rt.rep.ob = rt.Obs
 	rt.rep.skipEdgeWaits = rt.UnsafeSkipEdgeWaits
+	return nil
 }
 
 // Worker is one logical thread. All trace identity — event clocks, vector

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -74,6 +75,15 @@ func TestRecorderStartFromCut(t *testing.T) {
 	})
 }
 
+func mustReplayer(t *testing.T, e env.Env, tr *trace.Trace, base trace.Cut) *Replayer {
+	t.Helper()
+	rep, err := NewReplayer(e, tr, base)
+	if err != nil {
+		t.Fatalf("NewReplayer: %v", err)
+	}
+	return rep
+}
+
 // buildTwoThreadTrace: t0: A(1) B(2); t1: C(1) depends on (0,2).
 func buildTwoThreadTrace() *trace.Trace {
 	tr := trace.New(2)
@@ -86,7 +96,7 @@ func buildTwoThreadTrace() *trace.Trace {
 func TestReplayerWaitSourcesBlocksUntilCommit(t *testing.T) {
 	e := sim.New(2)
 	e.Run(func() {
-		rep := NewReplayer(e, buildTwoThreadTrace(), nil)
+		rep := mustReplayer(t, e, buildTwoThreadTrace(), nil)
 		order := []string{}
 		g := env.NewGroup(e)
 		g.Add(2)
@@ -139,7 +149,7 @@ func TestReplayerGatesBeyondLimit(t *testing.T) {
 	e.Run(func() {
 		tr := trace.New(2)
 		tr.Threads[1].Append(1, trace.Event{Kind: trace.KindLockAcq, Res: 1}, []trace.EventID{{Thread: 0, Clock: 1}})
-		rep := NewReplayer(e, tr, nil)
+		rep := mustReplayer(t, e, tr, nil)
 		if limit := rep.Limit(); limit[1] != 0 {
 			t.Fatalf("limit = %v, want thread 1 gated at 0", limit)
 		}
@@ -174,7 +184,7 @@ func TestReplayerMarkGatingAndCompletion(t *testing.T) {
 	e.Run(func() {
 		tr := buildTwoThreadTrace()
 		tr.Marks = append(tr.Marks, trace.Mark{ID: 9, Cut: trace.Cut{2, 1}})
-		rep := NewReplayer(e, tr, nil)
+		rep := mustReplayer(t, e, tr, nil)
 		executedAll := false
 		e.Go("workers", func() {
 			for i := 0; i < 2; i++ {
@@ -226,7 +236,7 @@ func TestReplayerAbortUnblocksEverything(t *testing.T) {
 	e := sim.New(2)
 	e.Run(func() {
 		tr := trace.New(1)
-		rep := NewReplayer(e, tr, nil)
+		rep := mustReplayer(t, e, tr, nil)
 		results := e.NewChan(0)
 		e.Go("w", func() {
 			_, _, ok := rep.Next(0) // blocks: empty trace
@@ -244,6 +254,74 @@ func TestReplayerAbortUnblocksEverything(t *testing.T) {
 	})
 }
 
+func TestExtendRebaseBelowLimitAbortsNotPanics(t *testing.T) {
+	// A rebasing delta that cuts below the release frontier (the replica's
+	// workers may already have executed into the discarded region) must
+	// abort the replayer with a typed resync error — this is the exact
+	// shape that used to panic in ConsistentCut under promote/demote churn.
+	e := sim.New(2)
+	e.Run(func() {
+		tr := buildTwoThreadTrace() // frontier [2 1], fully consistent
+		rep := mustReplayer(t, e, tr, nil)
+		d := &trace.Delta{Rebase: trace.Cut{1, 0}, Base: trace.Cut{1, 0}, Threads: make([]trace.ThreadLog, 2)}
+		err := rep.Extend(d)
+		if !errors.Is(err, trace.ErrCutBeyondTrace) {
+			t.Fatalf("Extend err = %v, want ErrCutBeyondTrace", err)
+		}
+		if !rep.Aborted() {
+			t.Fatal("replayer not aborted after desynchronized rebase")
+		}
+		if _, _, ok := rep.Next(0); ok {
+			t.Fatal("Next released an event on an aborted replayer")
+		}
+		if err := rep.Extend(d); !errors.Is(err, ErrReplayerAborted) {
+			t.Fatalf("Extend on aborted replayer err = %v, want ErrReplayerAborted", err)
+		}
+	})
+}
+
+func TestExtendRebaseBeyondTraceAborts(t *testing.T) {
+	// Rebase beyond the local frontier: the replica restored from an old
+	// checkpoint and the stream has moved on. Must be resyncable.
+	e := sim.New(2)
+	e.Run(func() {
+		tr := trace.New(2)
+		rep := mustReplayer(t, e, tr, nil)
+		d := &trace.Delta{Rebase: trace.Cut{5, 5}, Base: trace.Cut{5, 5}, Threads: make([]trace.ThreadLog, 2)}
+		if err := rep.Extend(d); !errors.Is(err, trace.ErrCutBeyondTrace) {
+			t.Fatalf("Extend err = %v, want ErrCutBeyondTrace", err)
+		}
+		if !rep.Aborted() {
+			t.Fatal("replayer not aborted")
+		}
+	})
+}
+
+func TestExtendLagQueueSaturationCounted(t *testing.T) {
+	// When replay lags more than maxLagQ deltas behind the commit stream,
+	// further watermarks are dropped — that loss must be counted, not
+	// silent.
+	e := sim.New(1)
+	e.Run(func() {
+		tr := trace.New(1)
+		rep := mustReplayer(t, e, tr, nil)
+		ob := NewReplayObs()
+		rep.ob = ob
+		base := int32(0)
+		for i := 0; i < maxLagQ+7; i++ {
+			d := &trace.Delta{Base: trace.Cut{base}, Threads: make([]trace.ThreadLog, 1)}
+			d.Threads[0].Append(0, trace.Event{Kind: trace.KindLockAcq, Res: 1}, nil)
+			if err := rep.Extend(d); err != nil {
+				t.Fatalf("Extend %d: %v", i, err)
+			}
+			base++
+		}
+		if got := ob.LagDropped.Value(); got != 7 {
+			t.Fatalf("LagDropped = %d, want 7", got)
+		}
+	})
+}
+
 func TestLiveReqs(t *testing.T) {
 	e := sim.New(1)
 	e.Run(func() {
@@ -252,7 +330,7 @@ func TestLiveReqs(t *testing.T) {
 		tr.Threads[0].Append(0, trace.Event{Kind: trace.KindReqBegin, Res: 0}, nil)
 		tr.Threads[0].Append(0, trace.Event{Kind: trace.KindReqEnd, Res: 0}, nil)
 		tr.Threads[0].Append(0, trace.Event{Kind: trace.KindReqBegin, Res: 1}, nil)
-		rep := NewReplayer(e, tr, nil)
+		rep := mustReplayer(t, e, tr, nil)
 		// Cut covers the first request's end only: reqs 1 (begun, not
 		// ended) and 2 (never begun) are live.
 		live := rep.LiveReqs(trace.Cut{2})

@@ -60,13 +60,21 @@ func (d *Delta) Empty() bool {
 }
 
 // Apply extends tr by d, performing the rebase truncation first if present.
+//
+// A rebase cut outside the locally available window (beyond the frontier or
+// inside the collected prefix) yields ErrCutBeyondTrace: the local trace has
+// desynchronized from the committed stream and the replica must re-sync from
+// a checkpoint. Other base disagreements yield ErrBaseMismatch (a protocol
+// bug).
 func (tr *Trace) Apply(d *Delta) error {
 	if d.Rebase != nil {
 		cur := tr.Cut()
 		if !cur.AtLeast(d.Rebase) {
-			return fmt.Errorf("%w: rebase cut %v beyond local trace %v", ErrBaseMismatch, d.Rebase, cur)
+			return fmt.Errorf("%w: rebase cut %v beyond local trace %v", ErrCutBeyondTrace, d.Rebase, cur)
 		}
-		tr.TruncateTo(d.Rebase)
+		if err := tr.TruncateTo(d.Rebase); err != nil {
+			return err
+		}
 	}
 	if len(d.Threads) != len(tr.Threads) {
 		return fmt.Errorf("%w: delta has %d threads, trace has %d", ErrBaseMismatch, len(d.Threads), len(tr.Threads))

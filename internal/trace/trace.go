@@ -11,7 +11,17 @@
 // synchronization events — §6.3) and checkpoint marks (§3.3).
 package trace
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCutBeyondTrace reports that a cut references events outside the
+// trace's available window — beyond the current frontier or inside the
+// garbage-collected prefix. It marks recoverable desynchronization (the
+// local trace no longer holds what the cut describes): replicas resolve
+// it by re-syncing from a checkpoint (§3.3, §5.2) rather than crashing.
+var ErrCutBeyondTrace = errors.New("trace: cut beyond available events")
 
 // EventID identifies a synchronization event: the logical thread it occurred
 // on and its 1-based per-thread logical clock.
@@ -369,11 +379,16 @@ func (tr *Trace) EdgeCount() int {
 // source is inside the cut too (§3.2). base must be a known-consistent cut
 // (use a zero cut for the whole trace); only events beyond base are
 // examined, which makes incremental maintenance cheap.
-func (tr *Trace) ConsistentCut(base Cut) Cut {
+//
+// If base lies beyond the trace's frontier — the caller's notion of what is
+// committed has desynchronized from the local trace, e.g. across rapid
+// promote/demote cycles — ConsistentCut returns ErrCutBeyondTrace so the
+// caller can re-sync from a checkpoint instead of crashing.
+func (tr *Trace) ConsistentCut(base Cut) (Cut, error) {
 	cut := tr.Cut()
 	for i := range base {
 		if i < len(cut) && cut[i] < base[i] {
-			panic(fmt.Sprintf("trace: base cut %v beyond available events %v", base, cut))
+			return nil, fmt.Errorf("%w: base cut %v beyond trace frontier %v", ErrCutBeyondTrace, base, cut)
 		}
 	}
 	for {
@@ -400,7 +415,7 @@ func (tr *Trace) ConsistentCut(base Cut) Cut {
 			}
 		}
 		if !changed {
-			return cut
+			return cut, nil
 		}
 	}
 }
@@ -439,13 +454,31 @@ func (tr *Trace) IsConsistent(cut Cut) bool {
 // cannot be recomputed. A request orphaned by the truncation (admitted by
 // the old primary but never begun) simply stays in the table unexecuted;
 // its client retries at the new primary.
-func (tr *Trace) TruncateTo(cut Cut) {
+//
+// A cut inside the garbage-collected prefix or beyond the frontier means
+// the local trace no longer holds the region the cut describes; TruncateTo
+// returns ErrCutBeyondTrace (leaving the trace untouched) so the caller can
+// re-sync from a checkpoint instead of crashing.
+func (tr *Trace) TruncateTo(cut Cut) error {
+	clockAt := func(t int) int32 {
+		if t < len(cut) {
+			return cut[t]
+		}
+		return 0
+	}
 	for t := range tr.Threads {
 		l := &tr.Threads[t]
-		limit := int(cut[t] - l.Base)
+		limit := int(clockAt(t) - l.Base)
 		if limit < 0 {
-			panic(fmt.Sprintf("trace: truncation cut %v inside the collected prefix (base %d)", cut, l.Base))
+			return fmt.Errorf("%w: truncation cut %v inside the collected prefix (thread %d base %d)", ErrCutBeyondTrace, cut, t, l.Base)
 		}
+		if limit > len(l.Events) {
+			return fmt.Errorf("%w: truncation cut %v beyond trace frontier %v", ErrCutBeyondTrace, cut, tr.Cut())
+		}
+	}
+	for t := range tr.Threads {
+		l := &tr.Threads[t]
+		limit := int(clockAt(t) - l.Base)
 		l.Events = l.Events[:limit]
 		l.In = l.In[:limit]
 	}
@@ -456,6 +489,7 @@ func (tr *Trace) TruncateTo(cut Cut) {
 		}
 	}
 	tr.Marks = kept
+	return nil
 }
 
 // Stats summarizes a trace for the §4.2/§6.3 measurements.

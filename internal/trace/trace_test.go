@@ -1,10 +1,21 @@
 package trace
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// mustCC computes ConsistentCut for a base known to be inside the trace.
+func mustCC(t *testing.T, tr *Trace, base Cut) Cut {
+	t.Helper()
+	cc, err := tr.ConsistentCut(base)
+	if err != nil {
+		t.Fatalf("ConsistentCut(%v): %v", base, err)
+	}
+	return cc
+}
 
 // buildFig2 builds the paper's Figure 2 trace: two threads sharing lock L.
 // Thread 0: req-begin(1), lock-acq(2), lock-rel(3), lock-acq(4)
@@ -42,7 +53,7 @@ func TestCutBasics(t *testing.T) {
 func TestConsistentCutFig2(t *testing.T) {
 	tr := buildFig2()
 	// The full trace is consistent: every edge source is present.
-	cc := tr.ConsistentCut(nil)
+	cc := mustCC(t, tr, nil)
 	if !cc.Equal(Cut{4, 3}) {
 		t.Fatalf("ConsistentCut = %v, want [4 3]", cc)
 	}
@@ -64,7 +75,7 @@ func TestConsistentCutWithMissingSource(t *testing.T) {
 	tr.Threads[0].Append(0, Event{Kind: KindLockRel, Res: 1}, nil)
 	tr.Threads[1].Append(1, Event{Kind: KindLockAcq, Res: 1}, []EventID{{0, 3}})
 	tr.Threads[1].Append(1, Event{Kind: KindLockRel, Res: 1}, nil)
-	cc := tr.ConsistentCut(nil)
+	cc := mustCC(t, tr, nil)
 	if !cc.Equal(Cut{2, 0}) {
 		t.Fatalf("ConsistentCut = %v, want [2 0]", cc)
 	}
@@ -77,7 +88,7 @@ func TestConsistentCutCascade(t *testing.T) {
 	tr.Threads[0].Append(0, Event{Kind: KindLockAcq, Res: 1}, nil)
 	tr.Threads[0].Append(0, Event{Kind: KindLockAcq, Res: 2}, []EventID{{2, 1}})
 	tr.Threads[1].Append(1, Event{Kind: KindLockAcq, Res: 3}, []EventID{{0, 2}})
-	cc := tr.ConsistentCut(nil)
+	cc := mustCC(t, tr, nil)
 	if !cc.Equal(Cut{1, 0, 0}) {
 		t.Fatalf("ConsistentCut = %v, want [1 0 0]", cc)
 	}
@@ -89,8 +100,8 @@ func TestConsistentCutIncrementalMatchesFull(t *testing.T) {
 	if !tr.IsConsistent(base) {
 		t.Fatal("base not consistent")
 	}
-	inc := tr.ConsistentCut(base)
-	full := tr.ConsistentCut(nil)
+	inc := mustCC(t, tr, base)
+	full := mustCC(t, tr, nil)
 	if !inc.Equal(full) {
 		t.Errorf("incremental %v != full %v", inc, full)
 	}
@@ -99,7 +110,9 @@ func TestConsistentCutIncrementalMatchesFull(t *testing.T) {
 func TestTruncateTo(t *testing.T) {
 	tr := buildFig2()
 	tr.Marks = []Mark{{ID: 1, Cut: Cut{3, 2}}, {ID: 2, Cut: Cut{4, 3}}}
-	tr.TruncateTo(Cut{3, 2})
+	if err := tr.TruncateTo(Cut{3, 2}); err != nil {
+		t.Fatalf("TruncateTo: %v", err)
+	}
 	if got := tr.Cut(); !got.Equal(Cut{3, 2}) {
 		t.Fatalf("after truncate Cut = %v", got)
 	}
@@ -244,7 +257,10 @@ func TestQuickConsistentCutProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		tr := randomTrace(rng, 2+rng.Intn(4), 30)
-		cc := tr.ConsistentCut(nil)
+		cc, err := tr.ConsistentCut(nil)
+		if err != nil {
+			return false
+		}
 		// Property 1: the returned cut is consistent.
 		if !tr.IsConsistent(cc) {
 			return false
@@ -309,8 +325,13 @@ func TestQuickTruncateKeepsConsistency(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		tr := randomTrace(rng, 3, 40)
-		cc := tr.ConsistentCut(nil)
-		tr.TruncateTo(cc)
+		cc, err := tr.ConsistentCut(nil)
+		if err != nil {
+			return false
+		}
+		if err := tr.TruncateTo(cc); err != nil {
+			return false
+		}
 		return tr.Cut().Equal(cc) && tr.IsConsistent(tr.Cut())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -395,7 +416,7 @@ func TestForgetPrefix(t *testing.T) {
 		t.Errorf("append after Forget id = %v", id)
 	}
 	// ConsistentCut still works with the collected prefix.
-	cc := tr.ConsistentCut(Cut{3, 2})
+	cc := mustCC(t, tr, Cut{3, 2})
 	if !cc.Equal(Cut{4, 4}) {
 		t.Errorf("ConsistentCut after Forget = %v", cc)
 	}
@@ -428,7 +449,10 @@ func TestQuickForgetPreservesSuffixSemantics(t *testing.T) {
 		tr := randomTrace(rng, 3, 40)
 		ref := randomTrace(rng, 0, 0) // placeholder to keep rng advancing consistently
 		_ = ref
-		cc := tr.ConsistentCut(nil)
+		cc, err := tr.ConsistentCut(nil)
+		if err != nil {
+			return false
+		}
 		// Remember the suffix events before forgetting.
 		type rec struct {
 			id trace_id
@@ -451,7 +475,11 @@ func TestQuickForgetPreservesSuffixSemantics(t *testing.T) {
 				return false
 			}
 		}
-		return tr.IsConsistent(tr.ConsistentCut(cc))
+		cc2, err := tr.ConsistentCut(cc)
+		if err != nil {
+			return false
+		}
+		return tr.IsConsistent(cc2)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -459,3 +487,89 @@ func TestQuickForgetPreservesSuffixSemantics(t *testing.T) {
 }
 
 type trace_id EventID
+
+// The committed-delta apply path must never panic: adversarial cuts yield
+// typed errors the replica resolves by re-syncing from a checkpoint.
+
+func TestConsistentCutBaseBeyondFrontier(t *testing.T) {
+	tr := buildFig2() // frontier [4 3]
+	if _, err := tr.ConsistentCut(Cut{5, 3}); !errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatalf("ConsistentCut(beyond frontier) err = %v, want ErrCutBeyondTrace", err)
+	}
+	if _, err := tr.ConsistentCut(Cut{4, 9}); !errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatalf("ConsistentCut(beyond frontier) err = %v, want ErrCutBeyondTrace", err)
+	}
+}
+
+func TestTruncateToBadCuts(t *testing.T) {
+	tr := buildFig2() // frontier [4 3]
+	if err := tr.TruncateTo(Cut{5, 3}); !errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatalf("TruncateTo(beyond frontier) err = %v, want ErrCutBeyondTrace", err)
+	}
+	if got := tr.Cut(); !got.Equal(Cut{4, 3}) {
+		t.Fatalf("failed truncation mutated the trace: %v", got)
+	}
+	// A cut inside the garbage-collected prefix is equally unusable.
+	tr.Forget(Cut{3, 2}, 0)
+	if err := tr.TruncateTo(Cut{2, 2}); !errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatalf("TruncateTo(inside collected prefix) err = %v, want ErrCutBeyondTrace", err)
+	}
+	if got := tr.Cut(); !got.Equal(Cut{4, 3}) {
+		t.Fatalf("failed truncation mutated the trace: %v", got)
+	}
+}
+
+func TestApplyRebaseBeyondLocalTrace(t *testing.T) {
+	// A rebasing delta whose cut exceeds what this replica holds (e.g. the
+	// replica restarted from an older checkpoint) must be a resyncable
+	// ErrCutBeyondTrace, not a crash and not a protocol-bug mismatch.
+	tr := New(2)
+	tr.Threads[0].Append(0, Event{Kind: KindLockAcq, Res: 1}, nil)
+	d := &Delta{Rebase: Cut{3, 0}, Base: Cut{3, 0}, Threads: make([]ThreadLog, 2)}
+	err := tr.Apply(d)
+	if !errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatalf("Apply(rebase beyond trace) err = %v, want ErrCutBeyondTrace", err)
+	}
+	if errors.Is(err, ErrBaseMismatch) {
+		t.Fatal("desync misclassified as protocol-bug base mismatch")
+	}
+	if got := tr.Cut(); !got.Equal(Cut{1, 0}) {
+		t.Fatalf("failed apply mutated the trace: %v", got)
+	}
+}
+
+func TestApplyRebaseInsideCollectedPrefix(t *testing.T) {
+	tr := buildFig2()
+	tr.Forget(Cut{3, 2}, 0)
+	d := &Delta{Rebase: Cut{2, 1}, Base: Cut{2, 1}, ReqBase: 2, Threads: make([]ThreadLog, 2)}
+	if err := tr.Apply(d); !errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatalf("Apply(rebase into collected prefix) err = %v, want ErrCutBeyondTrace", err)
+	}
+}
+
+func TestApplyStaleBaseIsMismatch(t *testing.T) {
+	// A stale (non-rebase) base is a protocol bug, not a resync condition.
+	tr := buildFig2() // frontier [4 3]
+	d := &Delta{Base: Cut{3, 3}, ReqBase: 2, Threads: make([]ThreadLog, 2)}
+	err := tr.Apply(d)
+	if !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("Apply(stale base) err = %v, want ErrBaseMismatch", err)
+	}
+	if errors.Is(err, ErrCutBeyondTrace) {
+		t.Fatal("stale base misclassified as resyncable desync")
+	}
+}
+
+func TestApplyOverlappingReplayIsMismatch(t *testing.T) {
+	// Applying the same delta twice (an overlapping replay of the commit
+	// stream) must fail the base check the second time.
+	tr := New(2)
+	d := &Delta{Base: Cut{0, 0}, Threads: make([]ThreadLog, 2)}
+	d.Threads[0].Append(0, Event{Kind: KindLockAcq, Res: 1}, nil)
+	if err := tr.Apply(d); err != nil {
+		t.Fatalf("first Apply: %v", err)
+	}
+	if err := tr.Apply(d); !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("second Apply err = %v, want ErrBaseMismatch", err)
+	}
+}
