@@ -11,11 +11,13 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the transport
-# torture tests, the core replica lifecycle tests, and the
-# reconfiguration drills (node replacement under load).
+# torture tests, the core replica lifecycle tests (including the read
+# path), the reconfiguration drills (node replacement under load), and
+# the pinned-seed consistent-read chaos scenario.
 race:
 	$(GO) test -race ./internal/transport ./internal/core
 	$(GO) test -race -run 'TestReplacementDrill|TestRemovedIdentityRefused' ./internal/cluster/
+	$(GO) test -race -run 'TestReadsScenarioPinnedSeed' ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -33,11 +35,13 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Acceptance evidence as machine-readable JSON: the commit-path suite
-# (WAL group-commit shape, encode allocs/op, quick Figure 7) plus the
-# shard-scaling suite (aggregate throughput at 1/2/4/8 groups).
+# (WAL group-commit shape, encode allocs/op, quick Figure 7), the
+# shard-scaling suite (aggregate throughput at 1/2/4/8 groups), and the
+# read-scaling suite (linearizable vs session reads on a 90/10 mix).
 bench-json:
 	$(GO) run ./cmd/rexbench -exp commitpath -json BENCH_commit_path.json
 	$(GO) run ./cmd/rexbench -exp shards -json BENCH_shard_scaling.json
+	$(GO) run ./cmd/rexbench -exp reads -json BENCH_read_scaling.json
 
 # A short deterministic chaos sweep: every scenario must come back OK.
 # Reproduce a failure with `go run ./cmd/rexchaos -seed <seed> -v`.
@@ -46,5 +50,6 @@ chaos:
 	$(GO) run ./cmd/rexchaos -shards -scenarios 2 -seed 1
 	$(GO) run ./cmd/rexchaos -reconfig -scenarios 4 -seed 1 -duration 2s
 	$(GO) run ./cmd/rexchaos -recovery -scenarios 4 -seed 1 -duration 4s
+	$(GO) run ./cmd/rexchaos -reads -scenarios 4 -seed 1 -duration 4s
 
 check: build vet staticcheck test race chaos

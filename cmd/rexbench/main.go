@@ -21,11 +21,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|reads|all")
 	appName := flag.String("app", "", "application for fig7 (default: all six)")
 	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
 	threads := flag.Int("threads", 8, "worker threads for tracesize/edges/ablations")
-	jsonOut := flag.String("json", "", "also write the commitpath/shards result as JSON to this path")
+	jsonOut := flag.String("json", "", "also write the commitpath/shards/reads result as JSON to this path")
 	flag.Parse()
 
 	out := os.Stdout
@@ -145,6 +145,35 @@ func main() {
 		}
 	}
 
+	runReads := func() {
+		cfg := bench.DefaultReadScaling()
+		if *quick {
+			cfg = bench.QuickReadScaling()
+		}
+		res, err := bench.RunReadScaling(cfg, func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reads: %v\n", err)
+			os.Exit(1)
+		}
+		bench.PrintReadScaling(out, res)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = bench.WriteReadScalingJSON(f, res)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reads: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		}
+	}
+
 	switch *exp {
 	case "table1":
 		bench.PrintTable1(out)
@@ -172,6 +201,8 @@ func main() {
 		runCommitPath()
 	case "shards":
 		runShards()
+	case "reads":
+		runReads()
 	case "all":
 		bench.PrintTable1(out)
 		runFig7()

@@ -28,6 +28,7 @@ func main() {
 		groups    = flag.Int("groups", 4, "replica groups for -shards")
 		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration scenario instead (replace/add/remove members under partitions)")
 		recovery  = flag.Bool("recovery", false, "run the bounded-recovery scenario instead (checkpoints disabled, promote/demote churn, must resync not panic)")
+		reads     = flag.Bool("reads", false, "run the consistent-read scenario instead (isolate the primary mid-lease; no stale linearizable read, session reads stay read-your-writes)")
 		verbose   = flag.Bool("v", false, "log nemesis actions as they fire")
 	)
 	flag.Parse()
@@ -108,6 +109,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all %d bounded-recovery scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *reads {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			res := chaos.RunReadsScenario(chaos.ReadsScenarioConfig{
+				Seed:     s,
+				Duration: *duration,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d app=%-10s faults=%-2d failovers=%-2d ops=%-4d sessionOps=%-4d leaseReads=%-4d followerReads=%-4d timeouts=%-3d wall=%-10v %s\n",
+				i+1, *scenarios, s, res.App, res.Faults, res.Failovers, res.Ops,
+				res.SessionOps, res.LeaseReads, res.FollowerReads, res.Timeouts,
+				res.CheckerWall.Round(time.Microsecond), verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -reads -scenarios 1 -seed %d -duration %v\n",
+				failed[0], *duration)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d consistent-read scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *shards {

@@ -4,6 +4,7 @@
 //	       -app lsmkv put mykey myvalue
 //	rexctl -servers ... -app lsmkv get mykey
 //	rexctl -servers ... -app lsmkv -query -replica 1 get mykey
+//	rexctl -servers ... -app lsmkv -level session get mykey
 //
 // Against a sharded cluster (rexd -shards N), -sharded fetches the shard
 // map and routes the command by key (default: the command's first
@@ -35,6 +36,7 @@ import (
 
 	"rex/internal/apps"
 	"rex/internal/core"
+	"rex/internal/readpath"
 	"rex/internal/server"
 	"rex/internal/shard"
 )
@@ -150,6 +152,7 @@ func main() {
 	appName := flag.String("app", "lsmkv", "application the cluster runs")
 	query := flag.Bool("query", false, "run as a read-only query instead of a replicated request")
 	replica := flag.Int("replica", 0, "replica to query (with -query; in-group index when sharded)")
+	levelName := flag.String("level", "", "consistency level for -query: linearizable|session|eventual (default: raw replica-local query)")
 	sharded := flag.Bool("sharded", false, "fetch the shard map and route the command by key")
 	key := flag.String("key", "", "routing key with -sharded (default: the command's first argument)")
 	clientID := flag.Uint64("client", 0, "client id (default: random)")
@@ -170,6 +173,15 @@ func main() {
 	}
 	cl := server.NewClient(id, addrs)
 	defer cl.Close()
+
+	var level readpath.Level
+	if *levelName != "" {
+		var err error
+		if level, err = readpath.ParseLevel(*levelName); err != nil {
+			log.Fatalf("rexctl: %v", err)
+		}
+		*query = true // -level implies a read
+	}
 
 	switch args[0] {
 	case "shardmap":
@@ -237,7 +249,11 @@ func main() {
 			k = args[1]
 		}
 		if *query {
-			resp, err = router.Query([]byte(k), *replica, body)
+			if *levelName != "" {
+				resp, err = router.QueryLevel([]byte(k), level, body)
+			} else {
+				resp, err = router.Query([]byte(k), *replica, body)
+			}
 		} else {
 			resp, err = router.Do([]byte(k), body)
 		}
@@ -249,7 +265,11 @@ func main() {
 	}
 
 	if *query {
-		resp, err = cl.Query(*replica, body)
+		if *levelName != "" {
+			resp, err = cl.QueryLevel(level, body)
+		} else {
+			resp, err = cl.Query(*replica, body)
+		}
 	} else {
 		resp, err = cl.Do(body)
 	}

@@ -176,6 +176,17 @@ func (db *DB) Query(ctx *core.Ctx, q []byte) []byte {
 	return db.Apply(ctx, q)
 }
 
+// ClassifyQuery implements core.QueryClassifier. Gets read under the
+// slice RW locks without touching any state, so secondaries may serve
+// them; a set or delete smuggled through Query would fork the replica's
+// state from the committed trace and stays primary-only.
+func (db *DB) ClassifyQuery(q []byte) core.QueryClass {
+	if len(q) > 0 && q[0] == OpGet {
+		return core.QueryFollowerOK
+	}
+	return core.QueryPrimaryOnly
+}
+
 // WriteCheckpoint implements core.StateMachine.
 func (db *DB) WriteCheckpoint(w io.Writer) error {
 	e := wire.NewEncoder(nil)

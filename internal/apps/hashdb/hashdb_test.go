@@ -99,3 +99,18 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		}
 	})
 }
+
+// TestClassifyQuery pins the read-path classification: only gets may be
+// served from a secondary; mutating ops smuggled through Query stay on
+// the primary.
+func TestClassifyQuery(t *testing.T) {
+	var db DB // ClassifyQuery is stateless
+	if got := db.ClassifyQuery(GetReq("k")); got != core.QueryFollowerOK {
+		t.Errorf("ClassifyQuery(get) = %v, want QueryFollowerOK", got)
+	}
+	for _, q := range [][]byte{SetReq("k", []byte("v")), DelReq("k"), nil} {
+		if got := db.ClassifyQuery(q); got != core.QueryPrimaryOnly {
+			t.Errorf("ClassifyQuery(%q) = %v, want QueryPrimaryOnly", q, got)
+		}
+	}
+}

@@ -238,6 +238,16 @@ func (s *Store) Query(ctx *core.Ctx, q []byte) []byte {
 	return s.Apply(ctx, q)
 }
 
+// ClassifyQuery implements core.QueryClassifier. Gets walk the memtable
+// and runs read-only, so secondaries may serve them; puts and deletes
+// reached through Query stay primary-only.
+func (s *Store) ClassifyQuery(q []byte) core.QueryClass {
+	if len(q) > 0 && q[0] == OpGet {
+		return core.QueryFollowerOK
+	}
+	return core.QueryPrimaryOnly
+}
+
 // WriteCheckpoint implements core.StateMachine.
 func (s *Store) WriteCheckpoint(w io.Writer) error {
 	e := wire.NewEncoder(nil)

@@ -202,6 +202,14 @@ func (c *Cache) Query(ctx *core.Ctx, q []byte) []byte {
 	return e.Bytes()
 }
 
+// ClassifyQuery implements core.QueryClassifier: always primary-only. A
+// memcached get is not idempotent — Apply(OpGet) moves the item to the
+// LRU front, so the "read" is semantically a write. Serving even the
+// non-mutating peek from a secondary would advertise hits whose recency
+// the replicated state never recorded, so cache reads are pinned to the
+// primary (which sees the authoritative LRU).
+func (c *Cache) ClassifyQuery([]byte) core.QueryClass { return core.QueryPrimaryOnly }
+
 // WriteCheckpoint implements core.StateMachine.
 func (c *Cache) WriteCheckpoint(w io.Writer) error {
 	e := wire.NewEncoder(nil)

@@ -117,3 +117,15 @@ func TestCheckpointPreservesLRUOrder(t *testing.T) {
 		}
 	})
 }
+
+// TestClassifyQueryPrimaryOnly pins the read-path classification: a
+// memcached get mutates LRU order in Apply, so no query — not even the
+// non-mutating peek — may be served from a secondary.
+func TestClassifyQueryPrimaryOnly(t *testing.T) {
+	var c Cache // ClassifyQuery is stateless
+	for _, q := range [][]byte{GetReq("k"), SetReq("k", []byte("v")), DelReq("k"), nil} {
+		if got := c.ClassifyQuery(q); got != core.QueryPrimaryOnly {
+			t.Errorf("ClassifyQuery(%q) = %v, want QueryPrimaryOnly", q, got)
+		}
+	}
+}

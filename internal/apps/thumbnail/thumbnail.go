@@ -148,6 +148,11 @@ func (s *Server) Query(ctx *core.Ctx, q []byte) []byte {
 	return e.Bytes()
 }
 
+// ClassifyQuery implements core.QueryClassifier. Query is a pure cache
+// peek whatever the request bytes say, so secondaries may always serve
+// it.
+func (s *Server) ClassifyQuery([]byte) core.QueryClass { return core.QueryFollowerOK }
+
 // WriteCheckpoint implements core.StateMachine.
 func (s *Server) WriteCheckpoint(w io.Writer) error {
 	e := wire.NewEncoder(nil)

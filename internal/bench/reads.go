@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/readpath"
+	"rex/internal/sim"
+)
+
+// The read-scaling suite measures what the consistent read path buys on a
+// read-heavy mix: the same cluster and client population serve a 90/10
+// read/write zipfian workload twice, once with every read linearizable
+// (all reads funnel through the primary, each paying the admission drain
+// plus a lease or barrier confirmation) and once at session level (reads
+// fan out over the secondaries, waiting only for the client's own write
+// frontier). The session rows should beat the linearizable baseline and
+// keep scaling as replicas are added — secondaries are otherwise idle
+// read capacity — while the baseline stays flat or degrades: extra
+// replicas add commit fan-out cost but no read capacity.
+
+// ReadScalingConfig parameterizes the suite.
+type ReadScalingConfig struct {
+	ReplicaCounts []int // e.g. 3, 5
+	Workers       int
+	ReadWorkers   int
+	Cores         int
+	Clients       int // closed-loop clients, fixed across runs
+	Keys          int
+	ValueBytes    int
+	ReadPercent   int // reads per 100 operations (rest are writes)
+	ZipfS         float64
+	Warmup        time.Duration
+	Measure       time.Duration
+	Seed          int64
+}
+
+// DefaultReadScaling is the full suite.
+func DefaultReadScaling() ReadScalingConfig {
+	return ReadScalingConfig{
+		ReplicaCounts: []int{3, 5},
+		Workers:       2,
+		ReadWorkers:   2,
+		Cores:         8,
+		Clients:       96,
+		Keys:          1024,
+		ValueBytes:    64,
+		ReadPercent:   90,
+		ZipfS:         1.2,
+		Warmup:        200 * time.Millisecond,
+		Measure:       500 * time.Millisecond,
+		Seed:          42,
+	}
+}
+
+// QuickReadScaling trims the suite for a fast pass.
+func QuickReadScaling() ReadScalingConfig {
+	cfg := DefaultReadScaling()
+	cfg.ReplicaCounts = []int{3}
+	cfg.Clients = 64
+	cfg.Measure = 300 * time.Millisecond
+	return cfg
+}
+
+// ReadPoint is one (replica count, consistency level) measurement.
+type ReadPoint struct {
+	App           string  `json:"app"`
+	Replicas      int     `json:"replicas"`
+	Level         string  `json:"level"` // "linearizable" or "session"
+	Clients       int     `json:"clients"`
+	ReadPercent   int     `json:"read_percent"`
+	Throughput    float64 `json:"throughput_rps"` // reads+writes per second
+	ReadsPerSec   float64 `json:"reads_rps"`
+	WritesPerSec  float64 `json:"writes_rps"`
+	SpeedupVsLin  float64 `json:"speedup_vs_linearizable"`
+	ReadP50Ms     float64 `json:"read_p50_ms"`
+	ReadP99Ms     float64 `json:"read_p99_ms"`
+	FollowerShare float64 `json:"follower_share"` // fraction of reads served by secondaries
+	LeaseShare    float64 `json:"lease_share"`    // fraction of lin reads confirmed by the lease
+}
+
+// ReadScalingResult is the whole suite; `make bench-json` serializes it
+// as BENCH_read_scaling.json.
+type ReadScalingResult struct {
+	Points []ReadPoint `json:"points"`
+}
+
+// runReadPoint measures one (replicas, level) cell on a fresh simulator.
+func runReadPoint(replicas int, level readpath.Level, cfg ReadScalingConfig) ReadPoint {
+	name := "linearizable"
+	if level == readpath.Session {
+		name = "session"
+	}
+	pt := ReadPoint{
+		App:         "hashdb",
+		Replicas:    replicas,
+		Level:       name,
+		Clients:     cfg.Clients,
+		ReadPercent: cfg.ReadPercent,
+	}
+	e := sim.New(cfg.Cores)
+	e.Run(func() {
+		c := cluster.New(e, hashdb.New(hashdb.DefaultOptions()), cluster.Options{
+			Replicas:        replicas,
+			Workers:         cfg.Workers,
+			ReadWorkers:     cfg.ReadWorkers,
+			Timers:          hashdb.Timers(),
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			MaxOutstanding:  4 * cfg.Clients,
+			Seed:            cfg.Seed,
+		})
+		if err := c.Start(); err != nil {
+			panic(err)
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			panic(err)
+		}
+
+		key := func(k uint64) string { return fmt.Sprintf("key-%06d", k) }
+		val := make([]byte, cfg.ValueBytes)
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+
+		// Prefill so reads in the measured window always hit.
+		setup := env.NewGroup(e)
+		setupWorkers := 16
+		for w := 0; w < setupWorkers; w++ {
+			w := w
+			setup.Add(1)
+			e.Go(fmt.Sprintf("reads-setup-%d", w), func() {
+				defer setup.Done()
+				cl := c.NewClient(uint64(1 + w))
+				for k := w; k < cfg.Keys; k += setupWorkers {
+					if _, err := cl.Do(hashdb.SetReq(key(uint64(k)), val)); err != nil {
+						panic(fmt.Sprintf("bench: reads prefill: %v", err))
+					}
+				}
+			})
+		}
+		setup.Wait()
+
+		readCounters := func() (follower, lease, confirm uint64) {
+			for i := 0; i < c.Size(); i++ {
+				if r := c.Replica(i); r != nil {
+					m := r.Metrics()
+					follower += m.Counter("rex_follower_reads_total")
+					lease += m.Counter("rex_lease_reads_total")
+					confirm += m.Counter("rex_lease_confirm_reads_total")
+				}
+			}
+			return
+		}
+
+		var reads, writes uint64
+		lat := obs.NewHistogram()
+		mu := e.NewMutex()
+		stop := false
+		measuring := false
+		g := env.NewGroup(e)
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("reads-client-%d", i), func() {
+				defer g.Done()
+				cl := c.NewClient(uint64(10_000 + i))
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
+				zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					k := key(zipf.Uint64())
+					if rng.Intn(100) < cfg.ReadPercent {
+						t0 := e.Now()
+						if _, err := cl.QueryLevel(level, hashdb.GetReq(k)); err != nil {
+							return
+						}
+						d := e.Now() - t0
+						mu.Lock()
+						if measuring {
+							lat.Observe(d)
+							reads++
+						}
+						mu.Unlock()
+					} else {
+						if _, err := cl.Do(hashdb.SetReq(k, val)); err != nil {
+							return
+						}
+						mu.Lock()
+						if measuring {
+							writes++
+						}
+						mu.Unlock()
+					}
+				}
+			})
+		}
+
+		e.Sleep(cfg.Warmup)
+		f0c, l0, c0 := readCounters()
+		mu.Lock()
+		measuring = true
+		mu.Unlock()
+		e.Sleep(cfg.Measure)
+		mu.Lock()
+		measuring = false
+		stop = true
+		mu.Unlock()
+		f1, l1, c1 := readCounters()
+		g.Wait()
+		c.Stop()
+
+		secs := cfg.Measure.Seconds()
+		pt.ReadsPerSec = float64(reads) / secs
+		pt.WritesPerSec = float64(writes) / secs
+		pt.Throughput = float64(reads+writes) / secs
+		pt.ReadP50Ms = float64(lat.Quantile(0.50)) / float64(time.Millisecond)
+		pt.ReadP99Ms = float64(lat.Quantile(0.99)) / float64(time.Millisecond)
+		if total := reads; total > 0 {
+			pt.FollowerShare = float64(f1-f0c) / float64(total)
+		}
+		if linTotal := (l1 - l0) + (c1 - c0); linTotal > 0 {
+			pt.LeaseShare = float64(l1-l0) / float64(linTotal)
+		}
+	})
+	return pt
+}
+
+// RunReadScaling runs the suite. logf, when non-nil, narrates progress.
+func RunReadScaling(cfg ReadScalingConfig, logf func(string, ...any)) (ReadScalingResult, error) {
+	var res ReadScalingResult
+	for _, replicas := range cfg.ReplicaCounts {
+		var base float64
+		for _, level := range []readpath.Level{readpath.Linearizable, readpath.Session} {
+			if logf != nil {
+				logf("read scaling: %d replicas, %v reads...", replicas, level)
+			}
+			pt := runReadPoint(replicas, level, cfg)
+			if level == readpath.Linearizable {
+				base = pt.Throughput
+			}
+			if base > 0 {
+				pt.SpeedupVsLin = pt.Throughput / base
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// WriteReadScalingJSON serializes the suite result.
+func WriteReadScalingJSON(w io.Writer, r ReadScalingResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintReadScaling renders the suite as one table.
+func PrintReadScaling(w io.Writer, r ReadScalingResult) {
+	t := &Table{
+		Title: "Read scaling: 90/10 zipfian mix, linearizable vs session reads",
+		Cols:  []string{"replicas", "level", "clients", "ops/s", "reads/s", "writes/s", "speedup", "read p50 ms", "read p99 ms", "follower%", "lease%"},
+	}
+	for _, pt := range r.Points {
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Replicas),
+			pt.Level,
+			fmt.Sprintf("%d", pt.Clients),
+			f0(pt.Throughput),
+			f0(pt.ReadsPerSec),
+			f0(pt.WritesPerSec),
+			f2(pt.SpeedupVsLin),
+			f2(pt.ReadP50Ms),
+			f2(pt.ReadP99Ms),
+			f0(pt.FollowerShare*100),
+			f0(pt.LeaseShare*100),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"same cluster and client population per replica count; speedup compares session reads against the linearizable baseline",
+		"linearizable reads pay the admission drain plus a lease (or barrier) confirmation at the primary; session reads fan out over secondaries",
+		"follower% is the fraction of measured reads served by secondaries; lease% the fraction of linearizable reads confirmed without a barrier")
+	t.Fprint(w)
+}

@@ -252,3 +252,30 @@ func TestCheckerCatchesBrokenReplayer(t *testing.T) {
 	}
 	t.Fatal("broken replayer produced no detectable divergence in 5 seeds")
 }
+
+// TestReadsScenarioPinnedSeed replays the consistent-read scenario at a
+// pinned seed: the primary is repeatedly isolated mid-lease, so the run
+// must survive at least one failover with no stale linearizable read (the
+// history stays linearizable), session reads staying read-your-writes and
+// monotonic, and both read fast paths demonstrably exercised.
+func TestReadsScenarioPinnedSeed(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := RunReadsScenario(ReadsScenarioConfig{
+		Seed:     1,
+		Duration: 4 * time.Second,
+	}, reg, nil)
+	if !res.OK {
+		t.Fatalf("reads scenario failed: %v", res.Violations)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("failovers = %d, want >= 1", res.Failovers)
+	}
+	if res.LeaseReads < 1 || res.FollowerReads < 1 {
+		t.Fatalf("lease reads = %d, follower reads = %d, want both >= 1", res.LeaseReads, res.FollowerReads)
+	}
+	if res.Ops == 0 || res.Check.Ops == 0 || res.SessionOps == 0 {
+		t.Fatalf("no operations recorded/checked: %+v", res)
+	}
+	t.Logf("reads: faults=%d failovers=%d ops=%d sessionOps=%d leaseReads=%d followerReads=%d timeouts=%d",
+		res.Faults, res.Failovers, res.Ops, res.SessionOps, res.LeaseReads, res.FollowerReads, res.Timeouts)
+}

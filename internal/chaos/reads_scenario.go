@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/readpath"
+	"rex/internal/sim"
+	"rex/internal/storage"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/wire"
+)
+
+// ReadsScenarioConfig parameterizes one consistent-read chaos run.
+type ReadsScenarioConfig struct {
+	Seed     int64
+	Duration time.Duration // virtual length of the client load phase
+	Clients  int
+}
+
+// RunReadsScenario stresses the consistent read path: a three-replica
+// hashdb cluster with quorum read leases serves a mix of writes,
+// linearizable reads, and session reads while the nemesis repeatedly
+// isolates the primary mid-lease, forcing failovers. Each client writes
+// strictly increasing versions to a private key, so the run can assert
+// the whole read-path contract at once:
+//
+//   - no stale linearizable read: lin reads are recorded into the
+//     history next to the writes and the WGL checker holds them to a
+//     linearization point (a deposed primary answering from an expired
+//     lease would surface here);
+//   - read-your-writes / monotonic reads for session-level reads served
+//     by secondaries (check.CheckSessionReads);
+//   - the scenario actually exercised what it claims: at least one
+//     failover, at least one lease-served linearizable read, and at
+//     least one follower-served read.
+func RunReadsScenario(cfg ReadsScenarioConfig, reg *obs.Registry, logf func(string, ...any)) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	// hashdb is the classified application: gets are follower-safe.
+	res := Result{Seed: cfg.Seed, App: "hashdb"}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	var hist *check.History
+	var violations []string
+	var faults, failovers int
+	var followerReads, leaseReads uint64
+	timeouts := make([]int, cfg.Clients)
+	events := make([][]check.SessionEvent, cfg.Clients)
+	clientViolations := make([][]string, cfg.Clients)
+	e.Run(func() {
+		c := cluster.New(e, hashdb.New(hashdb.DefaultOptions()), cluster.Options{
+			Replicas:        3,
+			Workers:         2,
+			Timers:          hashdb.Timers(),
+			ReadWorkers:     2,
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 120 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 200 * time.Millisecond,
+			ReadWaitTimeout: 300 * time.Millisecond,
+			Seed:            cfg.Seed,
+			Logf:            logf,
+			NewLog:          func(int) storage.Log { return storage.NewMemLog() },
+		})
+		if err := c.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("cluster start: %v", err))
+			return
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		hist = check.NewHistory(e.Now)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6ead5))
+		begin := e.Now()
+		note := func(name, format string, args ...any) {
+			faults++
+			reg.CounterOf("chaos_fault_" + name).Inc()
+			if logf != nil {
+				logf("chaos: "+format, args...)
+			}
+		}
+
+		nemesis := env.GoEach(e, "reads-nemesis", 1, func(int) {
+			last := c.Primary()
+			for e.Now() < begin+cfg.Duration {
+				e.Sleep(time.Duration(200+rng.Intn(150)) * time.Millisecond)
+				p := c.Primary()
+				if p < 0 {
+					continue
+				}
+				if p != last {
+					failovers++
+					last = p
+				}
+				// Isolate the primary while its lease is almost certainly
+				// live: lease reads keep flowing (they are still
+				// linearizable — no rival can win an election before the
+				// grant expires), then the cluster must fail over.
+				note("isolate_primary", "isolate primary %d mid-lease", p)
+				c.Net.Isolate(p, true)
+				e.Sleep(time.Duration(280+rng.Intn(170)) * time.Millisecond)
+				c.Net.Isolate(p, false)
+				note("heal", "heal old primary %d", p)
+			}
+			if p := c.Primary(); p >= 0 && p != last {
+				failovers++
+			}
+		})
+		clients := env.GoEach(e, "reads-client", cfg.Clients, func(ci int) {
+			cl := c.NewClient(uint64(100 + ci))
+			cl.Recorder = hist
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			key := fmt.Sprintf("sess-%d", cl.ID)
+			version := uint64(0)
+			record := func(kind check.SessionEventKind, ver uint64, level string) {
+				events[ci] = append(events[ci], check.SessionEvent{
+					Client: cl.ID, Kind: kind, Version: ver, Level: level,
+				})
+			}
+			readVersion := func(resp []byte) (uint64, bool) {
+				d := wire.NewDecoder(resp)
+				ok := d.Bool()
+				val := d.BytesVal()
+				if d.Err() != nil {
+					clientViolations[ci] = append(clientViolations[ci], fmt.Sprintf("client %d: corrupt read response %x", cl.ID, resp))
+					return 0, false
+				}
+				if !ok {
+					return 0, true // key absent: version 0
+				}
+				v, err := strconv.ParseUint(string(val), 10, 64)
+				if err != nil {
+					clientViolations[ci] = append(clientViolations[ci], fmt.Sprintf("client %d: unparseable version %q", cl.ID, val))
+					return 0, false
+				}
+				return v, true
+			}
+			for seq := 0; e.Now() < begin+cfg.Duration || seq == 0; seq++ {
+				version++
+				body := hashdb.SetReq(key, []byte(strconv.FormatUint(version, 10)))
+				if _, err := cl.DoTimeout(body, 3*time.Second); err != nil {
+					timeouts[ci]++
+					// Outcome unknown: the write may commit late (or
+					// never), so it must not raise the read floor.
+				} else {
+					record(check.SessionWrite, version, "")
+				}
+				level, name := readpath.Session, "session"
+				if seq%3 == 1 {
+					level, name = readpath.Linearizable, "linearizable"
+				}
+				resp, err := cl.QueryLevelTimeout(level, hashdb.GetReq(key), 3*time.Second)
+				if err != nil {
+					timeouts[ci]++
+				} else if v, ok := readVersion(resp); ok {
+					record(check.SessionRead, v, name)
+				}
+				if seq%5 == 4 {
+					// Eventual reads ride along to exercise the weakest
+					// path; they promise nothing worth checking here.
+					if _, err := cl.QueryLevelTimeout(readpath.Eventual, hashdb.GetReq(key), 3*time.Second); err != nil {
+						timeouts[ci]++
+					}
+				}
+				e.Sleep(time.Duration(2+crng.Intn(8)) * time.Millisecond)
+			}
+		})
+		clients.Wait()
+		nemesis.Wait()
+		for _, vs := range clientViolations {
+			violations = append(violations, vs...)
+		}
+
+		// Heal and check the structural contract.
+		c.Net.Heal()
+		states, faulted, err := c.StableStates(30 * time.Second)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		for i, ferr := range faulted {
+			violations = append(violations, fmt.Sprintf("replica %d faulted after recovery: %v", i, ferr))
+		}
+		violations = append(violations, check.StateAgreement(states)...)
+		violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+
+		for i := 0; i < c.Size(); i++ {
+			if r := c.Replica(i); r != nil {
+				followerReads += r.Metrics().Counter("rex_follower_reads_total")
+				leaseReads += r.Metrics().Counter("rex_lease_reads_total")
+			}
+		}
+		if failovers == 0 {
+			violations = append(violations, "no failover observed: the nemesis never deposed a primary")
+		}
+		if leaseReads == 0 {
+			violations = append(violations, "no rex_lease_reads_total increment: no linearizable read was served off the lease")
+		}
+		if followerReads == 0 {
+			violations = append(violations, "no rex_follower_reads_total increment: no read was served by a secondary")
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	res.Failovers = failovers
+	res.FollowerReads = int(followerReads)
+	res.LeaseReads = int(leaseReads)
+	for _, t := range timeouts {
+		res.Timeouts += t
+	}
+	var merged []check.SessionEvent
+	for _, evs := range events {
+		merged = append(merged, evs...)
+	}
+	res.SessionOps = len(merged)
+	res.Violations = append(res.Violations, check.CheckSessionReads(merged)...)
+	if hist != nil {
+		res.Ops = hist.Len()
+		wall := time.Now()
+		res.Check = check.CheckLinearizable(check.KVModel(false), hist.Ops(), 0)
+		res.CheckerWall = time.Since(wall)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(res.Check.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		reg.HistogramOf("chaos_checker_wall").Observe(res.CheckerWall)
+		if !res.Check.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("history of %d ops is not linearizable (stale linearizable read?)", res.Check.Ops))
+		}
+		if res.Check.Undecided {
+			res.Violations = append(res.Violations, "linearizability undecided: step budget exhausted")
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	res.Faults = faults
+	reg.CounterOf("chaos_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_scenarios_failed").Inc()
+	}
+	return res
+}

@@ -60,6 +60,12 @@ type Result struct {
 	CheckerWall time.Duration
 	Faults      int // nemesis steps applied
 	Resyncs     int // rex_resync_total summed over live replicas at the end
+
+	// Reads-scenario extras (RunReadsScenario).
+	Failovers     int // primary changes observed by the nemesis
+	FollowerReads int // rex_follower_reads_total summed over replicas
+	LeaseReads    int // rex_lease_reads_total summed over replicas
+	SessionOps    int // session-consistency events checked
 }
 
 // Run executes the scenario under a fresh simulator and checks every

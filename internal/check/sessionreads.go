@@ -1,0 +1,78 @@
+package check
+
+import "fmt"
+
+// Session-consistency checking. Each client writes strictly increasing
+// versions to its own private key and records, in its own program order,
+// every confirmed write and every session-level (or stronger) read with
+// the version it observed. Two invariants must hold per client:
+//
+//   - Read-your-writes: a read observes a version at least as new as the
+//     client's last confirmed write. (Writes whose outcome was never
+//     observed don't raise the floor — they may commit late or never —
+//     but versions only grow, so a late commit can only over-deliver.)
+//   - Monotonic reads: versions observed by successive reads never go
+//     backwards, even when the reads land on different replicas.
+
+// SessionEventKind distinguishes the two event types.
+type SessionEventKind uint8
+
+const (
+	// SessionWrite is a confirmed write of Version to the client's key.
+	SessionWrite SessionEventKind = iota
+	// SessionRead is a completed read that observed Version (0 = key
+	// absent).
+	SessionRead
+)
+
+// SessionEvent is one entry in a client's program-order event sequence.
+type SessionEvent struct {
+	Client  uint64
+	Kind    SessionEventKind
+	Version uint64
+	Level   string // consistency level of a read, for diagnostics
+}
+
+// CheckSessionReads verifies read-your-writes and monotonic reads over
+// per-client event sequences. Events for one client must appear in that
+// client's program order; different clients' events may interleave
+// arbitrarily (the checker partitions by Client).
+func CheckSessionReads(events []SessionEvent) []string {
+	type state struct {
+		written  uint64 // last confirmed write (floor for reads)
+		observed uint64 // highest version any read returned
+	}
+	clients := make(map[uint64]*state)
+	var violations []string
+	for i, ev := range events {
+		st := clients[ev.Client]
+		if st == nil {
+			st = &state{}
+			clients[ev.Client] = st
+		}
+		switch ev.Kind {
+		case SessionWrite:
+			if ev.Version <= st.written {
+				violations = append(violations, fmt.Sprintf(
+					"event %d: client %d wrote version %d after confirming %d (driver bug: versions must increase)",
+					i, ev.Client, ev.Version, st.written))
+			}
+			st.written = ev.Version
+		case SessionRead:
+			if ev.Version < st.written {
+				violations = append(violations, fmt.Sprintf(
+					"event %d: client %d %s read observed version %d after its own confirmed write of %d (read-your-writes violated)",
+					i, ev.Client, ev.Level, ev.Version, st.written))
+			}
+			if ev.Version < st.observed {
+				violations = append(violations, fmt.Sprintf(
+					"event %d: client %d %s read observed version %d after an earlier read observed %d (monotonic reads violated)",
+					i, ev.Client, ev.Level, ev.Version, st.observed))
+			}
+			if ev.Version > st.observed {
+				st.observed = ev.Version
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,58 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionReadsClean(t *testing.T) {
+	events := []SessionEvent{
+		{Client: 1, Kind: SessionRead, Version: 0, Level: "session"},
+		{Client: 1, Kind: SessionWrite, Version: 1},
+		{Client: 2, Kind: SessionWrite, Version: 1},
+		{Client: 1, Kind: SessionRead, Version: 1, Level: "session"},
+		{Client: 1, Kind: SessionWrite, Version: 2},
+		// A stale write that never confirmed may leave reads ahead of the
+		// floor; observing version 3 before writing it is fine too (late
+		// commit of an unconfirmed write).
+		{Client: 1, Kind: SessionRead, Version: 3, Level: "linearizable"},
+		{Client: 2, Kind: SessionRead, Version: 1, Level: "session"},
+	}
+	if v := CheckSessionReads(events); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestSessionReadsCatchesStaleRead(t *testing.T) {
+	events := []SessionEvent{
+		{Client: 1, Kind: SessionWrite, Version: 5},
+		{Client: 1, Kind: SessionRead, Version: 4, Level: "session"},
+	}
+	v := CheckSessionReads(events)
+	if len(v) != 1 || !strings.Contains(v[0], "read-your-writes") {
+		t.Fatalf("stale read not flagged correctly: %v", v)
+	}
+}
+
+func TestSessionReadsCatchesNonMonotonicRead(t *testing.T) {
+	events := []SessionEvent{
+		{Client: 1, Kind: SessionRead, Version: 7, Level: "session"},
+		{Client: 1, Kind: SessionRead, Version: 6, Level: "session"},
+	}
+	v := CheckSessionReads(events)
+	if len(v) != 1 || !strings.Contains(v[0], "monotonic reads") {
+		t.Fatalf("non-monotonic read not flagged correctly: %v", v)
+	}
+}
+
+func TestSessionReadsPerClientIsolation(t *testing.T) {
+	// Client 2's low version must not trip client 1's floor.
+	events := []SessionEvent{
+		{Client: 1, Kind: SessionWrite, Version: 9},
+		{Client: 2, Kind: SessionRead, Version: 0, Level: "eventual"},
+		{Client: 1, Kind: SessionRead, Version: 9, Level: "session"},
+	}
+	if v := CheckSessionReads(events); len(v) != 0 {
+		t.Fatalf("cross-client interference: %v", v)
+	}
+}

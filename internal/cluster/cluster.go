@@ -13,6 +13,7 @@ import (
 
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/readpath"
 	"rex/internal/reconfig"
 	"rex/internal/storage"
 	"rex/internal/transport"
@@ -30,6 +31,12 @@ type Options struct {
 	PipelineDepth   int
 	HeartbeatEvery  time.Duration
 	ElectionTimeout time.Duration
+	// LeaseDuration/ClockSkewBound/ReadWaitTimeout tune the read path
+	// (core.Config); zero takes the core defaults, negative LeaseDuration
+	// disables the quorum read lease.
+	LeaseDuration   time.Duration
+	ClockSkewBound  time.Duration
+	ReadWaitTimeout time.Duration
 	CheckpointEvery time.Duration
 	// MaxLogInstances is the log-growth checkpoint floor
 	// (core.Config.MaxLogInstancesWithoutCheckpoint): 0 takes the core
@@ -196,6 +203,9 @@ func (c *Cluster) config(i int) core.Config {
 		PipelineDepth:                    c.Opts.PipelineDepth,
 		HeartbeatEvery:                   c.Opts.HeartbeatEvery,
 		ElectionTimeout:                  et,
+		LeaseDuration:                    c.Opts.LeaseDuration,
+		ClockSkewBound:                   c.Opts.ClockSkewBound,
+		ReadWaitTimeout:                  c.Opts.ReadWaitTimeout,
 		CheckpointEvery:                  c.Opts.CheckpointEvery,
 		StatusEvery:                      c.Opts.StatusEvery,
 		MaxLogInstancesWithoutCheckpoint: c.Opts.MaxLogInstances,
@@ -604,11 +614,13 @@ type Client struct {
 	// MaxAttempts caps redirects/retries per call; 0 means
 	// DefaultMaxAttempts.
 	MaxAttempts int
-	// Recorder, when set, observes every Do/DoTimeout call for the
-	// consistency checker.
+	// Recorder, when set, observes every Do/DoTimeout call — and every
+	// linearizable QueryLevel read — for the consistency checker.
 	Recorder HistoryRecorder
 
-	rng *rand.Rand
+	sess   readpath.SessionState
+	readRR int
+	rng    *rand.Rand
 }
 
 // NewClient returns a client with the given unique id.
@@ -693,9 +705,10 @@ func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duratio
 			b = cl.backoff(b)
 			continue
 		}
-		resp, err := r.Submit(cl.ID, seq, body)
+		resp, tok, err := r.SubmitToken(cl.ID, seq, body)
 		if err == nil {
 			cl.LastPrimary = target % n
+			cl.sess.Observe(tok)
 			if cl.Recorder != nil {
 				cl.Recorder.Return(opID, resp)
 			}
@@ -726,11 +739,126 @@ func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duratio
 	return nil, fmt.Errorf("cluster: request timed out after %v", timeout)
 }
 
-// Query runs a read-only query against replica i.
+// Query runs a read-only query, preferring replica i but failing over to
+// the other replicas on ErrStopped or a missing replica — the same
+// transient classification Do gives writes.
 func (cl *Client) Query(i int, q []byte) ([]byte, error) {
-	r := cl.C.Replica(i)
-	if r == nil {
-		return nil, errors.New("cluster: replica down")
+	n := cl.C.Size()
+	b := minRetryBackoff
+	var lastErr error = errors.New("cluster: replica down")
+	for attempt := 0; attempt < 2*n; attempt++ {
+		r := cl.C.Replica((i + attempt) % n)
+		if r == nil {
+			lastErr = errors.New("cluster: replica down")
+			b = cl.backoff(b)
+			continue
+		}
+		resp, err := r.Query(q)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, core.ErrStopped) {
+			return nil, err
+		}
+		b = cl.backoff(b)
 	}
-	return r.Query(q)
+	return nil, lastErr
+}
+
+// QueryLevel runs a read at the given consistency level, with the same
+// retry/redirect classification Do gives writes. Linearizable reads chase
+// the primary (and are recorded into the client's history, when a
+// Recorder is set, exactly like writes — they claim a linearization
+// point, so the checker must hold them to it). Session and eventual reads
+// rotate over the likely secondaries, falling back to the primary when
+// the query is classified primary-only; session reads carry and refresh
+// the client's session token.
+func (cl *Client) QueryLevel(level readpath.Level, q []byte) ([]byte, error) {
+	return cl.QueryLevelTimeout(level, q, 30*time.Second)
+}
+
+// QueryLevelTimeout is QueryLevel with an explicit deadline.
+func (cl *Client) QueryLevelTimeout(level readpath.Level, q []byte, timeout time.Duration) ([]byte, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("cluster: invalid consistency level %d", uint8(level))
+	}
+	e := cl.C.Env
+	lin := level == readpath.Linearizable
+	var opID uint64
+	if lin && cl.Recorder != nil {
+		opID = cl.Recorder.Invoke(cl.ID, q)
+	}
+	maxAttempts := cl.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	deadline := e.Now() + timeout
+	toPrimary := lin
+	b := minRetryBackoff
+	var lastErr error
+	for attempts := 0; e.Now() < deadline && attempts < maxAttempts; attempts++ {
+		n := cl.C.Size()
+		var i int
+		if toPrimary {
+			i = cl.LastPrimary % n
+		} else {
+			cl.readRR++
+			i = (cl.LastPrimary + 1 + cl.readRR) % n
+		}
+		r := cl.C.Replica(i)
+		if r == nil {
+			b = cl.backoff(b)
+			continue
+		}
+		var tok readpath.Token
+		if level == readpath.Session {
+			tok = cl.sess.Token()
+		}
+		resp, newTok, err := r.QueryLevel(level, tok, q)
+		if err == nil {
+			cl.sess.Observe(newTok)
+			if lin {
+				cl.LastPrimary = i
+				if cl.Recorder != nil {
+					cl.Recorder.Return(opID, resp)
+				}
+			}
+			return resp, nil
+		}
+		lastErr = err
+		var np core.ErrNotPrimary
+		switch {
+		case errors.As(err, &np):
+			if np.Leader >= 0 {
+				cl.LastPrimary = np.Leader
+				b = minRetryBackoff
+			} else {
+				cl.LastPrimary = (cl.LastPrimary + 1) % n
+			}
+			toPrimary = true
+		case errors.Is(err, readpath.ErrPrimaryOnly):
+			// Classified primary-only: stop probing secondaries. The
+			// primary serves any level.
+			toPrimary = true
+		case errors.Is(err, core.ErrStopped),
+			errors.Is(err, readpath.ErrFrontierWait),
+			errors.Is(err, readpath.ErrLeaseWait):
+			// Transient: another replica (or the next election's winner)
+			// can serve it.
+		default:
+			if lin && cl.Recorder != nil {
+				cl.Recorder.Timeout(opID)
+			}
+			return nil, err
+		}
+		b = cl.backoff(b)
+	}
+	if lin && cl.Recorder != nil {
+		cl.Recorder.Timeout(opID)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no replica served the read")
+	}
+	return nil, fmt.Errorf("cluster: read failed after retries: %w", lastErr)
 }

@@ -50,6 +50,30 @@ type QueryHandler interface {
 	Query(ctx *Ctx, q []byte) []byte
 }
 
+// QueryClass classifies a query for the follower-read path.
+type QueryClass uint8
+
+const (
+	// QueryPrimaryOnly marks a query that must run on the primary: its
+	// handler mutates state the replication protocol tracks (a cache
+	// touching LRU order on reads, say), so running it on a secondary
+	// would fork the replica's state from the replayed trace. This is
+	// the default for state machines that do not classify.
+	QueryPrimaryOnly QueryClass = iota
+	// QueryFollowerOK marks a side-effect-free query any replica can
+	// serve against its committed-and-replayed state.
+	QueryFollowerOK
+)
+
+// QueryClassifier is optionally implemented by state machines whose
+// queries may be served by secondaries. Classification is default-deny:
+// without this interface every query is QueryPrimaryOnly, and session/
+// eventual reads routed to a follower bounce with
+// readpath.ErrPrimaryOnly instead of risking divergence.
+type QueryClassifier interface {
+	ClassifyQuery(q []byte) QueryClass
+}
+
 // Factory constructs the application. It runs identically on every replica
 // (and on every rebuild), so resources must be created in a deterministic
 // order. Background tasks are registered through host.AddTimer; the number

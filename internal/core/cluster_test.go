@@ -126,6 +126,15 @@ func (s *tkv) Query(ctx *core.Ctx, q []byte) []byte {
 	return []byte(v)
 }
 
+// ClassifyQuery marks gets as safe for secondaries; everything else
+// stays primary-only.
+func (s *tkv) ClassifyQuery(q []byte) core.QueryClass {
+	if strings.HasPrefix(string(q), "get ") {
+		return core.QueryFollowerOK
+	}
+	return core.QueryPrimaryOnly
+}
+
 func (s *tkv) WriteCheckpoint(w io.Writer) error {
 	e := wire.NewEncoder(nil)
 	for _, m := range s.data {

@@ -40,6 +40,16 @@ type replicaMetrics struct {
 	deltaBytes    *obs.SizeHistogram // encoded bytes per proposed delta
 	deltaEvents   *obs.SizeHistogram // sync events per proposed delta
 
+	// Read-path series (DESIGN.md "Read path"): how linearizable reads
+	// were confirmed (lease fast path vs consensus barrier), how many
+	// reads secondaries served, and how long reads waited on admission
+	// (pending drain, barrier commit, or session-frontier catch-up).
+	leaseReads    *obs.Counter   // linearizable reads confirmed by the lease
+	confirmReads  *obs.Counter   // linearizable reads confirmed by a barrier
+	followerReads *obs.Counter   // session/eventual reads served as secondary
+	readWait      *obs.Histogram // admission wait per read that waited
+	readTimeouts  *obs.Counter   // reads abandoned at ReadWaitTimeout
+
 	paxos  *paxos.Metrics
 	replay *sched.ReplayObs
 }
@@ -66,6 +76,11 @@ func newReplicaMetrics(reg *obs.Registry) *replicaMetrics {
 		proposeCommit: reg.Histogram("rex_propose_commit_seconds"),
 		deltaBytes:    reg.SizeHistogram("rex_delta_bytes"),
 		deltaEvents:   reg.SizeHistogram("rex_delta_events"),
+		leaseReads:    reg.Counter("rex_lease_reads_total"),
+		confirmReads:  reg.Counter("rex_lease_confirm_reads_total"),
+		followerReads: reg.Counter("rex_follower_reads_total"),
+		readWait:      reg.Histogram("rex_read_wait_seconds"),
+		readTimeouts:  reg.Counter("rex_read_wait_timeouts_total"),
 		paxos:         paxos.NewMetrics(),
 		replay:        sched.NewReplayObs(),
 	}

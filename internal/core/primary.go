@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"rex/internal/readpath"
 	"rex/internal/trace"
 )
 
@@ -19,24 +20,43 @@ var ErrStaleSeq = errors.New("rex: stale client sequence number")
 // the trace, without waiting for secondary replay). client/seq provide
 // at-most-once semantics across retries and failovers.
 func (r *Replica) Submit(client, seq uint64, body []byte) ([]byte, error) {
+	resp, _, err := r.SubmitToken(client, seq, body)
+	return resp, err
+}
+
+// submitResult is the payload a pendingReq channel carries: the response
+// plus the session token covering the write's commit.
+type submitResult struct {
+	resp []byte
+	tok  readpath.Token
+}
+
+// SubmitToken is Submit returning a session token alongside the response:
+// the committed frontier (epoch, applied instance, consistent cut) that
+// covers the write. A client presenting the token with a session-level
+// read is guaranteed to observe this write (read path, DESIGN.md §11).
+func (r *Replica) SubmitToken(client, seq uint64, body []byte) ([]byte, readpath.Token, error) {
 	r.mu.Lock()
 	for {
 		if r.stopped || r.role == RoleFaulted {
 			r.mu.Unlock()
-			return nil, ErrStopped
+			return nil, readpath.Token{}, ErrStopped
 		}
 		if r.role != RolePrimary {
 			leader := r.curLeader
 			r.mu.Unlock()
-			return nil, ErrNotPrimary{Leader: leader}
+			return nil, readpath.Token{}, ErrNotPrimary{Leader: leader}
 		}
 		if e, ok := r.dedup[client]; ok && seq <= e.seq {
 			resp := e.resp
+			tok := r.tokenLocked()
 			r.mu.Unlock()
 			if seq < e.seq {
-				return nil, ErrStaleSeq
+				return nil, readpath.Token{}, ErrStaleSeq
 			}
-			return resp, nil
+			// The duplicate's original commit is at or below the current
+			// committed frontier, so today's token still covers it.
+			return resp, tok, nil
 		}
 		// Flow control: bound speculation depth and wait for lagging live
 		// secondaries (§6.2).
@@ -56,9 +76,28 @@ func (r *Replica) Submit(client, seq uint64, body []byte) ([]byte, error) {
 
 	v, ok := p.ch.Recv()
 	if !ok {
-		return nil, ErrStopped
+		return nil, readpath.Token{}, ErrStopped
 	}
-	return v.([]byte), nil
+	res := v.(submitResult)
+	return res.resp, res.tok, nil
+}
+
+// tokenLocked builds a session token from the replica's committed
+// frontier. Tokens must never include speculative state: on the primary
+// that is the last consistent cut of the committed trace (r.lcc), on a
+// secondary the replayed-and-executed cut — both only ever cover
+// consensus-committed effects, so a token survives any failover.
+func (r *Replica) tokenLocked() readpath.Token {
+	tok := readpath.Token{Group: r.cfg.Group, Epoch: r.member.Epoch, Applied: r.applied}
+	switch {
+	case r.role == RolePrimary:
+		tok.Cut = r.lcc.Clone()
+	case r.rt != nil:
+		if rep := r.rt.Replayer(); rep != nil {
+			tok.Cut = rep.Executed()
+		}
+	}
+	return tok
 }
 
 // throttledLocked implements the primary's aggressive flow control: it
@@ -160,7 +199,7 @@ func (r *Replica) completeLocal(idx uint64, resp []byte, end trace.EventID) {
 
 func (r *Replica) releaseOneLocked(idx uint64, p *pendingReq) {
 	r.obs.reqLatency.Observe(r.e.Now() - p.at)
-	p.ch.Send(p.resp)
+	p.ch.Send(submitResult{resp: p.resp, tok: r.tokenLocked()})
 	delete(r.pending, idx)
 	r.outstanding--
 	r.cond.Broadcast()

@@ -143,6 +143,16 @@ func (r *Replica) applyMeta(inst uint64, val []byte) bool {
 		}
 		r.reconfigInflight = false
 		hook = r.cfg.OnMembership
+	} else if id, isBarrier := reconfig.BarrierID(val); isBarrier {
+		// A read barrier committed. Only the exact id this replica
+		// proposed may confirm a waiting linearizable read: matching on
+		// anything weaker (a high-water instance, any barrier) would let
+		// another primary's barrier wake a deposed reader and pass off a
+		// stale read as linearizable.
+		if ch, waiting := r.pendingBarriers[id]; waiting {
+			ch.TrySend(true)
+			delete(r.pendingBarriers, id)
+		}
 	}
 	r.applied = inst + 1
 	r.cond.Broadcast()

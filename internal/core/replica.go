@@ -111,6 +111,21 @@ type Config struct {
 	PipelineDepth   int
 	HeartbeatEvery  time.Duration
 	ElectionTimeout time.Duration
+	// LeaseDuration and ClockSkewBound tune the quorum read lease
+	// (paxos.Config): 0 takes the consensus defaults (4×HeartbeatEvery,
+	// duration/8), negative LeaseDuration disables leases — linearizable
+	// reads then always pay a consensus barrier.
+	LeaseDuration  time.Duration
+	ClockSkewBound time.Duration
+	// ReadWaitTimeout bounds how long a read blocks on admission: a
+	// linearizable read waiting for observed writes to commit (or for
+	// its barrier), a session read waiting for replay to cover the
+	// client's token. 0 defaults to 1s; expired waits return a
+	// transient error so the client retries elsewhere.
+	ReadWaitTimeout time.Duration
+	// Group is the shard group id stamped into read-path session tokens
+	// (readpath.Token.Group); 0 for unsharded deployments.
+	Group int
 	// CheckpointEvery is the primary's checkpoint initiation period; 0
 	// disables periodic checkpoints (Checkpoint can still be called).
 	// Even at 0, the MaxLogInstancesWithoutCheckpoint floor still forces a
@@ -198,6 +213,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.MaxLogInstancesWithoutCheckpoint == 0 {
 		cfg.MaxLogInstancesWithoutCheckpoint = 4096
 	}
+	if cfg.ReadWaitTimeout <= 0 {
+		cfg.ReadWaitTimeout = time.Second
+	}
 	return cfg
 }
 
@@ -279,6 +297,15 @@ type Replica struct {
 	pendingRebase trace.Cut
 	dedup         map[uint64]dedupEntry
 
+	// Linearizable-read barrier state (read.go). pendingBarriers maps a
+	// barrier id to the cap-1 channel its reader waits on; applyMeta
+	// signals it when the barrier value commits, failPendingLocked
+	// closes it on demotion/stop. nextBarrier never resets, so combined
+	// with the replica id a barrier id is unique cluster-wide and a
+	// deposed primary can never be woken by another primary's barrier.
+	nextBarrier     uint64
+	pendingBarriers map[uint64]env.Chan
+
 	// Propose-pump state. proposeWake (cap 1) is the demand edge: the
 	// recorder pokes it on new work, applyLoop pokes it when a commit
 	// opens pipeline room, and a ticker pokes it every ProposeEvery as
@@ -359,14 +386,15 @@ type resyncEvt struct{}
 func NewReplica(cfg Config) (*Replica, error) {
 	cfg = cfg.withDefaults()
 	r := &Replica{
-		cfg:            cfg,
-		e:              cfg.Env,
-		curLeader:      -1,
-		pendingPromote: -1,
-		pending:        make(map[uint64]*pendingReq),
-		dedup:          make(map[uint64]dedupEntry),
-		markInst:       make(map[uint64]uint64),
-		peers:          make(map[int]peerStatus),
+		cfg:             cfg,
+		e:               cfg.Env,
+		curLeader:       -1,
+		pendingPromote:  -1,
+		pending:         make(map[uint64]*pendingReq),
+		pendingBarriers: make(map[uint64]env.Chan),
+		dedup:           make(map[uint64]dedupEntry),
+		markInst:        make(map[uint64]uint64),
+		peers:           make(map[int]peerStatus),
 	}
 	if cfg.Members != nil {
 		r.member = cfg.Members.Clone()
@@ -393,6 +421,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 		Log:             cfg.Log,
 		HeartbeatEvery:  cfg.HeartbeatEvery,
 		ElectionTimeout: cfg.ElectionTimeout,
+		LeaseDuration:   cfg.LeaseDuration,
+		ClockSkewBound:  cfg.ClockSkewBound,
 		PipelineDepth:   cfg.PipelineDepth,
 		Seed:            cfg.Seed,
 		Logf:            cfg.Logf,
@@ -565,6 +595,13 @@ func (r *Replica) failPendingLocked() {
 		// (dedup makes the retry idempotent).
 		p.ch.Close()
 		delete(r.pending, idx)
+	}
+	// Barrier readers lose their leadership proof with the demotion; a
+	// closed channel tells them to retry (possibly elsewhere) instead of
+	// waiting out the timeout.
+	for id, ch := range r.pendingBarriers {
+		ch.Close()
+		delete(r.pendingBarriers, id)
 	}
 	r.outstanding = 0
 	r.workQ = nil

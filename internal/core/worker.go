@@ -310,7 +310,8 @@ type queryResult struct {
 // Query executes a read-only request on this replica outside the
 // replication protocol. On the primary it observes speculative
 // (pre-consensus) state; on a secondary it observes committed-and-replayed
-// state (§6.5's two query semantics).
+// state (§6.5's two query semantics). For reads with consistency
+// guarantees, use QueryLevel (read.go).
 func (r *Replica) Query(q []byte) ([]byte, error) {
 	r.mu.Lock()
 	if r.stopped || r.role == RoleFaulted {
@@ -318,6 +319,11 @@ func (r *Replica) Query(q []byte) ([]byte, error) {
 		return nil, ErrStopped
 	}
 	r.mu.Unlock()
+	return r.runQuery(q)
+}
+
+// runQuery hands q to the read pool and waits for its answer.
+func (r *Replica) runQuery(q []byte) ([]byte, error) {
 	if r.cfg.ReadWorkers <= 0 {
 		return nil, fmt.Errorf("rex: no read workers configured")
 	}

@@ -71,6 +71,11 @@ const (
 	// receiver's active membership (and its activation instance) so a
 	// removed or lagging node learns the configuration it missed.
 	mEpochNack
+	// mLeaseGrant is a voter's read-lease grant in reply to a heartbeat:
+	// Inst echoes the heartbeat's send-time stamp so the leader computes
+	// lease expiry purely on its own clock. A granting voter refuses
+	// prepares from anyone but the grantee until the grant expires.
+	mLeaseGrant
 )
 
 func (k msgKind) String() string {
@@ -97,6 +102,8 @@ func (k msgKind) String() string {
 		return "learn-nack"
 	case mEpochNack:
 		return "epoch-nack"
+	case mLeaseGrant:
+		return "lease-grant"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(k))
 }
@@ -113,7 +120,7 @@ type acceptedEntry struct {
 type message struct {
 	Kind      msgKind
 	Ballot    Ballot
-	Inst      uint64 // mAccept/mAccepted/mCommit: instance
+	Inst      uint64 // mAccept/mAccepted/mCommit: instance; mHeartbeat/mLeaseGrant: lease time stamp
 	FromInst  uint64 // mPrepare/mLearn/mLearnReply: starting instance
 	ChosenSeq uint64 // mPromise/mHeartbeat: sender's chosen count
 	Epoch     uint64 // membership epoch governing the message's instance
@@ -181,7 +188,7 @@ func decodeMessage(buf []byte) (*message, error) {
 	for i := uint64(0); i < nVals; i++ {
 		m.Vals = append(m.Vals, append([]byte(nil), d.BytesVal()...))
 	}
-	if m.Kind == mInvalid || m.Kind > mEpochNack {
+	if m.Kind == mInvalid || m.Kind > mLeaseGrant {
 		return nil, wire.ErrCorrupt
 	}
 	return m, d.Err()

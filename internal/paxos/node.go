@@ -3,6 +3,7 @@ package paxos
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"rex/internal/env"
@@ -35,6 +36,16 @@ type Config struct {
 	ElectionTimeout time.Duration
 	Tick            time.Duration
 	Seed            int64
+
+	// LeaseDuration is the quorum read-lease window piggybacked on
+	// heartbeats (see lease.go). 0 defaults to 4×HeartbeatEvery; negative
+	// disables leases entirely. Must stay well below ElectionTimeout or
+	// grant suppression will delay recovery from a dead leader.
+	LeaseDuration time.Duration
+	// ClockSkewBound is the allowance for clock-rate drift between
+	// replicas over one lease window, subtracted from the leader's
+	// computed expiry. 0 defaults to LeaseDuration/8.
+	ClockSkewBound time.Duration
 
 	// PipelineDepth is the number of consensus instances that may be open
 	// concurrently. 1 (the default) is the paper's one-active-instance
@@ -126,6 +137,15 @@ type Node struct {
 	lastHeartbeat    time.Duration
 	electionDeadline time.Duration
 	stopped          bool
+
+	// Read-lease state (lease.go). Voter side: leaseTo/leaseUntil is the
+	// silent window granted to the current leader. Leader side: grantAt
+	// records the latest acked heartbeat stamp per voter; leaseExpiry
+	// publishes the computed window end for lock-free LeaseValid reads.
+	leaseTo     int
+	leaseUntil  time.Duration
+	grantAt     map[int]time.Duration
+	leaseExpiry atomic.Int64
 
 	// Membership schedule: configs[i] governs every instance in
 	// [configs[i].FromInst, configs[i+1].FromInst). Always non-empty,
@@ -222,6 +242,15 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
+	switch {
+	case cfg.LeaseDuration < 0:
+		cfg.LeaseDuration = 0 // disabled
+	case cfg.LeaseDuration == 0:
+		cfg.LeaseDuration = 4 * cfg.HeartbeatEvery
+	}
+	if cfg.ClockSkewBound <= 0 {
+		cfg.ClockSkewBound = cfg.LeaseDuration / 8
+	}
 	n := &Node{
 		cfg:        cfg,
 		inbox:      cfg.Env.NewChan(0),
@@ -230,6 +259,8 @@ func NewNode(cfg Config) (*Node, error) {
 		pendingVal: make(map[uint64][]byte),
 		inflight:   make(map[uint64]*inflightState),
 		curLeader:  -1,
+		leaseTo:    -1,
+		grantAt:    make(map[int]time.Duration),
 		walEnc:     wire.NewEncoder(nil),
 	}
 	base := reconfig.Initial(cfg.N)
@@ -651,6 +682,7 @@ func (n *Node) handleCmd(v any) (quit bool) {
 	case stopCmd:
 		n.flushBatch()
 		n.stopped = true
+		n.leaseExpiry.Store(0)
 		n.cfg.Endpoint.Close()
 		n.inbox.Close()
 		c.done.Send(struct{}{})
@@ -665,7 +697,9 @@ func (n *Node) handleTick() {
 		if now-n.lastHeartbeat >= n.cfg.HeartbeatEvery {
 			n.lastHeartbeat = now
 			n.cfg.Metrics.Heartbeats.Inc()
-			n.broadcast(&message{Kind: mHeartbeat, Ballot: n.prepBallot, ChosenSeq: n.chosenSeq, Epoch: n.activeEpoch})
+			hb := &message{Kind: mHeartbeat, Ballot: n.prepBallot, ChosenSeq: n.chosenSeq, Epoch: n.activeEpoch}
+			n.stampHeartbeat(hb, now)
+			n.broadcast(hb)
 		}
 		// Retransmit stuck proposals (lost Accept or Accepted), in
 		// instance order so the acceptor-side chaining guard is satisfied.
@@ -691,6 +725,13 @@ func (n *Node) handleTick() {
 		n.broadcast(&message{Kind: mPrepare, Ballot: n.prepBallot, FromInst: n.chosenSeq, Epoch: n.activeEpoch})
 	}
 	if now >= n.electionDeadline {
+		if n.holdElection() {
+			// Our grant to the (possibly dead) leader is still live: peers
+			// in the same window would suppress the prepare anyway. Retry
+			// once the grant has run out.
+			n.electionDeadline = n.leaseUntil
+			return
+		}
 		n.startElection()
 	}
 }
@@ -725,6 +766,7 @@ func (n *Node) observeBallot(b Ballot) {
 			n.isLeader = false
 			n.inflight = make(map[uint64]*inflightState)
 			n.proposeQ = nil
+			n.dropLease()
 		}
 		if newLeader != n.curLeader {
 			n.curLeader = newLeader
@@ -771,6 +813,8 @@ func (n *Node) handleMessage(m *message, from int) {
 		}
 	case mEpochNack:
 		n.onEpochNack(m, from)
+	case mLeaseGrant:
+		n.onLeaseGrant(m, from)
 	}
 }
 
@@ -788,6 +832,13 @@ func (n *Node) onPrepare(m *message, from int) {
 		// The candidate's membership view is stale (it may have been
 		// removed): refuse, and teach it the configuration it missed.
 		n.sendEpochNack(from)
+		return
+	}
+	if n.suppressPrepare(from) {
+		// Inside a read-lease silent window granted to another node: a
+		// promise now could elect a leader while the lease holder still
+		// serves lease reads. Drop silently; the candidate retries after
+		// the window.
 		return
 	}
 	if m.Ballot.Less(n.promised) {
@@ -872,6 +923,7 @@ func (n *Node) tryCompleteElection() {
 	n.curLeader = n.cfg.ID
 	n.leaderBallot = n.prepBallot
 	n.lastHeartbeat = 0
+	n.dropLease() // fresh leadership starts with no grants banked
 	n.nextPropose = n.chosenSeq
 	n.cfg.Metrics.LeaderWins.Inc()
 	n.cfg.logf("won election with ballot %v at instance %d", n.prepBallot, n.chosenSeq)
@@ -999,6 +1051,7 @@ func (n *Node) onHeartbeat(m *message, from int) {
 	}
 	n.observeBallot(m.Ballot)
 	n.electionDeadline = n.cfg.Env.Now() + n.electionTimeout()
+	n.grantLease(m, from)
 	if m.ChosenSeq > n.chosenSeq {
 		n.cfg.Metrics.LearnReqs.Inc()
 		n.send(from, &message{Kind: mLearn, FromInst: n.chosenSeq})

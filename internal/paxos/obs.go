@@ -20,6 +20,9 @@ type Metrics struct {
 	EpochNacks *obs.Counter // stale-epoch rejections sent
 	Reconfigs  *obs.Counter // membership changes scheduled (chosen)
 
+	LeaseGrants     *obs.Counter // read-lease grants sent by this voter
+	LeaseSuppressed *obs.Counter // prepares dropped while a grant was live
+
 	// CommitLatency is propose→commit at the leader: from opening phase 2
 	// for an instance until a majority of Accepteds closes it.
 	CommitLatency *obs.Histogram
@@ -41,8 +44,10 @@ func NewMetrics() *Metrics {
 		Commits:       obs.NewCounter(),
 		Proposals:     obs.NewCounter(),
 		Heartbeats:    obs.NewCounter(),
-		EpochNacks:    obs.NewCounter(),
-		Reconfigs:     obs.NewCounter(),
+		EpochNacks:      obs.NewCounter(),
+		Reconfigs:       obs.NewCounter(),
+		LeaseGrants:     obs.NewCounter(),
+		LeaseSuppressed: obs.NewCounter(),
 		CommitLatency: obs.NewHistogram(),
 		PersistBatch:  obs.NewSizeHistogram(),
 	}
@@ -60,6 +65,8 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	reg.RegisterCounter("rex_paxos_heartbeats_total", m.Heartbeats)
 	reg.RegisterCounter("rex_paxos_epoch_nacks_total", m.EpochNacks)
 	reg.RegisterCounter("rex_paxos_reconfigs_total", m.Reconfigs)
+	reg.RegisterCounter("rex_lease_grants_total", m.LeaseGrants)
+	reg.RegisterCounter("rex_lease_suppressed_prepares_total", m.LeaseSuppressed)
 	reg.RegisterHistogram("rex_paxos_commit_latency_seconds", m.CommitLatency)
 	reg.RegisterSizeHistogram("rex_paxos_persist_batch_records", m.PersistBatch)
 }

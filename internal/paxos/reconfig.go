@@ -144,6 +144,10 @@ func (n *Node) checkActivation() {
 	}
 	n.activeEpoch = active.Epoch
 	n.cfg.logf("membership %v now active at instance %d", active, n.chosenSeq)
+	// The voter set changed under any open lease window: both the grant
+	// quorum math and a voter's silent window were judged against the old
+	// epoch, so forfeit them rather than reason across the boundary.
+	n.dropLease()
 	if n.isLeader && !active.IsVoter(n.cfg.ID) {
 		n.cfg.logf("lost voting rights in epoch %d; stepping down", active.Epoch)
 		n.isLeader = false

@@ -1,0 +1,129 @@
+package readpath
+
+import (
+	"testing"
+
+	"rex/internal/trace"
+	"rex/internal/wire"
+)
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+		err  bool
+	}{
+		{"linearizable", Linearizable, false},
+		{"lin", Linearizable, false},
+		{"session", Session, false},
+		{"eventual", Eventual, false},
+		{"strong", 0, true},
+		{"", 0, true},
+	} {
+		got, err := ParseLevel(tc.in)
+		if tc.err != (err != nil) {
+			t.Fatalf("ParseLevel(%q): err=%v, want err=%v", tc.in, err, tc.err)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, l := range []Level{Linearizable, Session, Eventual} {
+		back, err := ParseLevel(l.String())
+		if err != nil || back != l {
+			t.Fatalf("round-trip %v: got %v, %v", l, back, err)
+		}
+		if !l.Valid() {
+			t.Fatalf("%v should be valid", l)
+		}
+	}
+	if Level(7).Valid() {
+		t.Fatal("Level(7) should be invalid")
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	toks := []Token{
+		{},
+		{Group: 3, Epoch: 9, Applied: 1234, Cut: trace.Cut{5, 0, 19}},
+		{Applied: 1},
+	}
+	for _, tok := range toks {
+		e := wire.NewEncoder(nil)
+		tok.Encode(e)
+		got, err := DecodeToken(wire.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Group != tok.Group || got.Epoch != tok.Epoch || got.Applied != tok.Applied || !got.Cut.Equal(tok.Cut) {
+			t.Fatalf("round trip: got %+v, want %+v", got, tok)
+		}
+	}
+	// Empty bytes decode to the zero token.
+	z, err := DecodeTokenBytes(nil)
+	if err != nil || !z.Zero() {
+		t.Fatalf("DecodeTokenBytes(nil) = %+v, %v", z, err)
+	}
+	// Truncated bytes error rather than panic.
+	full := toks[1].EncodeBytes()
+	if _, err := DecodeTokenBytes(full[:len(full)-1]); err == nil {
+		t.Fatal("truncated token should fail to decode")
+	}
+}
+
+func TestTokenCovers(t *testing.T) {
+	base := Token{Applied: 10, Cut: trace.Cut{4, 2}}
+	if !base.Covers(Token{}) {
+		t.Fatal("any token covers the zero token")
+	}
+	if !base.Covers(base) {
+		t.Fatal("a token covers itself")
+	}
+	if base.Covers(Token{Applied: 11, Cut: trace.Cut{4, 2}}) {
+		t.Fatal("lower applied must not cover")
+	}
+	if base.Covers(Token{Applied: 10, Cut: trace.Cut{5, 2}}) {
+		t.Fatal("lower cut must not cover")
+	}
+	if !(Token{Applied: 12, Cut: trace.Cut{9, 9}}).Covers(base) {
+		t.Fatal("strictly fresher token covers")
+	}
+}
+
+func TestTokenMerge(t *testing.T) {
+	a := Token{Epoch: 1, Applied: 10, Cut: trace.Cut{4, 2}}
+	b := Token{Epoch: 2, Applied: 8, Cut: trace.Cut{1, 7, 3}}
+	m := a.Merge(b)
+	if m.Epoch != 2 || m.Applied != 10 {
+		t.Fatalf("merge scalar: %+v", m)
+	}
+	want := trace.Cut{4, 7, 3}
+	if !m.Cut.Equal(want) {
+		t.Fatalf("merge cut = %v, want %v", m.Cut, want)
+	}
+	// Merge must not regress either input.
+	if !m.Covers(a) || !m.Covers(b) {
+		t.Fatal("merged token must cover both inputs")
+	}
+	// Merging the zero token is the identity.
+	if got := a.Merge(Token{}); !got.Covers(a) || !a.Covers(got) {
+		t.Fatalf("merge with zero changed token: %+v", got)
+	}
+}
+
+func TestSession(t *testing.T) {
+	var s SessionState
+	if !s.Token().Zero() {
+		t.Fatal("new session should hold the zero token")
+	}
+	s.Observe(Token{Applied: 5, Cut: trace.Cut{1}})
+	s.Observe(Token{Applied: 3, Cut: trace.Cut{2}})
+	got := s.Token()
+	if got.Applied != 5 || !got.Cut.Equal(trace.Cut{2}) {
+		t.Fatalf("session token = %+v", got)
+	}
+	s.Reset()
+	if !s.Token().Zero() {
+		t.Fatal("reset session should hold the zero token")
+	}
+}

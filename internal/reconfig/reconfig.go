@@ -242,8 +242,34 @@ const paddingMagic = 0xC8
 // PaddingValue returns a no-op consensus value.
 func PaddingValue() []byte { return []byte{paddingMagic} }
 
-// IsPadding reports whether val is a no-op padding value.
-func IsPadding(val []byte) bool { return len(val) == 1 && val[0] == paddingMagic }
+// IsPadding reports whether val is a no-op padding value (bare padding or
+// an id-carrying read barrier — both are no-ops for the state machine).
+func IsPadding(val []byte) bool { return len(val) >= 1 && val[0] == paddingMagic }
+
+// BarrierValue returns a no-op consensus value carrying a read-barrier
+// id: committing one proves the proposer was still the leader at commit
+// time, which is what an unleased linearizable read needs. To every
+// consumer except the issuing replica it is ordinary padding.
+func BarrierValue(id uint64) []byte {
+	e := wire.NewEncoder(make([]byte, 0, 11))
+	e.Byte(paddingMagic)
+	e.Uvarint(id)
+	return e.Bytes()
+}
+
+// BarrierID extracts the read-barrier id from a padding value; ok is
+// false for bare padding or non-padding values.
+func BarrierID(val []byte) (id uint64, ok bool) {
+	if len(val) < 2 || val[0] != paddingMagic {
+		return 0, false
+	}
+	d := wire.NewDecoder(val[1:])
+	id = d.Uvarint()
+	if d.Err() != nil {
+		return 0, false
+	}
+	return id, true
+}
 
 // IsMeta reports whether val is consensus metadata (a membership or a
 // padding no-op) rather than an application trace delta.

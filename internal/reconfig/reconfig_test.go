@@ -124,3 +124,28 @@ func TestScheduleRoundTrip(t *testing.T) {
 		t.Fatalf("schedule round trip mismatch:\n got %+v\nwant %+v", got, s)
 	}
 }
+
+func TestBarrierValues(t *testing.T) {
+	for _, id := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		val := BarrierValue(id)
+		if !IsPadding(val) || !IsMeta(val) {
+			t.Fatalf("barrier %d must read as padding metadata", id)
+		}
+		if IsValue(val) {
+			t.Fatalf("barrier %d must not read as a membership", id)
+		}
+		got, ok := BarrierID(val)
+		if !ok || got != id {
+			t.Fatalf("BarrierID(BarrierValue(%d)) = %d, %v", id, got, ok)
+		}
+	}
+	if !IsPadding(PaddingValue()) {
+		t.Fatal("bare padding must still read as padding")
+	}
+	if _, ok := BarrierID(PaddingValue()); ok {
+		t.Fatal("bare padding carries no barrier id")
+	}
+	if _, ok := BarrierID(EncodeValue(Initial(3))); ok {
+		t.Fatal("membership values carry no barrier id")
+	}
+}

@@ -276,6 +276,39 @@ func (r *Replayer) WaitCaughtUp() bool {
 	return !r.aborted
 }
 
+// WaitExecutedAtLeast blocks until replay has executed at least cut on
+// every thread — the admission gate for a follower read carrying a
+// session token — or until timeout elapses or the replayer aborts. It
+// reports whether the frontier was reached.
+//
+// env.Cond has no timed wait, so the deadline is enforced by a watchdog
+// task spawned only on the slow path: it sleeps the full timeout and
+// broadcasts progress so the wait loop re-checks the clock.
+func (r *Replayer) WaitExecutedAtLeast(cut trace.Cut, timeout time.Duration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.executed.AtLeast(cut) {
+		return true // fast path: no watchdog, no waiting
+	}
+	if r.aborted || timeout <= 0 {
+		return false
+	}
+	deadline := r.e.Now() + timeout
+	r.e.Go("replay-wait-watchdog", func() {
+		r.e.Sleep(timeout)
+		r.mu.Lock()
+		r.progress.Broadcast()
+		r.mu.Unlock()
+	})
+	for !r.executed.AtLeast(cut) {
+		if r.aborted || r.e.Now() >= deadline {
+			return false
+		}
+		r.progress.Wait()
+	}
+	return true
+}
+
 // PendingMark returns the oldest pending checkpoint mark, if any.
 func (r *Replayer) PendingMark() (trace.Mark, bool) {
 	r.mu.Lock()

@@ -446,3 +446,49 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestWaitExecutedAtLeast(t *testing.T) {
+	e := sim.New(2)
+	e.Run(func() {
+		rep := mustReplayer(t, e, buildTwoThreadTrace(), nil)
+		// Fast path: the zero cut is already executed.
+		if !rep.WaitExecutedAtLeast(nil, 0) {
+			t.Fatal("zero cut should be satisfied immediately")
+		}
+		// Timeout path: nothing executes, the wait must give up at the
+		// deadline rather than block forever.
+		t0 := e.Now()
+		if rep.WaitExecutedAtLeast(trace.Cut{2, 1}, 50*time.Millisecond) {
+			t.Fatal("unexecuted cut reported reached")
+		}
+		if d := e.Now() - t0; d < 50*time.Millisecond {
+			t.Fatalf("timed out after %v, want >= 50ms", d)
+		}
+		// Progress path: a waiter is released as soon as replay covers the
+		// cut, well before its timeout.
+		done := e.NewChan(1)
+		e.Go("waiter", func() {
+			done.Send(rep.WaitExecutedAtLeast(trace.Cut{2, 1}, 5*time.Second))
+		})
+		e.Go("executor", func() {
+			for _, tid := range []int32{0, 0, 1} {
+				_, id, ok := rep.Next(tid)
+				if !ok {
+					t.Error("replayer aborted")
+					return
+				}
+				rep.WaitSources(rep.In(id))
+				rep.Commit(tid)
+			}
+		})
+		v, _ := done.Recv()
+		if !v.(bool) {
+			t.Fatal("waiter not released by progress")
+		}
+		// Aborted replayers fail the wait.
+		rep.Abort()
+		if rep.WaitExecutedAtLeast(trace.Cut{9, 9}, time.Millisecond) {
+			t.Fatal("aborted replayer satisfied a wait")
+		}
+	})
+}

@@ -8,7 +8,9 @@
 // Kinds: 1 = submit (replicated), 2 = query (local read-only), 3 = fetch
 // the shard map (group/client/seq ignored), 4 = group status, 5 = propose
 // a membership change (body: op + ids + addr), 6 = fetch the group's
-// committed membership.
+// committed membership, 7 = leveled query (body: level byte + session
+// token + query; ok body: refreshed token + response), 8 = submit
+// returning a session token (ok body: token + response).
 // Status: 0 = ok (body is the response), 1 = not primary (body is a
 // varint leader hint, -1 unknown), 2 = error (body is a message; the
 // request may succeed elsewhere or later), 3 = failed permanently (body
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"rex/internal/core"
+	"rex/internal/readpath"
 	"rex/internal/reconfig"
 	"rex/internal/shard"
 	"rex/internal/wire"
@@ -38,12 +41,14 @@ import (
 
 // Protocol constants.
 const (
-	KindSubmit     byte = 1
-	KindQuery      byte = 2
-	KindShardMap   byte = 3
-	KindStatus     byte = 4
-	KindReconfig   byte = 5
-	KindMembership byte = 6
+	KindSubmit      byte = 1
+	KindQuery       byte = 2
+	KindShardMap    byte = 3
+	KindStatus      byte = 4
+	KindReconfig    byte = 5
+	KindMembership  byte = 6
+	KindQueryLevel  byte = 7
+	KindSubmitToken byte = 8
 
 	StatusOK         byte = 0
 	StatusNotPrimary byte = 1
@@ -180,26 +185,53 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 	case KindSubmit:
 		resp, err := rep.Submit(client, seq, body)
 		if err != nil {
-			var np core.ErrNotPrimary
-			if errors.As(err, &np) {
-				e := wire.NewEncoder(nil)
-				e.Varint(int64(np.Leader))
-				return StatusNotPrimary, e.Bytes()
-			}
-			if errors.Is(err, core.ErrStaleSeq) {
-				// The primary's dedup table has moved past this sequence
-				// number; no replica will ever accept it again.
-				return StatusFailed, []byte(err.Error())
-			}
-			return StatusError, []byte(err.Error())
+			return submitErrStatus(err)
 		}
 		return StatusOK, resp
+	case KindSubmitToken:
+		resp, tok, err := rep.SubmitToken(client, seq, body)
+		if err != nil {
+			return submitErrStatus(err)
+		}
+		e := wire.NewEncoder(nil)
+		e.BytesVal(tok.EncodeBytes())
+		e.BytesVal(resp)
+		return StatusOK, e.Bytes()
 	case KindQuery:
 		resp, err := rep.Query(body)
 		if err != nil {
 			return StatusError, []byte(err.Error())
 		}
 		return StatusOK, resp
+	case KindQueryLevel:
+		d2 := wire.NewDecoder(body)
+		level := readpath.Level(d2.Byte())
+		tokB := d2.BytesVal()
+		q := d2.BytesVal()
+		if d2.Err() != nil {
+			return StatusFailed, []byte("malformed leveled query")
+		}
+		tok, err := readpath.DecodeTokenBytes(tokB)
+		if err != nil {
+			return StatusFailed, []byte(fmt.Sprintf("corrupt session token: %v", err))
+		}
+		resp, out, err := rep.QueryLevel(level, tok, q)
+		if err != nil {
+			var np core.ErrNotPrimary
+			if errors.As(err, &np) {
+				e := wire.NewEncoder(nil)
+				e.Varint(int64(np.Leader))
+				return StatusNotPrimary, e.Bytes()
+			}
+			// readpath's routing errors (primary-only classification,
+			// frontier/lease waits) cross as their stable message strings;
+			// clients match them to pick the next replica.
+			return StatusError, []byte(err.Error())
+		}
+		e := wire.NewEncoder(nil)
+		e.BytesVal(out.EncodeBytes())
+		e.BytesVal(resp)
+		return StatusOK, e.Bytes()
 	case KindStatus:
 		st := rep.Stats()
 		e := wire.NewEncoder(nil)
@@ -220,6 +252,22 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		return StatusOK, reconfig.EncodeValue(rep.Membership())
 	}
 	return StatusError, []byte(fmt.Sprintf("unknown request kind %d", kind))
+}
+
+// submitErrStatus maps a Submit/SubmitToken error onto the wire.
+func submitErrStatus(err error) (byte, []byte) {
+	var np core.ErrNotPrimary
+	if errors.As(err, &np) {
+		e := wire.NewEncoder(nil)
+		e.Varint(int64(np.Leader))
+		return StatusNotPrimary, e.Bytes()
+	}
+	if errors.Is(err, core.ErrStaleSeq) {
+		// The primary's dedup table has moved past this sequence
+		// number; no replica will ever accept it again.
+		return StatusFailed, []byte(err.Error())
+	}
+	return StatusError, []byte(err.Error())
 }
 
 func (s *Server) handleReconfig(rep *core.Replica, body []byte) (byte, []byte) {
@@ -331,7 +379,10 @@ func writeFrame(w io.Writer, status byte, body []byte) error {
 	return err
 }
 
-// Client talks to one replica group's client ports.
+// Client talks to one replica group's client ports. It maintains a
+// session (readpath.SessionState): every write and session read folds the
+// response token into it, so session-level reads are read-your-writes and
+// monotonic across replicas.
 type Client struct {
 	addrs  []string
 	id     uint64
@@ -340,6 +391,8 @@ type Client struct {
 	mu     sync.Mutex
 	conns  map[int]net.Conn
 	target int
+	sess   readpath.SessionState
+	readRR int // rotation cursor for follower reads
 }
 
 // NewClient creates a client for an unsharded deployment (group 0) with a
@@ -424,7 +477,8 @@ func (c *Client) Do(body []byte) ([]byte, error) {
 // DoCtx is Do honoring ctx: cancellation aborts the retry loop between
 // attempts, and a ctx deadline also bounds each attempt's network I/O.
 // A StatusFailed answer (or an unframeable request) returns an error
-// wrapping ErrPermanent immediately, with no further retries.
+// wrapping ErrPermanent immediately, with no further retries. Successful
+// writes fold the returned session token into the client's session.
 func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -436,7 +490,7 @@ func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		i := c.target % len(c.addrs)
-		status, resp, err := c.roundTrip(ctx, i, KindSubmit, seq, body)
+		status, resp, err := c.roundTrip(ctx, i, KindSubmitToken, seq, body)
 		if err != nil {
 			if errors.Is(err, ErrPermanent) {
 				return nil, err
@@ -447,7 +501,12 @@ func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 		}
 		switch status {
 		case StatusOK:
-			return resp, nil
+			out, tok, err := decodeTokenResp(resp)
+			if err != nil {
+				return nil, err
+			}
+			c.sess.Observe(tok)
+			return out, nil
 		case StatusNotPrimary:
 			d := wire.NewDecoder(resp)
 			leader := d.Varint()
@@ -467,18 +526,133 @@ func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 	return nil, errors.New("server: no replica accepted the request")
 }
 
-// Query runs a read-only query against the group's replica i.
+// decodeTokenResp splits a token-carrying OK body into response and token.
+func decodeTokenResp(b []byte) ([]byte, readpath.Token, error) {
+	d := wire.NewDecoder(b)
+	tokB := d.BytesVal()
+	resp := d.BytesVal()
+	if d.Err() != nil {
+		return nil, readpath.Token{}, fmt.Errorf("server: malformed token response: %w", d.Err())
+	}
+	tok, err := readpath.DecodeTokenBytes(tokB)
+	if err != nil {
+		return nil, readpath.Token{}, err
+	}
+	return resp, tok, nil
+}
+
+// Query runs a read-only query, preferring the group's replica i but
+// failing over to the others on connection failure or a transient error
+// (a stopped or rebuilding replica), with the same classification Do
+// gives writes.
 func (c *Client) Query(i int, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	status, resp, err := c.roundTrip(context.Background(), i, KindQuery, 0, body)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt < 2*len(c.addrs); attempt++ {
+		target := (i + attempt) % len(c.addrs)
+		status, resp, err := c.roundTrip(context.Background(), target, KindQuery, 0, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch status {
+		case StatusOK:
+			return resp, nil
+		case StatusFailed:
+			return nil, fmt.Errorf("%w: %s", ErrPermanent, resp)
+		default:
+			lastErr = fmt.Errorf("server: query failed: %s", resp)
+		}
 	}
-	if status != StatusOK {
-		return nil, fmt.Errorf("server: query failed: %s", resp)
+	return nil, lastErr
+}
+
+// QueryLevel runs a read at the given consistency level. Linearizable
+// reads chase the primary exactly like writes do; session and eventual
+// reads rotate over the other replicas (the likely secondaries) first and
+// fall back to the primary when a query is classified primary-only.
+// Session reads carry and refresh the client's session token.
+func (c *Client) QueryLevel(level readpath.Level, q []byte) ([]byte, error) {
+	return c.QueryLevelCtx(context.Background(), level, q)
+}
+
+// QueryLevelCtx is QueryLevel honoring ctx between attempts.
+func (c *Client) QueryLevelCtx(ctx context.Context, level readpath.Level, q []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !level.Valid() {
+		return nil, fmt.Errorf("%w: invalid consistency level %d", ErrPermanent, uint8(level))
 	}
-	return resp, nil
+	var lastErr error
+	toPrimary := level == readpath.Linearizable
+	tried := 0
+	for tried < 4*len(c.addrs) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var i int
+		if toPrimary {
+			i = c.target % len(c.addrs)
+		} else {
+			// Rotate away from the believed primary so follower-capable
+			// reads land on secondaries and scale with the replica count.
+			c.readRR++
+			i = (c.target + 1 + c.readRR) % len(c.addrs)
+			if len(c.addrs) == 1 {
+				i = 0
+			}
+		}
+		var tok readpath.Token
+		if level == readpath.Session {
+			tok = c.sess.Token()
+		}
+		e := wire.NewEncoder(nil)
+		e.Byte(byte(level))
+		e.BytesVal(tok.EncodeBytes())
+		e.BytesVal(q)
+		status, resp, err := c.roundTrip(ctx, i, KindQueryLevel, 0, e.Bytes())
+		if err != nil {
+			if errors.Is(err, ErrPermanent) {
+				return nil, err
+			}
+			lastErr = err
+			tried++
+			continue
+		}
+		switch status {
+		case StatusOK:
+			out, newTok, err := decodeTokenResp(resp)
+			if err != nil {
+				return nil, err
+			}
+			c.sess.Observe(newTok)
+			return out, nil
+		case StatusNotPrimary:
+			d := wire.NewDecoder(resp)
+			leader := d.Varint()
+			if d.Err() == nil && leader >= 0 {
+				c.target = int(leader)
+			} else {
+				c.target++
+			}
+			toPrimary = true
+			tried++
+		case StatusFailed:
+			return nil, fmt.Errorf("%w: %s", ErrPermanent, resp)
+		default:
+			if string(resp) == readpath.ErrPrimaryOnly.Error() {
+				// Classified primary-only: stop probing secondaries.
+				toPrimary = true
+			}
+			lastErr = fmt.Errorf("server: query failed: %s", resp)
+			tried++
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("server: no replica served the read")
+	}
+	return nil, lastErr
 }
 
 // Status fetches the group's status from replica i.

@@ -81,6 +81,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		rc.Env = cfg.Env
 		rc.ID = cfg.Map.ReplicaOn(g, cfg.Node)
 		rc.N = cfg.Map.Replicas(g)
+		rc.Group = g // session tokens are per-group; stamp the id
 		rc.Endpoint = n.mux.Endpoint(g)
 		var err error
 		if rc.Log, err = cfg.NewLog(g); err != nil {

@@ -1,19 +1,29 @@
 package shard
 
-import "fmt"
+import (
+	"fmt"
+
+	"rex/internal/readpath"
+)
 
 // GroupClient submits to one replica group. Both cluster.Client
 // (in-process) and server.Client (TCP) satisfy it: each follows its own
 // group's `not primary` hints independently, so a failover in one group
-// never stalls routing to the others.
+// never stalls routing to the others. Each group client keeps its own
+// session token, so session reads stay read-your-writes per group without
+// ever comparing cut frontiers across groups (they live in different
+// trace spaces).
 type GroupClient interface {
 	// Do submits one replicated request to the group and returns the
 	// application response.
 	Do(body []byte) ([]byte, error)
-	// Query runs a read-only query on the group's replica i (served by
-	// that replica's local hybrid read pool, outside the replication
-	// protocol).
+	// Query runs a read-only query preferring the group's replica i
+	// (served by a replica's local hybrid read pool, outside the
+	// replication protocol), failing over on transient errors.
 	Query(i int, q []byte) ([]byte, error)
+	// QueryLevel runs a read at the given consistency level, routing to
+	// the primary or a caught-up secondary as the level demands.
+	QueryLevel(level readpath.Level, q []byte) ([]byte, error)
 }
 
 // Router routes requests to groups by an application-supplied key. It is
@@ -45,4 +55,12 @@ func (r *Router) Do(key, body []byte) ([]byte, error) {
 // group (read fan-out: any replica's local hybrid pool can serve it).
 func (r *Router) Query(key []byte, i int, q []byte) ([]byte, error) {
 	return r.Groups[r.Map.GroupFor(key)].Query(i, q)
+}
+
+// QueryLevel runs a read for key at the given consistency level against
+// the owning group: linearizable reads go to that group's primary,
+// session/eventual reads fan out over its secondaries with the group
+// client's own session token.
+func (r *Router) QueryLevel(key []byte, level readpath.Level, q []byte) ([]byte, error) {
+	return r.Groups[r.Map.GroupFor(key)].QueryLevel(level, q)
 }

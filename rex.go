@@ -48,6 +48,7 @@ import (
 	"rex/internal/cluster"
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/readpath"
 	"rex/internal/rexsync"
 	"rex/internal/sched"
 	"rex/internal/sim"
@@ -157,3 +158,29 @@ type (
 
 // NewCluster assembles an in-process cluster (call Start on it).
 var NewCluster = cluster.New
+
+// Read path (DESIGN.md §11).
+type (
+	// ReadLevel is a read's consistency level, passed to Client.QueryLevel.
+	ReadLevel = readpath.Level
+	// ReadToken is a client session token carried across writes and
+	// session-level reads for read-your-writes / monotonic reads.
+	ReadToken = readpath.Token
+)
+
+// Consistency levels for Client.QueryLevel.
+const (
+	// Linearizable reads observe every write committed before the read
+	// was issued; served by the primary off a quorum read lease, or a
+	// consensus barrier when the lease is unavailable.
+	Linearizable = readpath.Linearizable
+	// Session reads may be served by any replica whose replayed frontier
+	// covers the client's session token (read-your-writes, monotonic
+	// reads within the session).
+	Session = readpath.Session
+	// Eventual reads are served immediately by any replica.
+	Eventual = readpath.Eventual
+)
+
+// ParseReadLevel parses "linearizable", "session", or "eventual".
+var ParseReadLevel = readpath.ParseLevel
