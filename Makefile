@@ -12,12 +12,13 @@ test:
 
 # The concurrency-heavy packages under the race detector: the transport
 # torture tests, the core replica lifecycle tests (including the read
-# path), the reconfiguration drills (node replacement under load), and
-# the pinned-seed consistent-read chaos scenario.
+# path and the conflict-elision property test), the reconfiguration
+# drills (node replacement under load), and the pinned-seed
+# consistent-read and conflict-class chaos scenarios.
 race:
 	$(GO) test -race ./internal/transport ./internal/core
 	$(GO) test -race -run 'TestReplacementDrill|TestRemovedIdentityRefused' ./internal/cluster/
-	$(GO) test -race -run 'TestReadsScenarioPinnedSeed' ./internal/chaos/
+	$(GO) test -race -run 'TestReadsScenarioPinnedSeed|TestConflictsScenarioPinnedSeed' ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +36,8 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Acceptance evidence as machine-readable JSON: the commit-path suite
-# (WAL group-commit shape, encode allocs/op, quick Figure 7), the
+# (WAL group-commit shape, encode allocs/op, quick Figure 7, and the
+# conflict-class delta-size experiment with its delta_bytes_mean), the
 # shard-scaling suite (aggregate throughput at 1/2/4/8 groups), and the
 # read-scaling suite (linearizable vs session reads on a 90/10 mix).
 bench-json:
@@ -51,5 +53,6 @@ chaos:
 	$(GO) run ./cmd/rexchaos -reconfig -scenarios 4 -seed 1 -duration 2s
 	$(GO) run ./cmd/rexchaos -recovery -scenarios 4 -seed 1 -duration 4s
 	$(GO) run ./cmd/rexchaos -reads -scenarios 4 -seed 1 -duration 4s
+	$(GO) run ./cmd/rexchaos -conflicts -scenarios 4 -seed 1 -duration 4s
 
 check: build vet staticcheck test race chaos

@@ -29,6 +29,7 @@ func main() {
 		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration scenario instead (replace/add/remove members under partitions)")
 		recovery  = flag.Bool("recovery", false, "run the bounded-recovery scenario instead (checkpoints disabled, promote/demote churn, must resync not panic)")
 		reads     = flag.Bool("reads", false, "run the consistent-read scenario instead (isolate the primary mid-lease; no stale linearizable read, session reads stay read-your-writes)")
+		conflicts = flag.Bool("conflicts", false, "run the conflict-class scenario instead (elision on, failovers mid-load; replay must stay deterministic and the history linearizable)")
 		verbose   = flag.Bool("v", false, "log nemesis actions as they fire")
 	)
 	flag.Parse()
@@ -143,6 +144,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all %d consistent-read scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *conflicts {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			res := chaos.RunConflictsScenario(chaos.ConflictsScenarioConfig{
+				Seed:     s,
+				Duration: *duration,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d app=%-10s faults=%-2d failovers=%-2d ops=%-4d elided=%-6d sweeps=%-3d timeouts=%-3d checked=%-4d wall=%-10v %s\n",
+				i+1, *scenarios, s, res.App, res.Faults, res.Failovers, res.Ops,
+				res.ElidedOps, res.Sweeps, res.Timeouts, res.Check.Ops,
+				res.CheckerWall.Round(time.Microsecond), verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -conflicts -scenarios 1 -seed %d -duration %v\n",
+				failed[0], *duration)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d conflict-class scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *shards {

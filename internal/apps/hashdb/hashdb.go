@@ -21,6 +21,10 @@ const (
 	OpSet byte = 1
 	OpGet byte = 2
 	OpDel byte = 3
+	// OpSweep scans every slice (a whole-table stat pass). It touches all
+	// slice locks, so it classifies as catch-all and runs under the
+	// conflict-class dispatch barrier.
+	OpSweep byte = 4
 )
 
 // Options configure the database.
@@ -71,7 +75,12 @@ func New(opts Options) core.Factory {
 	return func(rt *sched.Runtime, host *core.TimerHost) core.StateMachine {
 		db := &DB{opts: opts}
 		for i := 0; i < opts.Slices; i++ {
-			db.locks = append(db.locks, rexsync.NewRWLock(rt, fmt.Sprintf("hdb-slice-%d", i)))
+			// Slice i is owned by conflict class i+1 (matching
+			// ClassifyConflict): only that class's handlers, barriered
+			// catch-all sweeps, and native-mode readers touch it, and the
+			// auto-sync timer never does — so single-key ops elide the
+			// slice-lock events from the trace.
+			db.locks = append(db.locks, rexsync.NewRWLockInClass(rt, fmt.Sprintf("hdb-slice-%d", i), uint32(i)+1))
 			db.slices = append(db.slices, make(map[string][]byte))
 		}
 		db.meta = rexsync.NewLock(rt, "hdb-meta")
@@ -167,8 +176,45 @@ func (db *DB) Apply(ctx *core.Ctx, req []byte) []byte {
 			db.meta.Unlock(w)
 		}
 		return []byte{1}
+	case OpSweep:
+		// Whole-table stat pass: read-lock every slice in order and total
+		// the keys and value bytes. Both totals are order-independent, so
+		// the response is deterministic despite map iteration.
+		var keys, bytes uint64
+		for i := range db.slices {
+			db.locks[i].RLock(w)
+			for _, v := range db.slices[i] {
+				keys++
+				bytes += uint64(len(v))
+			}
+			db.locks[i].RUnlock(w)
+		}
+		e := wire.NewEncoder(nil)
+		e.Uvarint(keys)
+		e.Uvarint(bytes)
+		return e.Bytes()
 	}
 	return []byte{0xff}
+}
+
+// ClassifyConflict implements core.ConflictClassifier: single-key ops
+// conflict only within their slice (class = slice index + 1); a sweep —
+// or any unknown op — may touch everything and classifies as catch-all.
+// The meta lock and sync condition variable are shared across classes,
+// but they are not class-owned, so their events stay fully traced and
+// cross-class ordering through them is preserved.
+func (db *DB) ClassifyConflict(req []byte) core.ConflictClass {
+	d := wire.NewDecoder(req)
+	op := d.Byte()
+	key := d.String()
+	if d.Err() != nil {
+		return core.ConflictAll
+	}
+	switch op {
+	case OpSet, OpGet, OpDel:
+		return core.ConflictClass(db.slice(key)) + 1
+	}
+	return core.ConflictAll
 }
 
 // Query implements core.QueryHandler: unreplicated reads.
@@ -252,5 +298,13 @@ func DelReq(key string) []byte {
 	e := wire.NewEncoder(nil)
 	e.Byte(OpDel)
 	e.String(key)
+	return e.Bytes()
+}
+
+// SweepReq encodes a whole-table sweep (catch-all conflict class).
+func SweepReq() []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(OpSweep)
+	e.String("")
 	return e.Bytes()
 }

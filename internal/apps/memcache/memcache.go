@@ -210,6 +210,31 @@ func (c *Cache) Query(ctx *core.Ctx, q []byte) []byte {
 // primary (which sees the authoritative LRU).
 func (c *Cache) ClassifyQuery([]byte) core.QueryClass { return core.QueryPrimaryOnly }
 
+// ClassifyConflict implements core.ConflictClassifier: keys partition
+// into 256 hash classes for deterministic dispatch. No lock is
+// class-owned — every op serializes on the global cache/slabs/stats
+// locks, so distinct key classes still share all mutable state and
+// elision would be unsound. This is the paper's negative case: a
+// globally-locked server gains nothing from conflict classes, and the
+// fully-traced global locks keep it correct anyway.
+func (c *Cache) ClassifyConflict(req []byte) core.ConflictClass {
+	d := wire.NewDecoder(req)
+	op := d.Byte()
+	key := d.String()
+	if d.Err() != nil {
+		return core.ConflictAll
+	}
+	switch op {
+	case OpSet, OpGet, OpDel:
+		h := uint32(2166136261)
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint32(key[i])) * 16777619
+		}
+		return core.ConflictClass(h%256) + 1
+	}
+	return core.ConflictAll
+}
+
 // WriteCheckpoint implements core.StateMachine.
 func (c *Cache) WriteCheckpoint(w io.Writer) error {
 	e := wire.NewEncoder(nil)

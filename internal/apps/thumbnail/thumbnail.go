@@ -61,7 +61,11 @@ func New(opts Options) core.Factory {
 	return func(rt *sched.Runtime, host *core.TimerHost) core.StateMachine {
 		s := &Server{opts: opts}
 		for i := 0; i < opts.MetaShards; i++ {
-			s.shardLocks = append(s.shardLocks, rexsync.NewLock(rt, fmt.Sprintf("thumb-meta-%d", i)))
+			// Shard i is owned by conflict class i+1 (see ClassifyConflict):
+			// only that class's handlers touch it and there are no timers,
+			// so same-id requests elide the shard-lock events. The LRU cache
+			// lock is shared by every class and stays unowned/fully traced.
+			s.shardLocks = append(s.shardLocks, rexsync.NewLockInClass(rt, fmt.Sprintf("thumb-meta-%d", i), uint32(i)+1))
 			s.shards = append(s.shards, make(map[uint64]meta))
 		}
 		s.cacheLock = rexsync.NewLock(rt, "thumb-cache")
@@ -152,6 +156,25 @@ func (s *Server) Query(ctx *core.Ctx, q []byte) []byte {
 // peek whatever the request bytes say, so secondaries may always serve
 // it.
 func (s *Server) ClassifyQuery([]byte) core.QueryClass { return core.QueryFollowerOK }
+
+// ClassifyConflict implements core.ConflictClassifier: renders and stats
+// conflict only within their metadata shard (class = shard index + 1).
+// The shared LRU cache they also touch is guarded by the unowned — hence
+// fully traced — cache lock, which is what the classification contract
+// requires for cross-class shared state.
+func (s *Server) ClassifyConflict(req []byte) core.ConflictClass {
+	d := wire.NewDecoder(req)
+	op := d.Byte()
+	id := d.Uvarint()
+	if d.Err() != nil {
+		return core.ConflictAll
+	}
+	switch op {
+	case OpMake, OpStat:
+		return core.ConflictClass(s.shard(id)) + 1
+	}
+	return core.ConflictAll
+}
 
 // WriteCheckpoint implements core.StateMachine.
 func (s *Server) WriteCheckpoint(w io.Writer) error {

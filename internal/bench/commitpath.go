@@ -22,9 +22,28 @@ import (
 // against a cold encoder, and the quick Figure 7 throughput is intact.
 // `make bench-json` serializes it as BENCH_commit_path.json.
 type CommitPathResult struct {
-	WAL    WALBenchResult    `json:"wal"`
-	Encode EncodeBenchResult `json:"encode"`
-	Fig7   []Fig7Point       `json:"fig7_quick"`
+	WAL      WALBenchResult    `json:"wal"`
+	Encode   EncodeBenchResult `json:"encode"`
+	Fig7     []Fig7Point       `json:"fig7_quick"`
+	Conflict []ConflictPoint   `json:"conflict_classes"`
+}
+
+// ConflictPoint is the conflict-class elision experiment: the disjoint-key
+// hashdb workload measured with class elision on (the default) and off,
+// on the same thread count and seed. The elided delta size is the
+// acceptance number; the full-tracing columns show what the same commits
+// would have cost without classes.
+type ConflictPoint struct {
+	Threads               int     `json:"threads"`
+	ElidedReqPerSec       float64 `json:"elided_req_per_sec"`
+	ElidedDeltaBytesMean  float64 `json:"elided_delta_bytes_mean"`
+	ElidedDeltaEventsMean float64 `json:"elided_delta_events_mean"`
+	ElidedOps             uint64  `json:"elided_ops"`
+	FullReqPerSec         float64 `json:"full_req_per_sec"`
+	FullDeltaBytesMean    float64 `json:"full_delta_bytes_mean"`
+	FullDeltaEventsMean   float64 `json:"full_delta_events_mean"`
+	// DeltaBytesRatio = full / elided: the trace-size win from elision.
+	DeltaBytesRatio float64 `json:"delta_bytes_full_over_elided"`
 }
 
 // WALBenchResult measures the FileLog under concurrent appenders on the
@@ -166,9 +185,41 @@ func encodeBench(events int) EncodeBenchResult {
 	return r
 }
 
+// conflictBench runs the disjoint-key hashdb workload at the given thread
+// count twice — elision on, then off — with everything else identical.
+func conflictBench(threads int) ConflictPoint {
+	base := RunConfig{
+		App:     apps.HashDBDisjoint(),
+		Threads: threads,
+		Cores:   24,
+		Warmup:  100 * time.Millisecond,
+		Measure: 400 * time.Millisecond,
+		Seed:    42,
+	}
+	elided := RunRex(base)
+	full := base
+	full.DisableConflictElision = true
+	fullRes := RunRex(full)
+	p := ConflictPoint{
+		Threads:               threads,
+		ElidedReqPerSec:       elided.Throughput,
+		ElidedDeltaBytesMean:  elided.Primary.Size("rex_delta_bytes").Mean(),
+		ElidedDeltaEventsMean: elided.Primary.Size("rex_delta_events").Mean(),
+		ElidedOps:             elided.ElidedOps,
+		FullReqPerSec:         fullRes.Throughput,
+		FullDeltaBytesMean:    fullRes.Primary.Size("rex_delta_bytes").Mean(),
+		FullDeltaEventsMean:   fullRes.Primary.Size("rex_delta_events").Mean(),
+	}
+	if p.ElidedDeltaBytesMean > 0 {
+		p.DeltaBytesRatio = p.FullDeltaBytesMean / p.ElidedDeltaBytesMean
+	}
+	return p
+}
+
 // CommitPath runs the commit-path evidence suite: the WAL group-commit
-// microbench, the encode allocation microbench, and a quick Figure 7
-// panel (lock server) with the primary's commit-path metrics attached.
+// microbench, the encode allocation microbench, a quick Figure 7
+// panel (lock server) with the primary's commit-path metrics attached,
+// and the conflict-class delta-size experiment.
 func CommitPath() (CommitPathResult, error) {
 	var res CommitPathResult
 	wal, err := walBench(8, 200, 256)
@@ -193,6 +244,7 @@ func CommitPath() (CommitPathResult, error) {
 			PersistBatchMax:    pb.Max,
 		})
 	}
+	res.Conflict = append(res.Conflict, conflictBench(16))
 	return res, nil
 }
 
@@ -236,5 +288,20 @@ func PrintCommitPath(w io.Writer, r CommitPathResult) {
 			f2(p.ProposeCommitP50Ms), f0(p.DeltaBytesMean), f1(p.DeltaEventsMean),
 			f2(p.PersistBatchMean), fmt.Sprint(p.PersistBatchMax))
 	}
+	t.Fprint(w)
+
+	t = &Table{
+		Title: "Commit path: conflict-class elision (hashdb, per-client disjoint keys)",
+		Cols: []string{"threads", "req/s elided", "req/s full", "delta bytes elided",
+			"delta bytes full", "delta events elided", "delta events full", "ops elided", "bytes ratio"},
+	}
+	for _, p := range r.Conflict {
+		t.AddRow(fmt.Sprint(p.Threads), f0(p.ElidedReqPerSec), f0(p.FullReqPerSec),
+			f0(p.ElidedDeltaBytesMean), f0(p.FullDeltaBytesMean),
+			f1(p.ElidedDeltaEventsMean), f1(p.FullDeltaEventsMean),
+			fmt.Sprint(p.ElidedOps), f2(p.DeltaBytesRatio))
+	}
+	t.Notes = append(t.Notes,
+		"acceptance: elided delta bytes well below full (class-owned lock events leave the trace).")
 	t.Fprint(w)
 }

@@ -32,6 +32,9 @@ type RunConfig struct {
 	DisablePruning bool
 	TotalOrderTry  bool
 	DisableChecks  bool
+	// DisableConflictElision keeps class-owned lock events in the trace;
+	// the conflict-class experiment measures its delta-size cost.
+	DisableConflictElision bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -87,6 +90,9 @@ type RunResult struct {
 	// Primary is the primary replica's metric snapshot at the end of the
 	// measure window (Rex runs only).
 	Primary obs.Snapshot
+	// ElidedOps counts lock operations elided from the trace via
+	// conflict-class ownership during the measure window (Rex runs only).
+	ElidedOps uint64
 }
 
 // RunNative measures the unreplicated baseline: Threads workers running
@@ -165,9 +171,10 @@ func RunRex(cfg RunConfig) RunResult {
 			StatusEvery:     20 * time.Millisecond,
 			MaxOutstanding:  4 * cfg.Clients,
 			Seed:            cfg.Seed,
-			DisableChecks:   cfg.DisableChecks,
-			DisablePruning:  cfg.DisablePruning,
-			TotalOrderTry:   cfg.TotalOrderTry,
+			DisableChecks:          cfg.DisableChecks,
+			DisablePruning:         cfg.DisablePruning,
+			TotalOrderTry:          cfg.TotalOrderTry,
+			DisableConflictElision: cfg.DisableConflictElision,
 		})
 		if err := c.Start(); err != nil {
 			panic(err)
@@ -237,6 +244,7 @@ func RunRex(cfg RunConfig) RunResult {
 		s1 := c.Replicas[secondary].Stats()
 		p1 := c.Replicas[p].Stats()
 		res.Primary = c.Replicas[p].Metrics()
+		res.ElidedOps = p1.ElidedOps - p0.ElidedOps
 		g.Wait()
 		c.Stop()
 		res.P50 = lat.Quantile(0.50)

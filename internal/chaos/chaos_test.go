@@ -279,3 +279,34 @@ func TestReadsScenarioPinnedSeed(t *testing.T) {
 	t.Logf("reads: faults=%d failovers=%d ops=%d sessionOps=%d leaseReads=%d followerReads=%d timeouts=%d",
 		res.Faults, res.Failovers, res.Ops, res.SessionOps, res.LeaseReads, res.FollowerReads, res.Timeouts)
 }
+
+// TestConflictsScenarioPinnedSeed replays the conflict-class scenario at
+// a pinned seed: with elision on, failovers mid-load, contended shared
+// keys, and catch-all sweeps, the history must stay linearizable, the
+// replicas must agree (including after a secondary replays the elided
+// trace from its own log), and the run must demonstrably have elided
+// lock events and completed at least one barrier-dispatched sweep.
+func TestConflictsScenarioPinnedSeed(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := RunConflictsScenario(ConflictsScenarioConfig{
+		Seed:     1,
+		Duration: 4 * time.Second,
+	}, reg, nil)
+	if !res.OK {
+		t.Fatalf("conflicts scenario failed: %v", res.Violations)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("failovers = %d, want >= 1", res.Failovers)
+	}
+	if res.ElidedOps < 1 {
+		t.Fatalf("elided ops = %d, want >= 1", res.ElidedOps)
+	}
+	if res.Sweeps < 1 {
+		t.Fatalf("sweeps = %d, want >= 1", res.Sweeps)
+	}
+	if res.Ops == 0 || res.Check.Ops == 0 {
+		t.Fatalf("no operations recorded/checked: %+v", res)
+	}
+	t.Logf("conflicts: faults=%d failovers=%d ops=%d elided=%d sweeps=%d timeouts=%d",
+		res.Faults, res.Failovers, res.Ops, res.ElidedOps, res.Sweeps, res.Timeouts)
+}

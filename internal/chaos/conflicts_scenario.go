@@ -1,0 +1,265 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/core"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/sim"
+	"rex/internal/storage"
+
+	"rex/internal/apps/hashdb"
+)
+
+// ConflictsScenarioConfig parameterizes one conflict-class chaos run.
+type ConflictsScenarioConfig struct {
+	Seed     int64
+	Duration time.Duration // virtual length of the client load phase
+	Clients  int
+}
+
+// RunConflictsScenario stresses conflict-class tracing with elision on: a
+// three-replica hashdb cluster (hashdb classifies single-key ops into
+// per-slice conflict classes whose slice locks are class-owned, so their
+// lock events are elided from the committed deltas) serves a mix of
+// disjoint per-client keys and contended shared keys while the nemesis
+// repeatedly isolates the primary, forcing failovers through promotions
+// that must account for carried-over classified requests. A side client
+// issues whole-table sweeps — catch-all class requests that run under the
+// admission barrier — outside the checked history. The run then asserts:
+//
+//   - linearizability of the recorded set/get/del history (KVModel):
+//     elision must not let same-class requests reorder observably;
+//   - cross-replica state agreement after quiescence, and again after a
+//     secondary crash/restart replays the elided trace from its own log
+//     (replay determinism: reconstructed class edges reproduce the
+//     primary's schedule);
+//   - the prefix property over chosen logs;
+//   - the scenario exercised what it claims: at least one failover and a
+//     nonzero count of elided lock operations.
+func RunConflictsScenario(cfg ConflictsScenarioConfig, reg *obs.Registry, logf func(string, ...any)) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	res := Result{Seed: cfg.Seed, App: "hashdb"}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	var hist *check.History
+	var violations []string
+	var faults, failovers, sweeps int
+	var elidedOps uint64
+	timeouts := make([]int, cfg.Clients+1) // +1: the sweep client
+	e.Run(func() {
+		c := cluster.New(e, hashdb.New(hashdb.DefaultOptions()), cluster.Options{
+			Replicas:        3,
+			Workers:         4, // spread conflict classes over several threads
+			Timers:          hashdb.Timers(),
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 120 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 200 * time.Millisecond,
+			Seed:            cfg.Seed,
+			Logf:            logf,
+			NewLog:          func(int) storage.Log { return storage.NewMemLog() },
+		})
+		if err := c.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("cluster start: %v", err))
+			return
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		hist = check.NewHistory(e.Now)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0xc0f1))
+		begin := e.Now()
+		note := func(name, format string, args ...any) {
+			faults++
+			reg.CounterOf("chaos_fault_" + name).Inc()
+			if logf != nil {
+				logf("chaos: "+format, args...)
+			}
+		}
+
+		nemesis := env.GoEach(e, "conflicts-nemesis", 1, func(int) {
+			last := c.Primary()
+			for e.Now() < begin+cfg.Duration {
+				e.Sleep(time.Duration(250+rng.Intn(200)) * time.Millisecond)
+				p := c.Primary()
+				if p < 0 {
+					continue
+				}
+				if p != last {
+					failovers++
+					last = p
+				}
+				// Depose the primary mid-load: the new primary's promotion
+				// must re-seed its dispatch accounting from the carried-over
+				// classified requests still in flight.
+				note("isolate_primary", "isolate primary %d", p)
+				c.Net.Isolate(p, true)
+				e.Sleep(time.Duration(280+rng.Intn(170)) * time.Millisecond)
+				c.Net.Isolate(p, false)
+				note("heal", "heal old primary %d", p)
+			}
+			if p := c.Primary(); p >= 0 && p != last {
+				failovers++
+			}
+		})
+		clients := env.GoEach(e, "conflicts-client", cfg.Clients, func(ci int) {
+			cl := c.NewClient(uint64(100 + ci))
+			cl.Recorder = hist
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			for seq := 0; e.Now() < begin+cfg.Duration; seq++ {
+				// 70% private keys (pairwise-disjoint conflict classes,
+				// maximal elision), 30% shared keys (same class contended by
+				// every client — same-class ordering must survive elision).
+				var key string
+				if crng.Intn(100) < 70 {
+					key = fmt.Sprintf("own-%d-%d", ci, crng.Intn(4))
+				} else {
+					key = fmt.Sprintf("shared-%d", crng.Intn(3))
+				}
+				var body []byte
+				switch r := crng.Intn(100); {
+				case r < 45:
+					body = hashdb.GetReq(key)
+				case r < 90:
+					body = hashdb.SetReq(key, []byte("c"+strconv.Itoa(ci)+"-n"+strconv.Itoa(seq)))
+				default:
+					body = hashdb.DelReq(key)
+				}
+				if _, err := cl.DoTimeout(body, 3*time.Second); err != nil {
+					timeouts[ci]++
+				}
+				e.Sleep(time.Duration(2+crng.Intn(8)) * time.Millisecond)
+			}
+		})
+		// The sweep client exercises the catch-all class: a whole-table scan
+		// that the primary may only dispatch once every classified request
+		// has finished (the admission barrier). Sweeps touch every key, so
+		// they stay OUTSIDE the per-key-partitioned linearizability history;
+		// state agreement and replay determinism still cover them.
+		sweeper := env.GoEach(e, "conflicts-sweeper", 1, func(int) {
+			cl := c.NewClient(99)
+			srng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eeb))
+			for e.Now() < begin+cfg.Duration {
+				e.Sleep(time.Duration(60+srng.Intn(80)) * time.Millisecond)
+				if _, err := cl.DoTimeout(hashdb.SweepReq(), 3*time.Second); err != nil {
+					timeouts[cfg.Clients]++
+				} else {
+					sweeps++
+				}
+			}
+		})
+		clients.Wait()
+		sweeper.Wait()
+		nemesis.Wait()
+
+		// Heal and check the structural contract.
+		c.Net.Heal()
+		states, faulted, err := c.StableStates(30 * time.Second)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		for i, ferr := range faulted {
+			violations = append(violations, fmt.Sprintf("replica %d faulted after recovery: %v", i, ferr))
+		}
+		violations = append(violations, check.StateAgreement(states)...)
+		violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+
+		for i := 0; i < c.Size(); i++ {
+			if r := c.Replica(i); r != nil {
+				elidedOps += r.Stats().ElidedOps
+			}
+		}
+		if failovers == 0 {
+			violations = append(violations, "no failover observed: the nemesis never deposed a primary")
+		}
+		if elidedOps == 0 {
+			violations = append(violations, "no lock operations elided: conflict-class elision never engaged")
+		}
+		if sweeps == 0 {
+			violations = append(violations, "no sweep completed: the catch-all barrier path was never exercised")
+		}
+
+		// Replay determinism: a secondary rebuilt from its log must replay
+		// the elided trace — reconstructing class-implied edges — to the
+		// same state as the others.
+		if len(violations) == 0 {
+			sec := -1
+			p := c.Primary()
+			for i := 0; i < c.Size(); i++ {
+				if r := c.Replica(i); i != p && r != nil && r.Role() != core.RoleRemoved {
+					sec = i
+					break
+				}
+			}
+			if sec >= 0 {
+				c.Crash(sec)
+				if err := c.Restart(sec); err != nil {
+					violations = append(violations, fmt.Sprintf("replay restart: %v", err))
+					return
+				}
+				states, faulted, err = c.StableStates(30 * time.Second)
+				if err != nil {
+					violations = append(violations, fmt.Sprintf("after secondary restart: %v", err))
+					return
+				}
+				for i, ferr := range faulted {
+					violations = append(violations, fmt.Sprintf("replica %d faulted after replay restart: %v", i, ferr))
+				}
+				for _, v := range check.StateAgreement(states) {
+					violations = append(violations, "replay determinism: "+v)
+				}
+				violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+			}
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	res.Failovers = failovers
+	res.ElidedOps = int(elidedOps)
+	res.Sweeps = sweeps
+	for _, t := range timeouts {
+		res.Timeouts += t
+	}
+	if hist != nil {
+		res.Ops = hist.Len()
+		wall := time.Now()
+		res.Check = check.CheckLinearizable(check.KVModel(false), hist.Ops(), 0)
+		res.CheckerWall = time.Since(wall)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(res.Check.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		reg.HistogramOf("chaos_checker_wall").Observe(res.CheckerWall)
+		if !res.Check.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("history of %d ops is not linearizable (elision reordered conflicting requests?)", res.Check.Ops))
+		}
+		if res.Check.Undecided {
+			res.Violations = append(res.Violations, "linearizability undecided: step budget exhausted")
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	res.Faults = faults
+	reg.CounterOf("chaos_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_scenarios_failed").Inc()
+	}
+	return res
+}

@@ -66,6 +66,10 @@ type Result struct {
 	FollowerReads int // rex_follower_reads_total summed over replicas
 	LeaseReads    int // rex_lease_reads_total summed over replicas
 	SessionOps    int // session-consistency events checked
+
+	// Conflicts-scenario extras (RunConflictsScenario).
+	ElidedOps int // lock ops elided via conflict-class ownership
+	Sweeps    int // catch-all barrier requests completed
 }
 
 // Run executes the scenario under a fresh simulator and checks every

@@ -75,6 +75,11 @@ type Options struct {
 	// events before their causal predecessors) so tests can prove the
 	// consistency checker catches real divergence. Never set outside tests.
 	UnsafeReplayNoEdgeWaits bool
+	// DisableConflictElision keeps class-owned lock events in the trace
+	// (core.Config.DisableConflictElision); benchmarks use it to measure
+	// the delta-size win of conflict-class elision. Must be identical on
+	// every replica.
+	DisableConflictElision bool
 }
 
 func (o Options) withDefaults() Options {
@@ -219,6 +224,7 @@ func (c *Cluster) config(i int) core.Config {
 		Seed:                             c.Opts.Seed,
 		Logf:                             c.Opts.Logf,
 		UnsafeReplayNoEdgeWaits:          c.Opts.UnsafeReplayNoEdgeWaits,
+		DisableConflictElision:           c.Opts.DisableConflictElision,
 	}
 }
 

@@ -74,6 +74,38 @@ type QueryClassifier interface {
 	ClassifyQuery(q []byte) QueryClass
 }
 
+// ConflictClass identifies a set of requests that may conflict with each
+// other but provably not with requests in any other non-zero class
+// (typically a key hash). ConflictAll (0) is the catch-all: a catch-all
+// request may conflict with anything, so dispatch serializes it against
+// all classes with a barrier.
+type ConflictClass = uint32
+
+// ConflictAll is the catch-all conflict class.
+const ConflictAll ConflictClass = 0
+
+// ConflictClassifier is optionally implemented by state machines whose
+// requests can be partitioned into conflict classes at admission.
+// Classified state machines get deterministic class → thread dispatch
+// (class c runs on worker c mod Workers, so same-class requests are
+// serialized by program order) and lock-event elision on class-owned
+// rexsync resources — smaller deltas, less WAL and network, faster
+// replay. The classification contract:
+//
+//   - two requests whose classes are distinct and non-zero must not touch
+//     any common mutable state except under resources that are NOT
+//     class-owned (those stay fully traced);
+//   - class-owned resources are touched only by their class's handlers
+//     and by catch-all handlers (never by background timers);
+//   - classification must be a pure function of the request bytes, so
+//     every replica derives the same class.
+//
+// Unclassified state machines keep the shared-queue dispatch and full
+// tracing — behavior is unchanged.
+type ConflictClassifier interface {
+	ClassifyConflict(req []byte) ConflictClass
+}
+
 // Factory constructs the application. It runs identically on every replica
 // (and on every rebuild), so resources must be created in a deterministic
 // order. Background tasks are registered through host.AddTimer; the number

@@ -65,12 +65,28 @@ func (r *Replica) SubmitToken(client, seq uint64, body []byte) ([]byte, readpath
 		}
 		r.cond.Wait()
 	}
-	idx := r.rt.Recorder().AddReq(trace.Req{Client: client, Seq: seq, Body: body})
+	var class uint32
+	if r.classifier != nil {
+		class = r.classifier.ClassifyConflict(body)
+	}
+	idx := r.rt.Recorder().AddReq(trace.Req{Client: client, Seq: seq, Class: class, Body: body})
 	p := &pendingReq{client: client, seq: seq, at: r.e.Now(), ch: r.e.NewChan(1)}
 	r.obs.reqsAdmitted.Inc()
 	r.pending[idx] = p
 	r.outstanding++
-	r.workQ = append(r.workQ, reqWork{idx: idx, body: body})
+	work := reqWork{idx: idx, body: body, class: class}
+	switch {
+	case r.classifier == nil:
+		r.workQ = append(r.workQ, work)
+	case class == ConflictAll:
+		r.barrierQ = append(r.barrierQ, work)
+	default:
+		// Deterministic class → thread assignment: same-class requests are
+		// serialized by program order on one thread, which is what lets
+		// class-owned lock events be elided from the trace.
+		t := int(class % uint32(r.cfg.Workers))
+		r.classQ[t] = append(r.classQ[t], work)
+	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
 
@@ -131,10 +147,10 @@ func (r *Replica) throttledLocked() bool {
 	return false
 }
 
-// nextWork blocks until there is a request to run, honoring checkpoint
-// pauses. Returns ok=false when the worker's generation ended (demotion or
-// shutdown) and switch=true when the runtime changed out of record mode.
-func (r *Replica) nextWork(gen int) (w reqWork, ok bool) {
+// nextWork blocks until there is a request for worker thread ti to run,
+// honoring checkpoint pauses. Returns ok=false when the worker's generation
+// ended (demotion or shutdown).
+func (r *Replica) nextWork(gen int, ti int) (w reqWork, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
@@ -150,13 +166,54 @@ func (r *Replica) nextWork(gen int) (w reqWork, ok bool) {
 			r.ckPausedW--
 			continue
 		}
-		if len(r.workQ) > 0 {
-			w = r.workQ[0]
-			r.workQ = r.workQ[1:]
+		if r.classifier == nil {
+			if len(r.workQ) > 0 {
+				w = r.workQ[0]
+				r.workQ = r.workQ[1:]
+				return w, true
+			}
+		} else if w, ok := r.nextClassWorkLocked(ti); ok {
 			return w, true
 		}
 		r.cond.Wait()
 	}
+}
+
+// nextClassWorkLocked is conflict-class dispatch for one worker thread.
+// Catch-all (class 0) requests act as admission barriers: while any is
+// queued, classified dispatch halts; once the in-flight count drains to
+// zero, thread 0 runs the catch-all with in-edges from every other thread's
+// last req-end, so replay serializes it against everything dispatched
+// before it. The first classified request dispatched to a thread after a
+// barrier carries an edge from the barrier's req-end (classAfter);
+// everything later on that thread is ordered behind it by program order.
+func (r *Replica) nextClassWorkLocked(ti int) (reqWork, bool) {
+	if len(r.barrierQ) > 0 {
+		if ti != 0 || r.classDispatched > 0 {
+			return reqWork{}, false
+		}
+		w := r.barrierQ[0]
+		r.barrierQ = r.barrierQ[1:]
+		for t, end := range r.classLastEnd {
+			if t != ti && end != (trace.EventID{}) {
+				w.in = append(w.in, end)
+			}
+		}
+		r.classDispatched++
+		return w, true
+	}
+	q := r.classQ[ti]
+	if len(q) == 0 {
+		return reqWork{}, false
+	}
+	w := q[0]
+	r.classQ[ti] = q[1:]
+	if a := r.classAfter[ti]; a != (trace.EventID{}) {
+		w.in = append(w.in, a)
+		r.classAfter[ti] = trace.EventID{}
+	}
+	r.classDispatched++
+	return w, true
 }
 
 // pauseGate is the checkpoint barrier for timer threads: it joins a
@@ -178,10 +235,16 @@ func (r *Replica) pauseGate(gen int) {
 // completeLocal records a finished request on the primary; the response is
 // released to the client once the committed trace's last consistent cut
 // covers the req-end event.
-func (r *Replica) completeLocal(idx uint64, resp []byte, end trace.EventID) {
+func (r *Replica) completeLocal(gen int, work reqWork, resp []byte, end trace.EventID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	p, ok := r.pending[idx]
+	if r.gen != gen {
+		return // a rebuild superseded this incarnation
+	}
+	if r.classifier != nil && r.role == RolePrimary {
+		r.noteClassCompleteLocked(end, work.class == ConflictAll)
+	}
+	p, ok := r.pending[work.idx]
 	if !ok {
 		return // demoted meanwhile; client will retry
 	}
@@ -193,8 +256,31 @@ func (r *Replica) completeLocal(idx uint64, resp []byte, end trace.EventID) {
 	r.obs.reqsCompleted.Inc()
 	r.obs.execLatency.Observe(r.e.Now() - p.at)
 	if r.lcc.Covers(end) {
-		r.releaseOneLocked(idx, p)
+		r.releaseOneLocked(work.idx, p)
 	}
+}
+
+// noteClassCompleteLocked maintains the conflict-class dispatch bookkeeping
+// when a request finishes on a worker thread: the thread's last req-end
+// (barrier in-edges point at these), the in-flight count the barrier drains
+// on, and — when the finished request was itself a catch-all — the
+// after-barrier edge every other thread's next dispatch must carry.
+func (r *Replica) noteClassCompleteLocked(end trace.EventID, barrier bool) {
+	t := int(end.Thread)
+	if t >= 0 && t < len(r.classLastEnd) {
+		r.classLastEnd[t] = end
+	}
+	if r.classDispatched > 0 {
+		r.classDispatched--
+	}
+	if barrier {
+		for i := range r.classAfter {
+			if i != t {
+				r.classAfter[i] = end
+			}
+		}
+	}
+	r.cond.Broadcast()
 }
 
 func (r *Replica) releaseOneLocked(idx uint64, p *pendingReq) {

@@ -157,6 +157,12 @@ type Config struct {
 	// DisablePruning and TotalOrderTryFail select the §4.2 ablations.
 	DisablePruning    bool
 	TotalOrderTryFail bool
+	// DisableConflictElision keeps lock events on conflict-class-owned
+	// resources in the trace even when the executing request's class owns
+	// them (classified dispatch is unaffected). Must be set identically on
+	// every replica of a group: the elision decision is part of the
+	// trace's meaning. Used by the delta-size ablation benchmark.
+	DisableConflictElision bool
 	// UnsafeReplayNoEdgeWaits injects a deliberate replay bug (events
 	// released before their causal predecessors) so the chaos checker can
 	// prove it detects divergence. Never set outside tests.
@@ -248,6 +254,12 @@ type peerStatus struct {
 type reqWork struct {
 	idx  uint64
 	body []byte
+	// class is the request's conflict class (classified state machines
+	// only); in carries the cross-thread causal edges the req-begin event
+	// must record, computed at dispatch time (catch-all barriers and the
+	// first dispatch after one).
+	class uint32
+	in    []trace.EventID
 }
 
 // Replica is one Rex replica.
@@ -296,6 +308,22 @@ type Replica struct {
 	outstanding   int
 	pendingRebase trace.Cut
 	dedup         map[uint64]dedupEntry
+
+	// Conflict-class dispatch state (primary, classified state machines
+	// only; see ConflictClassifier). classifier is non-nil iff the state
+	// machine classifies, in which case admission routes class c to worker
+	// thread c mod Workers via classQ and catch-all (class 0) requests to
+	// barrierQ. While barrierQ is non-empty classified dispatch halts;
+	// once classDispatched drains to zero, worker thread 0 runs the
+	// barrier request with in-edges from every other thread's last
+	// req-end, and after it completes each thread's next classified
+	// dispatch carries an edge from the barrier's req-end (classAfter).
+	classifier      ConflictClassifier
+	classQ          [][]reqWork
+	barrierQ        []reqWork
+	classDispatched int
+	classLastEnd    []trace.EventID
+	classAfter      []trace.EventID
 
 	// Linearizable-read barrier state (read.go). pendingBarriers maps a
 	// barrier id to the cap-1 channel its reader waits on; applyMeta
@@ -607,7 +635,46 @@ func (r *Replica) failPendingLocked() {
 	r.workQ = nil
 	r.proposeInflight = 0
 	r.proposeTimes = nil
+	r.resetClassDispatchLocked()
 	r.cond.Broadcast()
+}
+
+// resetClassDispatchLocked clears the conflict-class dispatch state
+// (promotion, demotion, fault, rebuild). Queued work is dropped along with
+// the pending table; the per-thread edge bookkeeping restarts empty because
+// event ids from a previous record epoch are meaningless in the next one —
+// everything up to the promotion cut is ordered by the trace base instead.
+func (r *Replica) resetClassDispatchLocked() {
+	if r.classifier == nil {
+		return
+	}
+	n := r.cfg.Workers
+	r.classQ = make([][]reqWork, n)
+	r.barrierQ = nil
+	r.classDispatched = 0
+	r.classLastEnd = make([]trace.EventID, n)
+	r.classAfter = make([]trace.EventID, n)
+}
+
+// inFlightAtPromotionLocked counts requests whose req-begin is inside the
+// (already truncated-to) promotion cut but whose req-end is not: handlers
+// carried across the replay→record mode change. Checkpoint pauses happen at
+// request boundaries, so a garbage-collected trace prefix never hides an
+// unmatched req-begin.
+func (r *Replica) inFlightAtPromotionLocked() int {
+	open := make(map[uint64]bool)
+	for t := range r.tr.Threads {
+		l := &r.tr.Threads[t]
+		for _, ev := range l.Events {
+			switch ev.Kind {
+			case trace.KindReqBegin:
+				open[uint64(ev.Res)] = true
+			case trace.KindReqEnd:
+				delete(open, uint64(ev.Res))
+			}
+		}
+	}
+	return len(open)
 }
 
 // enqueueCommit appends a committed instance to the intake queue. It runs
@@ -941,6 +1008,15 @@ func (r *Replica) promote(chosenAt uint64) {
 	r.nextMarkID = 0
 	r.pending = make(map[uint64]*pendingReq)
 	r.outstanding = 0
+	r.resetClassDispatchLocked()
+	if r.classifier != nil {
+		// Handlers carried across the mode change (req-begin inside the
+		// promotion cut, req-end still to come) escape nextWork's dispatch
+		// accounting; seed the in-flight counter with them so a catch-all
+		// barrier waits for their completion. replayStep's promotion path
+		// decrements it as they finish.
+		r.classDispatched = r.inFlightAtPromotionLocked()
+	}
 	// A change proposed by the previous primary either committed (we saw it
 	// in the stream) or died with it; start with a clean slate. Any learner
 	// still in the membership is re-adopted so its promotion survives the

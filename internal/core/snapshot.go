@@ -35,8 +35,9 @@ type snapshotBlob struct {
 	Configs []reconfig.Scheduled
 }
 
-// snapshotVersion 2 added Configs; version-1 blobs (no schedule) still load.
-const snapshotVersion = 2
+// snapshotVersion 2 added Configs; version 3 added per-live-request
+// conflict classes. Older blobs still load (missing fields default).
+const snapshotVersion = 3
 
 func (s *snapshotBlob) encode() []byte {
 	e := wire.NewEncoder(nil)
@@ -53,6 +54,7 @@ func (s *snapshotBlob) encode() []byte {
 		e.Uvarint(lr.Idx)
 		e.Uvarint(lr.Req.Client)
 		e.Uvarint(lr.Req.Seq)
+		e.Uvarint(uint64(lr.Req.Class))
 		e.BytesVal(lr.Req.Body)
 	}
 	// Encode the dedup table in sorted order for deterministic bytes.
@@ -79,7 +81,7 @@ func (s *snapshotBlob) encode() []byte {
 func decodeSnapshot(buf []byte) (*snapshotBlob, error) {
 	d := wire.NewDecoder(buf)
 	v := d.Byte()
-	if d.Err() == nil && v != 1 && v != snapshotVersion {
+	if d.Err() == nil && (v < 1 || v > snapshotVersion) {
 		return nil, fmt.Errorf("rex: unsupported snapshot version %d", v)
 	}
 	s := &snapshotBlob{Dedup: make(map[uint64]dedupEntry)}
@@ -108,6 +110,9 @@ func decodeSnapshot(buf []byte) (*snapshotBlob, error) {
 		lr := sched.IndexedReq{Idx: d.Uvarint()}
 		lr.Req.Client = d.Uvarint()
 		lr.Req.Seq = d.Uvarint()
+		if v >= 3 {
+			lr.Req.Class = uint32(d.Uvarint())
+		}
 		lr.Req.Body = append([]byte(nil), d.BytesVal()...)
 		s.LiveReqs = append(s.LiveReqs, lr)
 	}
@@ -308,6 +313,7 @@ func (r *Replica) rebuild() error {
 		rt.CheckVersions = !r.cfg.DisableVersionChecks
 		rt.DisablePruning = r.cfg.DisablePruning
 		rt.TotalOrderTryFail = r.cfg.TotalOrderTryFail
+		rt.DisableConflictElision = r.cfg.DisableConflictElision
 		rt.UnsafeSkipEdgeWaits = r.cfg.UnsafeReplayNoEdgeWaits
 		rt.Obs = r.obs.replay
 		host := &TimerHost{}
@@ -330,6 +336,8 @@ func (r *Replica) rebuild() error {
 		r.gen++
 		r.rt = rt
 		r.sm = sm
+		r.classifier, _ = sm.(ConflictClassifier)
+		r.resetClassDispatchLocked()
 		r.timers = host.specs
 		r.tr = tr
 		r.lcc = nil

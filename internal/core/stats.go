@@ -18,6 +18,7 @@ type Stats struct {
 	ReqBytes       uint64 // request payload bytes in committed deltas
 	ReplayedEvents uint64 // events executed by the replay engine
 	WaitedEvents   uint64 // replayed events that blocked on a causal edge
+	ElidedOps      uint64 // lock ops elided via conflict-class ownership
 	Outstanding    int    // admitted but unanswered requests (primary)
 }
 
@@ -41,6 +42,7 @@ func (r *Replica) Stats() Stats {
 		if rep := rt.Replayer(); rep != nil && rt.Mode() == sched.ModeReplay {
 			s.ReplayedEvents, s.WaitedEvents = rep.Stats()
 		}
+		s.ElidedOps = rt.ElidedOps()
 	}
 	return s
 }

@@ -89,17 +89,27 @@ func (r *Replica) genEnded(gen int) bool {
 
 // recordStep executes one request in record mode (primary, execute stage).
 func (r *Replica) recordStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *Ctx) bool {
-	work, ok := r.nextWork(gen)
+	work, ok := r.nextWork(gen, int(ctx.w.ID()))
 	if !ok {
 		// Demoted, stopped, or a new generation: if the runtime merely
 		// left record mode this incarnation is done anyway.
 		return false
 	}
 	w := ctx.w
-	w.Record(trace.Event{Kind: trace.KindReqBegin, Res: uint32(work.idx)}, nil)
+	// Dispatch-computed causal edges (catch-all barriers and the first
+	// classified request after one) ride on the req-begin event.
+	var in []trace.EventID
+	for _, src := range work.in {
+		if !w.PruneEdge(src) {
+			in = append(in, src)
+		}
+	}
+	w.Record(trace.Event{Kind: trace.KindReqBegin, Res: uint32(work.idx)}, in)
+	w.SetClass(work.class)
 	resp := sm.Apply(ctx, work.body)
+	w.SetClass(0)
 	end := w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(work.idx), Arg: hashResponse(resp)}, nil)
-	r.completeLocal(work.idx, resp, end)
+	r.completeLocal(gen, work, resp, end)
 	return true
 }
 
@@ -108,7 +118,7 @@ func (r *Replica) recordStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *C
 func (r *Replica) replayStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *Ctx) bool {
 	rep := rt.Replayer()
 	w := ctx.w
-	ev, _, ok := rep.Next(w.ID())
+	ev, id, ok := rep.Next(w.ID())
 	if !ok {
 		// Aborted: promotion switches us to record mode; otherwise exit.
 		return rt.Mode() == sched.ModeRecord && !r.genEnded(gen)
@@ -121,6 +131,11 @@ func (r *Replica) replayStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *C
 		})
 		return false
 	}
+	// Dispatch edges (catch-all barriers, first-after-barrier requests) are
+	// recorded on the req-begin; honor them before executing the handler.
+	if in := rep.In(id); len(in) > 0 && !rep.WaitSources(in) {
+		return rt.Mode() == sched.ModeRecord && !r.genEnded(gen)
+	}
 	idx := uint64(ev.Res)
 	req, found := rep.ReqBody(idx)
 	if !found {
@@ -128,16 +143,15 @@ func (r *Replica) replayStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *C
 		return false
 	}
 	rep.Commit(w.ID())
+	w.SetClass(req.Class)
 	resp := sm.Apply(ctx, req.Body)
+	w.SetClass(0)
 
 	if rt.Mode() == sched.ModeRecord {
 		// Promoted mid-request (§4 mode change): the remainder of the
 		// handler already recorded live; finish by recording the req-end.
-		w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(idx), Arg: hashResponse(resp)}, nil)
-		r.mu.Lock()
-		r.dedup[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
-		r.reqsCompleted++
-		r.mu.Unlock()
+		end := w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(idx), Arg: hashResponse(resp)}, nil)
+		r.finishCarried(gen, req, resp, end)
 		return true
 	}
 
@@ -145,11 +159,8 @@ func (r *Replica) replayStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *C
 	if !ok {
 		if rt.Mode() == sched.ModeRecord {
 			// Promoted between the handler's last event and its req-end.
-			w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(idx), Arg: hashResponse(resp)}, nil)
-			r.mu.Lock()
-			r.dedup[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
-			r.reqsCompleted++
-			r.mu.Unlock()
+			end := w.Record(trace.Event{Kind: trace.KindReqEnd, Res: uint32(idx), Arg: hashResponse(resp)}, nil)
+			r.finishCarried(gen, req, resp, end)
 			return true
 		}
 		return false
@@ -179,6 +190,21 @@ func (r *Replica) replayStep(gen int, rt *sched.Runtime, sm StateMachine, ctx *C
 	r.mu.Unlock()
 	rep.Commit(w.ID())
 	return true
+}
+
+// finishCarried completes a handler that began under replay and finished
+// recording live after a promotion: the dedup/stat updates the two
+// promotion paths in replayStep share, plus the conflict-class dispatch
+// bookkeeping such requests otherwise escape (promote seeded the in-flight
+// counter with them, and a queued catch-all barrier drains on it).
+func (r *Replica) finishCarried(gen int, req trace.Req, resp []byte, end trace.EventID) {
+	r.mu.Lock()
+	if r.classifier != nil && r.gen == gen && r.role == RolePrimary {
+		r.noteClassCompleteLocked(end, req.Class == ConflictAll)
+	}
+	r.dedup[req.Client] = dedupEntry{seq: req.Seq, resp: resp}
+	r.reqsCompleted++
+	r.mu.Unlock()
 }
 
 // timerLoop runs one background-task thread (the paper's AddTimer). In

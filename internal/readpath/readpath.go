@@ -95,19 +95,34 @@ func (t Token) Zero() bool { return t.Applied == 0 && len(t.Cut) == 0 }
 
 // Covers reports whether a frontier described by tok is at least as
 // fresh as t — i.e. a replica holding tok's state may serve a session
-// read carrying t.
+// read carrying t. Cut lengths need not match: a token minted before a
+// resync/rebuild can carry a cut sized for a different thread count, and
+// trace.Cut.AtLeast treats the missing entries as zero on either side —
+// trailing zeros are trivially covered, while a non-zero entry for a
+// thread the covering frontier lacks correctly fails.
 func (t Token) Covers(o Token) bool {
 	return t.Applied >= o.Applied && t.Cut.AtLeast(o.Cut)
 }
 
-// Merge folds another token into t, keeping the freshest coordinates of
-// each. Sessions merge the token from every response so interleaved
-// reads and writes stay monotonic.
+// Merge folds another token into t, keeping the freshest coordinates.
+// Sessions merge the token from every response so interleaved reads and
+// writes stay monotonic.
+//
+// Tokens from different membership epochs are never merged coordinate-
+// wise: their cuts index different record incarnations (a new primary
+// rebases thread clocks at its promotion cut), so a pointwise max would
+// fabricate a frontier no replica ever reached — and could then never be
+// covered, wedging the session. The newer epoch's Applied and Cut are
+// kept wholesale; Applied is monotone across epochs, so no freshness is
+// lost.
 func (t Token) Merge(o Token) Token {
-	out := t
-	if o.Epoch > out.Epoch {
-		out.Epoch = o.Epoch
+	if o.Epoch != t.Epoch {
+		if o.Epoch > t.Epoch {
+			return o
+		}
+		return t
 	}
+	out := t
 	if o.Applied > out.Applied {
 		out.Applied = o.Applied
 	}
@@ -117,8 +132,9 @@ func (t Token) Merge(o Token) Token {
 		} else if o.Cut.AtLeast(out.Cut) {
 			out.Cut = o.Cut.Clone()
 		} else {
-			// Incomparable (e.g. tokens from different primaries' thread
-			// layouts): take the pointwise max so neither side regresses.
+			// Incomparable within one epoch (tokens minted by replicas at
+			// different replay progress): take the pointwise max so neither
+			// side regresses.
 			n := len(out.Cut)
 			if len(o.Cut) > n {
 				n = len(o.Cut)

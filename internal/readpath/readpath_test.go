@@ -91,10 +91,12 @@ func TestTokenCovers(t *testing.T) {
 }
 
 func TestTokenMerge(t *testing.T) {
+	// Same-epoch incomparable cuts (replicas at different replay progress)
+	// merge pointwise: both cuts index the same trace lineage.
 	a := Token{Epoch: 1, Applied: 10, Cut: trace.Cut{4, 2}}
-	b := Token{Epoch: 2, Applied: 8, Cut: trace.Cut{1, 7, 3}}
+	b := Token{Epoch: 1, Applied: 8, Cut: trace.Cut{1, 7, 3}}
 	m := a.Merge(b)
-	if m.Epoch != 2 || m.Applied != 10 {
+	if m.Epoch != 1 || m.Applied != 10 {
 		t.Fatalf("merge scalar: %+v", m)
 	}
 	want := trace.Cut{4, 7, 3}
@@ -108,6 +110,29 @@ func TestTokenMerge(t *testing.T) {
 	// Merging the zero token is the identity.
 	if got := a.Merge(Token{}); !got.Covers(a) || !a.Covers(got) {
 		t.Fatalf("merge with zero changed token: %+v", got)
+	}
+}
+
+func TestTokenMergeCrossEpoch(t *testing.T) {
+	// Regression: cuts from different membership epochs index different
+	// record incarnations (a new primary rebases thread clocks at its
+	// promotion cut). A pointwise max across epochs fabricates a frontier
+	// no replica ever reached — {9, 9} in epoch 2 below — which no replica
+	// could ever cover, wedging the session. Merge must instead keep the
+	// newer epoch's coordinates wholesale.
+	old := Token{Epoch: 1, Applied: 10, Cut: trace.Cut{9, 9}}
+	next := Token{Epoch: 2, Applied: 12, Cut: trace.Cut{1, 2}}
+	for _, m := range []Token{old.Merge(next), next.Merge(old)} {
+		if m.Epoch != 2 || m.Applied != 12 || !m.Cut.Equal(next.Cut) {
+			t.Fatalf("cross-epoch merge must keep the newer token wholesale, got %+v", m)
+		}
+	}
+	// Even when the stale epoch claims a higher Applied (impossible for a
+	// correct replica, but tokens travel through clients), the newer epoch
+	// wins: epoch ordering is authoritative.
+	stale := Token{Epoch: 1, Applied: 99, Cut: trace.Cut{9, 9}}
+	if m := stale.Merge(next); m.Epoch != 2 || m.Applied != 12 || !m.Cut.Equal(next.Cut) {
+		t.Fatalf("stale high-applied token leaked through merge: %+v", m)
 	}
 }
 

@@ -29,8 +29,13 @@ type Cond struct {
 	lastSignal trace.EventID
 }
 
-// NewCond creates a condition variable bound to lock.
+// NewCond creates a condition variable bound to lock. The lock must not be
+// conflict-class-owned: a Cond's wait/wake events hang off the lock's
+// recorded acquire/release chain, which elision removes.
 func NewCond(rt *sched.Runtime, name string, lock *Lock) *Cond {
+	if lock.Class() != 0 {
+		panic("rexsync: Cond " + name + " bound to conflict-class lock " + lock.name)
+	}
 	id := rt.RegisterResource(name)
 	return &Cond{
 		rt:   rt,

@@ -14,6 +14,13 @@ type Lock struct {
 	rt   *sched.Runtime
 	id   uint32
 	name string
+	// class is the conflict class that owns this lock (0 = unowned). A
+	// class-owned lock may only be touched by requests of that class (all
+	// serialized on one deterministic thread), by catch-all requests under
+	// the dispatch barrier, and by native-mode readers; its Lock/Unlock
+	// events are elided from the trace when the executing request is in
+	// the owning class, because program order already implies them.
+	class uint32
 
 	real env.Mutex
 	// meta guards the recording bookkeeping below. It is ordered after
@@ -60,8 +67,21 @@ func NewLock(rt *sched.Runtime, name string) *Lock {
 	}
 }
 
+// NewLockInClass creates a lock owned by the given conflict class. The
+// application promises the contract in the class field's doc: only the
+// owning class's requests (plus barriered catch-all requests and native
+// readers) touch it, never background timers, and only via Lock/Unlock.
+func NewLockInClass(rt *sched.Runtime, name string, class uint32) *Lock {
+	l := NewLock(rt, name)
+	l.class = class
+	return l
+}
+
 // ID returns the lock's resource id.
 func (l *Lock) ID() uint32 { return l.id }
+
+// Class returns the conflict class that owns the lock (0 = unowned).
+func (l *Lock) Class() uint32 { return l.class }
 
 // Real returns the underlying mutex (used by Cond to build on it).
 func (l *Lock) Real() env.Mutex { return l.real }
@@ -75,8 +95,16 @@ func (l *Lock) refreshLocked() {
 	}
 }
 
-// Lock acquires l under the worker's current execution mode.
+// Lock acquires l under the worker's current execution mode. When the
+// executing request's conflict class owns the lock, the acquisition is
+// elided from the trace in record AND replay mode — both sides derive the
+// class from the request, so they agree — and only the real mutex is
+// taken (still needed against native-mode readers).
 func (l *Lock) Lock(w *sched.Worker) {
+	if w.ElideFor(l.class) {
+		l.real.Lock()
+		return
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:
@@ -96,6 +124,10 @@ func (l *Lock) Lock(w *sched.Worker) {
 
 // Unlock releases l.
 func (l *Lock) Unlock(w *sched.Worker) {
+	if w.ElideFor(l.class) {
+		l.real.Unlock()
+		return
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:
@@ -115,7 +147,12 @@ func (l *Lock) Unlock(w *sched.Worker) {
 
 // TryLock attempts to acquire l without blocking and reports success. The
 // outcome is part of the trace: secondaries reproduce the recorded result.
+// Class-owned locks do not support TryLock: elided Lock/Unlock events
+// leave the holder/version metadata a TryFail edge would hang off stale.
 func (l *Lock) TryLock(w *sched.Worker) bool {
+	if l.class != 0 {
+		panic("rexsync: TryLock on conflict-class lock " + l.name + " (class-owned locks support only Lock/Unlock)")
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:

@@ -84,8 +84,15 @@ type RWLock struct {
 	rt   *sched.Runtime
 	id   uint32
 	name string
-	real *rwCore
-	meta env.Mutex
+	// class is the conflict class that owns this lock (0 = unowned); see
+	// Lock.class for the ownership contract. When the executing request is
+	// in the owning class, all four operations are elided from the trace:
+	// the class's requests are serialized on one thread, so reader/writer
+	// ordering is implied by program order, and the real rwCore still
+	// excludes native-mode readers.
+	class uint32
+	real  *rwCore
+	meta  env.Mutex
 
 	epoch uint64
 	ver   *uint64
@@ -113,8 +120,19 @@ func NewRWLock(rt *sched.Runtime, name string) *RWLock {
 	}
 }
 
+// NewRWLockInClass creates a readers–writer lock owned by the given
+// conflict class (see NewLockInClass for the ownership contract).
+func NewRWLockInClass(rt *sched.Runtime, name string, class uint32) *RWLock {
+	l := NewRWLock(rt, name)
+	l.class = class
+	return l
+}
+
 // ID returns the lock's resource id.
 func (l *RWLock) ID() uint32 { return l.id }
+
+// Class returns the conflict class that owns the lock (0 = unowned).
+func (l *RWLock) Class() uint32 { return l.class }
 
 func (l *RWLock) refreshLocked() {
 	if e := l.rt.Epoch(); l.epoch != e {
@@ -128,6 +146,10 @@ func (l *RWLock) refreshLocked() {
 
 // RLock acquires l for reading.
 func (l *RWLock) RLock(w *sched.Worker) {
+	if w.ElideFor(l.class) {
+		l.real.RLock()
+		return
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:
@@ -170,6 +192,10 @@ func (l *RWLock) RLock(w *sched.Worker) {
 
 // RUnlock releases a read acquisition.
 func (l *RWLock) RUnlock(w *sched.Worker) {
+	if w.ElideFor(l.class) {
+		l.real.RUnlock()
+		return
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:
@@ -209,6 +235,10 @@ func (l *RWLock) RUnlock(w *sched.Worker) {
 
 // Lock acquires l for writing.
 func (l *RWLock) Lock(w *sched.Worker) {
+	if w.ElideFor(l.class) {
+		l.real.Lock()
+		return
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:
@@ -263,6 +293,10 @@ func (l *RWLock) Lock(w *sched.Worker) {
 
 // Unlock releases a write acquisition.
 func (l *RWLock) Unlock(w *sched.Worker) {
+	if w.ElideFor(l.class) {
+		l.real.Unlock()
+		return
+	}
 	for {
 		switch w.Mode() {
 		case sched.ModeNative:

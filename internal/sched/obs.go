@@ -25,6 +25,11 @@ type ReplayObs struct {
 	// maxLagQ deltas behind the commit stream). A nonzero value means
 	// CommitLag under-reports exactly when lag is worst.
 	LagDropped *obs.Counter
+	// Elided counts lock operations elided from the trace via
+	// conflict-class ownership. Recorded on the execute side but carried
+	// here because this struct is the one that lives on the Runtime and
+	// survives replayer rebuilds.
+	Elided *obs.Counter
 }
 
 // NewReplayObs allocates all series.
@@ -35,6 +40,7 @@ func NewReplayObs() *ReplayObs {
 		WaitTime:   obs.NewHistogram(),
 		CommitLag:  obs.NewHistogram(),
 		LagDropped: obs.NewCounter(),
+		Elided:     obs.NewCounter(),
 	}
 }
 
@@ -45,4 +51,5 @@ func (o *ReplayObs) Register(reg *obs.Registry) {
 	reg.RegisterHistogram("rex_replay_wait_seconds", o.WaitTime)
 	reg.RegisterHistogram("rex_replay_commit_lag_seconds", o.CommitLag)
 	reg.RegisterCounter("rex_replay_lag_dropped_total", o.LagDropped)
+	reg.RegisterCounter("rex_elided_ops_total", o.Elided)
 }

@@ -285,8 +285,16 @@ func (r *Replayer) WaitCaughtUp() bool {
 // task spawned only on the slow path: it sleeps the full timeout and
 // broadcasts progress so the wait loop re-checks the clock.
 func (r *Replayer) WaitExecutedAtLeast(cut trace.Cut, timeout time.Duration) bool {
+	// Normalize: a token minted before a resync/rebuild can carry a cut
+	// sized for a different thread count. Trailing zeros are trivially
+	// covered; a non-zero entry for a thread this trace does not have can
+	// never be covered, so fail fast instead of stalling until timeout.
+	cut = cut.Norm()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(cut) > len(r.executed) {
+		return false
+	}
 	if r.executed.AtLeast(cut) {
 		return true // fast path: no watchdog, no waiting
 	}

@@ -13,6 +13,7 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rex/internal/env"
 	"rex/internal/trace"
@@ -72,6 +73,17 @@ type Runtime struct {
 	// order (Fig. 4 left) instead of the ground-truth partial order
 	// (Fig. 4 right). For the partial-order ablation benchmark.
 	TotalOrderTryFail bool
+
+	// DisableConflictElision turns off conflict-class lock-event elision:
+	// lock events on class-owned resources are traced even when the
+	// executing worker's conflict class matches the resource's. Must be
+	// set identically on every replica of a group (like DisablePruning) —
+	// the elision decision is part of the trace's meaning.
+	DisableConflictElision bool
+
+	// elidedOps counts lock operations whose trace events were elided
+	// because the executing worker's conflict class owned the resource.
+	elidedOps atomic.Uint64
 
 	// Obs, when non-nil, collects follow-stage metrics. Set it before the
 	// first StartReplay; the same series are handed to every replayer the
@@ -259,6 +271,17 @@ func (rt *Runtime) StartReplay(tr *trace.Trace, base trace.Cut) error {
 	return nil
 }
 
+// NoteElided counts an elided lock operation (rex_elided_ops_total).
+func (rt *Runtime) NoteElided() {
+	rt.elidedOps.Add(1)
+	if rt.Obs != nil {
+		rt.Obs.Elided.Add(1)
+	}
+}
+
+// ElidedOps returns the number of lock operations elided from the trace.
+func (rt *Runtime) ElidedOps() uint64 { return rt.elidedOps.Load() }
+
 // Worker is one logical thread. All trace identity — event clocks, vector
 // clocks for pruning, the execution mode override — lives here.
 type Worker struct {
@@ -269,6 +292,12 @@ type Worker struct {
 	epoch       uint64
 	nativeDepth int
 	fixedNative bool
+	// class is the conflict class of the request currently executing on
+	// this worker (0 = catch-all / no class). It is set by the dispatch
+	// layer around each request in both record and replay mode — replay
+	// derives it from the request's recorded class id, so both sides make
+	// identical elision decisions.
+	class uint32
 }
 
 // ID returns the logical thread id (-1 for native-only workers).
@@ -284,6 +313,28 @@ func (w *Worker) Mode() Mode {
 		return ModeNative
 	}
 	return w.rt.mode
+}
+
+// SetClass installs the conflict class of the request about to execute on
+// this worker (0 clears it). Only the dispatch layer calls it, at request
+// boundaries.
+func (w *Worker) SetClass(c uint32) { w.class = c }
+
+// Class returns the conflict class of the currently executing request.
+func (w *Worker) Class() uint32 { return w.class }
+
+// ElideFor reports whether lock events on a resource owned by conflict
+// class resClass should be elided for this worker: the resource is
+// class-owned, the executing request is in that same class, and elision
+// is enabled. Requests in the owning class are serialized by their
+// deterministic class → thread assignment, so the elided events' ordering
+// is implied by program order on both record and replay.
+func (w *Worker) ElideFor(resClass uint32) bool {
+	if resClass == 0 || w.class != resClass || w.rt.DisableConflictElision {
+		return false
+	}
+	w.rt.NoteElided()
+	return true
 }
 
 // EnterNative begins a NativeExec scope (§5.1): until the matching

@@ -94,7 +94,12 @@ func (tr *Trace) Apply(d *Delta) error {
 	return nil
 }
 
-const deltaVersion = 1
+// deltaVersion 2 added the compact conflict-class table; version 1 deltas
+// (no classes: every request is catch-all) still decode.
+const (
+	deltaVersion   = 2
+	deltaVersionV1 = 1
+)
 
 func encodeCut(e *wire.Encoder, c Cut) {
 	e.Uvarint(uint64(len(c)))
@@ -143,9 +148,41 @@ func (d *Delta) Encode(e *wire.Encoder) {
 		}
 	}
 	e.Uvarint(uint64(len(d.Reqs)))
+	// Compact conflict-class table: each distinct non-zero class id is
+	// listed once, and each request carries a 1-based uvarint index into
+	// the table (0 = the catch-all class). A delta dominated by a few hot
+	// classes pays ~1 byte per request instead of re-encoding the id.
+	var classes []uint32
+	for _, r := range d.Reqs {
+		if r.Class == 0 {
+			continue
+		}
+		seen := false
+		for _, c := range classes {
+			if c == r.Class {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			classes = append(classes, r.Class)
+		}
+	}
+	e.Uvarint(uint64(len(classes)))
+	for _, c := range classes {
+		e.Uvarint(uint64(c))
+	}
 	for _, r := range d.Reqs {
 		e.Uvarint(r.Client)
 		e.Uvarint(r.Seq)
+		idx := uint64(0)
+		for i, c := range classes {
+			if c == r.Class {
+				idx = uint64(i + 1)
+				break
+			}
+		}
+		e.Uvarint(idx)
 		e.BytesVal(r.Body)
 	}
 	e.Uvarint(uint64(len(d.Marks)))
@@ -175,7 +212,8 @@ func (d *Delta) EncodeBytesHint(sizeHint int) []byte {
 
 // DecodeDelta parses a delta from dec.
 func DecodeDelta(dec *wire.Decoder) (*Delta, error) {
-	if v := dec.Byte(); dec.Err() == nil && v != deltaVersion {
+	v := dec.Byte()
+	if dec.Err() == nil && v != deltaVersion && v != deltaVersionV1 {
 		return nil, fmt.Errorf("trace: unsupported delta version %d", v)
 	}
 	d := &Delta{}
@@ -231,8 +269,31 @@ func DecodeDelta(dec *wire.Decoder) (*Delta, error) {
 	if nReqs > 1<<28 {
 		return nil, wire.ErrCorrupt
 	}
+	var classes []uint32
+	if v == deltaVersion {
+		nc := dec.Uvarint()
+		if dec.Err() != nil {
+			return nil, dec.Err()
+		}
+		if nc > 1<<20 {
+			return nil, wire.ErrCorrupt
+		}
+		classes = make([]uint32, nc)
+		for i := range classes {
+			classes[i] = uint32(dec.Uvarint())
+		}
+	}
 	for i := uint64(0); i < nReqs; i++ {
 		r := Req{Client: dec.Uvarint(), Seq: dec.Uvarint()}
+		if v == deltaVersion {
+			ci := dec.Uvarint()
+			if ci > 0 {
+				if ci > uint64(len(classes)) {
+					return nil, wire.ErrCorrupt
+				}
+				r.Class = classes[ci-1]
+			}
+		}
 		r.Body = append([]byte(nil), dec.BytesVal()...)
 		d.Reqs = append(d.Reqs, r)
 	}

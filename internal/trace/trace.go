@@ -125,10 +125,16 @@ type Event struct {
 	Arg  uint64
 }
 
-// Req is a client request carried in the trace.
+// Req is a client request carried in the trace. Class is the request's
+// conflict class as assigned at admission (0 = the catch-all class):
+// requests in distinct non-zero classes provably touch disjoint state, so
+// the recorder elides lock events between them and replay reconstructs
+// their schedule from the class id alone (class → thread assignment is
+// deterministic, and intra-class order is thread order).
 type Req struct {
 	Client uint64
 	Seq    uint64
+	Class  uint32
 	Body   []byte
 }
 
@@ -148,7 +154,10 @@ func (c Cut) Covers(id EventID) bool {
 	return int(id.Thread) < len(c) && c[id.Thread] >= id.Clock
 }
 
-// AtLeast reports whether c includes o pointwise (o is a prefix of c).
+// AtLeast reports whether c includes o pointwise. Cuts of different
+// lengths are normalized: a thread missing from either side counts as
+// clock 0, so extra threads in o are covered only if their entries are
+// zero.
 func (c Cut) AtLeast(o Cut) bool {
 	for i := range o {
 		var ci int32
@@ -160,6 +169,18 @@ func (c Cut) AtLeast(o Cut) bool {
 		}
 	}
 	return true
+}
+
+// Norm returns c without trailing zero entries. Cuts recorded under
+// different thread counts (a token minted before a rebuild, a trace grown
+// after a reconfiguration) normalize to the same value when they describe
+// the same frontier, making length a non-issue in AtLeast/Equal.
+func (c Cut) Norm() Cut {
+	n := len(c)
+	for n > 0 && c[n-1] == 0 {
+		n--
+	}
+	return c[:n]
 }
 
 // Equal reports whether the two cuts are pointwise equal (missing entries

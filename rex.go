@@ -95,6 +95,30 @@ var (
 	NewSemaphore = rexsync.NewSemaphore
 )
 
+// Conflict classes (DESIGN.md §12): state machines that additionally
+// implement ConflictClassifier get per-class thread dispatch and
+// lock-event elision on class-owned locks.
+type (
+	// ConflictClass partitions requests that provably cannot conflict
+	// across classes; ConflictAll is the catch-all.
+	ConflictClass = core.ConflictClass
+	// ConflictClassifier is optionally implemented by a StateMachine to
+	// map each request to its conflict class.
+	ConflictClassifier = core.ConflictClassifier
+)
+
+// ConflictAll is the catch-all conflict class: a request that may
+// conflict with anything, dispatched under an admission barrier.
+const ConflictAll = core.ConflictAll
+
+// Class-owned primitive constructors: lock events taken by the owning
+// class are elided from the trace and reconstructed from program order
+// on replay.
+var (
+	NewLockInClass   = rexsync.NewLockInClass
+	NewRWLockInClass = rexsync.NewRWLockInClass
+)
+
 // Replication engine.
 type (
 	// Replica is one Rex replica.
