@@ -19,6 +19,7 @@ race:
 	$(GO) test -race ./internal/transport ./internal/core
 	$(GO) test -race -run 'TestReplacementDrill|TestRemovedIdentityRefused' ./internal/cluster/
 	$(GO) test -race -run 'TestReadsScenarioPinnedSeed|TestConflictsScenarioPinnedSeed' ./internal/chaos/
+	$(GO) test -race -run 'TestMigrationWindowProperty' ./internal/rebalance/
 
 vet:
 	$(GO) vet ./...
@@ -38,7 +39,8 @@ bench:
 # Acceptance evidence as machine-readable JSON: the commit-path suite
 # (WAL group-commit shape, encode allocs/op, quick Figure 7, and the
 # conflict-class delta-size experiment with its delta_bytes_mean), the
-# shard-scaling suite (aggregate throughput at 1/2/4/8 groups), and the
+# shard-scaling suite (aggregate throughput at 1/2/4/8 groups, plus the
+# live-rebalance migration experiment in its `rebalance` field), and the
 # read-scaling suite (linearizable vs session reads on a 90/10 mix).
 bench-json:
 	$(GO) run ./cmd/rexbench -exp commitpath -json BENCH_commit_path.json
@@ -54,5 +56,6 @@ chaos:
 	$(GO) run ./cmd/rexchaos -recovery -scenarios 4 -seed 1 -duration 4s
 	$(GO) run ./cmd/rexchaos -reads -scenarios 4 -seed 1 -duration 4s
 	$(GO) run ./cmd/rexchaos -conflicts -scenarios 4 -seed 1 -duration 4s
+	$(GO) run ./cmd/rexchaos -rebalance -scenarios 2 -seed 1 -groups 3
 
 check: build vet staticcheck test race chaos

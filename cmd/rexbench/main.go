@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|reads|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|reads|rebalance|all")
 	appName := flag.String("app", "", "application for fig7 (default: all six)")
 	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
 	threads := flag.Int("threads", 8, "worker threads for tracesize/edges/ablations")
@@ -129,6 +129,21 @@ func main() {
 			os.Exit(1)
 		}
 		bench.PrintShardScaling(out, res)
+		// The live-migration experiment rides along with the scaling sweep
+		// so BENCH_shard_scaling.json carries both.
+		rcfg := bench.DefaultRebalanceBench()
+		if *quick {
+			rcfg = bench.QuickRebalanceBench()
+		}
+		rres, err := bench.RunRebalanceBench(rcfg, func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rebalance: %v\n", err)
+			os.Exit(1)
+		}
+		res.Rebalance = &rres
+		bench.PrintRebalanceBench(out, rres)
 		if *jsonOut != "" {
 			f, err := os.Create(*jsonOut)
 			if err == nil {
@@ -203,6 +218,19 @@ func main() {
 		runShards()
 	case "reads":
 		runReads()
+	case "rebalance":
+		rcfg := bench.DefaultRebalanceBench()
+		if *quick {
+			rcfg = bench.QuickRebalanceBench()
+		}
+		rres, err := bench.RunRebalanceBench(rcfg, func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rebalance: %v\n", err)
+			os.Exit(1)
+		}
+		bench.PrintRebalanceBench(out, rres)
 	case "all":
 		bench.PrintTable1(out)
 		runFig7()

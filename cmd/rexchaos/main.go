@@ -25,7 +25,8 @@ func main() {
 		app       = flag.String("app", "all", "hashdb|memcache|lockserver|all (all derives the app from each seed)")
 		duration  = flag.Duration("duration", 3*time.Second, "virtual client-load phase per scenario")
 		shards    = flag.Bool("shards", false, "run the sharded fault-isolation scenario instead (kill one group's primary, check blast radius)")
-		groups    = flag.Int("groups", 4, "replica groups for -shards")
+		groups    = flag.Int("groups", 4, "replica groups for -shards / -rebalance")
+		rebal     = flag.Bool("rebalance", false, "run the live-rebalancing scenario instead (split/merge/move ranges under primary-kill churn; global linearizability + session checks)")
 		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration scenario instead (replace/add/remove members under partitions)")
 		recovery  = flag.Bool("recovery", false, "run the bounded-recovery scenario instead (checkpoints disabled, promote/demote churn, must resync not panic)")
 		reads     = flag.Bool("reads", false, "run the consistent-read scenario instead (isolate the primary mid-lease; no stale linearizable read, session reads stay read-your-writes)")
@@ -178,6 +179,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all %d conflict-class scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *rebal {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			res := chaos.RunRebalanceScenario(chaos.RebalanceScenarioConfig{
+				Seed:   s,
+				Groups: *groups,
+				Nodes:  *groups,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d groups=%-2d splits=%-2d merges=%-2d moves=%-2d kills=%-2d mapv=%-3d ops=%-5d timeouts=%-3d %s\n",
+				i+1, *scenarios, s, *groups, res.Splits, res.Merges, res.Moves,
+				res.Kills, res.MapVersion, res.Ops, res.Timeouts, verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -rebalance -scenarios 1 -seed %d -groups %d\n",
+				failed[0], *groups)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d rebalance scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *shards {

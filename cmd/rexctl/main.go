@@ -24,6 +24,19 @@
 //	rexctl -servers ... reconfig add 3 127.0.0.1:7003
 //	rexctl -servers ... reconfig remove 1
 //	rexctl -servers ... reconfig replace 1 3 127.0.0.1:7003
+//
+// Live rebalancing (rexd -shards N -rebalance): `rebalance` drives
+// consensus-committed shard-map changes while the deployment serves
+// traffic. Points are uint64 hashes (0x... accepted) or, for anything
+// that doesn't parse as a number, a literal key whose hash is used.
+// With -live, keyed commands route through the envelope-speaking router
+// that follows map changes:
+//
+//	rexctl -servers ... rebalance status
+//	rexctl -servers ... rebalance split 0x4000000000000000
+//	rexctl -servers ... rebalance move mykey 1
+//	rexctl -servers ... rebalance merge 0x4000000000000000
+//	rexctl -servers ... -app hashdb -sharded -live put mykey myvalue
 package main
 
 import (
@@ -65,6 +78,80 @@ func roleName(r core.Role) string {
 		return "removed"
 	}
 	return fmt.Sprintf("role-%d", r)
+}
+
+// parsePoint reads a range-space point: a uint64 (decimal or 0x hex),
+// or a literal key whose hash is used.
+func parsePoint(s string) uint64 {
+	if h, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return h
+	}
+	return shard.HashKey([]byte(s))
+}
+
+// runRebalance parses and drives one live shard-map change:
+// `status`, `split <at>`, `merge <boundary>`, or `move <at> <dest>`.
+func runRebalance(id uint64, m *shard.ShardMap, addrs []string, args []string) error {
+	cd, err := server.NewCoordinator(id, m, addrs)
+	if err != nil {
+		return err
+	}
+	cd.Logf = log.Printf
+	if len(args) == 0 {
+		return fmt.Errorf("rebalance needs a subcommand: status|split|merge|move")
+	}
+	switch args[0] {
+	case "status":
+		cur, pending, err := cd.FetchMap()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("map (pending=%v):\n%s\n", pending, cur)
+		for g := 0; g < cur.Groups(); g++ {
+			st, err := cd.Status(g)
+			if err != nil {
+				fmt.Printf("group %d: unreachable: %v\n", g, err)
+				continue
+			}
+			fmt.Printf("group %d: %s\n", g, st)
+		}
+		return nil
+	case "split":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rebalance split <at>")
+		}
+		nm, err := cd.Split(parsePoint(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("split committed: map v%d\n", nm.Version)
+		return nil
+	case "merge":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rebalance merge <boundary>")
+		}
+		nm, err := cd.Merge(parsePoint(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merge committed: map v%d\n", nm.Version)
+		return nil
+	case "move":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: rebalance move <at> <dest-group>")
+		}
+		dest, err := strconv.Atoi(args[2])
+		if err != nil || dest < 0 {
+			return fmt.Errorf("bad destination group %q", args[2])
+		}
+		nm, err := cd.Move(parsePoint(args[1]), dest)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("move committed: map v%d\n", nm.Version)
+		return nil
+	}
+	return fmt.Errorf("unknown rebalance subcommand %q", args[0])
 }
 
 // runReconfig parses and submits one membership-change command:
@@ -154,6 +241,7 @@ func main() {
 	replica := flag.Int("replica", 0, "replica to query (with -query; in-group index when sharded)")
 	levelName := flag.String("level", "", "consistency level for -query: linearizable|session|eventual (default: raw replica-local query)")
 	sharded := flag.Bool("sharded", false, "fetch the shard map and route the command by key")
+	live := flag.Bool("live", false, "with -sharded: route through the live-rebalance envelope (rexd -rebalance)")
 	key := flag.String("key", "", "routing key with -sharded (default: the command's first argument)")
 	clientID := flag.Uint64("client", 0, "client id (default: random)")
 	group := flag.Int("group", 0, "shard group for members/reconfig commands")
@@ -224,6 +312,15 @@ func main() {
 		}
 		fmt.Println("reconfiguration accepted")
 		return
+	case "rebalance":
+		m, err := fetchMap(cl, len(addrs))
+		if err != nil {
+			log.Fatalf("rexctl: fetch shard map: %v", err)
+		}
+		if err := runRebalance(id+1, m, addrs, args[1:]); err != nil {
+			log.Fatalf("rexctl: %v", err)
+		}
+		return
 	}
 
 	body, err := apps.Command(*appName, args)
@@ -237,7 +334,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("rexctl: fetch shard map: %v", err)
 		}
-		router, err := server.NewShardRouter(id+1, m, addrs)
+		var router *shard.Router
+		if *live {
+			router, err = server.NewLiveShardRouter(id+1, m, addrs)
+		} else {
+			router, err = server.NewShardRouter(id+1, m, addrs)
+		}
 		if err != nil {
 			log.Fatalf("rexctl: %v", err)
 		}

@@ -31,6 +31,7 @@ import (
 	"rex/internal/core"
 	"rex/internal/env"
 	"rex/internal/obs"
+	"rex/internal/rebalance"
 	"rex/internal/reconfig"
 	"rex/internal/server"
 	"rex/internal/shard"
@@ -49,6 +50,7 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 = explicit opt-out; recovery cost is then bounded only by -checkpoint-max-log)")
 	checkpointMaxLog := flag.Int64("checkpoint-max-log", 0, "force a checkpoint once this many log instances accumulate without one (0 = default 4096, negative = no floor)")
 	shards := flag.Int("shards", 1, "number of independent replica groups (1 = unsharded)")
+	rebalanceOn := flag.Bool("rebalance", false, "with -shards: enable live range rebalancing (rexctl rebalance split|merge|move)")
 	groupReplicas := flag.Int("group-replicas", 0, "replicas per group (0 = one per node)")
 	metricsAddr := flag.String("metrics", "", "address to serve the metrics text dump on (e.g. :8080; empty = disabled)")
 	join := flag.Bool("join", false, "start as a joining learner: this node is outside the bootstrap membership and must be admitted with `rexctl reconfig add|replace`")
@@ -143,6 +145,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("rexd: %v", err)
 		}
+		var wrap func(int, core.Factory) core.Factory
+		if *rebalanceOn {
+			smap.EnsureRanges()
+			wrap = func(g int, inner core.Factory) core.Factory {
+				return rebalance.WrapFactory(inner, smap, g, g == 0)
+			}
+		}
 		node, err := shard.NewNode(shard.NodeConfig{
 			Env:      e,
 			Map:      smap,
@@ -154,8 +163,9 @@ func main() {
 			NewSnapshots: func(g int) (storage.SnapshotStore, error) {
 				return storage.NewFileSnapshots(filepath.Join(groupDir(g), "snapshots"))
 			},
-			Template: template,
-			Metrics:  reg,
+			Template:      template,
+			Metrics:       reg,
+			RebalanceWrap: wrap,
 		})
 		if err != nil {
 			log.Fatalf("rexd: %v", err)

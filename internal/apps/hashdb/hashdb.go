@@ -13,6 +13,7 @@ import (
 	"rex/internal/core"
 	"rex/internal/rexsync"
 	"rex/internal/sched"
+	"rex/internal/shard"
 	"rex/internal/wire"
 )
 
@@ -274,6 +275,96 @@ func (db *DB) ReadCheckpoint(r io.Reader) error {
 		}
 	}
 	return d.Err()
+}
+
+// inRange reports whether key's shard hash lies in [lo, hi].
+func inRange(key string, lo, hi uint64) bool {
+	h := shard.HashKey([]byte(key))
+	return lo <= h && h <= hi
+}
+
+// ExportRange implements core.RangeStateMachine: it serializes every key
+// whose shard hash lies in [lo, hi], slice by slice with keys sorted, so
+// the blob is deterministic despite map iteration. It touches every
+// slice lock, like a sweep; the rebalance wrapper runs it as a catch-all
+// replicated op or under a linearizable query's drained barrier.
+func (db *DB) ExportRange(ctx *core.Ctx, lo, hi uint64) []byte {
+	w := ctx.Worker()
+	e := wire.NewEncoder(nil)
+	for i := range db.slices {
+		db.locks[i].RLock(w)
+		keys := make([]string, 0, 8)
+		for k := range db.slices[i] {
+			if inRange(k, lo, hi) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		e.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.String(k)
+			e.BytesVal(db.slices[i][k])
+		}
+		db.locks[i].RUnlock(w)
+	}
+	return e.Bytes()
+}
+
+// ImportRange implements core.RangeStateMachine, merging a blob written
+// by ExportRange (overwriting existing keys).
+func (db *DB) ImportRange(ctx *core.Ctx, blob []byte) {
+	w := ctx.Worker()
+	d := wire.NewDecoder(blob)
+	var added int64
+	for i := range db.slices {
+		n := d.Uvarint()
+		if n == 0 || d.Err() != nil {
+			continue
+		}
+		db.locks[i].Lock(w)
+		for j := uint64(0); j < n && d.Err() == nil; j++ {
+			k := d.String()
+			v := append([]byte(nil), d.BytesVal()...)
+			if _, existed := db.slices[i][k]; !existed {
+				added++
+			}
+			db.slices[i][k] = v
+		}
+		db.locks[i].Unlock(w)
+	}
+	db.meta.Lock(w)
+	db.count += added
+	db.dirty += added
+	db.meta.Unlock(w)
+}
+
+// DropRange implements core.RangeStateMachine, deleting every key whose
+// shard hash lies in [lo, hi]. The set of deleted keys is a pure
+// function of the state, so the result is deterministic despite map
+// iteration order.
+func (db *DB) DropRange(ctx *core.Ctx, lo, hi uint64) {
+	w := ctx.Worker()
+	var removed int64
+	for i := range db.slices {
+		db.locks[i].Lock(w)
+		var doomed []string
+		for k := range db.slices[i] {
+			if inRange(k, lo, hi) {
+				doomed = append(doomed, k)
+			}
+		}
+		for _, k := range doomed {
+			delete(db.slices[i], k)
+			removed++
+		}
+		db.locks[i].Unlock(w)
+	}
+	if removed > 0 {
+		db.meta.Lock(w)
+		db.count -= removed
+		db.dirty += removed
+		db.meta.Unlock(w)
+	}
 }
 
 // SetReq encodes a set.

@@ -1,0 +1,416 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/shard"
+	"rex/internal/sim"
+)
+
+// The rebalance suite measures what a live range migration costs the
+// rest of the deployment: two groups serve a fixed client population
+// while the coordinator moves one of group 0's ranges to group 1 in the
+// middle of the run. Three windows are compared — steady state before
+// the move, the move window itself, and after the flip — plus a fresh
+// deployment bootstrapped directly into the post-move map shape, which
+// bounds the permanent cost of having migrated (as opposed to having
+// always been there).
+
+// RebalanceBenchConfig parameterizes the suite. Two groups, hashdb, and
+// a key space split so roughly a quarter of the keys live in the moved
+// span (group 0's upper range).
+type RebalanceBenchConfig struct {
+	Nodes            int
+	ReplicasPerGroup int
+	Workers          int
+	Cores            int // simulated cores per node machine
+	Clients          int // closed-loop clients, fixed across windows
+	Keys             int
+	ValueBytes       int
+	Warmup           time.Duration
+	Steady           time.Duration // steady-state measurement window
+	Post             time.Duration // post-move measurement window
+	WarmRounds       int           // coordinator warm-copy rounds
+	Seed             int64
+}
+
+// DefaultRebalanceBench is the full suite.
+func DefaultRebalanceBench() RebalanceBenchConfig {
+	return RebalanceBenchConfig{
+		Nodes:            3,
+		ReplicasPerGroup: 3,
+		Workers:          2,
+		Cores:            8,
+		Clients:          96,
+		Keys:             1024,
+		ValueBytes:       64,
+		Warmup:           200 * time.Millisecond,
+		Steady:           400 * time.Millisecond,
+		Post:             400 * time.Millisecond,
+		WarmRounds:       3,
+		Seed:             42,
+	}
+}
+
+// QuickRebalanceBench trims the suite for a fast pass.
+func QuickRebalanceBench() RebalanceBenchConfig {
+	cfg := DefaultRebalanceBench()
+	cfg.Clients = 48
+	cfg.Keys = 512
+	cfg.Steady = 250 * time.Millisecond
+	cfg.Post = 250 * time.Millisecond
+	return cfg
+}
+
+// RebalanceBenchResult is the suite's verdict; `make bench-json` folds it
+// into BENCH_shard_scaling.json.
+type RebalanceBenchResult struct {
+	Clients  int `json:"clients"`
+	Keys     int `json:"keys"`
+	MovedKey int `json:"moved_keys"` // keys whose hash lies in the moved span
+
+	SteadyRPS         float64 `json:"steady_rps"`           // aggregate, before the move
+	SteadySurviving   float64 `json:"steady_surviving_rps"` // surviving-range share of steady state
+	MoveRPS           float64 `json:"move_rps"`             // aggregate during the live move
+	MoveSurviving     float64 `json:"move_surviving_rps"`   // surviving-range share during the move
+	SurvivingRatio    float64 `json:"surviving_ratio"`      // MoveSurviving / SteadySurviving
+	PostRPS           float64 `json:"post_rps"`             // aggregate after the flip
+	StaticRPS         float64 `json:"static_rps"`           // same map shape, never migrated
+	PostVsStatic      float64 `json:"post_vs_static"`
+	MoveSeconds       float64 `json:"move_seconds"`        // propose -> finalize
+	FinalDeltaBytes   uint64  `json:"final_delta_bytes"`   // post-freeze export size
+	MoveRangeFraction float64 `json:"move_range_fraction"` // share of hash space moved
+}
+
+const rebalanceMoveAt = uint64(1) << 62 // split point: group 0's upper half
+
+// runRebalanceLoad drives the fixed client population against mc and
+// returns a measure function: measureUntil(stopped) samples the aggregate
+// and surviving-range committed-write counters over a window.
+func runRebalanceBench(cfg RebalanceBenchConfig, res *RebalanceBenchResult, logf func(string, ...any)) error {
+	var runErr error
+	e := sim.New(cfg.Cores)
+	e.Run(func() {
+		m, err := shard.NewShardMap(1, 2, cfg.Nodes, cfg.ReplicasPerGroup)
+		if err != nil {
+			runErr = err
+			return
+		}
+		mc, err := cluster.NewMulti(e, hashdb.New(hashdb.DefaultOptions()), m, cluster.Options{
+			Workers:         cfg.Workers,
+			ReadWorkers:     2,
+			Timers:          hashdb.Timers(),
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			MaxOutstanding:  4 * cfg.Clients,
+			Seed:            cfg.Seed,
+			LiveRebalance:   true,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := mc.Start(); err != nil {
+			runErr = err
+			return
+		}
+		if err := mc.WaitAllPrimaries(5 * time.Second); err != nil {
+			runErr = err
+			return
+		}
+
+		// Split group 0's range first (metadata only), so the move ships
+		// the span [2^62, 2^63) — about a quarter of the keys.
+		reg := obs.NewRegistry()
+		cd := mc.NewCoordinator(900_000, reg)
+		cd.WarmRounds = cfg.WarmRounds
+		if _, err := cd.Split(rebalanceMoveAt); err != nil {
+			runErr = fmt.Errorf("bench: pre-split: %v", err)
+			return
+		}
+
+		key := func(k int) string { return fmt.Sprintf("key-%06d", k) }
+		inMoved := func(k int) bool {
+			h := shard.HashKey([]byte(key(k)))
+			return h >= rebalanceMoveAt && h < uint64(1)<<63
+		}
+		for k := 0; k < cfg.Keys; k++ {
+			if inMoved(k) {
+				res.MovedKey++
+			}
+		}
+		val := make([]byte, cfg.ValueBytes)
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+
+		// Prefill so the moved span actually has bytes to ship.
+		setup := env.NewGroup(e)
+		setupWorkers := 16
+		for w := 0; w < setupWorkers; w++ {
+			w := w
+			setup.Add(1)
+			e.Go(fmt.Sprintf("rebalance-setup-%d", w), func() {
+				defer setup.Done()
+				r := mc.NewRouter(uint64(1 + w*100))
+				for k := w; k < cfg.Keys; k += setupWorkers {
+					if _, err := r.Do([]byte(key(k)), hashdb.SetReq(key(k), val)); err != nil {
+						panic(fmt.Sprintf("bench: rebalance prefill: %v", err))
+					}
+				}
+			})
+		}
+		setup.Wait()
+
+		var doneAll, doneSurv uint64
+		mu := e.NewMutex()
+		stop := false
+		g := env.NewGroup(e)
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("rebalance-client-%d", i), func() {
+				defer g.Done()
+				r := mc.NewRouter(uint64(10_000 + i*100))
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					k := rng.Intn(cfg.Keys)
+					if _, err := r.Do([]byte(key(k)), hashdb.SetReq(key(k), val)); err != nil {
+						return
+					}
+					mu.Lock()
+					doneAll++
+					if !inMoved(k) {
+						doneSurv++
+					}
+					mu.Unlock()
+				}
+			})
+		}
+
+		snapshot := func() (uint64, uint64) {
+			mu.Lock()
+			defer mu.Unlock()
+			return doneAll, doneSurv
+		}
+
+		// Window 1: steady state.
+		e.Sleep(cfg.Warmup)
+		a0, s0 := snapshot()
+		e.Sleep(cfg.Steady)
+		a1, s1 := snapshot()
+		secs := cfg.Steady.Seconds()
+		res.SteadyRPS = float64(a1-a0) / secs
+		res.SteadySurviving = float64(s1-s0) / secs
+
+		// Window 2: the live move. The window is exactly the move's own
+		// duration — propose through finalize.
+		moveDone := false
+		var moveErr error
+		t0 := e.Now()
+		a2, s2 := snapshot()
+		mover := env.GoEach(e, "rebalance-mover", 1, func(int) {
+			_, err := cd.Move(rebalanceMoveAt, 1)
+			mu.Lock()
+			moveDone = true
+			moveErr = err
+			mu.Unlock()
+		})
+		for {
+			mu.Lock()
+			d := moveDone
+			mu.Unlock()
+			if d {
+				break
+			}
+			e.Sleep(2 * time.Millisecond)
+		}
+		mover.Wait()
+		if moveErr != nil {
+			runErr = fmt.Errorf("bench: move: %v", moveErr)
+			return
+		}
+		a3, s3 := snapshot()
+		moveSecs := (e.Now() - t0).Seconds()
+		res.MoveSeconds = moveSecs
+		if moveSecs > 0 {
+			res.MoveRPS = float64(a3-a2) / moveSecs
+			res.MoveSurviving = float64(s3-s2) / moveSecs
+		}
+		if res.SteadySurviving > 0 {
+			res.SurvivingRatio = res.MoveSurviving / res.SteadySurviving
+		}
+		res.FinalDeltaBytes = reg.Snapshot().Counter("rex_rebalance_moved_bytes")
+		res.MoveRangeFraction = 0.25
+
+		// Window 3: after the flip.
+		a4, s4 := snapshot()
+		_ = s4
+		e.Sleep(cfg.Post)
+		a5, _ := snapshot()
+		res.PostRPS = float64(a5-a4) / cfg.Post.Seconds()
+
+		mu.Lock()
+		stop = true
+		mu.Unlock()
+		g.Wait()
+		mc.Stop()
+	})
+	return runErr
+}
+
+// runRebalanceStatic measures the same workload on a deployment
+// bootstrapped directly into the post-move map shape — the "never
+// migrated" baseline.
+func runRebalanceStatic(cfg RebalanceBenchConfig) (float64, error) {
+	var rps float64
+	var runErr error
+	e := sim.New(cfg.Cores)
+	e.Run(func() {
+		m, err := shard.NewShardMap(1, 2, cfg.Nodes, cfg.ReplicasPerGroup)
+		if err != nil {
+			runErr = err
+			return
+		}
+		m.EnsureRanges()
+		ms, err := m.WithSplit(rebalanceMoveAt)
+		if err != nil {
+			runErr = err
+			return
+		}
+		shape, err := ms.WithMove(rebalanceMoveAt, 1)
+		if err != nil {
+			runErr = err
+			return
+		}
+		mc, err := cluster.NewMulti(e, hashdb.New(hashdb.DefaultOptions()), shape, cluster.Options{
+			Workers:         cfg.Workers,
+			ReadWorkers:     2,
+			Timers:          hashdb.Timers(),
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			MaxOutstanding:  4 * cfg.Clients,
+			Seed:            cfg.Seed,
+			LiveRebalance:   true,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := mc.Start(); err != nil {
+			runErr = err
+			return
+		}
+		if err := mc.WaitAllPrimaries(5 * time.Second); err != nil {
+			runErr = err
+			return
+		}
+
+		key := func(k int) string { return fmt.Sprintf("key-%06d", k) }
+		val := make([]byte, cfg.ValueBytes)
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+		var done uint64
+		mu := e.NewMutex()
+		stop := false
+		g := env.NewGroup(e)
+		for i := 0; i < cfg.Clients; i++ {
+			i := i
+			g.Add(1)
+			e.Go(fmt.Sprintf("rebalance-static-client-%d", i), func() {
+				defer g.Done()
+				r := mc.NewRouter(uint64(10_000 + i*100))
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
+				for {
+					mu.Lock()
+					s := stop
+					mu.Unlock()
+					if s {
+						return
+					}
+					k := key(rng.Intn(cfg.Keys))
+					if _, err := r.Do([]byte(k), hashdb.SetReq(k, val)); err != nil {
+						return
+					}
+					mu.Lock()
+					done++
+					mu.Unlock()
+				}
+			})
+		}
+		e.Sleep(cfg.Warmup)
+		mu.Lock()
+		start := done
+		mu.Unlock()
+		e.Sleep(cfg.Post)
+		mu.Lock()
+		end := done
+		stop = true
+		mu.Unlock()
+		g.Wait()
+		mc.Stop()
+		rps = float64(end-start) / cfg.Post.Seconds()
+	})
+	return rps, runErr
+}
+
+// RunRebalanceBench runs the suite: the live-move deployment, then the
+// static same-shape baseline.
+func RunRebalanceBench(cfg RebalanceBenchConfig, logf func(string, ...any)) (RebalanceBenchResult, error) {
+	res := RebalanceBenchResult{Clients: cfg.Clients, Keys: cfg.Keys}
+	if logf != nil {
+		logf("rebalance: live move deployment...")
+	}
+	if err := runRebalanceBench(cfg, &res, logf); err != nil {
+		return res, err
+	}
+	if logf != nil {
+		logf("rebalance: static same-shape baseline...")
+	}
+	static, err := runRebalanceStatic(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.StaticRPS = static
+	if static > 0 {
+		res.PostVsStatic = res.PostRPS / static
+	}
+	return res, nil
+}
+
+// PrintRebalanceBench renders the suite.
+func PrintRebalanceBench(w io.Writer, r RebalanceBenchResult) {
+	t := &Table{
+		Title: "Live rebalance: move 1/4 of the hash space under load",
+		Cols:  []string{"window", "aggregate w/s", "surviving w/s"},
+	}
+	t.AddRow("steady", f0(r.SteadyRPS), f0(r.SteadySurviving))
+	t.AddRow("during move", f0(r.MoveRPS), f0(r.MoveSurviving))
+	t.AddRow("post-move", f0(r.PostRPS), "-")
+	t.AddRow("static shape", f0(r.StaticRPS), "-")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("surviving-range throughput during the move: %.0f%% of steady state (floor: 70%%)", 100*r.SurvivingRatio),
+		fmt.Sprintf("post-move vs never-migrated: %.0f%% (floor: 90%%)", 100*r.PostVsStatic),
+		fmt.Sprintf("move took %.0f ms, final post-freeze delta %d bytes, %d of %d keys moved",
+			1000*r.MoveSeconds, r.FinalDeltaBytes, r.MovedKey, r.Keys),
+	)
+	t.Fprint(w)
+}

@@ -87,9 +87,11 @@ type ShardPoint struct {
 }
 
 // ShardScalingResult is the whole suite; `make bench-json` serializes it
-// as BENCH_shard_scaling.json.
+// as BENCH_shard_scaling.json. Rebalance carries the live-migration
+// experiment when the caller ran it alongside the scaling sweep.
 type ShardScalingResult struct {
-	Points []ShardPoint `json:"points"`
+	Points    []ShardPoint          `json:"points"`
+	Rebalance *RebalanceBenchResult `json:"rebalance,omitempty"`
 }
 
 // keyedApp adapts one application to the routed workload: a replicated

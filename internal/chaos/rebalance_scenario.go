@@ -1,0 +1,421 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"rex/internal/apps/hashdb"
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/readpath"
+	"rex/internal/rebalance"
+	"rex/internal/shard"
+	"rex/internal/sim"
+	"rex/internal/wire"
+)
+
+// RebalanceScenarioConfig parameterizes the live-rebalancing chaos
+// scenario: routed clients run continuous keyed writes, reads, and
+// session traffic while one nemesis drives random shard-map changes
+// (split / merge / move) through the coordinator and another kills and
+// restarts group primaries. Linearizability is checked over ONE global
+// history recorded at the router — an operation that lands on the wrong
+// group during a map transition would surface as a stale read or lost
+// write there, not hide inside a per-group history.
+type RebalanceScenarioConfig struct {
+	Seed             int64
+	Groups           int
+	Nodes            int
+	ReplicasPerGroup int
+	Clients          int           // routed closed-loop clients
+	Keys             int           // shared key space, routed across groups
+	RebalanceOps     int           // map changes to drive (≥3: one of each kind)
+	KillEvery        time.Duration // primary-kill cadence during the churn
+}
+
+func (c RebalanceScenarioConfig) withDefaults() RebalanceScenarioConfig {
+	if c.Groups <= 0 {
+		c.Groups = 3
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.ReplicasPerGroup <= 0 {
+		c.ReplicasPerGroup = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 6
+	}
+	if c.Keys <= 0 {
+		c.Keys = 12 * c.Groups
+	}
+	if c.RebalanceOps < 3 {
+		c.RebalanceOps = 6
+	}
+	if c.KillEvery <= 0 {
+		c.KillEvery = 400 * time.Millisecond
+	}
+	return c
+}
+
+// RebalanceResult is the scenario's verdict.
+type RebalanceResult struct {
+	OK         bool
+	Violations []string
+	Ops        int // operations in the global router history
+	Timeouts   int // operations with unknown outcome
+	Splits     int // completed map changes, by kind
+	Merges     int
+	Moves      int
+	Kills      int // primary crashes injected during the churn
+	MapVersion uint64
+	Checks     []check.Result
+}
+
+// RunRebalanceScenario executes the live-rebalancing chaos scenario
+// under a fresh simulator. The nemesis plan guarantees at least one
+// split, one merge, and one move complete while primaries are being
+// killed and restarted underneath both the movers and the map home
+// group. Afterwards every group must pass state agreement and the
+// prefix property, the global routed history must be linearizable, and
+// every client's session events must satisfy read-your-writes and
+// monotonic reads across the ownership flips.
+func RunRebalanceScenario(cfg RebalanceScenarioConfig, reg *obs.Registry, logf func(string, ...any)) RebalanceResult {
+	cfg = cfg.withDefaults()
+	res := RebalanceResult{}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	hist := check.NewHistory(e.Now)
+	events := make([][]check.SessionEvent, cfg.Clients)
+	var violations []string
+	timeouts := 0
+	e.Run(func() {
+		m, err := shard.NewShardMap(1, cfg.Groups, cfg.Nodes, cfg.ReplicasPerGroup)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		mc, err := cluster.NewMulti(e, hashdb.New(hashdb.DefaultOptions()), m, cluster.Options{
+			Workers:         2,
+			ReadWorkers:     2,
+			Timers:          hashdb.Timers(),
+			ProposeEvery:    2 * time.Millisecond,
+			HeartbeatEvery:  20 * time.Millisecond,
+			ElectionTimeout: 100 * time.Millisecond,
+			StatusEvery:     20 * time.Millisecond,
+			CheckpointEvery: 200 * time.Millisecond,
+			Seed:            cfg.Seed,
+			Logf:            logf,
+			LiveRebalance:   true,
+		})
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		if err := mc.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("multi-cluster start: %v", err))
+			return
+		}
+		if err := mc.WaitAllPrimaries(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		mu := e.NewMutex()
+		stop := false
+		stopped := func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return stop
+		}
+		clients := env.GoEach(e, "rebalance-chaos-client", cfg.Clients, func(ci int) {
+			// One enveloped router per task: it follows map changes on its
+			// own and records into the shared global history under its
+			// idBase. Space idBases by 64 (router uses groups+1 ids).
+			r := mc.NewRouter(uint64(100 + 64*ci))
+			r.Recorder = hist
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			sessKey := fmt.Sprintf("sess-%d", ci)
+			var sessVer uint64
+			for seq := 0; ; seq++ {
+				if stopped() {
+					return
+				}
+				if rng.Intn(4) == 0 {
+					// Session traffic on the client's private key.
+					if rng.Intn(2) == 0 {
+						next := sessVer + 1
+						_, err := r.Do([]byte(sessKey),
+							hashdb.SetReq(sessKey, []byte(strconv.FormatUint(next, 10))))
+						if err == nil {
+							sessVer = next
+							events[ci] = append(events[ci], check.SessionEvent{
+								Client: uint64(ci), Kind: check.SessionWrite, Version: next,
+							})
+						}
+					} else {
+						resp, err := r.QueryLevel([]byte(sessKey), readpath.Session, hashdb.GetReq(sessKey))
+						if err == nil {
+							d := wire.NewDecoder(resp)
+							var ver uint64
+							if d.Bool() {
+								ver, _ = strconv.ParseUint(string(d.BytesVal()), 10, 64)
+							}
+							events[ci] = append(events[ci], check.SessionEvent{
+								Client: uint64(ci), Kind: check.SessionRead, Version: ver, Level: "session",
+							})
+						}
+					}
+					e.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+					continue
+				}
+				k := fmt.Sprintf("k%d", rng.Intn(cfg.Keys))
+				var body []byte
+				switch r := rng.Intn(100); {
+				case r < 45:
+					body = hashdb.GetReq(k)
+				case r < 90:
+					body = hashdb.SetReq(k, []byte(fmt.Sprintf("c%d-n%d", ci, seq)))
+				default:
+					body = hashdb.DelReq(k)
+				}
+				if _, err := r.Do([]byte(k), body); err != nil {
+					mu.Lock()
+					timeouts++
+					mu.Unlock()
+				}
+				e.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+			}
+		})
+
+		// Warm-up load before the churn starts.
+		e.Sleep(300 * time.Millisecond)
+
+		// Nemesis B: primary-kill churn. Crashes a random group's primary
+		// (the map home group included), lets the group fail over, then
+		// restarts the replica so quorums never shrink for long.
+		churn := true
+		churning := func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return churn
+		}
+		killer := env.GoEach(e, "rebalance-chaos-killer", 1, func(int) {
+			rng := rand.New(rand.NewSource(cfg.Seed*31 + 5))
+			for churning() {
+				e.Sleep(cfg.KillEvery)
+				g := rng.Intn(cfg.Groups)
+				p, err := mc.CrashGroupPrimary(g)
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				res.Kills++
+				mu.Unlock()
+				reg.CounterOf("chaos_rebalance_primary_kills").Inc()
+				if logf != nil {
+					logf("chaos: killed group %d primary (replica %d)", g, p)
+				}
+				e.Sleep(300 * time.Millisecond)
+				if err := mc.Groups[g].Restart(p); err != nil {
+					mu.Lock()
+					violations = append(violations, fmt.Sprintf("restart group %d replica %d: %v", g, p, err))
+					mu.Unlock()
+					return
+				}
+			}
+		})
+
+		// Nemesis A: the rebalance plan. Random split/merge/move rounds,
+		// guaranteed to complete at least one of each kind; a merge step
+		// falls back to a split when no same-owner adjacent pair exists.
+		cd := mc.NewCoordinator(9000, reg)
+		cd.Logf = logf
+		rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
+		for round := 0; round < cfg.RebalanceOps || res.Splits == 0 || res.Merges == 0 || res.Moves == 0; round++ {
+			if round > cfg.RebalanceOps+8 {
+				violations = append(violations, fmt.Sprintf(
+					"rebalance plan stalled: %d splits, %d merges, %d moves after %d rounds",
+					res.Splits, res.Merges, res.Moves, round))
+				break
+			}
+			cur, _, err := cd.FetchMap()
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("fetch map: %v", err))
+				break
+			}
+			kind := rng.Intn(3)
+			if kind == 1 && res.Merges > 0 && res.Moves == 0 {
+				kind = 2 // don't burn rounds re-merging before the first move
+			}
+			switch kind {
+			case 0: // split
+				at, ok := pickSplitPoint(cur, rng)
+				if !ok {
+					continue
+				}
+				if _, err := cd.Split(at); err != nil {
+					if !rebalanceErrIsTransient(err) {
+						violations = append(violations, fmt.Sprintf("split at %#x: %v", at, err))
+					}
+				} else {
+					res.Splits++
+				}
+			case 1: // merge
+				boundary, ok := pickMergeBoundary(cur)
+				if !ok {
+					// No fusable pair: split first so one exists next round.
+					if at, ok := pickSplitPoint(cur, rng); ok {
+						if _, err := cd.Split(at); err == nil {
+							res.Splits++
+						}
+					}
+					continue
+				}
+				if _, err := cd.Merge(boundary); err != nil {
+					if !rebalanceErrIsTransient(err) {
+						violations = append(violations, fmt.Sprintf("merge at %#x: %v", boundary, err))
+					}
+				} else {
+					res.Merges++
+				}
+			case 2: // move
+				at, dest, ok := pickMove(cur, rng)
+				if !ok {
+					continue
+				}
+				if _, err := cd.Move(at, dest); err != nil {
+					if !rebalanceErrIsTransient(err) {
+						violations = append(violations, fmt.Sprintf("move %#x -> group %d: %v", at, dest, err))
+					}
+				} else {
+					res.Moves++
+				}
+			}
+			e.Sleep(time.Duration(50+rng.Intn(100)) * time.Millisecond)
+		}
+
+		mu.Lock()
+		churn = false
+		mu.Unlock()
+		killer.Wait()
+
+		fm, _, err := cd.FetchMap()
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("final map: %v", err))
+		} else {
+			res.MapVersion = fm.Version
+			if logf != nil {
+				logf("final map:\n%s", fm)
+			}
+		}
+
+		// Drain the load, then every group must quiesce into agreement
+		// with clean logs.
+		e.Sleep(300 * time.Millisecond)
+		mu.Lock()
+		stop = true
+		mu.Unlock()
+		clients.Wait()
+
+		for g := 0; g < cfg.Groups; g++ {
+			states, faulted, err := mc.Groups[g].StableStates(30 * time.Second)
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("group %d: %v", g, err))
+				continue
+			}
+			for i, ferr := range faulted {
+				violations = append(violations, fmt.Sprintf("group %d replica %d faulted after recovery: %v", g, i, ferr))
+			}
+			for _, v := range check.StateAgreement(states) {
+				violations = append(violations, fmt.Sprintf("group %d: %s", g, v))
+			}
+			for _, v := range check.CheckPrefix(chosenLogs(mc.Groups[g])) {
+				violations = append(violations, fmt.Sprintf("group %d: %s", g, v))
+			}
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	res.Timeouts = timeouts
+	res.Ops = hist.Len()
+	cr := check.CheckLinearizable(check.KVModel(false), hist.Ops(), 0)
+	res.Checks = append(res.Checks, cr)
+	reg.CounterOf("chaos_ops_checked").Add(uint64(cr.Ops))
+	reg.CounterOf("chaos_histories_verified").Inc()
+	if !cr.Ok {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("global routed history of %d ops is not linearizable", cr.Ops))
+	}
+	if cr.Undecided {
+		res.Violations = append(res.Violations,
+			"global linearizability undecided: step budget exhausted")
+	}
+	var sess []check.SessionEvent
+	for _, evs := range events {
+		sess = append(sess, evs...)
+	}
+	res.Violations = append(res.Violations, check.CheckSessionReads(sess)...)
+	res.OK = len(res.Violations) == 0
+	reg.CounterOf("chaos_rebalance_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_rebalance_scenarios_failed").Inc()
+	}
+	return res
+}
+
+// pickSplitPoint finds a random range wide enough to split and returns
+// its midpoint.
+func pickSplitPoint(m *shard.ShardMap, rng *rand.Rand) (uint64, bool) {
+	if len(m.Ranges) == 0 {
+		return 0, false
+	}
+	for try := 0; try < 8; try++ {
+		i := rng.Intn(len(m.Ranges))
+		lo, hi := m.RangeBounds(i)
+		if hi-lo < 2 {
+			continue
+		}
+		return lo + (hi-lo)/2 + 1, true
+	}
+	return 0, false
+}
+
+// pickMergeBoundary scans for an interior boundary whose two sides share
+// an owner.
+func pickMergeBoundary(m *shard.ShardMap) (uint64, bool) {
+	for i := 1; i < len(m.Ranges); i++ {
+		if m.Ranges[i].Group == m.Ranges[i-1].Group {
+			return m.Ranges[i].Start, true
+		}
+	}
+	return 0, false
+}
+
+// pickMove picks a random range and a random different destination
+// group.
+func pickMove(m *shard.ShardMap, rng *rand.Rand) (uint64, int, bool) {
+	if len(m.Ranges) == 0 || m.Groups() < 2 {
+		return 0, 0, false
+	}
+	i := rng.Intn(len(m.Ranges))
+	dest := rng.Intn(m.Groups() - 1)
+	if dest >= m.Ranges[i].Group {
+		dest++
+	}
+	return m.Ranges[i].Start, dest, true
+}
+
+// rebalanceErrIsTransient reports whether a coordinator error is one the
+// plan may retry (map version races between concurrent proposals).
+func rebalanceErrIsTransient(err error) bool {
+	return errors.Is(err, rebalance.ErrProposeConflict)
+}

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"testing"
+
+	"rex/internal/obs"
+)
+
+// TestRebalanceScenario runs the live-rebalancing chaos scenario on a
+// pinned seed: at least one split, one merge, and one move must complete
+// while primaries are killed and restarted underneath the migration, and
+// the global routed history, the per-group replica states, and every
+// client's session guarantees must all check out afterwards.
+func TestRebalanceScenario(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := RunRebalanceScenario(RebalanceScenarioConfig{
+		Seed:    9,
+		Groups:  3,
+		Nodes:   3,
+		Clients: 4,
+	}, reg, t.Logf)
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !res.OK {
+		t.Fatalf("scenario failed: %d splits, %d merges, %d moves, %d kills, map v%d",
+			res.Splits, res.Merges, res.Moves, res.Kills, res.MapVersion)
+	}
+	if res.Splits < 1 || res.Merges < 1 || res.Moves < 1 {
+		t.Fatalf("plan incomplete: %d splits, %d merges, %d moves", res.Splits, res.Merges, res.Moves)
+	}
+	if res.Kills < 1 {
+		t.Fatalf("no primary was killed during the churn")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("rex_rebalance_total") == 0 {
+		t.Error("rex_rebalance_total = 0, want > 0")
+	}
+	if snap.Counter("rex_rebalance_moved_bytes") == 0 {
+		t.Error("rex_rebalance_moved_bytes = 0, want > 0")
+	}
+}

@@ -80,6 +80,12 @@ type Options struct {
 	// the delta-size win of conflict-class elision. Must be identical on
 	// every replica.
 	DisableConflictElision bool
+	// LiveRebalance (NewMulti only) wraps every group's application with
+	// the rebalance ownership layer (internal/rebalance): the map gets
+	// hash ranges, group 0 hosts the map consensus sequence, routers from
+	// NewRouter speak the rebalance envelope, and NewCoordinator can
+	// split/merge/move ranges under traffic.
+	LiveRebalance bool
 }
 
 func (o Options) withDefaults() Options {
@@ -608,6 +614,21 @@ const (
 // may still have been admitted by a primary the client gave up on.
 var ErrTooManyAttempts = errors.New("cluster: too many submit attempts")
 
+// ErrPermanent marks failures that no retry against this target can fix
+// (the in-process analogue of server.ErrPermanent): a stale sequence
+// number, or a target that provably cannot serve the request. The
+// redirect/retry loop returns it immediately instead of burning the
+// attempt budget, and a rebalance-aware router treats it as "refetch the
+// map and reroute" rather than "back off and retry the same group" —
+// the permanent/transient split that keeps leader churn (transient,
+// retry here) distinct from a stale shard map (permanent here, fixable
+// elsewhere).
+var ErrPermanent = errors.New("cluster: permanent failure")
+
+// IsPermanent reports whether err can never be fixed by retrying the
+// same target (suitable for shard.Router.IsPermanent).
+func IsPermanent(err error) bool { return errors.Is(err, ErrPermanent) }
+
 // Client submits requests with retry and primary discovery. `not primary`
 // hints are followed with jittered exponential backoff, and each call
 // gives up with ErrTooManyAttempts after MaxAttempts tries.
@@ -726,7 +747,7 @@ func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duratio
 			if cl.Recorder != nil {
 				cl.Recorder.Timeout(opID)
 			}
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrPermanent, err)
 		}
 		var np core.ErrNotPrimary
 		if errors.As(err, &np) && np.Leader >= 0 {

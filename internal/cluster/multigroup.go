@@ -7,6 +7,9 @@ import (
 
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/readpath"
+	"rex/internal/rebalance"
 	"rex/internal/shard"
 	"rex/internal/storage"
 	"rex/internal/transport"
@@ -23,6 +26,11 @@ type MultiCluster struct {
 	Net    *transport.Network // node-level fabric, indexed by node id
 	Muxes  []*shard.NodeMux   // one per node
 	Groups []*Cluster         // one per group
+	// Live is set when the deployment was built with
+	// Options.LiveRebalance: routers speak the rebalance envelope and the
+	// authoritative map lives in group 0's replicated state (Map is only
+	// the bootstrap version).
+	Live bool
 }
 
 // MultiStoreIndex flattens (group, replica) into the index passed to
@@ -37,14 +45,18 @@ func MultiStoreIndex(group, replica int) int { return group*256 + replica }
 // preferred primary — gets a shortened election timeout so primaries land
 // where the placement rotation put them.
 func NewMulti(e env.Env, factory core.Factory, m *shard.ShardMap, opts Options) (*MultiCluster, error) {
+	if opts.LiveRebalance {
+		m.EnsureRanges()
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
 	mc := &MultiCluster{
-		Env: e,
-		Map: m,
-		Net: transport.NewNetwork(e, m.Nodes, opts.NetDelay, opts.Seed),
+		Env:  e,
+		Map:  m,
+		Net:  transport.NewNetwork(e, m.Nodes, opts.NetDelay, opts.Seed),
+		Live: opts.LiveRebalance,
 	}
 	nodeMachines := make([]int, m.Nodes)
 	for n := range nodeMachines {
@@ -86,7 +98,11 @@ func NewMulti(e env.Env, factory core.Factory, m *shard.ShardMap, opts Options) 
 		baseLog, baseSnaps := opts.NewLog, opts.NewSnapshots
 		og.NewLog = func(i int) storage.Log { return baseLog(MultiStoreIndex(g, i)) }
 		og.NewSnapshots = func(i int) storage.SnapshotStore { return baseSnaps(MultiStoreIndex(g, i)) }
-		mc.Groups = append(mc.Groups, New(e, factory, og))
+		fg := factory
+		if opts.LiveRebalance {
+			fg = rebalance.WrapFactory(factory, m, g, g == 0)
+		}
+		mc.Groups = append(mc.Groups, New(e, fg, og))
 	}
 	return mc, nil
 }
@@ -142,9 +158,16 @@ func (mc *MultiCluster) CrashGroupPrimary(g int) (int, error) {
 }
 
 // NewRouter returns a keyed router backed by one fresh client per group.
-// Client ids are idBase+group; callers running several routers (or extra
-// per-group clients) must space their id ranges so ids stay unique within
-// each group.
+// Client ids are idBase+group (plus idBase+groups for the map-fetch
+// client under LiveRebalance); callers running several routers (or extra
+// per-group clients) must space their id ranges so ids stay unique
+// within each group.
+//
+// Under LiveRebalance the router speaks the rebalance envelope: it
+// carries each request's range epoch, follows wrong-group/stale NACKs by
+// refetching the authoritative map from group 0 with jittered backoff,
+// and treats cluster.ErrPermanent as "reroute", transient errors as the
+// caller's problem.
 func (mc *MultiCluster) NewRouter(idBase uint64) *shard.Router {
 	clients := make([]shard.GroupClient, mc.Map.Groups())
 	for g := range clients {
@@ -154,5 +177,44 @@ func (mc *MultiCluster) NewRouter(idBase uint64) *shard.Router {
 	if err != nil {
 		panic(err) // impossible: one client per map group by construction
 	}
+	if mc.Live {
+		r.Map = mc.Map.Clone() // refetch must not swap the map under other routers
+		r.Enveloped = true
+		r.IsPermanent = IsPermanent
+		r.Sleep = mc.Env.Sleep
+		r.Now = mc.Env.Now
+		r.ClientID = idBase
+		fetch := mc.Groups[0].NewClient(idBase + uint64(mc.Map.Groups()))
+		r.Fetch = func() (*shard.ShardMap, error) { return FetchLiveMap(fetch) }
+	}
 	return r
+}
+
+// FetchLiveMap reads the authoritative shard map from the map home group
+// through the given client (a linearizable control query).
+func FetchLiveMap(home *Client) (*shard.ShardMap, error) {
+	resp, err := home.QueryLevel(readpath.Linearizable, rebalance.GetMapQuery())
+	if err != nil {
+		return nil, err
+	}
+	st, payload, err := shard.DecodeReply(resp)
+	if err != nil {
+		return nil, err
+	}
+	if st != shard.ReplyOK {
+		return nil, fmt.Errorf("cluster: map fetch nacked (%d)", st)
+	}
+	m, _, err := rebalance.DecodeGetMapReply(payload)
+	return m, err
+}
+
+// NewCoordinator returns a rebalance coordinator over fresh per-group
+// clients (ids idBase+group — space id ranges as for NewRouter). Only
+// valid under LiveRebalance.
+func (mc *MultiCluster) NewCoordinator(idBase uint64, reg *obs.Registry) *rebalance.Coordinator {
+	clients := make([]shard.GroupClient, mc.Map.Groups())
+	for g := range clients {
+		clients[g] = mc.Groups[g].NewClient(idBase + uint64(g))
+	}
+	return &rebalance.Coordinator{Groups: clients, Home: 0, Clock: mc.Env, Metrics: reg}
 }

@@ -106,6 +106,25 @@ type ConflictClassifier interface {
 	ClassifyConflict(req []byte) ConflictClass
 }
 
+// RangeStateMachine is optionally implemented by state machines whose
+// key space can be migrated between replica groups by hash range
+// (internal/rebalance). Hashes are shard.HashKey of the application key.
+// All three methods run as replicated handlers (or, for ExportRange, as a
+// linearizable query) under the rebalance wrapper's exclusive ownership
+// lock, so they may touch any slice of state; implementations must
+// produce deterministic bytes (sort before encoding) and coordinate with
+// their own locks as usual.
+type RangeStateMachine interface {
+	// ExportRange serializes every key whose hash lies in [lo, hi]
+	// (inclusive) into a self-contained blob.
+	ExportRange(ctx *Ctx, lo, hi uint64) []byte
+	// ImportRange merges a blob produced by ExportRange into local state,
+	// overwriting existing keys.
+	ImportRange(ctx *Ctx, blob []byte)
+	// DropRange deletes every key whose hash lies in [lo, hi] (inclusive).
+	DropRange(ctx *Ctx, lo, hi uint64)
+}
+
 // Factory constructs the application. It runs identically on every replica
 // (and on every rebuild), so resources must be created in a deterministic
 // order. Background tasks are registered through host.AddTimer; the number

@@ -357,6 +357,21 @@ func (r *Registry) RegisterGauge(name string, g *Gauge) {
 	t.gauges[name] = g
 }
 
+// GaugeOf returns the gauge registered under name, creating it on first
+// use (the idempotent counterpart of Gauge).
+func (r *Registry) GaugeOf(name string) *Gauge {
+	t, name := r.root(), r.decorate(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g, ok := t.gauges[name]; ok {
+		return g
+	}
+	t.addName(name)
+	g := NewGauge()
+	t.gauges[name] = g
+	return g
+}
+
 // RegisterGaugeFunc registers a computed gauge under name. fn must be safe
 // to call from any goroutine.
 func (r *Registry) RegisterGaugeFunc(name string, fn GaugeFunc) {

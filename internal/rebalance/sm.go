@@ -1,0 +1,650 @@
+package rebalance
+
+import (
+	"bytes"
+	"io"
+	"sort"
+
+	"rex/internal/core"
+	"rex/internal/rexsync"
+	"rex/internal/sched"
+	"rex/internal/shard"
+	"rex/internal/wire"
+)
+
+// ownedRange is one contiguous span of the hash space this group serves.
+// Spans are inclusive on both ends, sorted by Lo, non-overlapping.
+type ownedRange struct {
+	Lo, Hi uint64
+	// Epoch is the map version at which the span was acquired (or the
+	// initial map version). A request routed under a higher epoch than
+	// the span's is NACKed ReplyStale: the replica has not replayed the
+	// ownership change the router observed.
+	Epoch uint64
+}
+
+// frozenSpan is a span behind the migration write barrier, headed for
+// map version Ver.
+type frozenSpan struct {
+	Lo, Hi, Ver uint64
+}
+
+// stagedImport is state shipped from a source group, awaiting adoption.
+type stagedImport struct {
+	Lo, Hi, Ver uint64
+	Blob        []byte
+}
+
+// groupState is the wrapper's replicated state. It changes only inside
+// replicated control handlers (under the exclusive ownership lock), so
+// every replica agrees on it at every trace position; checkpoints carry
+// it alongside the application state.
+type groupState struct {
+	// Version is the highest map version this group has locally acted on.
+	Version uint64
+	Owned   []ownedRange
+	Frozen  []frozenSpan
+	Staged  []stagedImport
+	// Map home (group 0) only: the current full map and whether a
+	// proposed version awaits finalize.
+	HomeMap     []byte
+	HomePending bool
+}
+
+// SM interposes on an application state machine to enforce replicated
+// range ownership (see the package comment). It always implements
+// QueryHandler and QueryClassifier so control queries work even over
+// apps that do not; requests without the envelope magic pass through
+// untouched.
+type SM struct {
+	app   core.StateMachine
+	group int
+	home  bool
+	// lock orders application handlers (shared) against ownership
+	// changes (exclusive): a control op that flips ownership is a true
+	// write barrier — it waits for every in-flight handler that passed
+	// the ownership check. It is not class-owned, so its events stay
+	// fully traced and cross-class ordering through it is preserved.
+	lock *rexsync.RWLock
+	st   groupState
+}
+
+// WrapFactory wraps an application factory with the rebalance ownership
+// layer for the given group. init is the bootstrap map (identical on
+// every replica); the group's initial owned spans are its ranges there.
+// Group `home` (conventionally 0) additionally hosts the map consensus
+// sequence. The wrapped factory preserves the application's conflict
+// classification when it has one (control ops classify catch-all, so
+// they serialize against all classes under the dispatch barrier).
+func WrapFactory(inner core.Factory, init *shard.ShardMap, group int, home bool) core.Factory {
+	initBytes := init.EncodeBytes()
+	return func(rt *sched.Runtime, host *core.TimerHost) core.StateMachine {
+		s := &SM{group: group, home: home}
+		s.lock = rexsync.NewRWLock(rt, "rebalance-own")
+		s.app = inner(rt, host)
+		s.st.Version = init.Version
+		for i, r := range init.Ranges {
+			if r.Group != group {
+				continue
+			}
+			lo, hi := init.RangeBounds(i)
+			s.st.Owned = append(s.st.Owned, ownedRange{Lo: lo, Hi: hi, Epoch: r.Epoch})
+		}
+		coalesceOwned(&s.st)
+		if home {
+			s.st.HomeMap = initBytes
+		}
+		if _, ok := s.app.(core.ConflictClassifier); ok {
+			return &classifiedSM{SM: s}
+		}
+		return s
+	}
+}
+
+// classifiedSM adds conflict classification on top of SM only when the
+// wrapped application classifies — a wrapper that always classified
+// would force unclassified apps' requests into the catch-all barrier.
+type classifiedSM struct {
+	*SM
+}
+
+// ClassifyConflict implements core.ConflictClassifier: application
+// bodies delegate to the app's classes; control ops (and anything
+// unparseable) are catch-all, so an ownership flip serializes against
+// every in-flight class.
+func (s *classifiedSM) ClassifyConflict(req []byte) core.ConflictClass {
+	cc := s.app.(core.ConflictClassifier)
+	kind, _, _, body, ok := shard.DecodeEnvelope(req)
+	if !ok {
+		return cc.ClassifyConflict(req)
+	}
+	if kind == shard.EnvApp {
+		return cc.ClassifyConflict(body)
+	}
+	return core.ConflictAll
+}
+
+// coalesceOwned merges adjacent owned spans with equal epochs (bootstrap
+// ranges of one group are contiguous per group only by luck; merging
+// when possible keeps the lists short).
+func coalesceOwned(st *groupState) {
+	sort.Slice(st.Owned, func(i, j int) bool { return st.Owned[i].Lo < st.Owned[j].Lo })
+	out := st.Owned[:0]
+	for _, o := range st.Owned {
+		if n := len(out); n > 0 && out[n-1].Epoch == o.Epoch && out[n-1].Hi != ^uint64(0) && out[n-1].Hi+1 == o.Lo {
+			out[n-1].Hi = o.Hi
+			continue
+		}
+		out = append(out, o)
+	}
+	st.Owned = out
+}
+
+// ownerIdx returns the index of the owned span containing h, or -1.
+func (s *SM) ownerIdx(h uint64) int {
+	for i, o := range s.st.Owned {
+		if o.Lo <= h && h <= o.Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *SM) frozenAt(h uint64) bool {
+	for _, f := range s.st.Frozen {
+		if f.Lo <= h && h <= f.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// admit checks an application envelope against ownership state. It
+// returns 0 to admit, or the NACK status. Caller holds the lock.
+func (s *SM) admit(epoch, h uint64, write bool) byte {
+	i := s.ownerIdx(h)
+	if i < 0 {
+		if epoch > s.st.Version {
+			// The router acted on a newer map than we have replayed; we
+			// may be the destination of a not-yet-adopted move.
+			return shard.ReplyStale
+		}
+		return shard.ReplyWrongGroup
+	}
+	if s.st.Owned[i].Epoch < epoch {
+		return shard.ReplyStale
+	}
+	if write && s.frozenAt(h) {
+		return shard.ReplyFrozen
+	}
+	return 0
+}
+
+// Apply implements core.StateMachine.
+func (s *SM) Apply(ctx *core.Ctx, req []byte) []byte {
+	kind, epoch, h, body, ok := shard.DecodeEnvelope(req)
+	if !ok {
+		return s.app.Apply(ctx, req)
+	}
+	w := ctx.Worker()
+	if kind == shard.EnvCtrl {
+		return s.applyCtrl(ctx, body)
+	}
+	// Hold the ownership lock shared across the whole handler: an
+	// ownership flip (exclusive) then genuinely waits out every admitted
+	// in-flight write — the write barrier the migration depends on.
+	s.lock.RLock(w)
+	if st := s.admit(epoch, h, true); st != 0 {
+		ver := s.st.Version
+		s.lock.RUnlock(w)
+		return shard.NackReply(st, ver)
+	}
+	resp := s.app.Apply(ctx, body)
+	s.lock.RUnlock(w)
+	return shard.OKReply(resp)
+}
+
+// Query implements core.QueryHandler. Reads are admitted on frozen
+// spans (the freeze is a write barrier; committed state stays readable
+// at the source until the ownership flip releases it).
+func (s *SM) Query(ctx *core.Ctx, q []byte) []byte {
+	kind, epoch, h, body, ok := shard.DecodeEnvelope(q)
+	if !ok {
+		if qh, qok := s.app.(core.QueryHandler); qok {
+			return qh.Query(ctx, q)
+		}
+		return nil
+	}
+	w := ctx.Worker()
+	if kind == shard.EnvCtrl {
+		return s.queryCtrl(ctx, body)
+	}
+	qh, qok := s.app.(core.QueryHandler)
+	if !qok {
+		return shard.ErrReply("application has no query handler")
+	}
+	s.lock.RLock(w)
+	if st := s.admit(epoch, h, false); st != 0 {
+		ver := s.st.Version
+		s.lock.RUnlock(w)
+		return shard.NackReply(st, ver)
+	}
+	resp := qh.Query(ctx, body)
+	s.lock.RUnlock(w)
+	return shard.OKReply(resp)
+}
+
+// ClassifyQuery implements core.QueryClassifier: control queries are
+// primary-only (the coordinator reads them linearizably anyway);
+// application bodies delegate to the app's classifier, default-deny.
+func (s *SM) ClassifyQuery(q []byte) core.QueryClass {
+	kind, _, _, body, ok := shard.DecodeEnvelope(q)
+	if !ok {
+		if qc, cok := s.app.(core.QueryClassifier); cok {
+			return qc.ClassifyQuery(q)
+		}
+		return core.QueryPrimaryOnly
+	}
+	if kind == shard.EnvCtrl {
+		return core.QueryPrimaryOnly
+	}
+	if qc, cok := s.app.(core.QueryClassifier); cok {
+		return qc.ClassifyQuery(body)
+	}
+	return core.QueryPrimaryOnly
+}
+
+// applyCtrl executes one replicated control op under the exclusive
+// ownership lock. Every op is idempotent — a coordinator that loses a
+// response to a failover can blindly resubmit (with a fresh sequence
+// number) and converge.
+func (s *SM) applyCtrl(ctx *core.Ctx, body []byte) []byte {
+	w := ctx.Worker()
+	d := wire.NewDecoder(body)
+	op := d.Byte()
+	s.lock.Lock(w)
+	defer s.lock.Unlock(w)
+	switch op {
+	case opFreeze:
+		lo, hi, ver := d.Uvarint(), d.Uvarint(), d.Uvarint()
+		if d.Err() != nil {
+			return shard.ErrReply("freeze: bad encoding")
+		}
+		return s.freeze(lo, hi, ver)
+	case opImportStage:
+		lo, hi, ver := d.Uvarint(), d.Uvarint(), d.Uvarint()
+		blob := d.BytesVal()
+		if d.Err() != nil {
+			return shard.ErrReply("import: bad encoding")
+		}
+		return s.importStage(lo, hi, ver, append([]byte(nil), blob...))
+	case opRelease:
+		lo, hi, ver := d.Uvarint(), d.Uvarint(), d.Uvarint()
+		if d.Err() != nil {
+			return shard.ErrReply("release: bad encoding")
+		}
+		return s.release(ctx, lo, hi, ver)
+	case opAdopt:
+		lo, hi, ver := d.Uvarint(), d.Uvarint(), d.Uvarint()
+		if d.Err() != nil {
+			return shard.ErrReply("adopt: bad encoding")
+		}
+		return s.adopt(ctx, lo, hi, ver)
+	case opMergeOwned:
+		lo, hi, ver := d.Uvarint(), d.Uvarint(), d.Uvarint()
+		if d.Err() != nil {
+			return shard.ErrReply("merge: bad encoding")
+		}
+		return s.mergeOwned(lo, hi, ver)
+	case opProposeMap:
+		mb := d.BytesVal()
+		if d.Err() != nil {
+			return shard.ErrReply("propose: bad encoding")
+		}
+		return s.proposeMap(append([]byte(nil), mb...))
+	case opFinalizeMap:
+		ver := d.Uvarint()
+		if d.Err() != nil {
+			return shard.ErrReply("finalize: bad encoding")
+		}
+		return s.finalizeMap(ver)
+	}
+	return shard.ErrReply("unknown control op")
+}
+
+// splitOwnedAt ensures owned-span boundaries exist exactly at lo and
+// hi+1, splitting spans as needed, and reports whether [lo, hi] is fully
+// covered by owned spans.
+func (s *SM) splitOwnedAt(lo, hi uint64) bool {
+	var out []ownedRange
+	for _, o := range s.st.Owned {
+		if o.Lo < lo && lo <= o.Hi {
+			out = append(out, ownedRange{Lo: o.Lo, Hi: lo - 1, Epoch: o.Epoch})
+			o.Lo = lo
+		}
+		if o.Lo <= hi && hi < o.Hi {
+			out = append(out, ownedRange{Lo: o.Lo, Hi: hi, Epoch: o.Epoch})
+			o.Lo = hi + 1
+		}
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	s.st.Owned = out
+	// Verify contiguous coverage of [lo, hi].
+	next := lo
+	for _, o := range s.st.Owned {
+		if o.Lo > next {
+			break
+		}
+		if o.Lo <= next && next <= o.Hi {
+			if o.Hi >= hi {
+				return true
+			}
+			next = o.Hi + 1
+		}
+	}
+	return false
+}
+
+func (s *SM) freeze(lo, hi, ver uint64) []byte {
+	for _, f := range s.st.Frozen {
+		if f.Lo == lo && f.Hi == hi && f.Ver >= ver {
+			return shard.OKReply(nil) // idempotent resubmit
+		}
+	}
+	if _, ok := s.app.(core.RangeStateMachine); !ok {
+		return shard.ErrReply("application does not support range migration")
+	}
+	if !s.splitOwnedAt(lo, hi) {
+		if s.st.Version >= ver {
+			// Already released at this version: the freeze is a stale
+			// resubmit from before the flip.
+			return shard.OKReply(nil)
+		}
+		return shard.ErrReply("freeze: span not owned")
+	}
+	s.st.Frozen = append(s.st.Frozen, frozenSpan{Lo: lo, Hi: hi, Ver: ver})
+	return shard.OKReply(nil)
+}
+
+func (s *SM) importStage(lo, hi, ver uint64, blob []byte) []byte {
+	for i := range s.st.Staged {
+		if s.st.Staged[i].Lo == lo && s.st.Staged[i].Hi == hi && s.st.Staged[i].Ver == ver {
+			s.st.Staged[i].Blob = blob
+			return shard.OKReply(nil)
+		}
+	}
+	s.st.Staged = append(s.st.Staged, stagedImport{Lo: lo, Hi: hi, Ver: ver, Blob: blob})
+	return shard.OKReply(nil)
+}
+
+func (s *SM) release(ctx *core.Ctx, lo, hi, ver uint64) []byte {
+	covered := false
+	for _, o := range s.st.Owned {
+		if o.Lo <= lo && lo <= o.Hi {
+			covered = true
+		}
+	}
+	if !covered {
+		if s.st.Version >= ver {
+			return shard.OKReply(nil) // idempotent resubmit after the flip
+		}
+		return shard.ErrReply("release: span not owned")
+	}
+	frozen := false
+	for _, f := range s.st.Frozen {
+		if f.Lo == lo && f.Hi == hi {
+			frozen = true
+		}
+	}
+	if !frozen {
+		return shard.ErrReply("release: span not frozen")
+	}
+	rsm, ok := s.app.(core.RangeStateMachine)
+	if !ok {
+		return shard.ErrReply("application does not support range migration")
+	}
+	rsm.DropRange(ctx, lo, hi)
+	var owned []ownedRange
+	for _, o := range s.st.Owned {
+		if o.Lo >= lo && o.Hi <= hi {
+			continue
+		}
+		owned = append(owned, o)
+	}
+	s.st.Owned = owned
+	var froz []frozenSpan
+	for _, f := range s.st.Frozen {
+		if f.Lo == lo && f.Hi == hi {
+			continue
+		}
+		froz = append(froz, f)
+	}
+	s.st.Frozen = froz
+	if ver > s.st.Version {
+		s.st.Version = ver
+	}
+	return shard.OKReply(nil)
+}
+
+func (s *SM) adopt(ctx *core.Ctx, lo, hi, ver uint64) []byte {
+	if i := s.ownerIdx(lo); i >= 0 && s.st.Owned[i].Epoch >= ver {
+		return shard.OKReply(nil) // idempotent resubmit
+	}
+	si := -1
+	for i := range s.st.Staged {
+		if s.st.Staged[i].Lo == lo && s.st.Staged[i].Hi == hi && s.st.Staged[i].Ver == ver {
+			si = i
+		}
+	}
+	if si < 0 {
+		return shard.ErrReply("adopt: nothing staged for span")
+	}
+	rsm, ok := s.app.(core.RangeStateMachine)
+	if !ok {
+		return shard.ErrReply("application does not support range migration")
+	}
+	for _, o := range s.st.Owned {
+		if o.Lo <= hi && lo <= o.Hi {
+			return shard.ErrReply("adopt: span overlaps owned state")
+		}
+	}
+	rsm.ImportRange(ctx, s.st.Staged[si].Blob)
+	s.st.Owned = append(s.st.Owned, ownedRange{Lo: lo, Hi: hi, Epoch: ver})
+	coalesceOwned(&s.st)
+	s.st.Staged = append(s.st.Staged[:si], s.st.Staged[si+1:]...)
+	if ver > s.st.Version {
+		s.st.Version = ver
+	}
+	return shard.OKReply(nil)
+}
+
+func (s *SM) mergeOwned(lo, hi, ver uint64) []byte {
+	if i := s.ownerIdx(lo); i >= 0 && s.st.Owned[i].Lo == lo && s.st.Owned[i].Hi == hi && s.st.Owned[i].Epoch >= ver {
+		return shard.OKReply(nil) // idempotent resubmit
+	}
+	for _, f := range s.st.Frozen {
+		if f.Lo <= hi && lo <= f.Hi {
+			return shard.ErrReply("merge: span is mid-migration")
+		}
+	}
+	if !s.splitOwnedAt(lo, hi) {
+		return shard.ErrReply("merge: span not fully owned")
+	}
+	var owned []ownedRange
+	for _, o := range s.st.Owned {
+		if o.Lo >= lo && o.Hi <= hi {
+			continue
+		}
+		owned = append(owned, o)
+	}
+	owned = append(owned, ownedRange{Lo: lo, Hi: hi, Epoch: ver})
+	s.st.Owned = owned
+	coalesceOwned(&s.st)
+	if ver > s.st.Version {
+		s.st.Version = ver
+	}
+	return shard.OKReply(nil)
+}
+
+func (s *SM) proposeMap(mb []byte) []byte {
+	if !s.home {
+		return shard.ErrReply("propose: not the map home group")
+	}
+	nm, err := shard.DecodeShardMapBytes(mb)
+	if err != nil {
+		return shard.ErrReply("propose: " + err.Error())
+	}
+	cur, err := shard.DecodeShardMapBytes(s.st.HomeMap)
+	if err != nil {
+		return shard.ErrReply("propose: corrupt home map: " + err.Error())
+	}
+	reply := func(accepted bool, m []byte) []byte {
+		e := wire.NewEncoder(nil)
+		e.Bool(accepted)
+		e.BytesVal(m)
+		return shard.OKReply(e.Bytes())
+	}
+	if nm.Version == cur.Version && bytes.Equal(mb, s.st.HomeMap) {
+		return reply(true, s.st.HomeMap) // idempotent resubmit
+	}
+	if nm.Version != cur.Version+1 {
+		return reply(false, s.st.HomeMap)
+	}
+	s.st.HomeMap = mb
+	s.st.HomePending = true
+	if nm.Version > s.st.Version {
+		s.st.Version = nm.Version
+	}
+	return reply(true, mb)
+}
+
+func (s *SM) finalizeMap(ver uint64) []byte {
+	if !s.home {
+		return shard.ErrReply("finalize: not the map home group")
+	}
+	cur, err := shard.DecodeShardMapBytes(s.st.HomeMap)
+	if err == nil && cur.Version == ver {
+		s.st.HomePending = false
+	}
+	return shard.OKReply(nil)
+}
+
+// queryCtrl serves read-only control queries. It runs on native-mode
+// read threads; the shared lock really excludes concurrent ownership
+// flips without recording events.
+func (s *SM) queryCtrl(ctx *core.Ctx, body []byte) []byte {
+	w := ctx.Worker()
+	d := wire.NewDecoder(body)
+	switch d.Byte() {
+	case qExport:
+		lo, hi := d.Uvarint(), d.Uvarint()
+		if d.Err() != nil {
+			return shard.ErrReply("export: bad encoding")
+		}
+		rsm, ok := s.app.(core.RangeStateMachine)
+		if !ok {
+			return shard.ErrReply("application does not support range migration")
+		}
+		s.lock.RLock(w)
+		blob := rsm.ExportRange(ctx, lo, hi)
+		s.lock.RUnlock(w)
+		return shard.OKReply(blob)
+	case qGetMap:
+		if !s.home {
+			return shard.ErrReply("getmap: not the map home group")
+		}
+		s.lock.RLock(w)
+		e := wire.NewEncoder(nil)
+		e.Bool(s.st.HomePending)
+		e.BytesVal(s.st.HomeMap)
+		s.lock.RUnlock(w)
+		return shard.OKReply(e.Bytes())
+	case qStatus:
+		s.lock.RLock(w)
+		gs := &GroupStatus{Version: s.st.Version, Home: s.home, Pending: s.st.HomePending}
+		for _, o := range s.st.Owned {
+			gs.Owned = append(gs.Owned, Span{Lo: o.Lo, Hi: o.Hi, Epoch: o.Epoch})
+		}
+		for _, f := range s.st.Frozen {
+			gs.Frozen = append(gs.Frozen, Span{Lo: f.Lo, Hi: f.Hi, Epoch: f.Ver})
+		}
+		for _, st := range s.st.Staged {
+			gs.Staged = append(gs.Staged, Span{Lo: st.Lo, Hi: st.Hi, Epoch: st.Ver, Bytes: len(st.Blob)})
+		}
+		s.lock.RUnlock(w)
+		return shard.OKReply(gs.encode())
+	}
+	return shard.ErrReply("unknown control query")
+}
+
+// WriteCheckpoint implements core.StateMachine: the wrapper's replicated
+// ownership state rides in front of the application checkpoint.
+func (s *SM) WriteCheckpoint(w io.Writer) error {
+	e := wire.NewEncoder(nil)
+	st := &s.st
+	e.Uvarint(st.Version)
+	e.Uvarint(uint64(len(st.Owned)))
+	for _, o := range st.Owned {
+		e.Uvarint(o.Lo)
+		e.Uvarint(o.Hi)
+		e.Uvarint(o.Epoch)
+	}
+	e.Uvarint(uint64(len(st.Frozen)))
+	for _, f := range st.Frozen {
+		e.Uvarint(f.Lo)
+		e.Uvarint(f.Hi)
+		e.Uvarint(f.Ver)
+	}
+	e.Uvarint(uint64(len(st.Staged)))
+	for _, si := range st.Staged {
+		e.Uvarint(si.Lo)
+		e.Uvarint(si.Hi)
+		e.Uvarint(si.Ver)
+		e.BytesVal(si.Blob)
+	}
+	e.BytesVal(st.HomeMap)
+	e.Bool(st.HomePending)
+	hdr := wire.NewEncoder(nil)
+	hdr.BytesVal(e.Bytes())
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	return s.app.WriteCheckpoint(w)
+}
+
+// ReadCheckpoint implements core.StateMachine.
+func (s *SM) ReadCheckpoint(r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	outer := wire.NewDecoder(buf)
+	d := wire.NewDecoder(outer.BytesVal())
+	if err := outer.Err(); err != nil {
+		return err
+	}
+	st := groupState{Version: d.Uvarint()}
+	for n := d.Uvarint(); n > 0 && d.Err() == nil; n-- {
+		st.Owned = append(st.Owned, ownedRange{Lo: d.Uvarint(), Hi: d.Uvarint(), Epoch: d.Uvarint()})
+	}
+	for n := d.Uvarint(); n > 0 && d.Err() == nil; n-- {
+		st.Frozen = append(st.Frozen, frozenSpan{Lo: d.Uvarint(), Hi: d.Uvarint(), Ver: d.Uvarint()})
+	}
+	for n := d.Uvarint(); n > 0 && d.Err() == nil; n-- {
+		st.Staged = append(st.Staged, stagedImport{
+			Lo: d.Uvarint(), Hi: d.Uvarint(), Ver: d.Uvarint(),
+			Blob: append([]byte(nil), d.BytesVal()...),
+		})
+	}
+	st.HomeMap = append([]byte(nil), d.BytesVal()...)
+	st.HomePending = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(st.HomeMap) == 0 {
+		st.HomeMap = nil
+	}
+	s.st = st
+	return s.app.ReadCheckpoint(bytes.NewReader(buf[outer.Offset():]))
+}

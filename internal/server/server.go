@@ -11,6 +11,13 @@
 // committed membership, 7 = leveled query (body: level byte + session
 // token + query; ok body: refreshed token + response), 8 = submit
 // returning a session token (ok body: token + response).
+//
+// Protocol v4 (live rebalancing): on a rebalance-enabled node, kind 3
+// answers with the LIVE shard map read from group 0's replicated state —
+// not the static bootstrap map — so clients that get a wrong-group NACK
+// (a rebalance envelope reply carrying the newer map version, riding
+// inside an ordinary StatusOK body) can self-update. The frame layout is
+// unchanged; v3 clients still parse every frame.
 // Status: 0 = ok (body is the response), 1 = not primary (body is a
 // varint leader hint, -1 unknown), 2 = error (body is a message; the
 // request may succeed elsewhere or later), 3 = failed permanently (body
@@ -34,6 +41,7 @@ import (
 
 	"rex/internal/core"
 	"rex/internal/readpath"
+	"rex/internal/rebalance"
 	"rex/internal/reconfig"
 	"rex/internal/shard"
 	"rex/internal/wire"
@@ -82,6 +90,7 @@ var errOversized = errors.New("server: oversized frame")
 type Server struct {
 	replicas map[int]*core.Replica // by group id
 	smap     *shard.ShardMap       // nil when unsharded
+	live     bool                  // rebalance-enabled: serve the live map
 	ln       net.Listener
 	mu       sync.Mutex
 	closed   bool
@@ -91,7 +100,7 @@ type Server struct {
 // Listen starts serving a single, unsharded replica on addr (it answers
 // group 0; shard-map fetches report an error).
 func Listen(replica *core.Replica, addr string) (*Server, error) {
-	return listen(map[int]*core.Replica{0: replica}, nil, addr)
+	return listen(map[int]*core.Replica{0: replica}, nil, false, addr)
 }
 
 // ListenNode starts serving every group a shard node hosts, plus the
@@ -101,15 +110,15 @@ func ListenNode(n *shard.Node, addr string) (*Server, error) {
 	for _, g := range n.Groups() {
 		replicas[g] = n.Replica(g)
 	}
-	return listen(replicas, n.Map(), addr)
+	return listen(replicas, n.Map(), n.RebalanceEnabled(), addr)
 }
 
-func listen(replicas map[int]*core.Replica, smap *shard.ShardMap, addr string) (*Server, error) {
+func listen(replicas map[int]*core.Replica, smap *shard.ShardMap, live bool, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{replicas: replicas, smap: smap, ln: ln}
+	s := &Server{replicas: replicas, smap: smap, live: live, ln: ln}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -172,6 +181,18 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 	if kind == KindShardMap {
 		if s.smap == nil {
 			return StatusError, []byte("server: not sharded (no shard map)")
+		}
+		// Protocol v4: a rebalance-enabled node hosting the map home
+		// serves the live map from replicated state; anything else (home
+		// group elsewhere, replica still catching up) falls back to the
+		// static bootstrap map — clients converge via NACK-driven
+		// refetches against a node that does host the home.
+		if s.live {
+			if rep := s.replicas[0]; rep != nil {
+				if m := liveMapFrom(rep); m != nil {
+					return StatusOK, m.EncodeBytes()
+				}
+			}
 		}
 		return StatusOK, s.smap.EncodeBytes()
 	}
@@ -252,6 +273,25 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		return StatusOK, reconfig.EncodeValue(rep.Membership())
 	}
 	return StatusError, []byte(fmt.Sprintf("unknown request kind %d", kind))
+}
+
+// liveMapFrom reads the live shard map from the map home replica's local
+// replicated state; nil if the replica cannot answer (not the map home,
+// still starting, stopped).
+func liveMapFrom(rep *core.Replica) *shard.ShardMap {
+	resp, err := rep.Query(rebalance.GetMapQuery())
+	if err != nil {
+		return nil
+	}
+	st, payload, err := shard.DecodeReply(resp)
+	if err != nil || st != shard.ReplyOK {
+		return nil
+	}
+	m, _, err := rebalance.DecodeGetMapReply(payload)
+	if err != nil {
+		return nil
+	}
+	return m
 }
 
 // submitErrStatus maps a Submit/SubmitToken error onto the wire.
@@ -788,4 +828,57 @@ func NewShardRouter(idBase uint64, m *shard.ShardMap, nodeAddrs []string) (*shar
 		clients[g] = NewGroupClient(idBase+uint64(g), g, addrs)
 	}
 	return shard.NewRouter(m, clients)
+}
+
+// NewCoordinator returns a rebalance coordinator over per-group clients
+// of a rebalance-enabled deployment (client ids idBase+group, each
+// following its group's placement row).
+func NewCoordinator(idBase uint64, m *shard.ShardMap, nodeAddrs []string) (*rebalance.Coordinator, error) {
+	if len(nodeAddrs) != m.Nodes {
+		return nil, fmt.Errorf("server: %d node addresses for a %d-node map", len(nodeAddrs), m.Nodes)
+	}
+	clients := make([]shard.GroupClient, m.Groups())
+	for g := range clients {
+		addrs := make([]string, m.Replicas(g))
+		for r := range addrs {
+			addrs[r] = nodeAddrs[m.Placement[g][r]]
+		}
+		clients[g] = NewGroupClient(idBase+uint64(g), g, addrs)
+	}
+	return &rebalance.Coordinator{Groups: clients, Home: 0}, nil
+}
+
+// NewLiveShardRouter is NewShardRouter for a rebalance-enabled
+// deployment: the router speaks the rebalance envelope and refetches the
+// live map (highest version any node serves for kind 3) on wrong-group,
+// stale, or permanent errors. An extra client id idBase+groups is used
+// for map fetches.
+func NewLiveShardRouter(idBase uint64, m *shard.ShardMap, nodeAddrs []string) (*shard.Router, error) {
+	m = m.Clone()
+	m.EnsureRanges()
+	r, err := NewShardRouter(idBase, m, nodeAddrs)
+	if err != nil {
+		return nil, err
+	}
+	mapClient := NewGroupClient(idBase+uint64(m.Groups()), 0, nodeAddrs)
+	r.Enveloped = true
+	r.ClientID = idBase
+	r.IsPermanent = func(err error) bool { return errors.Is(err, ErrPermanent) }
+	r.Fetch = func() (*shard.ShardMap, error) {
+		var best *shard.ShardMap
+		for i := range nodeAddrs {
+			nm, err := mapClient.FetchShardMap(i)
+			if err != nil {
+				continue
+			}
+			if best == nil || nm.Version > best.Version {
+				best = nm
+			}
+		}
+		if best == nil {
+			return nil, errors.New("server: no node answered a map fetch")
+		}
+		return best, nil
+	}
+	return r, nil
 }

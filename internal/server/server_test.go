@@ -12,6 +12,7 @@ import (
 	"rex/internal/apps/hashdb"
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/rebalance"
 	"rex/internal/shard"
 	"rex/internal/storage"
 	"rex/internal/transport"
@@ -305,6 +306,151 @@ func TestShardedTCPEndToEnd(t *testing.T) {
 	defer bogus.Close()
 	if _, err := bogus.Do([]byte("x")); err == nil {
 		t.Error("unknown group accepted")
+	}
+}
+
+// TestRebalanceTCPEndToEnd runs a rebalance-enabled sharded deployment
+// over real TCP — the `rexd -shards 2 -rebalance` path — and drives a
+// split, a live move, and a merge through the server-side coordinator
+// (the `rexctl rebalance` path) while reading back through the
+// envelope-speaking live router.
+func TestRebalanceTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP cluster test")
+	}
+	m, err := shard.NewShardMap(1, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureRanges()
+	app := apps.HashDB()
+	peerAddrs := freePorts(t, 3)
+	clientAddrs := freePorts(t, 3)
+	e := env.NewReal()
+
+	var nodes []*shard.Node
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		ep, err := transport.ListenTCP(i, peerAddrs)
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		n, err := shard.NewNode(shard.NodeConfig{
+			Env:      e,
+			Map:      m,
+			Node:     i,
+			Endpoint: ep,
+			Template: core.Config{
+				Factory:         app.Factory,
+				Workers:         2,
+				Timers:          app.Timers,
+				ReadWorkers:     1,
+				HeartbeatEvery:  30 * time.Millisecond,
+				ElectionTimeout: 150 * time.Millisecond,
+				Seed:            13,
+			},
+			RebalanceWrap: func(g int, inner core.Factory) core.Factory {
+				return rebalance.WrapFactory(inner, m, g, g == 0)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ListenNode(n, clientAddrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for g := 0; g < m.Groups(); g++ {
+		for {
+			elected := false
+			for _, n := range nodes {
+				if r := n.Replica(g); r != nil && r.Role() == core.RolePrimary {
+					elected = true
+				}
+			}
+			if elected {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("group %d never elected a primary", g)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	router, err := NewLiveShardRouter(100, m, clientAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 24
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("rb-key-%d", i)
+		if _, err := router.Do([]byte(key), hashdb.SetReq(key, []byte(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatalf("set %s: %v", key, err)
+		}
+	}
+
+	// Split group 0's range, move the upper child to group 1, then merge
+	// group 1's now-adjacent ranges.
+	cd, err := NewCoordinator(500, m, clientAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := uint64(1) << 62
+	if _, err := cd.Split(at); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if _, err := cd.Move(at, 1); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	nm, err := cd.Merge(uint64(1) << 63)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if nm.Version != m.Version+3 {
+		t.Fatalf("final map v%d, want v%d", nm.Version, m.Version+3)
+	}
+	if g := nm.Ranges[nm.RangeIndexFor(at)].Group; g != 1 {
+		t.Fatalf("moved span owned by group %d, want 1\n%s", g, nm)
+	}
+
+	// Every key reads back through the live router (which follows the
+	// NACKs to the new owner), and nodes serve the committed map.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("rb-key-%d", i)
+		resp, err := router.Do([]byte(key), hashdb.GetReq(key))
+		if err != nil {
+			t.Fatalf("get %s after rebalance: %v", key, err)
+		}
+		d := wire.NewDecoder(resp)
+		if ok := d.Bool(); !ok || string(d.BytesVal()) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %s after rebalance = %q", key, resp)
+		}
+	}
+	cl := NewClient(999, clientAddrs)
+	defer cl.Close()
+	fetched, err := cl.FetchShardMap(0)
+	if err != nil {
+		t.Fatalf("fetch live map: %v", err)
+	}
+	if fetched.Version != nm.Version {
+		t.Fatalf("node serves map v%d, want live v%d", fetched.Version, nm.Version)
 	}
 }
 

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"fmt"
+
+	"rex/internal/wire"
+)
+
+// Rebalance envelope. When a deployment enables live rebalancing, every
+// routed request is wrapped in a small envelope carrying the key hash and
+// the epoch of the range it was routed under, and every response is
+// wrapped in a status byte. The rebalance wrapper state machine
+// (internal/rebalance) checks the envelope against its replicated
+// ownership state before handing the body to the application, so a
+// request routed under a stale map is deterministically NACKed — on every
+// replica, in record and in replay — instead of being applied by a group
+// that no longer owns the key. Requests without the envelope magic pass
+// through untouched (legacy static deployments never see envelopes).
+const (
+	// EnvMagic prefixes every enveloped request.
+	EnvMagic byte = 0xE5
+	// ReplyMagic prefixes every enveloped response.
+	ReplyMagic byte = 0xE6
+
+	// EnvApp wraps an application request or query.
+	EnvApp byte = 1
+	// EnvCtrl wraps a rebalance control operation (internal/rebalance).
+	EnvCtrl byte = 2
+
+	// ReplyOK: payload is the application response.
+	ReplyOK byte = 0
+	// ReplyWrongGroup: this group does not own the key's range; payload is
+	// the responder's map version (uvarint) so the router knows whether a
+	// newer map exists to fetch.
+	ReplyWrongGroup byte = 1
+	// ReplyFrozen: the range is owned here but frozen behind the migration
+	// write barrier; payload is the responder's map version. Retry after
+	// backoff — the freeze window is bounded.
+	ReplyFrozen byte = 2
+	// ReplyStale: the serving replica's replicated ownership state has not
+	// reached the epoch the request was routed under (a follower that has
+	// not replayed the ownership flip yet); payload is the responder's map
+	// version. Retry — the replica catches up.
+	ReplyStale byte = 3
+	// ReplyErr: a rebalance-layer error (e.g. the application does not
+	// support range migration); payload is the message. Permanent.
+	ReplyErr byte = 4
+)
+
+// Envelope wraps body for routing under the given range epoch.
+func Envelope(kind byte, epoch, hash uint64, body []byte) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(EnvMagic)
+	e.Byte(kind)
+	e.Uvarint(epoch)
+	e.Uvarint(hash)
+	e.BytesVal(body)
+	return e.Bytes()
+}
+
+// DecodeEnvelope splits an enveloped request. ok is false when b does not
+// start with the envelope magic (a legacy raw request — pass it through).
+func DecodeEnvelope(b []byte) (kind byte, epoch, hash uint64, body []byte, ok bool) {
+	if len(b) == 0 || b[0] != EnvMagic {
+		return 0, 0, 0, nil, false
+	}
+	d := wire.NewDecoder(b[1:])
+	kind = d.Byte()
+	epoch = d.Uvarint()
+	hash = d.Uvarint()
+	body = d.BytesVal()
+	if d.Err() != nil || (kind != EnvApp && kind != EnvCtrl) {
+		return 0, 0, 0, nil, false
+	}
+	return kind, epoch, hash, body, true
+}
+
+// OKReply wraps an application response.
+func OKReply(payload []byte) []byte {
+	return append([]byte{ReplyMagic, ReplyOK}, payload...)
+}
+
+// NackReply builds a wrong-group/frozen/stale NACK carrying the
+// responder's map version.
+func NackReply(status byte, version uint64) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(ReplyMagic)
+	e.Byte(status)
+	e.Uvarint(version)
+	return e.Bytes()
+}
+
+// ErrReply builds a permanent rebalance-layer error reply.
+func ErrReply(msg string) []byte {
+	e := wire.NewEncoder(nil)
+	e.Byte(ReplyMagic)
+	e.Byte(ReplyErr)
+	e.String(msg)
+	return e.Bytes()
+}
+
+// DecodeReply splits an enveloped response into status and payload.
+func DecodeReply(b []byte) (status byte, payload []byte, err error) {
+	if len(b) < 2 || b[0] != ReplyMagic {
+		return 0, nil, fmt.Errorf("shard: response is not an envelope reply (%d bytes)", len(b))
+	}
+	return b[1], b[2:], nil
+}
+
+// ReplyVersion decodes the map version carried by a NACK payload.
+func ReplyVersion(payload []byte) uint64 {
+	return wire.NewDecoder(payload).Uvarint()
+}
+
+// ReplyErrMessage decodes the message carried by a ReplyErr payload.
+func ReplyErrMessage(payload []byte) string {
+	d := wire.NewDecoder(payload)
+	s := d.String()
+	if d.Err() != nil {
+		return fmt.Sprintf("%x", payload)
+	}
+	return s
+}

@@ -35,6 +35,13 @@ type NodeConfig struct {
 	// Metrics, when set, receives each group's full series set under a
 	// group="<g>" label, plus the node-wide rex_shard_* aggregates.
 	Metrics *obs.Registry
+
+	// RebalanceWrap, when set, wraps each hosted group's factory with the
+	// live-rebalance ownership layer (rebalance.WrapFactory, injected
+	// here to keep shard free of a dependency cycle). Setting it marks
+	// the node rebalance-enabled: servers then serve the live map from
+	// group 0's replicated state instead of the static bootstrap map.
+	RebalanceWrap func(group int, inner core.Factory) core.Factory
 }
 
 // Node hosts this process's replicas. One Node = one process in the
@@ -105,6 +112,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		if cfg.Metrics != nil {
 			rc.Metrics = cfg.Metrics.Labeled("group", strconv.Itoa(g))
 		}
+		if cfg.RebalanceWrap != nil {
+			rc.Factory = cfg.RebalanceWrap(g, rc.Factory)
+		}
 		rep, err := core.NewReplica(rc)
 		if err != nil {
 			return nil, fmt.Errorf("shard: group %d replica: %w", g, err)
@@ -171,3 +181,7 @@ func (n *Node) ReplaceMember(g, oldID, newID int, addr string) error {
 
 // Map returns the shard map the node was built from.
 func (n *Node) Map() *ShardMap { return n.cfg.Map }
+
+// RebalanceEnabled reports whether the node's groups run under the
+// live-rebalance ownership layer.
+func (n *Node) RebalanceEnabled() bool { return n.cfg.RebalanceWrap != nil }

@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"rex/internal/readpath"
 )
@@ -26,13 +29,62 @@ type GroupClient interface {
 	QueryLevel(level readpath.Level, q []byte) ([]byte, error)
 }
 
+// Recorder observes routed operations as a concurrent history (the same
+// shape as cluster.HistoryRecorder; check.History satisfies it). A
+// rebalance-aware router records at the routing layer — with the raw
+// application bytes, before enveloping — so one global history spans
+// groups and the linearizability checker sees a key's operations across
+// an ownership move.
+type Recorder interface {
+	Invoke(client uint64, input []byte) uint64
+	Return(id uint64, output []byte)
+	Timeout(id uint64)
+}
+
+// ErrMapRetriesExhausted reports that a request kept landing on
+// non-owners (or frozen ranges) for the router's whole attempt budget —
+// the map could not be brought up to date in time.
+var ErrMapRetriesExhausted = errors.New("shard: map retries exhausted")
+
+// ErrRebalance reports a permanent rebalance-layer NACK (ReplyErr).
+var ErrRebalance = errors.New("shard: rebalance error")
+
 // Router routes requests to groups by an application-supplied key. It is
-// as safe for concurrent use as its GroupClients (cluster.Client and
-// server.Client serialize internally, but a client per routing task
-// avoids head-of-line blocking between tasks).
+// single-task like its GroupClients (cluster.Client and server.Client
+// serialize internally; a router per routing task avoids head-of-line
+// blocking between tasks).
+//
+// With Enveloped unset the router is the PR 4 static router: it trusts
+// Map forever and forwards raw bodies. With Enveloped set it speaks the
+// rebalance envelope: each request carries the routed range's epoch, and
+// a wrong-group / stale / frozen NACK triggers a bounded map refetch with
+// jittered backoff instead of retrying the same group blindly.
 type Router struct {
 	Map    *ShardMap
 	Groups []GroupClient // one per group, indexed by group id
+
+	// Enveloped turns on the rebalance envelope protocol.
+	Enveloped bool
+	// Fetch returns the current map (a linearizable read of the map home
+	// group). Nil disables refetch; NACKs then only burn attempts.
+	Fetch func() (*ShardMap, error)
+	// IsPermanent classifies a transport error as permanent-for-this-
+	// target (e.g. cluster.ErrPermanent after a stale-map redirect loop);
+	// such errors trigger a refetch+reroute instead of failing the call.
+	IsPermanent func(error) bool
+	// Sleep and Now drive the backoff; they default to real time and MUST
+	// be injected (env.Env's methods) inside the simulation.
+	Sleep func(time.Duration)
+	Now   func() time.Duration
+	// Recorder, when set, records Do and linearizable QueryLevel calls
+	// with raw application bytes (see Recorder). ClientID labels the
+	// history's client column.
+	Recorder Recorder
+	ClientID uint64
+	// MaxAttempts bounds NACK-driven rerouting per call (default 32).
+	MaxAttempts int
+
+	rng *rand.Rand
 }
 
 // NewRouter binds a map to its per-group clients.
@@ -46,21 +98,216 @@ func NewRouter(m *ShardMap, groups []GroupClient) (*Router, error) {
 // GroupFor exposes the key hash for callers that track per-group state.
 func (r *Router) GroupFor(key []byte) int { return r.Map.GroupFor(key) }
 
+const (
+	minRouteBackoff = 500 * time.Microsecond
+	maxRouteBackoff = 20 * time.Millisecond
+)
+
+func (r *Router) sleep(d time.Duration) {
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// backoff sleeps for the attempt's jittered exponential delay.
+func (r *Router) backoff(attempt int) {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(int64(r.ClientID)*2654435761 + 0x5bd1e995))
+	}
+	d := minRouteBackoff << uint(attempt)
+	if d <= 0 || d > maxRouteBackoff {
+		d = maxRouteBackoff
+	}
+	r.sleep(d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1)))
+}
+
+// refetch replaces the map if a newer version can be fetched. It is
+// called only on evidence of staleness (a NACK carrying a version above
+// ours, or a permanent transport error), so the backoff loop around it
+// bounds the fetch rate.
+func (r *Router) refetch() {
+	if r.Fetch == nil {
+		return
+	}
+	nm, err := r.Fetch()
+	if err != nil || nm == nil {
+		return
+	}
+	if nm.Version > r.Map.Version && nm.Groups() == len(r.Groups) {
+		r.Map = nm
+	}
+}
+
+func (r *Router) attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 32
+}
+
+// route returns the target group and envelope for a key hash.
+func (r *Router) route(kind byte, h uint64, body []byte) (int, []byte) {
+	if len(r.Map.Ranges) == 0 {
+		return int(h % uint64(len(r.Groups))), Envelope(kind, r.Map.Version, h, body)
+	}
+	rg := r.Map.Ranges[r.Map.RangeIndexFor(h)]
+	return rg.Group, Envelope(kind, rg.Epoch, h, body)
+}
+
 // Do submits body to the group owning key.
 func (r *Router) Do(key, body []byte) ([]byte, error) {
-	return r.Groups[r.Map.GroupFor(key)].Do(body)
+	if !r.Enveloped {
+		return r.Groups[r.Map.GroupFor(key)].Do(body)
+	}
+	var opID uint64
+	if r.Recorder != nil {
+		opID = r.Recorder.Invoke(r.ClientID, body)
+	}
+	resp, err := r.do(HashKey(key), body)
+	if r.Recorder != nil {
+		if err != nil {
+			// Unknown outcome: a transport error after submission may or
+			// may not have applied. NACK-driven exhaustion provably never
+			// applied, but Timeout (op stays pending) is sound either way.
+			r.Recorder.Timeout(opID)
+		} else {
+			r.Recorder.Return(opID, resp)
+		}
+	}
+	return resp, err
+}
+
+// do runs the enveloped submit loop. It retries only after deterministic
+// rebalance NACKs (which provably did not mutate state) or permanent
+// transport errors on a stale route; an unknown-outcome transport error
+// is surfaced to the caller rather than blindly resubmitted, since a
+// resubmission would be a second, distinct request.
+func (r *Router) do(h uint64, body []byte) ([]byte, error) {
+	for attempt := 0; attempt < r.attempts(); attempt++ {
+		g, env := r.route(EnvApp, h, body)
+		resp, err := r.Groups[g].Do(env)
+		if err != nil {
+			if r.IsPermanent != nil && r.IsPermanent(err) {
+				r.refetch()
+				r.backoff(attempt)
+				continue
+			}
+			return nil, err
+		}
+		done, payload, err := r.handleReply(resp, attempt)
+		if done {
+			return payload, err
+		}
+	}
+	return nil, ErrMapRetriesExhausted
+}
+
+// handleReply interprets an envelope reply. done=false means "NACKed,
+// rerouted, try again".
+func (r *Router) handleReply(resp []byte, attempt int) (done bool, payload []byte, err error) {
+	st, payload, err := DecodeReply(resp)
+	if err != nil {
+		return true, nil, err
+	}
+	switch st {
+	case ReplyOK:
+		return true, payload, nil
+	case ReplyWrongGroup, ReplyStale:
+		if ReplyVersion(payload) > r.Map.Version {
+			r.refetch()
+		} else if attempt > 2 {
+			// Same-version NACKs that persist mean our map is stale but
+			// the responder's is too (mid-flip); fetch the authoritative
+			// one.
+			r.refetch()
+		}
+		r.backoff(attempt)
+		return false, nil, nil
+	case ReplyFrozen:
+		// Bounded migration write barrier; wait it out, occasionally
+		// confirming the flip landed.
+		if attempt > 1 {
+			r.refetch()
+		}
+		r.backoff(attempt)
+		return false, nil, nil
+	case ReplyErr:
+		return true, nil, fmt.Errorf("%w: %s", ErrRebalance, ReplyErrMessage(payload))
+	default:
+		return true, nil, fmt.Errorf("shard: unknown reply status %d", st)
+	}
 }
 
 // Query runs a read-only query for key against replica i of the owning
 // group (read fan-out: any replica's local hybrid pool can serve it).
 func (r *Router) Query(key []byte, i int, q []byte) ([]byte, error) {
-	return r.Groups[r.Map.GroupFor(key)].Query(i, q)
+	if !r.Enveloped {
+		return r.Groups[r.Map.GroupFor(key)].Query(i, q)
+	}
+	h := HashKey(key)
+	for attempt := 0; attempt < r.attempts(); attempt++ {
+		g, env := r.route(EnvApp, h, q)
+		resp, err := r.Groups[g].Query(i, env)
+		if err != nil {
+			if r.IsPermanent != nil && r.IsPermanent(err) {
+				r.refetch()
+				r.backoff(attempt)
+				continue
+			}
+			return nil, err
+		}
+		done, payload, err := r.handleReply(resp, attempt)
+		if done {
+			return payload, err
+		}
+	}
+	return nil, ErrMapRetriesExhausted
 }
 
 // QueryLevel runs a read for key at the given consistency level against
 // the owning group: linearizable reads go to that group's primary,
 // session/eventual reads fan out over its secondaries with the group
-// client's own session token.
+// client's own session token. Linearizable reads are recorded (they must
+// be, to constrain the history); weaker reads are checked by the session
+// checker instead.
 func (r *Router) QueryLevel(key []byte, level readpath.Level, q []byte) ([]byte, error) {
-	return r.Groups[r.Map.GroupFor(key)].QueryLevel(level, q)
+	if !r.Enveloped {
+		return r.Groups[r.Map.GroupFor(key)].QueryLevel(level, q)
+	}
+	var opID uint64
+	record := r.Recorder != nil && level == readpath.Linearizable
+	if record {
+		opID = r.Recorder.Invoke(r.ClientID, q)
+	}
+	resp, err := r.queryLevel(HashKey(key), level, q)
+	if record {
+		if err != nil {
+			r.Recorder.Timeout(opID)
+		} else {
+			r.Recorder.Return(opID, resp)
+		}
+	}
+	return resp, err
+}
+
+func (r *Router) queryLevel(h uint64, level readpath.Level, q []byte) ([]byte, error) {
+	for attempt := 0; attempt < r.attempts(); attempt++ {
+		g, env := r.route(EnvApp, h, q)
+		resp, err := r.Groups[g].QueryLevel(level, env)
+		if err != nil {
+			if r.IsPermanent != nil && r.IsPermanent(err) {
+				r.refetch()
+				r.backoff(attempt)
+				continue
+			}
+			return nil, err
+		}
+		done, payload, err := r.handleReply(resp, attempt)
+		if done {
+			return payload, err
+		}
+	}
+	return nil, ErrMapRetriesExhausted
 }

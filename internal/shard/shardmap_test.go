@@ -46,21 +46,24 @@ func TestNewShardMapRejectsBadShapes(t *testing.T) {
 
 // TestGroupForDeterminism pins the routing hash: same key + same map
 // version must land on the same group on every node and across process
-// restarts, so the expected values are golden constants (FNV-64a is
-// seedless and process-independent). If this test ever needs regolding,
-// the change breaks rolling restarts of a sharded deployment.
+// restarts, so the expected values are golden constants (FNV-64a plus a
+// fixed finalizer — seedless and process-independent). If this test ever
+// needs regolding, the change breaks rolling restarts of a sharded
+// deployment. (Regolded once, when range partitioning added the
+// finalizer: raw FNV's high bits don't avalanche, and ranges split on
+// the high bits.)
 func TestGroupForDeterminism(t *testing.T) {
 	m, err := NewShardMap(1, 8, 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	golden := map[string]int{
-		"":        5, // FNV-64a offset basis 14695981039346656037 % 8
-		"a":       4,
+		"":        6, // HashKey("") = 0xefd01f60ba992926, % 8
+		"a":       3,
 		"key-0":   1,
-		"key-1":   6,
-		"key-42":  5,
-		"user:17": 4,
+		"key-1":   4,
+		"key-42":  0,
+		"user:17": 7,
 	}
 	for key, want := range golden {
 		if got := m.GroupFor([]byte(key)); got != want {
@@ -148,5 +151,143 @@ func TestGroupsOnAndReplicaOn(t *testing.T) {
 	}
 	if r := m.ReplicaOn(1, 0); r != -1 {
 		t.Errorf("ReplicaOn(1, 0) = %d, want -1", r)
+	}
+}
+
+func TestEnsureRangesSeedsEqualPartition(t *testing.T) {
+	m, err := NewShardMap(3, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureRanges()
+	if len(m.Ranges) != 4 {
+		t.Fatalf("got %d ranges, want 4", len(m.Ranges))
+	}
+	if m.Ranges[0].Start != 0 {
+		t.Fatalf("first range starts at %#x, want 0", m.Ranges[0].Start)
+	}
+	for i, r := range m.Ranges {
+		if r.Group != i {
+			t.Errorf("range %d owned by group %d, want %d", i, r.Group, i)
+		}
+		if r.Epoch != m.Version {
+			t.Errorf("range %d epoch %d, want map version %d", i, r.Epoch, m.Version)
+		}
+		lo, hi := m.RangeBounds(i)
+		if i < 3 && hi-lo != (^uint64(0))/4 {
+			t.Errorf("range %d spans %#x, want a quarter", i, hi-lo)
+		}
+	}
+	// Idempotent: a second call must not reshuffle.
+	before := fmt.Sprint(m.Ranges)
+	m.EnsureRanges()
+	if got := fmt.Sprint(m.Ranges); got != before {
+		t.Errorf("EnsureRanges not idempotent: %s -> %s", before, got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("seeded map invalid: %v", err)
+	}
+}
+
+func TestWithSplitMoveMerge(t *testing.T) {
+	m, err := NewShardMap(1, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureRanges()
+	at := uint64(1) << 62
+
+	// Split: new boundary, same owner and epoch both sides, version bump.
+	ms, err := m.WithSplit(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Version != m.Version+1 || len(ms.Ranges) != 3 {
+		t.Fatalf("split: v%d with %d ranges, want v%d with 3", ms.Version, len(ms.Ranges), m.Version+1)
+	}
+	i := ms.RangeIndexFor(at)
+	if ms.Ranges[i].Start != at || ms.Ranges[i].Group != 0 {
+		t.Fatalf("split range %d = %+v, want start %#x group 0", i, ms.Ranges[i], at)
+	}
+	if ms.Ranges[i].Epoch != ms.Ranges[i-1].Epoch {
+		t.Errorf("split bumped the child epoch: %d vs %d (splits must not fence)",
+			ms.Ranges[i].Epoch, ms.Ranges[i-1].Epoch)
+	}
+	if _, err := ms.WithSplit(at); err == nil {
+		t.Error("re-split at an existing boundary accepted")
+	}
+
+	// Move: owner flips, epoch fences at the new version.
+	mv, err := ms.WithMove(at, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := mv.RangeIndexFor(at)
+	if mv.Ranges[j].Group != 1 || mv.Ranges[j].Epoch != mv.Version {
+		t.Fatalf("move range = %+v, want group 1 epoch %d", mv.Ranges[j], mv.Version)
+	}
+	if _, err := ms.WithMove(at, 0); err == nil {
+		t.Error("move to the current owner accepted")
+	}
+	if _, err := ms.WithMove(at, 9); err == nil {
+		t.Error("move to a group outside the map accepted")
+	}
+
+	// Merge: same-owner adjacent ranges fuse; the survivor is fenced.
+	mg, err := mv.WithMerge(uint64(1) << 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mg.Ranges) != 2 {
+		t.Fatalf("merge left %d ranges, want 2", len(mg.Ranges))
+	}
+	k := mg.RangeIndexFor(at)
+	if lo, hi := mg.RangeBounds(k); lo != at || hi != ^uint64(0) {
+		t.Fatalf("merged range spans [%#x, %#x], want [%#x, max]", lo, hi, at)
+	}
+	if mg.Ranges[k].Epoch != mg.Version {
+		t.Errorf("merged range epoch %d, want fenced at v%d", mg.Ranges[k].Epoch, mg.Version)
+	}
+	if _, err := mv.WithMerge(at); err == nil {
+		t.Error("merge across different owners accepted")
+	}
+	if _, err := mv.WithMerge(0); err == nil {
+		t.Error("merge at the zero boundary accepted")
+	}
+
+	// Every derived map must round-trip with its ranges intact.
+	for _, mm := range []*ShardMap{ms, mv, mg} {
+		dec, err := DecodeShardMapBytes(mm.EncodeBytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if fmt.Sprint(dec.Ranges) != fmt.Sprint(mm.Ranges) || dec.Version != mm.Version {
+			t.Errorf("round-trip changed ranges: %v -> %v", mm.Ranges, dec.Ranges)
+		}
+	}
+}
+
+func TestRangeIndexForEdges(t *testing.T) {
+	m, err := NewShardMap(1, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureRanges()
+	step := (^uint64(0))/4 + 1
+	cases := []struct {
+		h    uint64
+		want int
+	}{
+		{0, 0},
+		{step - 1, 0},
+		{step, 1},
+		{2*step - 1, 1},
+		{3 * step, 3},
+		{^uint64(0), 3},
+	}
+	for _, c := range cases {
+		if got := m.RangeIndexFor(c.h); got != c.want {
+			t.Errorf("RangeIndexFor(%#x) = %d, want %d", c.h, got, c.want)
+		}
 	}
 }
