@@ -18,7 +18,7 @@ test:
 race:
 	$(GO) test -race ./internal/transport ./internal/core
 	$(GO) test -race -run 'TestReplacementDrill|TestRemovedIdentityRefused' ./internal/cluster/
-	$(GO) test -race -run 'TestReadsScenarioPinnedSeed|TestConflictsScenarioPinnedSeed' ./internal/chaos/
+	$(GO) test -race -run 'TestReadsScenarioPinnedSeed|TestConflictsScenarioPinnedSeed|TestOverloadScenarioPinnedSeed' ./internal/chaos/
 	$(GO) test -race -run 'TestMigrationWindowProperty' ./internal/rebalance/
 
 vet:
@@ -41,11 +41,14 @@ bench:
 # conflict-class delta-size experiment with its delta_bytes_mean), the
 # shard-scaling suite (aggregate throughput at 1/2/4/8 groups, plus the
 # live-rebalance migration experiment in its `rebalance` field), and the
-# read-scaling suite (linearizable vs session reads on a 90/10 mix).
+# read-scaling suite (linearizable vs session reads on a 90/10 mix),
+# and the overload suite (goodput vs offered load past saturation, with
+# and without admission control; goodput_2x_vs_peak is the headline).
 bench-json:
 	$(GO) run ./cmd/rexbench -exp commitpath -json BENCH_commit_path.json
 	$(GO) run ./cmd/rexbench -exp shards -json BENCH_shard_scaling.json
 	$(GO) run ./cmd/rexbench -exp reads -json BENCH_read_scaling.json
+	$(GO) run ./cmd/rexbench -exp overload -json BENCH_overload.json
 
 # A short deterministic chaos sweep: every scenario must come back OK.
 # Reproduce a failure with `go run ./cmd/rexchaos -seed <seed> -v`.
@@ -56,6 +59,7 @@ chaos:
 	$(GO) run ./cmd/rexchaos -recovery -scenarios 4 -seed 1 -duration 4s
 	$(GO) run ./cmd/rexchaos -reads -scenarios 4 -seed 1 -duration 4s
 	$(GO) run ./cmd/rexchaos -conflicts -scenarios 4 -seed 1 -duration 4s
+	$(GO) run ./cmd/rexchaos -overload -scenarios 4 -seed 1
 	$(GO) run ./cmd/rexchaos -rebalance -scenarios 2 -seed 1 -groups 3
 
 check: build vet staticcheck test race chaos

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|reads|rebalance|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8a|fig8b|fig9|fig10|tracesize|edges|ablate-partialorder|ablate-delta|ablate-pipeline|commitpath|shards|reads|rebalance|overload|all")
 	appName := flag.String("app", "", "application for fig7 (default: all six)")
 	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
 	threads := flag.Int("threads", 8, "worker threads for tracesize/edges/ablations")
@@ -189,6 +189,35 @@ func main() {
 		}
 	}
 
+	runOverload := func() {
+		cfg := bench.DefaultOverloadBench()
+		if *quick {
+			cfg = bench.QuickOverloadBench()
+		}
+		res, err := bench.RunOverloadBench(cfg, func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overload: %v\n", err)
+			os.Exit(1)
+		}
+		bench.PrintOverloadBench(out, res)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = bench.WriteOverloadJSON(f, res)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "overload: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		}
+	}
+
 	switch *exp {
 	case "table1":
 		bench.PrintTable1(out)
@@ -218,6 +247,8 @@ func main() {
 		runShards()
 	case "reads":
 		runReads()
+	case "overload":
+		runOverload()
 	case "rebalance":
 		rcfg := bench.DefaultRebalanceBench()
 		if *quick {

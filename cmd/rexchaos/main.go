@@ -31,6 +31,8 @@ func main() {
 		recovery  = flag.Bool("recovery", false, "run the bounded-recovery scenario instead (checkpoints disabled, promote/demote churn, must resync not panic)")
 		reads     = flag.Bool("reads", false, "run the consistent-read scenario instead (isolate the primary mid-lease; no stale linearizable read, session reads stay read-your-writes)")
 		conflicts = flag.Bool("conflicts", false, "run the conflict-class scenario instead (elision on, failovers mid-load; replay must stay deterministic and the history linearizable)")
+		overload  = flag.Bool("overload", false, "run the overload scenario instead (zipfian hot-key storm past admission capacity with a mid-storm primary crash; must shed, keep bounded queues, stay linearizable, and recover)")
+		clients   = flag.Int("clients", 0, "storm workers for -overload (0 takes the scenario default)")
 		verbose   = flag.Bool("v", false, "log nemesis actions as they fire")
 	)
 	flag.Parse()
@@ -145,6 +147,45 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all %d consistent-read scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *overload {
+		for i := 0; i < *scenarios; i++ {
+			s := *seed + int64(i)
+			dur := *duration
+			if dur == 3*time.Second {
+				dur = 0 // default flag value: take the scenario's own default
+			}
+			res := chaos.RunOverloadScenario(chaos.OverloadScenarioConfig{
+				Seed:     s,
+				Duration: dur,
+				Clients:  *clients,
+			}, reg, logf)
+			verdict := "OK"
+			if !res.OK {
+				verdict = "FAIL"
+				failed = append(failed, s)
+			}
+			fmt.Printf("scenario %2d/%d  seed=%-6d app=%-10s faults=%-2d failovers=%-2d ops=%-4d discarded=%-4d sheds=%-5d deadline=%-4d budgetDry=%-3d maxOut=%-3d maxWait=%-3d recovery=%d/40 timeouts=%-4d wall=%-10v %s\n",
+				i+1, *scenarios, s, res.App, res.Faults, res.Failovers, res.Ops,
+				res.Discarded, res.Sheds, res.DeadlineErrs, res.BudgetExhausted,
+				res.MaxOutstanding, res.MaxWaiters, res.RecoveryOps, res.Timeouts,
+				res.CheckerWall.Round(time.Microsecond), verdict)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+		printMetrics(reg)
+		if len(failed) > 0 {
+			strs := make([]string, len(failed))
+			for i, s := range failed {
+				strs[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("FAILING SEEDS: %s\n", strings.Join(strs, " "))
+			fmt.Printf("reproduce with: go run ./cmd/rexchaos -overload -scenarios 1 -seed %d\n", failed[0])
+			os.Exit(1)
+		}
+		fmt.Printf("all %d overload scenarios OK in %v\n", *scenarios, time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *conflicts {

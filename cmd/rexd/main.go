@@ -47,6 +47,11 @@ func main() {
 	dir := flag.String("dir", "", "data directory (WAL + checkpoints; per-group subdirectories when sharded)")
 	workers := flag.Int("workers", 8, "request worker threads (per group)")
 	readWorkers := flag.Int("read-workers", 2, "read-only query threads (per group)")
+	maxInflight := flag.Int("max-inflight", 0, "per-group concurrent client requests before the server NACKs with retry-after (0 = default 1024, negative = unbounded)")
+	maxOutstanding := flag.Int("max-outstanding", 0, "admitted-but-unanswered requests per group, i.e. propose pipeline depth (0 = default 1024)")
+	admissionTarget := flag.Duration("admission-target", 0, "CoDel sojourn target before the admission gate sheds (0 = default 25ms, negative = disable shedding)")
+	admissionInterval := flag.Duration("admission-interval", 0, "CoDel control interval (0 = default 100ms)")
+	maxAdmissionWaiters := flag.Int("max-admission-waiters", 0, "submitters allowed to block at the admission gate before arrivals are shed outright (0 = 4x -max-outstanding)")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (0 = explicit opt-out; recovery cost is then bounded only by -checkpoint-max-log)")
 	checkpointMaxLog := flag.Int64("checkpoint-max-log", 0, "force a checkpoint once this many log instances accumulate without one (0 = default 4096, negative = no floor)")
 	shards := flag.Int("shards", 1, "number of independent replica groups (1 = unsharded)")
@@ -100,9 +105,14 @@ func main() {
 		ReadWorkers:                      *readWorkers,
 		CheckpointEvery:                  *checkpointEvery,
 		MaxLogInstancesWithoutCheckpoint: *checkpointMaxLog,
+		MaxOutstanding:                   *maxOutstanding,
+		AdmissionTarget:                  *admissionTarget,
+		AdmissionInterval:                *admissionInterval,
+		MaxAdmissionWaiters:              *maxAdmissionWaiters,
 		ElectionTimeout:                  150 * time.Millisecond,
 		Seed:                             int64(*id) + 1,
 	}
+	srvOpts := server.Options{MaxInflightPerGroup: *maxInflight}
 	if *verbose {
 		template.Logf = log.Printf
 	}
@@ -173,7 +183,7 @@ func main() {
 		if err := node.Start(); err != nil {
 			log.Fatalf("rexd: start: %v", err)
 		}
-		srv, err = server.ListenNode(node, *clientAddr)
+		srv, err = server.ListenNodeWith(node, *clientAddr, srvOpts)
 		if err != nil {
 			log.Fatalf("rexd: client listener: %v", err)
 		}
@@ -217,7 +227,7 @@ func main() {
 		if err := replica.Start(); err != nil {
 			log.Fatalf("rexd: start: %v", err)
 		}
-		srv, err = server.Listen(replica, *clientAddr)
+		srv, err = server.ListenWith(replica, *clientAddr, srvOpts)
 		if err != nil {
 			log.Fatalf("rexd: client listener: %v", err)
 		}

@@ -310,3 +310,32 @@ func TestConflictsScenarioPinnedSeed(t *testing.T) {
 	t.Logf("conflicts: faults=%d failovers=%d ops=%d elided=%d sweeps=%d timeouts=%d",
 		res.Faults, res.Failovers, res.Ops, res.ElidedOps, res.Sweeps, res.Timeouts)
 }
+
+// TestOverloadScenarioPinnedSeed replays the overload scenario at a
+// pinned seed: a zipfian hot-key storm saturates a deliberately tiny
+// primary while the nemesis crashes it mid-storm. The run must shed
+// (admission control demonstrably engaged), fail over at least once,
+// keep the primary's queues under their configured bounds, recover
+// steady service after the storm, and the surviving history must stay
+// linearizable.
+func TestOverloadScenarioPinnedSeed(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := RunOverloadScenario(OverloadScenarioConfig{
+		Seed: 1,
+	}, reg, nil)
+	if !res.OK {
+		t.Fatalf("overload scenario failed: %v", res.Violations)
+	}
+	if res.Sheds < 1 {
+		t.Fatalf("sheds = %d, want >= 1", res.Sheds)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("failovers = %d, want >= 1", res.Failovers)
+	}
+	if res.Ops == 0 || res.Check.Ops == 0 {
+		t.Fatalf("no operations recorded/checked: %+v", res)
+	}
+	t.Logf("overload: faults=%d failovers=%d ops=%d discarded=%d sheds=%d deadline=%d budgetDry=%d maxOut=%d maxWait=%d recovery=%d/40 timeouts=%d",
+		res.Faults, res.Failovers, res.Ops, res.Discarded, res.Sheds, res.DeadlineErrs,
+		res.BudgetExhausted, res.MaxOutstanding, res.MaxWaiters, res.RecoveryOps, res.Timeouts)
+}

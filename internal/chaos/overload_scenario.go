@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"rex/internal/check"
+	"rex/internal/cluster"
+	"rex/internal/env"
+	"rex/internal/obs"
+	"rex/internal/readpath"
+	"rex/internal/sim"
+	"rex/internal/storage"
+
+	"rex/internal/apps/hashdb"
+)
+
+// OverloadScenarioConfig parameterizes one overload chaos run.
+type OverloadScenarioConfig struct {
+	Seed     int64
+	Duration time.Duration // virtual length of the storm phase
+	Clients  int           // storm workers (each its own client)
+}
+
+// overload scenario tuning: a deliberately tiny primary (16 admitted, 24
+// waiting) so the worker fleet — three times that capacity — saturates it
+// hard enough to engage both the CoDel controller and the hard waiter cap.
+const (
+	overloadMaxOutstanding = 16
+	overloadMaxWaiters     = 24
+	overloadAdmTarget      = 5 * time.Millisecond
+	overloadAdmInterval    = 25 * time.Millisecond
+	overloadOpTimeout      = 250 * time.Millisecond
+	// overloadRecorded caps how many storm workers feed the history: the
+	// whole fleet's ops on one hot key would blow the WGL checker's
+	// budget, and a sampled history already catches a lost or stale write.
+	overloadRecorded = 6
+)
+
+// RunOverloadScenario drives a three-replica hashdb cluster into
+// saturation and proves the overload-protection contract end to end:
+//
+//   - a zipfian hot-key write storm from a worker fleet several times the
+//     primary's admission capacity, with short per-op deadlines so the
+//     propagated budget is exercised on every hop;
+//   - the primary is crashed and restarted mid-storm, so shedding and
+//     failover interleave;
+//   - a monitor samples the primary's admitted and waiting request
+//     counts throughout: they must never exceed the configured bounds
+//     (the never-OOM-queue guarantee);
+//   - after the storm the cluster must serve a closed-loop probe again
+//     (graceful recovery, not congestion collapse);
+//   - the surviving history — sheds and expired deadlines are discarded
+//     as definite no-executes — must be linearizable, and the run must
+//     actually have shed (rex_shed_total > 0) and failed over at least
+//     once, or the storm never bit.
+func RunOverloadScenario(cfg OverloadScenarioConfig, reg *obs.Registry, logf func(string, ...any)) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 1500 * time.Millisecond
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 48
+	}
+	res := Result{Seed: cfg.Seed, App: "hashdb"}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	e := sim.New(4)
+	var hist *check.History
+	var violations []string
+	var faults, failovers int
+	var sheds, deadlineErrs uint64
+	var maxOutstanding, maxWaiters int
+	var budgetExhausted, recoveryOps int
+	timeouts := make([]int, cfg.Clients)
+	budgetDry := make([]int, cfg.Clients)
+	recovered := make([]int, 4)
+	e.Run(func() {
+		c := cluster.New(e, hashdb.New(hashdb.DefaultOptions()), cluster.Options{
+			Replicas:            3,
+			Workers:             2,
+			Timers:              hashdb.Timers(),
+			ReadWorkers:         2,
+			ProposeEvery:        2 * time.Millisecond,
+			HeartbeatEvery:      20 * time.Millisecond,
+			ElectionTimeout:     120 * time.Millisecond,
+			StatusEvery:         20 * time.Millisecond,
+			CheckpointEvery:     200 * time.Millisecond,
+			ReadWaitTimeout:     300 * time.Millisecond,
+			MaxOutstanding:      overloadMaxOutstanding,
+			MaxAdmissionWaiters: overloadMaxWaiters,
+			AdmissionTarget:     overloadAdmTarget,
+			AdmissionInterval:   overloadAdmInterval,
+			Seed:                cfg.Seed,
+			Logf:                logf,
+			NewLog:              func(int) storage.Log { return storage.NewMemLog() },
+		})
+		if err := c.Start(); err != nil {
+			violations = append(violations, fmt.Sprintf("cluster start: %v", err))
+			return
+		}
+		if _, err := c.WaitPrimary(5 * time.Second); err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+
+		hist = check.NewHistory(e.Now)
+		begin := e.Now()
+		stormEnd := begin + cfg.Duration
+		note := func(name, format string, args ...any) {
+			faults++
+			reg.CounterOf("chaos_fault_" + name).Inc()
+			if logf != nil {
+				logf("chaos: "+format, args...)
+			}
+		}
+		// shedCount sums the overload counters across live replicas.
+		counters := func(name string) (total uint64) {
+			for i := 0; i < c.Size(); i++ {
+				if r := c.Replica(i); r != nil {
+					total += r.Metrics().Counter(name)
+				}
+			}
+			return total
+		}
+
+		// The monitor proves the bounded-queue guarantee: whatever the
+		// storm offers, the primary's admitted set and admission wait
+		// queue stay under their configured caps. It runs for the storm
+		// (plus a margin into recovery) and is the only writer of the
+		// peaks; they are read after its Wait.
+		monitor := env.GoEach(e, "overload-monitor", 1, func(int) {
+			for e.Now() < stormEnd+200*time.Millisecond {
+				if p := c.Primary(); p >= 0 {
+					if r := c.Replica(p); r != nil {
+						if o := r.Stats().Outstanding; o > maxOutstanding {
+							maxOutstanding = o
+						}
+						if w := int(r.Metrics().Gauges["rex_admission_waiters"]); w > maxWaiters {
+							maxWaiters = w
+						}
+					}
+				}
+				e.Sleep(5 * time.Millisecond)
+			}
+		})
+
+		// Mid-storm the nemesis kills the primary outright — overload
+		// protection must survive a failover, and the new primary starts
+		// shedding on its own. Counter snapshots are taken first: a
+		// restarted replica's registry starts from zero.
+		var preCrashSheds, preCrashDeadline uint64
+		nemesis := env.GoEach(e, "overload-nemesis", 1, func(int) {
+			e.Sleep(cfg.Duration / 3)
+			p := c.Primary()
+			if p < 0 {
+				return
+			}
+			if r := c.Replica(p); r != nil {
+				preCrashSheds = r.Metrics().Counter("rex_shed_total")
+				preCrashDeadline = r.Metrics().Counter("rex_deadline_exceeded_total")
+			}
+			note("crash_primary", "crash primary %d mid-storm", p)
+			c.Crash(p)
+			// Let the survivors elect and shed on their own for a while.
+			e.Sleep(400 * time.Millisecond)
+			note("restart", "restart old primary %d", p)
+			if err := c.Restart(p); err != nil && logf != nil {
+				logf("chaos: restart %d: %v", p, err)
+			}
+			for e.Now() < stormEnd {
+				np := c.Primary()
+				if np >= 0 && np != p {
+					failovers++
+					return
+				}
+				e.Sleep(10 * time.Millisecond)
+			}
+		})
+
+		// The storm: every worker is its own client hammering a zipfian
+		// hot-key set in a tight loop with a short deadline — offered
+		// load is set by fleet size, not completion rate, so it does not
+		// back off when the cluster slows (open-loop saturation).
+		clients := env.GoEach(e, "overload-client", cfg.Clients, func(ci int) {
+			cl := c.NewClient(uint64(100 + ci))
+			// The recorded sample and the bulk fleet use disjoint key
+			// spaces: a recorded read returning an unrecorded client's
+			// value would look like a lost write to the checker. Admission
+			// pressure is global, so the bulk fleet still saturates the
+			// gate for everyone.
+			prefix := "bulk"
+			if ci < overloadRecorded {
+				cl.Recorder = hist
+				prefix = "hot"
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			zipf := rand.NewZipf(rng, 1.3, 1.0, 31)
+			for seq := 0; e.Now() < stormEnd; seq++ {
+				key := fmt.Sprintf("%s-%d", prefix, zipf.Uint64())
+				val := strconv.FormatUint(uint64(ci)<<32|uint64(seq), 10)
+				if _, err := cl.DoTimeout(hashdb.SetReq(key, []byte(val)), overloadOpTimeout); err != nil {
+					timeouts[ci]++
+				}
+				if seq%8 == 7 {
+					// Linearizable reads ride along: under pressure they must
+					// be served lease-only or shed — never go stale.
+					if _, err := cl.QueryLevelTimeout(readpath.Linearizable, hashdb.GetReq(key), overloadOpTimeout); err != nil {
+						timeouts[ci]++
+					}
+				}
+			}
+			budgetDry[ci] = int(cl.BudgetExhausted)
+		})
+		clients.Wait()
+		nemesis.Wait()
+		for _, b := range budgetDry {
+			budgetExhausted += b
+		}
+
+		// Storm over: the cluster must come back to steady service.
+		c.Net.Heal()
+		sheds = counters("rex_shed_total") + preCrashSheds
+		deadlineErrs = counters("rex_deadline_exceeded_total") + preCrashDeadline
+		probe := env.GoEach(e, "overload-probe", 4, func(ci int) {
+			cl := c.NewClient(uint64(900 + ci))
+			cl.Recorder = hist
+			key := fmt.Sprintf("probe-%d", ci)
+			for seq := 0; seq < 10; seq++ {
+				if _, err := cl.DoTimeout(hashdb.SetReq(key, []byte(strconv.Itoa(seq))), 3*time.Second); err == nil {
+					recovered[ci]++
+				}
+				e.Sleep(5 * time.Millisecond)
+			}
+		})
+		probe.Wait()
+		monitor.Wait()
+		for _, n := range recovered {
+			recoveryOps += n
+		}
+
+		states, faulted, err := c.StableStates(30 * time.Second)
+		if err != nil {
+			violations = append(violations, err.Error())
+			return
+		}
+		for i, ferr := range faulted {
+			violations = append(violations, fmt.Sprintf("replica %d faulted after recovery: %v", i, ferr))
+		}
+		violations = append(violations, check.StateAgreement(states)...)
+		violations = append(violations, check.CheckPrefix(chosenLogs(c))...)
+
+		if failovers == 0 {
+			violations = append(violations, "no failover observed: the nemesis never deposed the primary mid-storm")
+		}
+		if sheds == 0 {
+			violations = append(violations, "no rex_shed_total increment: the storm never tripped admission control")
+		}
+		if maxOutstanding > overloadMaxOutstanding {
+			violations = append(violations, fmt.Sprintf(
+				"admitted requests peaked at %d, above the MaxOutstanding=%d bound", maxOutstanding, overloadMaxOutstanding))
+		}
+		if maxWaiters > overloadMaxWaiters {
+			violations = append(violations, fmt.Sprintf(
+				"admission waiters peaked at %d, above the MaxAdmissionWaiters=%d bound", maxWaiters, overloadMaxWaiters))
+		}
+		if recoveryOps < 32 { // 80% of the 40 probe ops
+			violations = append(violations, fmt.Sprintf(
+				"post-storm probe completed only %d/40 ops: the cluster did not recover steady service", recoveryOps))
+		}
+	})
+
+	res.Violations = append(res.Violations, violations...)
+	res.Failovers = failovers
+	res.Sheds = int(sheds)
+	res.DeadlineErrs = int(deadlineErrs)
+	res.BudgetExhausted = budgetExhausted
+	res.MaxOutstanding = maxOutstanding
+	res.MaxWaiters = maxWaiters
+	res.RecoveryOps = recoveryOps
+	for _, t := range timeouts {
+		res.Timeouts += t
+	}
+	if hist != nil {
+		ops := hist.Ops()
+		res.Ops = len(ops)
+		res.Discarded = hist.Len() - len(ops)
+		wall := time.Now()
+		res.Check = check.CheckLinearizable(check.KVModel(false), ops, 0)
+		res.CheckerWall = time.Since(wall)
+		reg.CounterOf("chaos_ops_checked").Add(uint64(res.Check.Ops))
+		reg.CounterOf("chaos_histories_verified").Inc()
+		reg.HistogramOf("chaos_checker_wall").Observe(res.CheckerWall)
+		if !res.Check.Ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("history of %d ops is not linearizable (lost write under overload?)", res.Check.Ops))
+		}
+		if res.Check.Undecided {
+			res.Violations = append(res.Violations, "linearizability undecided: step budget exhausted")
+		}
+	}
+	res.OK = len(res.Violations) == 0
+	res.Faults = faults
+	reg.CounterOf("chaos_scenarios_run").Inc()
+	if !res.OK {
+		reg.CounterOf("chaos_scenarios_failed").Inc()
+	}
+	return res
+}

@@ -70,6 +70,15 @@ type Result struct {
 	// Conflicts-scenario extras (RunConflictsScenario).
 	ElidedOps int // lock ops elided via conflict-class ownership
 	Sweeps    int // catch-all barrier requests completed
+
+	// Overload-scenario extras (RunOverloadScenario).
+	Sheds           int // rex_shed_total summed over replicas (incl. pre-crash)
+	DeadlineErrs    int // rex_deadline_exceeded_total summed over replicas
+	BudgetExhausted int // client retry budgets that ran dry
+	MaxOutstanding  int // peak admitted-but-unreleased requests sampled on the primary
+	MaxWaiters      int // peak admission-gate waiters sampled on the primary
+	RecoveryOps     int // closed-loop ops completed by the post-storm probe
+	Discarded       int // history ops dropped as definite no-executes
 }
 
 // Run executes the scenario under a fresh simulator and checks every

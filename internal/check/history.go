@@ -20,12 +20,13 @@ const Unknown = time.Duration(math.MaxInt64)
 
 // Op is one client operation in a concurrent history.
 type Op struct {
-	Client uint64
-	Input  []byte
-	Output []byte        // response bytes; nil if the op timed out
-	Begin  time.Duration // invocation time
-	End    time.Duration // response time, or Unknown
-	Ok     bool          // a response was observed
+	Client    uint64
+	Input     []byte
+	Output    []byte        // response bytes; nil if the op timed out
+	Begin     time.Duration // invocation time
+	End       time.Duration // response time, or Unknown
+	Ok        bool          // a response was observed
+	discarded bool          // provably never executed; excluded from Ops
 }
 
 // History records operations concurrently. It implements
@@ -69,15 +70,36 @@ func (h *History) Return(id uint64, output []byte) {
 // End to Unknown, so this is a no-op kept for interface clarity.
 func (h *History) Timeout(id uint64) {}
 
+// Discard removes an operation whose every attempt was answered with a
+// definite did-not-execute NACK (shed, deadline-expired, not-primary).
+// Unlike Timeout, which leaves the op haunting the checker as
+// maybe-takes-effect-anytime, a discarded op is dropped from the
+// history entirely — under saturating overload most submissions are
+// shed, and keeping them as unknowns would blow up the WGL search.
+// Callers must be certain: discarding an op that did execute makes the
+// checker unsound.
+func (h *History) Discard(id uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops[id].discarded = true
+}
+
 // Ops returns a snapshot of the recorded history. Operations that never
-// completed keep End == Unknown.
+// completed keep End == Unknown; discarded operations are excluded.
 func (h *History) Ops() []Op {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return append([]Op(nil), h.ops...)
+	out := make([]Op, 0, len(h.ops))
+	for _, op := range h.ops {
+		if !op.discarded {
+			out = append(out, op)
+		}
+	}
+	return out
 }
 
-// Len reports the number of recorded operations.
+// Len reports the number of recorded operations (discarded included —
+// it is an id space, not a live count).
 func (h *History) Len() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -8,13 +8,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"rex/internal/core"
 	"rex/internal/env"
+	"rex/internal/overload"
 	"rex/internal/readpath"
 	"rex/internal/reconfig"
+	"rex/internal/retry"
 	"rex/internal/storage"
 	"rex/internal/transport"
 )
@@ -46,6 +47,12 @@ type Options struct {
 	MaxOutstanding  int
 	LagInstances    uint64
 	LagEvents       uint64
+	// AdmissionTarget/AdmissionInterval/MaxAdmissionWaiters tune the
+	// primary's CoDel admission gate (core.Config); zero takes the core
+	// defaults, negative AdmissionTarget disables shedding.
+	AdmissionTarget     time.Duration
+	AdmissionInterval   time.Duration
+	MaxAdmissionWaiters int
 	Seed            int64
 	DisableChecks   bool
 	DisablePruning  bool
@@ -223,6 +230,9 @@ func (c *Cluster) config(i int) core.Config {
 		MaxOutstanding:                   c.Opts.MaxOutstanding,
 		LagLimitInstances:                c.Opts.LagInstances,
 		LagLimitEvents:                   c.Opts.LagEvents,
+		AdmissionTarget:                  c.Opts.AdmissionTarget,
+		AdmissionInterval:                c.Opts.AdmissionInterval,
+		MaxAdmissionWaiters:              c.Opts.MaxAdmissionWaiters,
 		DisableVersionChecks:             c.Opts.DisableChecks,
 		DisableResultChecks:              c.Opts.DisableChecks,
 		DisablePruning:                   c.Opts.DisablePruning,
@@ -585,6 +595,13 @@ func (c *Cluster) StableStates(timeout time.Duration) (states map[int]string, fa
 
 // HistoryRecorder observes client operations as a concurrent history for
 // the linearizability checker (implemented by check.History).
+//
+// A recorder may additionally implement Discard(id uint64): when every
+// attempt of an operation was answered with a definite did-not-execute
+// NACK (shed, deadline-expired), the client discards the op instead of
+// recording an unknown outcome, which keeps the checker's search space
+// bounded under overload. The method is looked up by type assertion so
+// existing implementations keep compiling.
 type HistoryRecorder interface {
 	// Invoke records an operation's start and returns its id.
 	Invoke(client uint64, input []byte) uint64
@@ -595,6 +612,9 @@ type HistoryRecorder interface {
 	Timeout(id uint64)
 }
 
+// opDiscarder is the optional HistoryRecorder extension (see above).
+type opDiscarder interface{ Discard(id uint64) }
+
 // DefaultMaxAttempts bounds one Do/DoTimeout call's redirect-and-retry
 // loop. With the backoff schedule below it gives a retry budget of a few
 // seconds — plenty for any election — so a request that still cannot land
@@ -603,11 +623,28 @@ type HistoryRecorder interface {
 const DefaultMaxAttempts = 256
 
 // retry backoff: exponential from 1ms, jittered in [b/2, b], capped so a
-// long outage is probed every ~25ms rather than ever more rarely.
+// long outage is probed every ~25ms rather than ever more rarely (see
+// internal/retry).
 const (
 	minRetryBackoff = time.Millisecond
 	maxRetryBackoff = 25 * time.Millisecond
 )
+
+// Client retry budget: a token bucket refilled by successes. Each retry
+// (not first attempts) spends a token; every success earns back
+// RetryBudgetRatio. The bucket starts full at RetryBudgetBurst, so
+// cold-start elections and short outages ride through; only sustained
+// failure — where retries become pure amplification — drains it. With
+// ratio 0.5, steady-state retry traffic is capped at 50% of goodput.
+const (
+	RetryBudgetRatio = 0.5
+	RetryBudgetBurst = 64
+)
+
+// ErrRetryBudget reports a request abandoned because the client's retry
+// budget ran dry: the cluster is failing faster than it is succeeding,
+// and more retries would only feed the overload.
+var ErrRetryBudget = fmt.Errorf("cluster: %w", retry.ErrBudgetExhausted)
 
 // ErrTooManyAttempts reports a request abandoned after MaxAttempts
 // redirects/retries. The outcome is unknown (like a timeout): the request
@@ -644,15 +681,32 @@ type Client struct {
 	// Recorder, when set, observes every Do/DoTimeout call — and every
 	// linearizable QueryLevel read — for the consistency checker.
 	Recorder HistoryRecorder
+	// BudgetExhausted counts calls abandoned on a dry retry budget
+	// (the client-side analogue of rex_retry_budget_exhausted_total).
+	BudgetExhausted uint64
+	// Shed counts attempts NACKed by server-side admission control.
+	Shed uint64
 
 	sess   readpath.SessionState
 	readRR int
-	rng    *rand.Rand
+	bo     *retry.Backoff
+	budget *retry.Budget
 }
 
 // NewClient returns a client with the given unique id.
 func (c *Cluster) NewClient(id uint64) *Client {
 	return &Client{C: c, ID: id}
+}
+
+// backoffState lazily builds the client's shared backoff and retry
+// budget. The backoff seed derives from the client id: deterministic
+// under the simulator, decorrelated across clients.
+func (cl *Client) backoffState() (*retry.Backoff, *retry.Budget) {
+	if cl.bo == nil {
+		cl.bo = retry.NewBackoff(minRetryBackoff, maxRetryBackoff, int64(cl.ID)*0x9e3779b9+0x7f4a7c15)
+		cl.budget = retry.NewBudget(RetryBudgetRatio, RetryBudgetBurst)
+	}
+	return cl.bo, cl.budget
 }
 
 // Do submits one request, retrying across failovers until a response
@@ -672,20 +726,27 @@ func (cl *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 	return cl.doRetry(ctx, body, timeout)
 }
 
-// backoff sleeps a jittered exponential delay and returns the next base.
-func (cl *Client) backoff(b time.Duration) time.Duration {
-	if cl.rng == nil {
-		// Seeded from the client id: deterministic under the simulator,
-		// decorrelated across clients.
-		cl.rng = rand.New(rand.NewSource(int64(cl.ID)*0x9e3779b9 + 0x7f4a7c15))
+// backoff sleeps one jittered exponential step of the client's shared
+// schedule (internal/retry); resetBackoff restarts it after a fresh
+// primary hint so redirects are followed promptly.
+func (cl *Client) backoff() {
+	bo, _ := cl.backoffState()
+	cl.C.Env.Sleep(bo.Next())
+}
+
+func (cl *Client) resetBackoff() {
+	bo, _ := cl.backoffState()
+	bo.Reset()
+}
+
+// pause sleeps a server-provided retry-after hint, capped so the hint
+// shapes the pause but the retry loop keeps owning the overall policy.
+func (cl *Client) pause(ra time.Duration) {
+	const maxPause = 50 * time.Millisecond
+	if ra <= 0 || ra > maxPause {
+		ra = maxPause
 	}
-	d := b/2 + time.Duration(cl.rng.Int63n(int64(b/2)+1))
-	cl.C.Env.Sleep(d)
-	b *= 2
-	if b > maxRetryBackoff {
-		b = maxRetryBackoff
-	}
-	return b
+	cl.C.Env.Sleep(ra)
 }
 
 // DoTimeout is Do with an explicit deadline.
@@ -707,33 +768,63 @@ func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duratio
 	}
 	deadline := e.Now() + timeout
 	target := cl.LastPrimary
-	b := minRetryBackoff
+	_, budget := cl.backoffState()
+	cl.resetBackoff()
+	// sawUnknown tracks whether any attempt's outcome is in doubt. While
+	// false, every attempt was answered with a definite did-not-execute
+	// NACK, so on final failure the op can be discarded from the history
+	// instead of haunting the checker as maybe-executes-anytime.
+	sawUnknown := false
+	// chargeRetry marks the next attempt as budget-consuming: retries
+	// after a shed re-offer load a server just refused for lack of
+	// capacity, so they spend tokens. Everything else — a down replica,
+	// a not-primary redirect, a crashed-mid-request ErrStopped — is
+	// fault churn, not overload, and stays free: it is already bounded
+	// by the op deadline, and charging it would make an ordinary
+	// election or restart storm drain the budget and abort ops the
+	// client could have ridden through.
+	chargeRetry := false
+	fail := func() {
+		if cl.Recorder == nil {
+			return
+		}
+		if !sawUnknown {
+			if d, ok := cl.Recorder.(opDiscarder); ok {
+				d.Discard(opID)
+				return
+			}
+		}
+		cl.Recorder.Timeout(opID)
+	}
 	for attempts := 0; e.Now() < deadline; attempts++ {
 		if err := ctx.Err(); err != nil {
 			// Canceled between attempts: an earlier attempt may still land,
 			// so the outcome is unknown.
-			if cl.Recorder != nil {
-				cl.Recorder.Timeout(opID)
-			}
+			fail()
 			return nil, err
 		}
 		if attempts >= maxAttempts {
-			// Unknown outcome, exactly like a timeout: some earlier attempt
-			// may still be admitted and executed.
-			if cl.Recorder != nil {
-				cl.Recorder.Timeout(opID)
-			}
+			fail()
 			return nil, fmt.Errorf("%w: gave up after %d attempts", ErrTooManyAttempts, attempts)
 		}
+		if chargeRetry && !budget.Allow() {
+			// The cluster is failing faster than it is succeeding; more
+			// retries from this client would only amplify the overload.
+			cl.BudgetExhausted++
+			fail()
+			return nil, fmt.Errorf("%w: after %d attempts", ErrRetryBudget, attempts)
+		}
+		chargeRetry = false
 		n := cl.C.Size()
 		r := cl.C.Replica(target % n)
 		if r == nil {
 			target++
-			b = cl.backoff(b)
+			cl.backoff()
 			continue
 		}
-		resp, tok, err := r.SubmitToken(cl.ID, seq, body)
+		resp, tok, err := r.SubmitTokenDeadline(cl.ID, seq, body, deadline-e.Now())
 		if err == nil {
+			budget.Success()
 			cl.LastPrimary = target % n
 			cl.sess.Observe(tok)
 			if cl.Recorder != nil {
@@ -741,28 +832,52 @@ func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duratio
 			}
 			return resp, nil
 		}
-		if errors.Is(err, core.ErrStaleSeq) {
+		switch {
+		case errors.Is(err, core.ErrStaleSeq):
 			// Permanent: no primary will ever accept this sequence number
 			// again, so retrying elsewhere only burns the attempt budget.
-			if cl.Recorder != nil {
-				cl.Recorder.Timeout(opID)
-			}
+			// An earlier admitted attempt is exactly what moved the dedup
+			// table, so the outcome is unknown.
+			sawUnknown = true
+			fail()
 			return nil, fmt.Errorf("%w: %w", ErrPermanent, err)
+		case errors.Is(err, overload.ErrDeadlineExceeded):
+			// The propagated deadline ran out before admission: provably
+			// never executed, and no retry can beat a deadline that has
+			// already passed.
+			fail()
+			return nil, err
+		case errors.Is(err, overload.ErrOverloaded):
+			// Shed before admission: provably never executed. Honor the
+			// retry-after hint against the same target — overload is not
+			// a routing problem — and make the retry spend budget: it is
+			// load offered to a server that just said it has none to spare.
+			cl.Shed++
+			chargeRetry = true
+			cl.pause(overload.RetryAfter(err))
+			continue
 		}
 		var np core.ErrNotPrimary
-		if errors.As(err, &np) && np.Leader >= 0 {
-			target = np.Leader
-			// A fresh hint is authoritative; restart the backoff so the
-			// redirect is followed promptly.
-			b = minRetryBackoff
-		} else {
+		switch {
+		case errors.As(err, &np):
+			// Not-primary is a definite no-execute NACK, hint or not.
+			if np.Leader >= 0 {
+				target = np.Leader
+				// A fresh hint is authoritative; restart the backoff so
+				// the redirect is followed promptly.
+				cl.resetBackoff()
+			} else {
+				target++
+			}
+		default:
+			// ErrStopped and anything unclassified: the submit may have
+			// been admitted before the failure, so the outcome is unknown.
+			sawUnknown = true
 			target++
 		}
-		b = cl.backoff(b)
+		cl.backoff()
 	}
-	if cl.Recorder != nil {
-		cl.Recorder.Timeout(opID)
-	}
+	fail()
 	return nil, fmt.Errorf("cluster: request timed out after %v", timeout)
 }
 
@@ -771,13 +886,13 @@ func (cl *Client) doRetry(ctx context.Context, body []byte, timeout time.Duratio
 // transient classification Do gives writes.
 func (cl *Client) Query(i int, q []byte) ([]byte, error) {
 	n := cl.C.Size()
-	b := minRetryBackoff
+	cl.resetBackoff()
 	var lastErr error = errors.New("cluster: replica down")
 	for attempt := 0; attempt < 2*n; attempt++ {
 		r := cl.C.Replica((i + attempt) % n)
 		if r == nil {
 			lastErr = errors.New("cluster: replica down")
-			b = cl.backoff(b)
+			cl.backoff()
 			continue
 		}
 		resp, err := r.Query(q)
@@ -788,7 +903,7 @@ func (cl *Client) Query(i int, q []byte) ([]byte, error) {
 		if !errors.Is(err, core.ErrStopped) {
 			return nil, err
 		}
-		b = cl.backoff(b)
+		cl.backoff()
 	}
 	return nil, lastErr
 }
@@ -822,8 +937,21 @@ func (cl *Client) QueryLevelTimeout(level readpath.Level, q []byte, timeout time
 	}
 	deadline := e.Now() + timeout
 	toPrimary := lin
-	b := minRetryBackoff
+	cl.resetBackoff()
 	var lastErr error
+	// A failed read is always discardable: reads mutate nothing and the
+	// caller never saw a response, so dropping the op cannot invalidate
+	// any other op's linearization.
+	failRead := func() {
+		if !lin || cl.Recorder == nil {
+			return
+		}
+		if d, ok := cl.Recorder.(opDiscarder); ok {
+			d.Discard(opID)
+			return
+		}
+		cl.Recorder.Timeout(opID)
+	}
 	for attempts := 0; e.Now() < deadline && attempts < maxAttempts; attempts++ {
 		n := cl.C.Size()
 		var i int
@@ -835,7 +963,7 @@ func (cl *Client) QueryLevelTimeout(level readpath.Level, q []byte, timeout time
 		}
 		r := cl.C.Replica(i)
 		if r == nil {
-			b = cl.backoff(b)
+			cl.backoff()
 			continue
 		}
 		var tok readpath.Token
@@ -859,7 +987,7 @@ func (cl *Client) QueryLevelTimeout(level readpath.Level, q []byte, timeout time
 		case errors.As(err, &np):
 			if np.Leader >= 0 {
 				cl.LastPrimary = np.Leader
-				b = minRetryBackoff
+				cl.resetBackoff()
 			} else {
 				cl.LastPrimary = (cl.LastPrimary + 1) % n
 			}
@@ -868,22 +996,25 @@ func (cl *Client) QueryLevelTimeout(level readpath.Level, q []byte, timeout time
 			// Classified primary-only: stop probing secondaries. The
 			// primary serves any level.
 			toPrimary = true
+		case errors.Is(err, overload.ErrOverloaded):
+			// Shed by admission control: honor the retry-after hint. A
+			// weak read may still find capacity on another secondary, so
+			// keep rotating.
+			cl.Shed++
+			cl.pause(overload.RetryAfter(err))
+			continue
 		case errors.Is(err, core.ErrStopped),
 			errors.Is(err, readpath.ErrFrontierWait),
 			errors.Is(err, readpath.ErrLeaseWait):
 			// Transient: another replica (or the next election's winner)
 			// can serve it.
 		default:
-			if lin && cl.Recorder != nil {
-				cl.Recorder.Timeout(opID)
-			}
+			failRead()
 			return nil, err
 		}
-		b = cl.backoff(b)
+		cl.backoff()
 	}
-	if lin && cl.Recorder != nil {
-		cl.Recorder.Timeout(opID)
-	}
+	failRead()
 	if lastErr == nil {
 		lastErr = errors.New("cluster: no replica served the read")
 	}

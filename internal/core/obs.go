@@ -50,6 +50,18 @@ type replicaMetrics struct {
 	readWait      *obs.Histogram // admission wait per read that waited
 	readTimeouts  *obs.Counter   // reads abandoned at ReadWaitTimeout
 
+	// Overload-protection series (DESIGN.md "Overload & admission
+	// control"): the admission gate's queue shape and everything shed
+	// instead of queued.
+	admissionWait     *obs.Histogram // time writes waited at the admission gate
+	admissionWaiters  *obs.Gauge     // submitters currently blocked at the gate
+	admissionPressure *obs.Gauge     // degradation level in force (0/1/2)
+	shedTotal         *obs.Counter   // everything shed, any cause
+	shedWrites        *obs.Counter   // writes shed by the CoDel gate
+	shedReads         *obs.Counter   // reads shed under pressure (any level)
+	deadlineExceeded  *obs.Counter   // requests failed fast on an expired deadline
+	degradedReads     *obs.Counter   // linearizable reads served lease-only under pressure
+
 	paxos  *paxos.Metrics
 	replay *sched.ReplayObs
 }
@@ -81,8 +93,18 @@ func newReplicaMetrics(reg *obs.Registry) *replicaMetrics {
 		followerReads: reg.Counter("rex_follower_reads_total"),
 		readWait:      reg.Histogram("rex_read_wait_seconds"),
 		readTimeouts:  reg.Counter("rex_read_wait_timeouts_total"),
-		paxos:         paxos.NewMetrics(),
-		replay:        sched.NewReplayObs(),
+
+		admissionWait:     reg.Histogram("rex_admission_wait_seconds"),
+		admissionWaiters:  reg.Gauge("rex_admission_waiters"),
+		admissionPressure: reg.Gauge("rex_admission_pressure"),
+		shedTotal:         reg.Counter("rex_shed_total"),
+		shedWrites:        reg.Counter("rex_shed_writes_total"),
+		shedReads:         reg.Counter("rex_shed_reads_total"),
+		deadlineExceeded:  reg.Counter("rex_deadline_exceeded_total"),
+		degradedReads:     reg.Counter("rex_degraded_reads_total"),
+
+		paxos:  paxos.NewMetrics(),
+		replay: sched.NewReplayObs(),
 	}
 	m.paxos.Register(reg)
 	m.replay.Register(reg)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"time"
 
+	"rex/internal/overload"
 	"rex/internal/readpath"
 	"rex/internal/trace"
 )
@@ -36,20 +38,53 @@ type submitResult struct {
 // covers the write. A client presenting the token with a session-level
 // read is guaranteed to observe this write (read path, DESIGN.md §11).
 func (r *Replica) SubmitToken(client, seq uint64, body []byte) ([]byte, readpath.Token, error) {
+	return r.SubmitTokenDeadline(client, seq, body, 0)
+}
+
+// SubmitTokenDeadline is SubmitToken with a propagated deadline budget:
+// the remaining time the client is willing to wait, 0 for none. The
+// budget is only consulted *ahead of* trace admission — an expired
+// request fails fast with overload.ErrDeadlineExceeded and provably
+// never executed; once admitted into the trace it must run to
+// completion regardless (dropping it would corrupt replay), so the call
+// then blocks until release as before.
+//
+// The same pre-admission gate is where overload sheds happen: an
+// arrival that would have to queue behind a full gate is refused with
+// overload.Shed (carrying a retry-after hint) when the wait queue hit
+// its hard bound or the CoDel controller detected a standing queue
+// (DESIGN.md "Overload & admission control").
+func (r *Replica) SubmitTokenDeadline(client, seq uint64, body []byte, budget time.Duration) ([]byte, readpath.Token, error) {
 	r.mu.Lock()
+	entered := r.e.Now()
+	var deadline time.Duration
+	if budget > 0 {
+		deadline = entered + budget
+	}
+	waiting := false
+	leaveWait := func() {
+		if waiting {
+			waiting = false
+			r.admWaiters--
+			r.obs.admissionWaiters.Set(int64(r.admWaiters))
+		}
+	}
 	for {
 		if r.stopped || r.role == RoleFaulted {
+			leaveWait()
 			r.mu.Unlock()
 			return nil, readpath.Token{}, ErrStopped
 		}
 		if r.role != RolePrimary {
 			leader := r.curLeader
+			leaveWait()
 			r.mu.Unlock()
 			return nil, readpath.Token{}, ErrNotPrimary{Leader: leader}
 		}
 		if e, ok := r.dedup[client]; ok && seq <= e.seq {
 			resp := e.resp
 			tok := r.tokenLocked()
+			leaveWait()
 			r.mu.Unlock()
 			if seq < e.seq {
 				return nil, readpath.Token{}, ErrStaleSeq
@@ -58,12 +93,41 @@ func (r *Replica) SubmitToken(client, seq uint64, body []byte) ([]byte, readpath
 			// committed frontier, so today's token still covers it.
 			return resp, tok, nil
 		}
+		now := r.e.Now()
+		if deadline > 0 && now >= deadline {
+			leaveWait()
+			r.obs.deadlineExceeded.Inc()
+			r.mu.Unlock()
+			return nil, readpath.Token{}, overload.ErrDeadlineExceeded
+		}
 		// Flow control: bound speculation depth and wait for lagging live
 		// secondaries (§6.2).
 		if r.outstanding < r.cfg.MaxOutstanding && !r.throttledLocked() {
 			break
 		}
+		// The gate is full. Shed instead of queueing when the wait queue
+		// hit its hard bound or the controller says the queue is standing.
+		if shed, ra := r.shouldShedSubmitLocked(now); shed {
+			leaveWait()
+			r.obs.shedTotal.Inc()
+			r.obs.shedWrites.Inc()
+			r.obs.admissionPressure.Set(int64(r.pressureLocked()))
+			r.mu.Unlock()
+			return nil, readpath.Token{}, overload.Shed{RetryAfter: ra}
+		}
+		if !waiting {
+			waiting = true
+			r.admWaiters++
+			r.obs.admissionWaiters.Set(int64(r.admWaiters))
+			if deadline > 0 {
+				r.spawnCondWatchdog(deadline)
+			}
+		}
 		r.cond.Wait()
+	}
+	if waiting {
+		leaveWait()
+		r.obs.admissionWait.Observe(r.e.Now() - entered)
 	}
 	var class uint32
 	if r.classifier != nil {
@@ -145,6 +209,43 @@ func (r *Replica) throttledLocked() bool {
 		}
 	}
 	return false
+}
+
+// shouldShedSubmitLocked decides whether a write arrival that would
+// otherwise wait at a full admission gate is shed instead. Two
+// triggers: the hard waiter bound (the wait queue — and the memory
+// behind it — stays bounded no matter what), and the CoDel controller's
+// drop schedule while it observes a standing queue.
+func (r *Replica) shouldShedSubmitLocked(now time.Duration) (bool, time.Duration) {
+	if r.admWaiters >= r.cfg.MaxAdmissionWaiters {
+		return true, r.retryAfterLocked()
+	}
+	if r.admCtrl != nil && r.admCtrl.ShouldShed(now) {
+		return true, r.admCtrl.RetryAfter()
+	}
+	return false, 0
+}
+
+// retryAfterLocked is the retry-after hint attached to sheds.
+func (r *Replica) retryAfterLocked() time.Duration {
+	if r.admCtrl != nil {
+		return r.admCtrl.RetryAfter()
+	}
+	return r.cfg.AdmissionInterval
+}
+
+// pressureLocked maps the gate's state to a degradation level
+// (overload.Pressure*): the controller's view, escalated to critical
+// when the wait queue is halfway to its hard bound.
+func (r *Replica) pressureLocked() int {
+	p := overload.PressureNone
+	if r.admCtrl != nil {
+		p = r.admCtrl.Pressure()
+	}
+	if r.admWaiters >= (r.cfg.MaxAdmissionWaiters+1)/2 {
+		p = overload.PressureCritical
+	}
+	return p
 }
 
 // nextWork blocks until there is a request for worker thread ti to run,
@@ -284,7 +385,15 @@ func (r *Replica) noteClassCompleteLocked(end trace.EventID, barrier bool) {
 }
 
 func (r *Replica) releaseOneLocked(idx uint64, p *pendingReq) {
-	r.obs.reqLatency.Observe(r.e.Now() - p.at)
+	now := r.e.Now()
+	sojourn := now - p.at
+	r.obs.reqLatency.Observe(sojourn)
+	if r.admCtrl != nil {
+		// The admission→release sojourn is the controller's signal: a
+		// floor above target for a full interval means a standing queue.
+		r.admCtrl.OnSojourn(now, sojourn)
+		r.obs.admissionPressure.Set(int64(r.pressureLocked()))
+	}
 	p.ch.Send(submitResult{resp: p.resp, tok: r.tokenLocked()})
 	delete(r.pending, idx)
 	r.outstanding--

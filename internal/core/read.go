@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rex/internal/overload"
 	"rex/internal/readpath"
 	"rex/internal/reconfig"
 	"rex/internal/sched"
@@ -49,6 +50,12 @@ func (r *Replica) QueryLevel(level readpath.Level, tok readpath.Token, q []byte)
 	role := r.role
 	leader := r.curLeader
 	sm := r.sm
+	pressure := overload.PressureNone
+	retryAfter := time.Duration(0)
+	if role == RolePrimary {
+		pressure = r.pressureLocked()
+		retryAfter = r.retryAfterLocked()
+	}
 	r.mu.Unlock()
 
 	if role != RolePrimary {
@@ -60,8 +67,19 @@ func (r *Replica) QueryLevel(level readpath.Level, tok readpath.Token, q []byte)
 		}
 		return r.followerRead(level, tok, q)
 	}
+	// Graceful degradation by consistency level (DESIGN.md "Overload &
+	// admission control"): at critical pressure every read is shed
+	// before doing any work; at elevated pressure the weakest levels
+	// shed first while linearizable reads proceed (lease-only — see
+	// linearizableRead) and writes keep the remaining capacity.
+	if pressure >= overload.PressureCritical ||
+		(pressure >= overload.PressureElevated && level != readpath.Linearizable) {
+		r.obs.shedTotal.Inc()
+		r.obs.shedReads.Inc()
+		return nil, tok, overload.Shed{RetryAfter: retryAfter}
+	}
 	if level == readpath.Linearizable {
-		return r.linearizableRead(q)
+		return r.linearizableRead(q, pressure)
 	}
 	// Session/eventual on the primary: its state covers every committed
 	// frontier any token can describe, so serve immediately.
@@ -89,6 +107,15 @@ func classifyQuery(sm StateMachine, q []byte) QueryClass {
 // token's frontier if the level demands it, query replayed state, refresh
 // the token.
 func (r *Replica) followerRead(level readpath.Level, tok readpath.Token, q []byte) ([]byte, readpath.Token, error) {
+	// A secondary whose replay backlog is past the lag limit sheds weak
+	// reads: serving ever-staler state only costs CPU the replayer needs
+	// for catch-up, and session reads would mostly time out on the
+	// frontier wait anyway.
+	if bl := r.replayBacklog(); bl > r.cfg.LagLimitEvents {
+		r.obs.shedTotal.Inc()
+		r.obs.shedReads.Inc()
+		return nil, tok, overload.Shed{RetryAfter: r.cfg.AdmissionInterval}
+	}
 	if level == readpath.Session && !tok.Zero() {
 		if tok.Group != r.cfg.Group {
 			return nil, tok, fmt.Errorf("rex: session token for group %d presented to group %d", tok.Group, r.cfg.Group)
@@ -130,7 +157,10 @@ func (r *Replica) followerRead(level readpath.Level, tok readpath.Token, q []byt
 // linearizableRead runs on the primary: query speculative state, drain
 // the writes the query may have observed, then prove no newer primary
 // exists — via the lease when live, via a consensus barrier otherwise.
-func (r *Replica) linearizableRead(q []byte) ([]byte, readpath.Token, error) {
+// Under elevated pressure the consensus-barrier fallback is disabled:
+// the read is served lease-only or shed, keeping read confirmations out
+// of a propose pipeline that is already the bottleneck.
+func (r *Replica) linearizableRead(q []byte, pressure int) ([]byte, readpath.Token, error) {
 	resp, err := r.runQuery(q)
 	if err != nil {
 		return nil, readpath.Token{}, err
@@ -146,6 +176,15 @@ func (r *Replica) linearizableRead(q []byte) ([]byte, readpath.Token, error) {
 		// a leader that cannot exist yet.
 		r.obs.leaseReads.Inc()
 	} else {
+		if pressure >= overload.PressureElevated {
+			r.obs.degradedReads.Inc()
+			r.obs.shedTotal.Inc()
+			r.obs.shedReads.Inc()
+			r.mu.Lock()
+			ra := r.retryAfterLocked()
+			r.mu.Unlock()
+			return nil, readpath.Token{}, overload.Shed{RetryAfter: ra}
+		}
 		if err := r.readBarrier(deadline); err != nil {
 			return nil, readpath.Token{}, err
 		}

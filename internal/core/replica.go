@@ -9,6 +9,7 @@ import (
 
 	"rex/internal/env"
 	"rex/internal/obs"
+	"rex/internal/overload"
 	"rex/internal/paxos"
 	"rex/internal/reconfig"
 	"rex/internal/sched"
@@ -150,6 +151,22 @@ type Config struct {
 	LagLimitInstances uint64
 	LagLimitEvents    uint64
 
+	// Overload protection (DESIGN.md "Overload & admission control").
+	// AdmissionTarget is the CoDel sojourn target: when completed
+	// requests' admission→release latency stays above it for a full
+	// AdmissionInterval, the gate starts shedding arrivals that would
+	// otherwise queue. 0 selects the default (25ms); negative disables
+	// shedding entirely (the pre-overload-protection behavior:
+	// unbounded blocking at the gate).
+	AdmissionTarget time.Duration
+	// AdmissionInterval is the CoDel control interval (default 100ms).
+	AdmissionInterval time.Duration
+	// MaxAdmissionWaiters caps submitters blocked at the gate; arrivals
+	// beyond it are shed unconditionally so the wait queue (and the
+	// memory behind it) stays bounded no matter what the controller
+	// thinks. 0 selects 4x MaxOutstanding.
+	MaxAdmissionWaiters int
+
 	// DisableVersionChecks and DisableResultChecks turn off the §5.1
 	// validity checks (used by ablation benchmarks).
 	DisableVersionChecks bool
@@ -212,6 +229,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.LagLimitEvents == 0 {
 		cfg.LagLimitEvents = 1 << 14
+	}
+	if cfg.AdmissionTarget == 0 {
+		cfg.AdmissionTarget = 25 * time.Millisecond
+	}
+	if cfg.AdmissionInterval <= 0 {
+		cfg.AdmissionInterval = 100 * time.Millisecond
+	}
+	if cfg.MaxAdmissionWaiters <= 0 {
+		cfg.MaxAdmissionWaiters = 4 * cfg.MaxOutstanding
 	}
 	if cfg.JoinLagInstances == 0 {
 		cfg.JoinLagInstances = 16
@@ -308,6 +334,13 @@ type Replica struct {
 	outstanding   int
 	pendingRebase trace.Cut
 	dedup         map[uint64]dedupEntry
+
+	// Admission-control state (primary, guarded by mu). ctrl is the
+	// CoDel-style controller deciding when a full gate sheds instead of
+	// queueing; admWaiters counts submitters blocked at the gate; nil
+	// ctrl means shedding is disabled (AdmissionTarget < 0).
+	admCtrl    *overload.Controller
+	admWaiters int
 
 	// Conflict-class dispatch state (primary, classified state machines
 	// only; see ConflictClassifier). classifier is non-nil iff the state
@@ -423,6 +456,12 @@ func NewReplica(cfg Config) (*Replica, error) {
 		dedup:           make(map[uint64]dedupEntry),
 		markInst:        make(map[uint64]uint64),
 		peers:           make(map[int]peerStatus),
+	}
+	if cfg.AdmissionTarget > 0 {
+		r.admCtrl = overload.NewController(overload.Config{
+			Target:   cfg.AdmissionTarget,
+			Interval: cfg.AdmissionInterval,
+		})
 	}
 	if cfg.Members != nil {
 		r.member = cfg.Members.Clone()

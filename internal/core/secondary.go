@@ -101,16 +101,36 @@ func (r *Replica) statusLoop() {
 		applied := r.applied
 		rt := r.rt
 		r.mu.Unlock()
-		var backlog uint64
-		if rep := rt.Replayer(); rep != nil && rt.Mode() == sched.ModeReplay {
-			limit := rep.Limit()
-			executed := rep.Executed()
-			for t := range limit {
-				if d := limit[t] - executed[t]; d > 0 {
-					backlog += uint64(d)
-				}
-			}
-		}
-		r.broadcastCtrl(&ctrlMsg{Kind: ctrlStatus, Applied: applied, Backlog: backlog})
+		r.broadcastCtrl(&ctrlMsg{Kind: ctrlStatus, Applied: applied, Backlog: runtimeBacklog(rt)})
 	}
+}
+
+// runtimeBacklog sums the replay backlog (committed-but-unexecuted
+// events across threads) of rt, 0 when rt is not replaying.
+func runtimeBacklog(rt *sched.Runtime) uint64 {
+	if rt == nil || rt.Mode() != sched.ModeReplay {
+		return 0
+	}
+	rep := rt.Replayer()
+	if rep == nil {
+		return 0
+	}
+	var backlog uint64
+	limit := rep.Limit()
+	executed := rep.Executed()
+	for t := range limit {
+		if d := limit[t] - executed[t]; d > 0 {
+			backlog += uint64(d)
+		}
+	}
+	return backlog
+}
+
+// replayBacklog reports this replica's own replay backlog in events;
+// the read path sheds weak follower reads past the lag limit.
+func (r *Replica) replayBacklog() uint64 {
+	r.mu.Lock()
+	rt := r.rt
+	r.mu.Unlock()
+	return runtimeBacklog(rt)
 }

@@ -1,0 +1,76 @@
+package overload
+
+import (
+	"testing"
+	"time"
+
+	"rex/internal/wire"
+)
+
+// FuzzWireDeadlineDecode throws arbitrary trailer bytes at the decoder:
+// it must never panic, and anything it accepts must be a positive budget
+// no larger than the wire ceiling.
+func FuzzWireDeadlineDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x00})                                                       // zero is invalid on the wire
+	f.Add([]byte{0x80})                                                       // truncated uvarint
+	f.Add([]byte{0x01, 0xde, 0xad})                                           // trailing junk
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // oversized
+	f.Add([]byte{0xe8, 0x07})                                                 // 1000ms, valid
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := wire.NewDecoder(data)
+		budget, err := DecodeWireDeadline(d)
+		if err != nil {
+			return
+		}
+		if len(data) == 0 {
+			if budget != 0 {
+				t.Fatalf("empty trailer decoded to %v, want 0 (v4 frame)", budget)
+			}
+			return
+		}
+		if budget <= 0 || budget > MaxWireDeadline {
+			t.Fatalf("accepted budget %v outside (0, %v]", budget, MaxWireDeadline)
+		}
+	})
+}
+
+// FuzzWireDeadlineRoundTrip checks Append/Decode agree for any budget:
+// positive budgets survive (clamped to the ceiling, floored to 1ms),
+// non-positive budgets encode to nothing and decode to zero.
+func FuzzWireDeadlineRoundTrip(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(-time.Second))
+	f.Add(int64(time.Microsecond))
+	f.Add(int64(250 * time.Millisecond))
+	f.Add(int64(MaxWireDeadline))
+	f.Add(int64(MaxWireDeadline + time.Hour))
+	f.Fuzz(func(t *testing.T, nanos int64) {
+		budget := time.Duration(nanos)
+		e := wire.NewEncoder(nil)
+		AppendWireDeadline(e, budget)
+		got, err := DecodeWireDeadline(wire.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of freshly appended budget %v failed: %v", budget, err)
+		}
+		if budget <= 0 {
+			if got != 0 {
+				t.Fatalf("non-positive budget %v decoded to %v, want 0", budget, got)
+			}
+			return
+		}
+		want := budget
+		if want > MaxWireDeadline {
+			want = MaxWireDeadline
+		}
+		// The wire carries whole milliseconds, rounded down but never to
+		// zero.
+		wantMs := want / time.Millisecond
+		if wantMs == 0 {
+			wantMs = 1
+		}
+		if got != wantMs*time.Millisecond {
+			t.Fatalf("budget %v round-tripped to %v, want %v", budget, got, wantMs*time.Millisecond)
+		}
+	})
+}

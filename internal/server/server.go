@@ -18,10 +18,21 @@
 // (a rebalance envelope reply carrying the newer map version, riding
 // inside an ordinary StatusOK body) can self-update. The frame layout is
 // unchanged; v3 clients still parse every frame.
+//
+// Protocol v5 (overload protection): a request frame may carry one
+// OPTIONAL trailing field after the body — the client's remaining
+// deadline budget in milliseconds as a uvarint (overload.
+// AppendWireDeadline). v4 frames simply omit it, and v4 servers ignored
+// trailing bytes, so both directions interoperate. Two statuses were
+// added: 4 = overloaded (the request was shed before execution; body is
+// a uvarint retry-after hint in milliseconds) and 5 = deadline exceeded
+// (the propagated deadline expired before execution; body is a
+// message). Both guarantee the request did NOT execute.
 // Status: 0 = ok (body is the response), 1 = not primary (body is a
 // varint leader hint, -1 unknown), 2 = error (body is a message; the
 // request may succeed elsewhere or later), 3 = failed permanently (body
-// is a message; retrying cannot help).
+// is a message; retrying cannot help), 4 = overloaded (retry after the
+// hinted delay), 5 = deadline exceeded (not executed; give up).
 //
 // Framing is defensive: an oversized length prefix gets an error response
 // and the connection is dropped (the stream cannot be resynced), and a
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"rex/internal/core"
+	"rex/internal/overload"
 	"rex/internal/readpath"
 	"rex/internal/rebalance"
 	"rex/internal/reconfig"
@@ -62,6 +74,8 @@ const (
 	StatusNotPrimary byte = 1
 	StatusError      byte = 2
 	StatusFailed     byte = 3
+	StatusOverloaded byte = 4
+	StatusDeadline   byte = 5
 
 	// Reconfig ops carried in a KindReconfig body.
 	ReconfigAdd     byte = 1
@@ -86,39 +100,88 @@ var frameBodyTimeout = 10 * time.Second
 // server answers it with StatusError before dropping the connection.
 var errOversized = errors.New("server: oversized frame")
 
+// DefaultMaxInflightPerGroup is the per-group concurrent-request budget
+// a server applies when Options leaves it unset: requests past it are
+// NACKed StatusOverloaded at the server edge, before touching the
+// replica. The per-connection budget is structural — the protocol is
+// one request per connection at a time — so this bounds total
+// concurrency at (open connections) ∧ (groups × budget).
+const DefaultMaxInflightPerGroup = 1024
+
+// serverRetryAfter is the retry-after hint for edge NACKs (the server's
+// own budget, as opposed to core sheds which carry the controller's
+// estimate).
+const serverRetryAfter = 10 * time.Millisecond
+
+// Options tunes a listening server.
+type Options struct {
+	// MaxInflightPerGroup bounds requests concurrently executing per
+	// hosted group. 0 selects DefaultMaxInflightPerGroup; negative
+	// disables the budget.
+	MaxInflightPerGroup int
+}
+
 // Server serves client connections for the replicas of one process.
 type Server struct {
-	replicas map[int]*core.Replica // by group id
-	smap     *shard.ShardMap       // nil when unsharded
-	live     bool                  // rebalance-enabled: serve the live map
-	ln       net.Listener
-	mu       sync.Mutex
-	closed   bool
-	wg       sync.WaitGroup
+	replicas    map[int]*core.Replica // by group id
+	smap        *shard.ShardMap       // nil when unsharded
+	live        bool                  // rebalance-enabled: serve the live map
+	maxInflight int                   // per-group budget; 0 = disabled
+	ln          net.Listener
+	mu          sync.Mutex
+	closed      bool
+	conns       map[net.Conn]struct{} // open connections, closed with the server
+	inflight    map[int]int           // executing requests per group
+	wg          sync.WaitGroup
 }
 
 // Listen starts serving a single, unsharded replica on addr (it answers
 // group 0; shard-map fetches report an error).
 func Listen(replica *core.Replica, addr string) (*Server, error) {
-	return listen(map[int]*core.Replica{0: replica}, nil, false, addr)
+	return ListenWith(replica, addr, Options{})
+}
+
+// ListenWith is Listen with explicit options.
+func ListenWith(replica *core.Replica, addr string, opts Options) (*Server, error) {
+	return listen(map[int]*core.Replica{0: replica}, nil, false, addr, opts)
 }
 
 // ListenNode starts serving every group a shard node hosts, plus the
 // node's shard map.
 func ListenNode(n *shard.Node, addr string) (*Server, error) {
+	return ListenNodeWith(n, addr, Options{})
+}
+
+// ListenNodeWith is ListenNode with explicit options.
+func ListenNodeWith(n *shard.Node, addr string, opts Options) (*Server, error) {
 	replicas := make(map[int]*core.Replica)
 	for _, g := range n.Groups() {
 		replicas[g] = n.Replica(g)
 	}
-	return listen(replicas, n.Map(), n.RebalanceEnabled(), addr)
+	return listen(replicas, n.Map(), n.RebalanceEnabled(), addr, opts)
 }
 
-func listen(replicas map[int]*core.Replica, smap *shard.ShardMap, live bool, addr string) (*Server, error) {
+func listen(replicas map[int]*core.Replica, smap *shard.ShardMap, live bool, addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{replicas: replicas, smap: smap, live: live, ln: ln}
+	maxInflight := opts.MaxInflightPerGroup
+	if maxInflight == 0 {
+		maxInflight = DefaultMaxInflightPerGroup
+	}
+	if maxInflight < 0 {
+		maxInflight = 0
+	}
+	s := &Server{
+		replicas:    replicas,
+		smap:        smap,
+		live:        live,
+		maxInflight: maxInflight,
+		ln:          ln,
+		conns:       make(map[net.Conn]struct{}),
+		inflight:    make(map[int]int),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -127,12 +190,26 @@ func listen(replicas map[int]*core.Replica, smap *shard.ShardMap, live bool, add
 // Addr returns the bound address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting and waits for connection handlers to drain.
+// Close stops accepting, closes every open connection — unblocking
+// handlers idling in a read, so shutdown does not wait on silent
+// clients — and waits for the handlers to drain.
 func (s *Server) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -143,14 +220,52 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
 
+// admitGroup takes one slot of the group's in-flight budget; false means
+// the edge budget is exhausted and the request must be NACKed without
+// touching the replica.
+func (s *Server) admitGroup(group int) bool {
+	if s.maxInflight <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[group] >= s.maxInflight {
+		return false
+	}
+	s.inflight[group]++
+	return true
+}
+
+func (s *Server) releaseGroup(group int) {
+	if s.maxInflight <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.inflight[group]--
+	s.mu.Unlock()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
@@ -178,6 +293,12 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 	if d.Err() != nil {
 		return StatusError, []byte("malformed request")
 	}
+	// Protocol v5: the optional trailing deadline budget. A garbage
+	// trailer is a malformed frame, not a silently dropped field.
+	budget, err := overload.DecodeWireDeadline(d)
+	if err != nil {
+		return StatusError, []byte(fmt.Sprintf("malformed request: %v", err))
+	}
 	if kind == KindShardMap {
 		if s.smap == nil {
 			return StatusError, []byte("server: not sharded (no shard map)")
@@ -202,15 +323,24 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		// can ever find the group.
 		return StatusFailed, []byte(fmt.Sprintf("server: group %d not hosted here", group))
 	}
+	// The per-group in-flight budget guards the load-bearing kinds at
+	// the server edge: past it, NACK without doing any replica work.
+	switch kind {
+	case KindSubmit, KindSubmitToken, KindQuery, KindQueryLevel:
+		if !s.admitGroup(int(group)) {
+			return StatusOverloaded, overloadedBody(serverRetryAfter)
+		}
+		defer s.releaseGroup(int(group))
+	}
 	switch kind {
 	case KindSubmit:
-		resp, err := rep.Submit(client, seq, body)
+		resp, _, err := rep.SubmitTokenDeadline(client, seq, body, budget)
 		if err != nil {
 			return submitErrStatus(err)
 		}
 		return StatusOK, resp
 	case KindSubmitToken:
-		resp, tok, err := rep.SubmitToken(client, seq, body)
+		resp, tok, err := rep.SubmitTokenDeadline(client, seq, body, budget)
 		if err != nil {
 			return submitErrStatus(err)
 		}
@@ -243,6 +373,9 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 				e := wire.NewEncoder(nil)
 				e.Varint(int64(np.Leader))
 				return StatusNotPrimary, e.Bytes()
+			}
+			if errors.Is(err, overload.ErrOverloaded) {
+				return StatusOverloaded, overloadedBody(overload.RetryAfter(err))
 			}
 			// readpath's routing errors (primary-only classification,
 			// frontier/lease waits) cross as their stable message strings;
@@ -307,7 +440,46 @@ func submitErrStatus(err error) (byte, []byte) {
 		// number; no replica will ever accept it again.
 		return StatusFailed, []byte(err.Error())
 	}
+	// Both overload NACKs guarantee the request was never admitted into
+	// the trace: the client may safely retry (or discard the op from a
+	// linearizability history) without risking duplicate execution.
+	if errors.Is(err, overload.ErrOverloaded) {
+		return StatusOverloaded, overloadedBody(overload.RetryAfter(err))
+	}
+	if errors.Is(err, overload.ErrDeadlineExceeded) {
+		return StatusDeadline, []byte(err.Error())
+	}
 	return StatusError, []byte(err.Error())
+}
+
+// overloadedBody encodes a StatusOverloaded response body: the uvarint
+// retry-after hint in milliseconds (rounded up, minimum 1ms).
+func overloadedBody(ra time.Duration) []byte {
+	if ra <= 0 {
+		ra = serverRetryAfter
+	}
+	ms := uint64((ra + time.Millisecond - 1) / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	e := wire.NewEncoder(nil)
+	e.Uvarint(ms)
+	return e.Bytes()
+}
+
+// decodeRetryAfter parses a StatusOverloaded body; a malformed body
+// degrades to the server's default hint rather than an error — the
+// status byte alone already carries the decision that matters.
+func decodeRetryAfter(b []byte) time.Duration {
+	d := wire.NewDecoder(b)
+	ms := d.Uvarint()
+	if d.Err() != nil || ms == 0 {
+		return serverRetryAfter
+	}
+	if ms > uint64(overload.MaxWireDeadline/time.Millisecond) {
+		return serverRetryAfter
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 func (s *Server) handleReconfig(rep *core.Replica, body []byte) (byte, []byte) {
@@ -468,6 +640,11 @@ func (c *Client) roundTrip(ctx context.Context, i int, kind byte, seq uint64, bo
 	e.Uvarint(c.id)
 	e.Uvarint(seq)
 	e.BytesVal(body)
+	// Protocol v5 deadline propagation: a ctx deadline rides along so
+	// every hop can fail fast instead of doing doomed work.
+	if d, ok := ctx.Deadline(); ok {
+		overload.AppendWireDeadline(e, time.Until(d))
+	}
 	frame := e.Bytes()
 	if len(frame) > maxFrame {
 		// The server would refuse the length prefix and drop the
@@ -525,6 +702,7 @@ func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 	c.seq++
 	seq := c.seq
 	tried := 0
+	var lastErr error
 	for tried < 4*len(c.addrs) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -558,12 +736,55 @@ func (c *Client) DoCtx(ctx context.Context, body []byte) ([]byte, error) {
 			tried++
 		case StatusFailed:
 			return nil, fmt.Errorf("%w: %s", ErrPermanent, resp)
+		case StatusOverloaded:
+			// The primary shed the write before admission; honor its
+			// retry-after hint (capped — the loop, not the hint, owns the
+			// overall retry policy) and try the same target again.
+			ra := decodeRetryAfter(resp)
+			lastErr = overload.Shed{RetryAfter: ra}
+			if !sleepCtx(ctx, minDuration(ra, maxClientRetryPause)) {
+				return nil, ctx.Err()
+			}
+			tried++
+		case StatusDeadline:
+			// The budget we stamped ran out server-side before admission:
+			// retrying is exactly the doomed work deadlines exist to avoid.
+			return nil, overload.ErrDeadlineExceeded
 		default:
 			c.target++
 			tried++
 		}
 	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
 	return nil, errors.New("server: no replica accepted the request")
+}
+
+// maxClientRetryPause caps how long a client sleeps on a server
+// retry-after hint: the hint shapes the pause, the retry loop bounds it.
+const maxClientRetryPause = 50 * time.Millisecond
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sleepCtx sleeps for d or until ctx is done; false means ctx fired.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // decodeTokenResp splits a token-carrying OK body into response and token.
@@ -680,6 +901,18 @@ func (c *Client) QueryLevelCtx(ctx context.Context, level readpath.Level, q []by
 			tried++
 		case StatusFailed:
 			return nil, fmt.Errorf("%w: %s", ErrPermanent, resp)
+		case StatusOverloaded:
+			// Shed read: pause per the hint, then rotate — under elevated
+			// pressure another replica may still serve a weak read even
+			// though this one shed it.
+			ra := decodeRetryAfter(resp)
+			lastErr = overload.Shed{RetryAfter: ra}
+			if !sleepCtx(ctx, minDuration(ra, maxClientRetryPause)) {
+				return nil, ctx.Err()
+			}
+			tried++
+		case StatusDeadline:
+			return nil, overload.ErrDeadlineExceeded
 		default:
 			if string(resp) == readpath.ErrPrimaryOnly.Error() {
 				// Classified primary-only: stop probing secondaries.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -607,5 +608,108 @@ func TestClientProtocolFraming(t *testing.T) {
 	defer cl.Close()
 	if _, err := cl.Do(hashdb.SetReq("k", []byte("v"))); err != nil {
 		t.Fatalf("well-formed request after abuse: %v", err)
+	}
+}
+
+// TestCloseUnblocksIdleConns verifies the shutdown path: Close must
+// return promptly even when clients hold open connections with no
+// request in flight (the read loop is blocked in readFrame).
+func TestCloseUnblocksIdleConns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	srv, stop := startFramingServer(t)
+	addr := srv.Addr().String()
+
+	// Park a few idle connections; never send a byte on them.
+	var idle []net.Conn
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+		idle = append(idle, conn)
+	}
+	// Give the accept loop a moment to hand them to serveConn.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		stop() // srv.Close() + replica stop
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return within 5s with idle connections open")
+	}
+	// The server side must have closed the idle conns too.
+	for _, conn := range idle {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := readFrame(conn); err == nil {
+			t.Error("idle connection still open after Close")
+		}
+	}
+}
+
+// TestDeadlineFrameRejectsGarbage sends request frames with malformed
+// trailing deadline fields and expects a typed error status, never a
+// hang or crash.
+func TestDeadlineFrameRejectsGarbage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	srv, stop := startFramingServer(t)
+	defer stop()
+	addr := srv.Addr().String()
+
+	cases := []struct {
+		name  string
+		extra []byte
+	}{
+		{"zero budget", []byte{0x00}},
+		{"truncated uvarint", []byte{0x80}},
+		{"oversized budget", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+		{"trailing junk", []byte{0x01, 0xde, 0xad}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer conn.Close()
+			frame := request(KindSubmitToken, 0, 99, 1, hashdb.SetReq("k", []byte("v")))
+			frame = append(frame, tc.extra...)
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			resp, err := readFrame(conn)
+			if err != nil {
+				t.Fatalf("readFrame: %v", err)
+			}
+			if resp[0] != StatusError {
+				t.Errorf("status = %d, want StatusError", resp[0])
+			}
+			if !strings.Contains(string(resp[1:]), "malformed request") {
+				t.Errorf("message = %q, want malformed request", resp[1:])
+			}
+		})
+	}
+
+	// A well-formed v5 frame with a valid deadline still succeeds.
+	cl := NewClient(7, []string{addr})
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.DoCtx(ctx, hashdb.SetReq("k2", []byte("v2"))); err != nil {
+		t.Fatalf("v5 framed request: %v", err)
 	}
 }

@@ -3,10 +3,11 @@ package shard
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
+	"rex/internal/overload"
 	"rex/internal/readpath"
+	"rex/internal/retry"
 )
 
 // GroupClient submits to one replica group. Both cluster.Client
@@ -83,9 +84,26 @@ type Router struct {
 	ClientID uint64
 	// MaxAttempts bounds NACK-driven rerouting per call (default 32).
 	MaxAttempts int
+	// BudgetExhausted counts calls abandoned on a dry retry budget.
+	BudgetExhausted uint64
 
-	rng *rand.Rand
+	bo     *retry.Backoff
+	budget *retry.Budget
 }
+
+// Router retry budget: every envelope NACK consumed real replication
+// work (the request went through consensus before being refused), so
+// NACK-driven retries spend tokens. Successes earn a full token and the
+// bucket is deep — rebalance freezes are short and bursty; only a
+// sustained NACK storm with no goodput drains it.
+const (
+	routeBudgetRatio = 1.0
+	routeBudgetBurst = 128
+)
+
+// ErrRetryBudget reports a routed call abandoned because the router's
+// retry budget ran dry.
+var ErrRetryBudget = fmt.Errorf("shard: %w", retry.ErrBudgetExhausted)
 
 // NewRouter binds a map to its per-group clients.
 func NewRouter(m *ShardMap, groups []GroupClient) (*Router, error) {
@@ -111,16 +129,43 @@ func (r *Router) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
-// backoff sleeps for the attempt's jittered exponential delay.
-func (r *Router) backoff(attempt int) {
-	if r.rng == nil {
-		r.rng = rand.New(rand.NewSource(int64(r.ClientID)*2654435761 + 0x5bd1e995))
+// retryState lazily builds the router's shared backoff schedule and
+// retry budget (internal/retry), seeded from the client id.
+func (r *Router) retryState() (*retry.Backoff, *retry.Budget) {
+	if r.bo == nil {
+		r.bo = retry.NewBackoff(minRouteBackoff, maxRouteBackoff, int64(r.ClientID)*2654435761+0x5bd1e995)
+		r.budget = retry.NewBudget(routeBudgetRatio, routeBudgetBurst)
 	}
-	d := minRouteBackoff << uint(attempt)
-	if d <= 0 || d > maxRouteBackoff {
-		d = maxRouteBackoff
+	return r.bo, r.budget
+}
+
+// backoff sleeps one jittered exponential step; each routed call resets
+// the schedule (resetBackoff) so per-call delays still start at the
+// minimum like the old attempt-indexed form did.
+func (r *Router) backoff() {
+	bo, _ := r.retryState()
+	r.sleep(bo.Next())
+}
+
+func (r *Router) resetBackoff() {
+	bo, _ := r.retryState()
+	bo.Reset()
+}
+
+// spend charges one retry against the budget; false means the budget is
+// dry and the call must be abandoned.
+func (r *Router) spend() bool {
+	_, budget := r.retryState()
+	if budget.Allow() {
+		return true
 	}
-	r.sleep(d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1)))
+	r.BudgetExhausted++
+	return false
+}
+
+func (r *Router) earn() {
+	_, budget := r.retryState()
+	budget.Success()
 }
 
 // refetch replaces the map if a newer version can be fetched. It is
@@ -165,15 +210,23 @@ func (r *Router) Do(key, body []byte) ([]byte, error) {
 	if r.Recorder != nil {
 		opID = r.Recorder.Invoke(r.ClientID, body)
 	}
-	resp, err := r.do(HashKey(key), body)
+	resp, definite, err := r.do(HashKey(key), body)
 	if r.Recorder != nil {
-		if err != nil {
-			// Unknown outcome: a transport error after submission may or
-			// may not have applied. NACK-driven exhaustion provably never
-			// applied, but Timeout (op stays pending) is sound either way.
-			r.Recorder.Timeout(opID)
-		} else {
+		switch {
+		case err == nil:
 			r.Recorder.Return(opID, resp)
+		case definite:
+			// Every attempt was answered with a definite did-not-execute
+			// NACK (rebalance NACKs and overload sheds both guarantee it):
+			// drop the op from the history instead of recording an unknown
+			// outcome the checker must treat as maybe-executes-anytime.
+			if d, ok := r.Recorder.(interface{ Discard(uint64) }); ok {
+				d.Discard(opID)
+			} else {
+				r.Recorder.Timeout(opID)
+			}
+		default:
+			r.Recorder.Timeout(opID)
 		}
 	}
 	return resp, err
@@ -183,25 +236,47 @@ func (r *Router) Do(key, body []byte) ([]byte, error) {
 // rebalance NACKs (which provably did not mutate state) or permanent
 // transport errors on a stale route; an unknown-outcome transport error
 // is surfaced to the caller rather than blindly resubmitted, since a
-// resubmission would be a second, distinct request.
-func (r *Router) do(h uint64, body []byte) ([]byte, error) {
+// resubmission would be a second, distinct request. definite reports
+// that no attempt can have mutated state.
+func (r *Router) do(h uint64, body []byte) (resp []byte, definite bool, err error) {
+	r.resetBackoff()
+	definite = true
 	for attempt := 0; attempt < r.attempts(); attempt++ {
+		if attempt > 0 && !r.spend() {
+			// Every retry here follows a NACK that consumed replication
+			// work; a dry budget means this router is amplifying load on
+			// a cluster that is refusing it.
+			return nil, definite, ErrRetryBudget
+		}
 		g, env := r.route(EnvApp, h, body)
-		resp, err := r.Groups[g].Do(env)
+		out, err := r.Groups[g].Do(env)
 		if err != nil {
 			if r.IsPermanent != nil && r.IsPermanent(err) {
+				// A permanent transport error (e.g. a stale-sequence wrap)
+				// may mean an earlier attempt landed: outcome unknown.
+				definite = false
 				r.refetch()
-				r.backoff(attempt)
+				r.backoff()
 				continue
 			}
-			return nil, err
+			if errors.Is(err, overload.ErrOverloaded) || errors.Is(err, overload.ErrDeadlineExceeded) {
+				// Shed before admission, after the group client's own
+				// paced retries: provably never executed. Surface it — the
+				// caller owns the load decision now.
+				return nil, definite, err
+			}
+			return nil, false, err
 		}
-		done, payload, err := r.handleReply(resp, attempt)
+		done, payload, rerr := r.handleReply(out, attempt)
 		if done {
-			return payload, err
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			r.earn()
+			return payload, true, nil
 		}
 	}
-	return nil, ErrMapRetriesExhausted
+	return nil, definite, ErrMapRetriesExhausted
 }
 
 // handleReply interprets an envelope reply. done=false means "NACKed,
@@ -223,7 +298,7 @@ func (r *Router) handleReply(resp []byte, attempt int) (done bool, payload []byt
 			// one.
 			r.refetch()
 		}
-		r.backoff(attempt)
+		r.backoff()
 		return false, nil, nil
 	case ReplyFrozen:
 		// Bounded migration write barrier; wait it out, occasionally
@@ -231,7 +306,7 @@ func (r *Router) handleReply(resp []byte, attempt int) (done bool, payload []byt
 		if attempt > 1 {
 			r.refetch()
 		}
-		r.backoff(attempt)
+		r.backoff()
 		return false, nil, nil
 	case ReplyErr:
 		return true, nil, fmt.Errorf("%w: %s", ErrRebalance, ReplyErrMessage(payload))
@@ -247,19 +322,26 @@ func (r *Router) Query(key []byte, i int, q []byte) ([]byte, error) {
 		return r.Groups[r.Map.GroupFor(key)].Query(i, q)
 	}
 	h := HashKey(key)
+	r.resetBackoff()
 	for attempt := 0; attempt < r.attempts(); attempt++ {
+		if attempt > 0 && !r.spend() {
+			return nil, ErrRetryBudget
+		}
 		g, env := r.route(EnvApp, h, q)
 		resp, err := r.Groups[g].Query(i, env)
 		if err != nil {
 			if r.IsPermanent != nil && r.IsPermanent(err) {
 				r.refetch()
-				r.backoff(attempt)
+				r.backoff()
 				continue
 			}
 			return nil, err
 		}
 		done, payload, err := r.handleReply(resp, attempt)
 		if done {
+			if err == nil {
+				r.earn()
+			}
 			return payload, err
 		}
 	}
@@ -283,29 +365,44 @@ func (r *Router) QueryLevel(key []byte, level readpath.Level, q []byte) ([]byte,
 	}
 	resp, err := r.queryLevel(HashKey(key), level, q)
 	if record {
-		if err != nil {
-			r.Recorder.Timeout(opID)
-		} else {
+		switch {
+		case err == nil:
 			r.Recorder.Return(opID, resp)
+		default:
+			// A failed read is always discardable: it mutated nothing and
+			// the caller never saw a response, so dropping it cannot
+			// invalidate any other op's linearization.
+			if d, ok := r.Recorder.(interface{ Discard(uint64) }); ok {
+				d.Discard(opID)
+			} else {
+				r.Recorder.Timeout(opID)
+			}
 		}
 	}
 	return resp, err
 }
 
 func (r *Router) queryLevel(h uint64, level readpath.Level, q []byte) ([]byte, error) {
+	r.resetBackoff()
 	for attempt := 0; attempt < r.attempts(); attempt++ {
+		if attempt > 0 && !r.spend() {
+			return nil, ErrRetryBudget
+		}
 		g, env := r.route(EnvApp, h, q)
 		resp, err := r.Groups[g].QueryLevel(level, env)
 		if err != nil {
 			if r.IsPermanent != nil && r.IsPermanent(err) {
 				r.refetch()
-				r.backoff(attempt)
+				r.backoff()
 				continue
 			}
 			return nil, err
 		}
 		done, payload, err := r.handleReply(resp, attempt)
 		if done {
+			if err == nil {
+				r.earn()
+			}
 			return payload, err
 		}
 	}
